@@ -1,0 +1,123 @@
+(** Shared infrastructure for the experiment harness: scale profiles,
+    result printing, and a Bechamel wrapper for micro-measurements. *)
+
+(* -- scale profiles --------------------------------------------------------- *)
+
+type scale = Quick | Full
+
+let scale =
+  match Sys.getenv_opt "FCV_BENCH_SCALE" with
+  | Some ("full" | "FULL") -> Full
+  | _ -> Quick
+
+(* paper scale: 400k-tuple relations, 20 relations/family, 10^7-node
+   budget; quick scale keeps every series' SHAPE while finishing in
+   minutes *)
+let synth_rows = match scale with Quick -> 40_000 | Full -> 400_000
+let relations_per_family = match scale with Quick -> 6 | Full -> 20
+
+let customer_sizes =
+  match scale with
+  | Quick -> [ 25_000; 50_000; 100_000; 200_000 ]
+  | Full -> [ 50_000; 100_000; 200_000; 300_000; 400_000 ]
+
+let thresholds =
+  match scale with
+  | Quick -> [ 1_000; 100_000; 1_000_000 ]
+  | Full -> [ 1_000; 100_000; 1_000_000; 10_000_000 ]
+
+(* -- output ------------------------------------------------------------------ *)
+
+let section title =
+  Printf.printf "\n%s\n%s\n" title (String.make (String.length title) '=')
+
+let subsection title = Printf.printf "\n-- %s --\n" title
+
+let row fmt = Printf.printf fmt
+
+let paper_note fmt = Printf.ksprintf (fun s -> Printf.printf "  [paper] %s\n" s) fmt
+
+(* -- timing -------------------------------------------------------------------- *)
+
+(** Median wall-clock milliseconds of [f], with caches cleared by
+    [reset] before every run so repetitions don't measure cache
+    hits. *)
+let time_ms ?(repeat = 3) ?(reset = fun () -> ()) f =
+  let durations =
+    List.init repeat (fun _ ->
+        reset ();
+        let _, ms = Fcv_util.Timer.time_ms f in
+        ms)
+  in
+  let sorted = List.sort compare durations in
+  List.nth sorted (repeat / 2)
+
+(** Nanoseconds per run of a micro-operation, estimated by Bechamel's
+    OLS over monotonic-clock samples. *)
+let bechamel_ns ?(quota = 0.5) name fn =
+  let open Bechamel in
+  let test = Test.make ~name (Staged.stage fn) in
+  let cfg =
+    Benchmark.cfg ~limit:2000 ~quota:(Time.second quota) ~kde:None ~stabilize:false ()
+  in
+  let instance = Toolkit.Instance.monotonic_clock in
+  let results =
+    List.map
+      (fun elt ->
+        let raw = Benchmark.run cfg [ instance ] elt in
+        let ols =
+          Analyze.one
+            (Analyze.ols ~r_square:false ~bootstrap:0 ~predictors:[| Measure.run |])
+            instance raw
+        in
+        match Analyze.OLS.estimates ols with
+        | Some [ ns ] -> ns
+        | _ -> nan)
+      (Test.elements test)
+  in
+  match results with [ ns ] -> ns | _ -> nan
+
+(* -- small statistics ------------------------------------------------------------ *)
+
+let mean xs = List.fold_left ( +. ) 0. xs /. float_of_int (List.length xs)
+
+let histogram ~lo ~hi ~bins xs =
+  let counts = Array.make (bins + 1) 0 in
+  (* last bin collects everything above [hi] (the paper thresholds at 2.5) *)
+  List.iter
+    (fun x ->
+      if x > hi then counts.(bins) <- counts.(bins) + 1
+      else begin
+        let b =
+          int_of_float (float_of_int bins *. (x -. lo) /. (hi -. lo))
+          |> max 0
+          |> min (bins - 1)
+        in
+        counts.(b) <- counts.(b) + 1
+      end)
+    xs;
+  counts
+
+(** Spearman rank correlation between two orderings of the same items
+    (used to quantify Fig. 2(b)/(c): how well a heuristic's ranking of
+    the 120 orderings matches the true size ranking). *)
+let spearman xs ys =
+  let n = List.length xs in
+  if n < 2 then nan
+  else begin
+    let rank l =
+      let sorted = List.sort compare l in
+      List.map (fun x ->
+          let rec idx i = function
+            | [] -> assert false
+            | y :: rest -> if y = x then i else idx (i + 1) rest
+          in
+          float_of_int (idx 0 sorted))
+        l
+    in
+    let rx = rank xs and ry = rank ys in
+    let d2 =
+      List.fold_left2 (fun acc a b -> acc +. ((a -. b) ** 2.)) 0. rx ry
+    in
+    1. -. (6. *. d2 /. float_of_int (n * ((n * n) - 1)))
+  end

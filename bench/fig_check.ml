@@ -1,0 +1,110 @@
+(** Experiments E10–E11 (Fig. 5): constraint checking, BDD logical
+    index versus the SQL engine, on the customer data.
+
+    E10 — membership constraints through a 10,000-row
+    Constraints(city, areacode) relation ("if city = X then
+    areacode ∈ {...}") and its city→state variant.
+    E11 — the implication (functional dependency) areacode → state:
+    BDD via projection + model counting (the paper's method), SQL via
+    the GROUP BY / HAVING COUNT(DISTINCT ...) query. *)
+
+module R = Fcv_relation
+open Bench_util
+
+let constraints_rows = 10_000
+
+type point = {
+  rows : int;
+  city_areacode_sql : float;
+  city_areacode_bdd : float;
+  city_state_sql : float;
+  city_state_bdd : float;
+  fd_sql : float;
+  fd_bdd : float;
+}
+
+let membership_constraint =
+  (* customers in a constrained city must use an allowed areacode *)
+  "forall c, a . cust(a, _, c, _, _) and (exists a2 . allowed(c, a2)) -> allowed(c, a)"
+
+let city_state_constraint =
+  (* city determines state, via an explicit (city, state) rule table *)
+  "forall c, s . cust(_, _, c, s, _) and (exists s2 . rules(c, s2)) -> rules(c, s)"
+
+let fd_sql_query = "SELECT areacode FROM cust GROUP BY areacode HAVING COUNT(DISTINCT state) > 1"
+
+let measure rows =
+  let rng = Fcv_util.Rng.create (9000 + rows) in
+  let db = Fcv_datagen.Customers.make_db () in
+  let table, world =
+    Fcv_datagen.Customers.generate ~violation_rate:0.0005 rng db ~name:"cust" ~rows
+  in
+  let _allowed =
+    Fcv_datagen.Customers.constraints_table rng db world ~name:"allowed" ~n:constraints_rows
+  in
+  (* city -> state rules derived from the geography *)
+  let rules = R.Database.create_table db ~name:"rules" ~attrs:[ ("city", "city"); ("state", "state") ] in
+  Array.iteri
+    (fun city state ->
+      if city mod 2 = 0 then R.Table.insert_coded rules [| city; state |])
+    world.Fcv_datagen.Customers.city_state;
+  ignore table;
+  (* indices: the paper's ncs projection covers every constraint here *)
+  let index = Core.Index.create db in
+  ignore
+    (Core.Index.add index ~table_name:"cust" ~attrs:[ "areacode"; "city"; "state" ]
+       ~strategy:Core.Ordering.Prob_converge ());
+  ignore (Core.Index.add index ~table_name:"allowed" ~strategy:Core.Ordering.Prob_converge ());
+  ignore (Core.Index.add index ~table_name:"rules" ~strategy:Core.Ordering.Prob_converge ());
+  let mgr = Core.Index.mgr index in
+  let reset () = Fcv_bdd.Manager.clear_caches mgr in
+  let bdd_check src =
+    let c = Core.Fol_parser.of_string src in
+    time_ms ~reset (fun () ->
+        let r = Core.Checker.check index c in
+        assert (r.Core.Checker.method_used = Core.Checker.Bdd))
+  in
+  let sql_check src =
+    let c = Core.Fol_parser.of_string src in
+    time_ms (fun () -> ignore (Core.Checker.check_sql db c))
+  in
+  {
+    rows;
+    city_areacode_sql = sql_check membership_constraint;
+    city_areacode_bdd = bdd_check membership_constraint;
+    city_state_sql = sql_check city_state_constraint;
+    city_state_bdd = bdd_check city_state_constraint;
+    fd_sql = time_ms (fun () -> ignore (Fcv_sql.Planner.count db fd_sql_query));
+    fd_bdd =
+      time_ms ~reset (fun () ->
+          ignore
+            (Core.Fd_check.fd_holds index ~table_name:"cust" ~lhs:[ "areacode" ]
+               ~rhs:[ "state" ]));
+  }
+
+let points = lazy (List.map measure customer_sizes)
+
+let fig5a () =
+  section "Fig 5(a): membership/join constraint checking, BDD vs SQL (ms)";
+  row "%-10s %18s %18s %18s %18s\n" "rows" "city-area SQL" "city-area BDD" "city-state SQL" "city-state BDD";
+  List.iter
+    (fun p ->
+      row "%-10d %18.1f %18.1f %18.1f %18.1f\n" p.rows p.city_areacode_sql
+        p.city_areacode_bdd p.city_state_sql p.city_state_bdd)
+    (Lazy.force points);
+  paper_note "BDD beats SQL by significant margins, both constraint types";
+  paper_note
+    "our SQL baseline is an in-memory hash-join engine, far faster than a 2007 \
+     disk-based RDBMS; see EXPERIMENTS.md"
+
+let fig5b () =
+  section "Fig 5(b): implication constraint areacode -> state, BDD vs SQL (ms)";
+  row "%-10s %14s %14s %10s\n" "rows" "SQL" "BDD" "SQL/BDD";
+  List.iter
+    (fun p -> row "%-10d %14.1f %14.1f %10.1f\n" p.rows p.fd_sql p.fd_bdd (p.fd_sql /. p.fd_bdd))
+    (Lazy.force points);
+  paper_note "BDD outperforms the SQL group-by by a factor of 6 to 8"
+
+let all () =
+  fig5a ();
+  fig5b ()

@@ -1,0 +1,112 @@
+(** Experiments E7–E9 (Fig. 4): encoding the customer relation into
+    BDD logical indices — construction time, per-update maintenance
+    time and node count, as the relation grows.
+
+    Two indices, exactly the paper's: ncs = (areacode, city, state)
+    (29 boolean variables) and csz = (city, state, zipcode) (35). *)
+
+module R = Fcv_relation
+open Bench_util
+
+let ncs = [ "areacode"; "city"; "state" ]
+let csz = [ "city"; "state"; "zipcode" ]
+
+type point = {
+  rows : int;
+  build_ms : (string * float) list;  (** per index *)
+  naive_build_ms : (string * float) list;  (** reference OR-tree builder *)
+  update_us : (string * float) list;  (** avg insert+delete, microseconds *)
+  nodes : (string * int) list;
+}
+
+let measure rows =
+  let rng = Fcv_util.Rng.create (8000 + rows) in
+  let db = Fcv_datagen.Customers.make_db () in
+  let table, _ = Fcv_datagen.Customers.generate rng db ~name:"cust" ~rows in
+  let index = Core.Index.create db in
+  let one attrs label =
+    let t0 = Fcv_util.Timer.now () in
+    let entry = Core.Index.add index ~table_name:"cust" ~attrs ~strategy:Core.Ordering.Prob_converge () in
+    let build_ms = (Fcv_util.Timer.now () -. t0) *. 1000. in
+    let nodes = Core.Index.entry_size index entry in
+    (* per-update cost: insert + delete a FRESH random row on every
+       iteration, so the root drifts and no operation repeats a cached
+       (root, minterm) pair — a fixed victim row would measure pure
+       cache hits after the first pass *)
+    let urng = Fcv_util.Rng.create (rows + 17) in
+    let update () =
+      let row =
+        [|
+          Fcv_util.Rng.int urng Fcv_datagen.Customers.n_areacode;
+          Fcv_util.Rng.int urng Fcv_datagen.Customers.n_number;
+          Fcv_util.Rng.int urng Fcv_datagen.Customers.n_city;
+          Fcv_util.Rng.int urng Fcv_datagen.Customers.n_state;
+          Fcv_util.Rng.int urng Fcv_datagen.Customers.n_zip;
+        |]
+      in
+      Core.Index.update_entry index entry ~insert:true row;
+      Core.Index.update_entry index entry ~insert:false row
+    in
+    let ns = bechamel_ns ~quota:0.3 (label ^ "-update") update in
+    ignore table;
+    (label, build_ms, nodes, ns /. 2. /. 1000.)
+  in
+  let ncs_r = one ncs "ncs" in
+  let csz_r = one csz "csz" in
+  (* reference naive builder, only at sizes where it stays reasonable *)
+  let naive =
+    if rows <= 50_000 then begin
+      List.map
+        (fun (attrs, label) ->
+          let proj = Core.Index.project table (List.map (R.Schema.position (R.Table.schema table)) attrs |> List.sort compare |> Array.of_list) in
+          let mgr = Fcv_bdd.Manager.create ~nvars:0 () in
+          let order = Core.Ordering.prob_converge proj in
+          let blocks = R.Encode.alloc_blocks mgr proj ~order in
+          let _, ms = Fcv_util.Timer.time_ms (fun () -> R.Encode.build_naive mgr proj ~order ~blocks) in
+          (label, ms))
+        [ (ncs, "ncs"); (csz, "csz") ]
+    end
+    else []
+  in
+  let pick3 (l, b, n, u) = ((l, b), (l, n), (l, u)) in
+  let (b1, n1, u1) = pick3 ncs_r and (b2, n2, u2) = pick3 csz_r in
+  { rows; build_ms = [ b1; b2 ]; naive_build_ms = naive; update_us = [ u1; u2 ]; nodes = [ n1; n2 ] }
+
+let points = lazy (List.map measure customer_sizes)
+
+let fig4a () =
+  section "Fig 4(a): BDD index construction time vs relation size";
+  row "%-10s %14s %14s %18s %18s\n" "rows" "ncs (ms)" "csz (ms)" "ncs naive (ms)" "csz naive (ms)";
+  List.iter
+    (fun p ->
+      let get l xs = try Printf.sprintf "%14.1f" (List.assoc l xs) with Not_found -> Printf.sprintf "%14s" "-" in
+      row "%-10d %s %s %s %s\n" p.rows
+        (get "ncs" p.build_ms) (get "csz" p.build_ms)
+        (get "ncs" p.naive_build_ms) (get "csz" p.naive_build_ms))
+    (Lazy.force points);
+  paper_note "construction grows near-linearly; ~7s at 400k tuples on 2007 hardware";
+  paper_note "the sorted-codes direct builder is the ablation vs the naive OR-tree"
+
+let fig4b () =
+  section "Fig 4(b): average BDD update time (insert+delete) vs relation size";
+  row "%-10s %16s %16s\n" "rows" "ncs (us/update)" "csz (us/update)";
+  List.iter
+    (fun p ->
+      row "%-10d %16.2f %16.2f\n" p.rows
+        (List.assoc "ncs" p.update_us) (List.assoc "csz" p.update_us))
+    (Lazy.force points);
+  paper_note "60-110 microseconds per update, roughly flat in relation size"
+
+let fig4c () =
+  section "Fig 4(c): BDD index size (nodes) vs relation size";
+  row "%-10s %14s %14s\n" "rows" "ncs (nodes)" "csz (nodes)";
+  List.iter
+    (fun p ->
+      row "%-10d %14d %14d\n" p.rows (List.assoc "ncs" p.nodes) (List.assoc "csz" p.nodes))
+    (Lazy.force points);
+  paper_note "tens of thousands of nodes (20 B/node) even at 400k tuples: memory-efficient"
+
+let all () =
+  fig4a ();
+  fig4b ();
+  fig4c ()

@@ -1,0 +1,55 @@
+(* Experiment harness: regenerates every table and figure of the
+   paper's evaluation (Section 5).  See DESIGN.md for the experiment
+   index and EXPERIMENTS.md for paper-vs-measured numbers.
+
+     dune exec bench/main.exe                 # everything, quick scale
+     dune exec bench/main.exe -- fig2a table1 # a subset
+     FCV_BENCH_SCALE=full dune exec bench/main.exe   # paper scale
+
+   Additionally `micro` runs Bechamel micro-benchmarks of the BDD
+   kernel primitives (one Test.make per operation). *)
+
+let registry : (string * string * (unit -> unit)) list =
+  [
+    ("fig2a", "effect of variable ordering (per family)", Fig_ordering.fig2a);
+    ("fig2b", "ranking orderings by MaxInf-Gain", Fig_ordering.fig2b);
+    ("fig2c", "ranking orderings by Prob-Converge", Fig_ordering.fig2c);
+    ("fig3a", "histogram of alpha (MaxInf-Gain vs optimal)", Fig_ordering.fig3a);
+    ("fig3b", "histogram of beta (Prob-Converge vs optimal)", Fig_ordering.fig3b);
+    ("fig3c", "accuracy comparison CDF", Fig_ordering.fig3c);
+    ("fig4a", "BDD construction time", Fig_index.fig4a);
+    ("fig4b", "BDD update time", Fig_index.fig4b);
+    ("fig4c", "BDD size", Fig_index.fig4c);
+    ("fig5a", "membership constraints, BDD vs SQL", Fig_check.fig5a);
+    ("fig5b", "implication constraint, BDD vs SQL", Fig_check.fig5b);
+    ("fig6a", "equi-join rewrite", Fig_rewrite.fig6a);
+    ("fig6b", "existential pull-up rewrite", Fig_rewrite.fig6b);
+    ("fig6c", "universal push-down rewrite", Fig_rewrite.fig6c);
+    ("table1", "variable-ordering gain on Q1-Q5", Tables.table1);
+    ("table2", "node-budget fill time", Tables.table2);
+    ("ablations", "checker pipeline ablation study", Ablations.run);
+    ("micro", "Bechamel micro-benchmarks of kernel primitives", Micro.all);
+  ]
+
+let () =
+  let requested =
+    match Array.to_list Sys.argv with
+    | _ :: (_ :: _ as names) -> names
+    | _ -> List.map (fun (n, _, _) -> n) registry
+  in
+  Printf.printf "fcv experiment harness — scale: %s\n"
+    (match Bench_util.scale with
+    | Bench_util.Quick -> "quick (set FCV_BENCH_SCALE=full for paper scale)"
+    | Bench_util.Full -> "full");
+  List.iter
+    (fun name ->
+      match List.find_opt (fun (n, _, _) -> n = name) registry with
+      | Some (_, _, run) ->
+        let t0 = Fcv_util.Timer.now () in
+        run ();
+        Printf.printf "\n[%s done in %.1f s]\n" name (Fcv_util.Timer.now () -. t0)
+      | None ->
+        Printf.eprintf "unknown experiment %s; known:\n" name;
+        List.iter (fun (n, d, _) -> Printf.eprintf "  %-8s %s\n" n d) registry;
+        exit 2)
+    requested

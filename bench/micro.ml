@@ -1,0 +1,63 @@
+(** Bechamel micro-benchmarks of the BDD kernel primitives — the cost
+    model underlying every experiment: mk/hash-consing, apply,
+    quantification, fused appex/appall, rename, restrict, model
+    counting and the direct sorted-codes relation encoder. *)
+
+module R = Fcv_relation
+module M = Fcv_bdd.Manager
+module O = Fcv_bdd.Ops
+module Fd = Fcv_bdd.Fd
+open Bench_util
+
+let all () =
+  section "Bechamel micro-benchmarks (ns/op unless noted)";
+  (* a mid-sized random relation as the common operand *)
+  let rng = Fcv_util.Rng.create 99 in
+  let db = R.Database.create () in
+  R.Database.add_domain db (R.Dict.of_int_range "da" 128);
+  R.Database.add_domain db (R.Dict.of_int_range "db" 128);
+  R.Database.add_domain db (R.Dict.of_int_range "dc" 128);
+  let t = R.Database.create_table db ~name:"t" ~attrs:[ ("a", "da"); ("b", "db"); ("c", "dc") ] in
+  for _ = 1 to 20_000 do
+    R.Table.insert_coded t
+      [| Fcv_util.Rng.int rng 128; Fcv_util.Rng.int rng 128; Fcv_util.Rng.int rng 128 |]
+  done;
+  let enc = R.Encode.encode t ~order:[| 0; 1; 2 |] in
+  let m = enc.R.Encode.mgr in
+  let root = enc.R.Encode.root in
+  let a_block = enc.R.Encode.blocks.(0) in
+  let b_block = enc.R.Encode.blocks.(1) in
+  let scratch = Fd.alloc m ~name:"s" ~dom_size:128 in
+  let row = [| 5; 17; 99 |] in
+  let row_print name ns =
+    if ns >= 1e6 then Printf.printf "  %-34s %12.2f ms\n" name (ns /. 1e6)
+    else if ns >= 1e3 then Printf.printf "  %-34s %12.2f us\n" name (ns /. 1e3)
+    else Printf.printf "  %-34s %12.1f ns\n" name ns
+  in
+  let bench name fn =
+    let ns = bechamel_ns ~quota:0.4 name fn in
+    row_print name ns
+  in
+  bench "mk (unique-table hit)" (fun () -> ignore (M.mk m (M.var m root) (M.low m root) (M.high m root)));
+  bench "eq_const (7-bit block)" (fun () -> ignore (Fd.eq_const m a_block 64));
+  bench "tuple minterm (3 blocks)" (fun () -> ignore (R.Encode.minterm m enc.R.Encode.blocks row));
+  bench "membership eval" (fun () -> ignore (R.Encode.mem enc row));
+  bench "apply AND (cached)" (fun () -> ignore (O.band m root root));
+  bench "insert+delete maintenance" (fun () ->
+      R.Encode.insert enc row;
+      R.Encode.delete enc row);
+  bench "restrict one block" (fun () ->
+      M.clear_caches m;
+      ignore (O.restrict m root [ (a_block.Fd.levels.(0), true) ]));
+  bench "exists over one block" (fun () ->
+      M.clear_caches m;
+      ignore (O.exists m (Array.to_list a_block.Fd.levels) root));
+  bench "appex AND over one block" (fun () ->
+      M.clear_caches m;
+      ignore (O.appex m O.And (Array.to_list a_block.Fd.levels) root (Fd.valid m a_block)));
+  bench "rename block (order-preserving)" (fun () ->
+      M.clear_caches m;
+      ignore (Fd.rename m (O.exists m (Array.to_list b_block.Fd.levels) root) ~src:b_block ~dst:scratch));
+  bench "satcount" (fun () -> ignore (Fcv_bdd.Sat.count m root));
+  bench "node_count" (fun () -> ignore (M.node_count m root));
+  Printf.printf "  (relation: 20k rows over 128^3; BDD %d nodes)\n" (M.node_count m root)

@@ -1,0 +1,67 @@
+(* End-to-end audit of a multi-table retail database: eight
+   user-defined constraints (referential integrity, cross-table
+   agreement, FDs, channel policy) validated in one batch — first on
+   clean data, then on data with three kinds of injected corruption.
+
+   Shows the deliverable the paper promises: identify WHICH constraints
+   are violated fast, then drill into witnesses only where needed.
+
+   Run with: dune exec examples/retail_audit.exe *)
+
+module R = Fcv_relation
+module C = Core.Checker
+
+let audit label data =
+  Printf.printf "\n=== %s ===\n" label;
+  let index = Core.Index.create ~max_nodes:4_000_000 data.Fcv_datagen.Retail.db in
+  let parsed =
+    List.map
+      (fun (name, src) -> (name, Core.Fol_parser.of_string src))
+      Fcv_datagen.Retail.audit_constraints
+  in
+  let t0 = Fcv_util.Timer.now () in
+  C.ensure_indices index (List.map snd parsed);
+  Printf.printf "indices built in %.0f ms:" ((Fcv_util.Timer.now () -. t0) *. 1000.);
+  List.iter
+    (fun e ->
+      Printf.printf " %s=%d" (R.Table.name e.Core.Index.table) (Core.Index.entry_size index e))
+    (Core.Index.entries index);
+  print_newline ();
+  let t1 = Fcv_util.Timer.now () in
+  let results = List.map (fun (name, c) -> (name, c, C.check index c)) parsed in
+  Printf.printf "batch of %d constraints checked in %.0f ms\n" (List.length parsed)
+    ((Fcv_util.Timer.now () -. t1) *. 1000.);
+  List.iter
+    (fun (name, c, r) ->
+      Printf.printf "  [%s] %-42s %7.1f ms\n"
+        (match r.C.outcome with C.Satisfied -> "ok" | C.Violated -> "!!")
+        name r.C.elapsed_ms;
+      if r.C.outcome = C.Violated then begin
+        match Core.Violations.enumerate ~limit:2 index c with
+        | Some (w :: _) ->
+          Printf.printf "        e.g. %s\n"
+            (String.concat ", "
+               (List.map (fun (x, v) -> x ^ "=" ^ R.Value.to_string v) w))
+        | _ -> ()
+      end)
+    results
+
+let () =
+  let rng = Fcv_util.Rng.create 2026 in
+  let clean = Fcv_datagen.Retail.generate rng Fcv_datagen.Retail.default in
+  Printf.printf "retail database: %d customers, %d products, %d orders, %d shipments\n"
+    (R.Table.cardinality clean.Fcv_datagen.Retail.customers)
+    (R.Table.cardinality clean.Fcv_datagen.Retail.products)
+    (R.Table.cardinality clean.Fcv_datagen.Retail.orders)
+    (R.Table.cardinality clean.Fcv_datagen.Retail.shipments);
+  audit "clean data" clean;
+  let dirty =
+    Fcv_datagen.Retail.generate rng
+      {
+        Fcv_datagen.Retail.default with
+        Fcv_datagen.Retail.bad_ref_rate = 0.002;
+        bad_dest_rate = 0.001;
+        bad_channel_rate = 0.0005;
+      }
+  in
+  audit "with injected corruption (dangling refs, wrong destinations, forbidden channels)" dirty

@@ -1,0 +1,38 @@
+(** Graphviz export of a BDD, for debugging and documentation. *)
+
+module M = Manager
+
+(** Render [root] as a dot digraph.  [label] maps a level to a display
+    name (defaults to ["x<level>"]).  Low edges are dashed, high edges
+    solid, as is conventional. *)
+let to_string ?(label = fun v -> Printf.sprintf "x%d" v) m root =
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf "digraph bdd {\n";
+  Buffer.add_string buf "  node [shape=circle];\n";
+  Buffer.add_string buf "  t0 [shape=box,label=\"0\"];\n";
+  Buffer.add_string buf "  t1 [shape=box,label=\"1\"];\n";
+  let visited = Hashtbl.create 64 in
+  let name id =
+    if id = M.zero then "t0" else if id = M.one then "t1" else Printf.sprintf "n%d" id
+  in
+  let rec go id =
+    if (not (M.is_terminal id)) && not (Hashtbl.mem visited id) then begin
+      Hashtbl.add visited id ();
+      Buffer.add_string buf
+        (Printf.sprintf "  n%d [label=\"%s\"];\n" id (label (M.var m id)));
+      Buffer.add_string buf
+        (Printf.sprintf "  n%d -> %s [style=dashed];\n" id (name (M.low m id)));
+      Buffer.add_string buf (Printf.sprintf "  n%d -> %s;\n" id (name (M.high m id)));
+      go (M.low m id);
+      go (M.high m id)
+    end
+  in
+  go root;
+  Buffer.add_string buf "}\n";
+  Buffer.contents buf
+
+let to_file ?label m root path =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> output_string oc (to_string ?label m root))

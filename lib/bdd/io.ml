@@ -1,0 +1,103 @@
+(** BDD (de)serialisation: persist the node graphs reachable from a
+    set of roots in a compact line-based text format, and reload them
+    into another manager.  Used to save and restore logical indices
+    without re-encoding the base relations.
+
+    Format (whitespace-separated):
+    {v
+    fcv-bdd 1
+    nvars <n>
+    nodes <k>
+    <var> <low> <high>        (k lines; low/high are file-local ids:
+                               0 = false, 1 = true, 2.. = earlier lines + 2)
+    roots <r0> <r1> ...
+    v}
+
+    Nodes appear children-first, so loading is a single [mk] pass. *)
+
+module M = Manager
+
+let magic = "fcv-bdd"
+let version = 1
+
+(** Serialise the subgraphs of [roots].  Node ids in the file are
+    local; [roots] are rewritten accordingly. *)
+let save m ~roots oc =
+  (* assign file ids in children-first order *)
+  let file_id = Hashtbl.create 1024 in
+  Hashtbl.replace file_id M.zero 0;
+  Hashtbl.replace file_id M.one 1;
+  let order = ref [] in
+  let next = ref 2 in
+  let rec visit id =
+    if not (Hashtbl.mem file_id id) then begin
+      visit (M.low m id);
+      visit (M.high m id);
+      Hashtbl.replace file_id id !next;
+      incr next;
+      order := id :: !order
+    end
+  in
+  List.iter visit roots;
+  let nodes = List.rev !order in
+  Printf.fprintf oc "%s %d\n" magic version;
+  Printf.fprintf oc "nvars %d\n" (M.nvars m);
+  Printf.fprintf oc "nodes %d\n" (List.length nodes);
+  List.iter
+    (fun id ->
+      Printf.fprintf oc "%d %d %d\n" (M.var m id)
+        (Hashtbl.find file_id (M.low m id))
+        (Hashtbl.find file_id (M.high m id)))
+    nodes;
+  output_string oc "roots";
+  List.iter (fun r -> Printf.fprintf oc " %d" (Hashtbl.find file_id r)) roots;
+  output_char oc '\n'
+
+exception Format_error of string
+
+let fail fmt = Printf.ksprintf (fun s -> raise (Format_error s)) fmt
+
+(** Load BDDs saved by {!save} into [m]; the target manager must
+    already have at least as many variables (with the same intended
+    order).  Returns the roots, renumbered into [m]. *)
+let load m ic =
+  let line () = try input_line ic with End_of_file -> fail "unexpected end of file" in
+  let words s = String.split_on_char ' ' (String.trim s) |> List.filter (( <> ) "") in
+  (match words (line ()) with
+  | [ w; v ] when w = magic ->
+    if int_of_string_opt v <> Some version then fail "unsupported version %s" v
+  | _ -> fail "bad magic");
+  let nvars =
+    match words (line ()) with
+    | [ "nvars"; n ] -> int_of_string n
+    | _ -> fail "expected nvars"
+  in
+  if nvars > M.nvars m then
+    fail "file needs %d variables but the manager has %d" nvars (M.nvars m);
+  let count =
+    match words (line ()) with
+    | [ "nodes"; n ] -> int_of_string n
+    | _ -> fail "expected nodes"
+  in
+  let local = Array.make (count + 2) 0 in
+  local.(0) <- M.zero;
+  local.(1) <- M.one;
+  for i = 0 to count - 1 do
+    match words (line ()) with
+    | [ v; lo; hi ] ->
+      let v = int_of_string v and lo = int_of_string lo and hi = int_of_string hi in
+      if lo >= i + 2 || hi >= i + 2 then fail "forward reference at node %d" i;
+      local.(i + 2) <- M.mk m v local.(lo) local.(hi)
+    | _ -> fail "malformed node line %d" i
+  done;
+  match words (line ()) with
+  | "roots" :: rs -> List.map (fun r -> local.(int_of_string r)) rs
+  | _ -> fail "expected roots"
+
+let save_file m ~roots path =
+  let oc = open_out path in
+  Fun.protect ~finally:(fun () -> close_out oc) (fun () -> save m ~roots oc)
+
+let load_file m path =
+  let ic = open_in path in
+  Fun.protect ~finally:(fun () -> close_in ic) (fun () -> load m ic)

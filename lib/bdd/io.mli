@@ -1,0 +1,14 @@
+(** BDD (de)serialisation: a compact children-first text format for
+    the node graphs reachable from a root set. *)
+
+exception Format_error of string
+
+val save : Manager.t -> roots:int list -> out_channel -> unit
+
+val load : Manager.t -> in_channel -> int list
+(** Load into a manager with at least as many variables (same intended
+    order); returns the renumbered roots.  Hash-conses against
+    existing nodes.  @raise Format_error *)
+
+val save_file : Manager.t -> roots:int list -> string -> unit
+val load_file : Manager.t -> string -> int list

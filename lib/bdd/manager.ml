@@ -1,0 +1,346 @@
+(** Hash-consed store of ROBDD nodes.
+
+    Nodes are identified by dense integer ids; ids [0] and [1] are the
+    terminals [false] and [true].  Every interior node [(v, lo, hi)]
+    satisfies the ROBDD invariants by construction:
+
+    - no redundant test: [lo <> hi],
+    - uniqueness: at most one node exists per [(v, lo, hi)] triple,
+    - ordering: [v] is strictly smaller than the levels of [lo]/[hi].
+
+    Variables are identified with their {e level} (0 = root-most).  A
+    client that wants a different variable order builds a manager whose
+    level assignment reflects that order (see {!Space}).
+
+    The manager carries an optional {b node budget}: once the number of
+    live nodes exceeds it, {!mk} raises {!Node_limit}, which the
+    constraint checker catches to fall back to SQL processing — the
+    size-threshold strategy of §4 of the paper. *)
+
+exception Node_limit of int
+(** Raised by {!mk} when the node budget is exceeded; carries the
+    budget that was exceeded. *)
+
+type t = {
+  mutable nvars : int;
+  mutable var_ : int array;  (* level of each node; terminals get terminal_level *)
+  mutable low_ : int array;
+  mutable high_ : int array;
+  mutable size : int;  (* allocated nodes, including the two terminals *)
+  unique : (int, int) Hashtbl.t;  (* packed (v,lo,hi) -> id *)
+  apply_cache : (int, int) Hashtbl.t;  (* packed (op,f,g) -> id *)
+  ite_cache : (int * int * int, int) Hashtbl.t;  (* (f,g,h) -> id *)
+  quant_cache : (int, int) Hashtbl.t;  (* packed (sig,f,g) -> id *)
+  quant_sigs : (string, int) Hashtbl.t;  (* (op,quant,levels) -> small sig *)
+  mutable max_nodes : int;  (* 0 = unlimited *)
+  mutable mk_hits : int;  (* unique-table hits *)
+  mutable mk_misses : int;  (* fresh nodes created *)
+  mutable cache_hits : int;
+  mutable cache_lookups : int;
+}
+
+let terminal_level = max_int
+
+(* Packing limits: level < 2^9, node ids < 2^27 (≈134M nodes), which is
+   far beyond the paper's 10^7-node ceiling; 9 + 27 + 27 = 63 bits
+   exactly fills OCaml's native int. *)
+let max_level = 511
+let max_id = (1 lsl 27) - 1
+
+let zero = 0
+let one = 1
+
+let create ?(max_nodes = 0) ~nvars () =
+  if nvars < 0 || nvars > max_level then invalid_arg "Manager.create: nvars";
+  let cap = 1024 in
+  let var_ = Array.make cap terminal_level in
+  let low_ = Array.make cap (-1) in
+  let high_ = Array.make cap (-1) in
+  (* Terminals: id 0 = false, id 1 = true.  Their low/high point to
+     themselves so accidental traversal is harmless. *)
+  low_.(0) <- 0;
+  high_.(0) <- 0;
+  low_.(1) <- 1;
+  high_.(1) <- 1;
+  {
+    nvars;
+    var_;
+    low_;
+    high_;
+    size = 2;
+    unique = Hashtbl.create 4096;
+    apply_cache = Hashtbl.create 4096;
+    ite_cache = Hashtbl.create 256;
+    quant_cache = Hashtbl.create 1024;
+    quant_sigs = Hashtbl.create 16;
+    max_nodes;
+    mk_hits = 0;
+    mk_misses = 0;
+    cache_hits = 0;
+    cache_lookups = 0;
+  }
+
+let nvars t = t.nvars
+let size t = t.size
+let max_nodes t = t.max_nodes
+let set_max_nodes t n = t.max_nodes <- n
+
+(** Allocate a fresh variable at the bottom of the current order and
+    return its level. *)
+let new_var t =
+  if t.nvars >= max_level then failwith "Manager.new_var: too many variables";
+  let v = t.nvars in
+  t.nvars <- t.nvars + 1;
+  v
+
+(** Allocate [n] consecutive fresh variables; returns their levels. *)
+let new_vars t n = Array.init n (fun _ -> new_var t)
+
+let is_terminal id = id < 2
+let var t id = t.var_.(id)
+let low t id = t.low_.(id)
+let high t id = t.high_.(id)
+
+let pack_node v lo hi = v lor (lo lsl 9) lor (hi lsl 36)
+
+let grow t =
+  let cap = Array.length t.var_ in
+  let cap' = cap * 2 in
+  let extend a fill =
+    let a' = Array.make cap' fill in
+    Array.blit a 0 a' 0 cap;
+    a'
+  in
+  t.var_ <- extend t.var_ terminal_level;
+  t.low_ <- extend t.low_ (-1);
+  t.high_ <- extend t.high_ (-1)
+
+(** The hash-consing constructor.  Returns the unique node for
+    [(v, lo, hi)], eliding redundant tests. *)
+let mk t v lo hi =
+  if lo = hi then lo
+  else begin
+    assert (v >= 0 && v < t.nvars);
+    assert (v < t.var_.(lo) && v < t.var_.(hi));
+    let key = pack_node v lo hi in
+    match Hashtbl.find_opt t.unique key with
+    | Some id ->
+      t.mk_hits <- t.mk_hits + 1;
+      id
+    | None ->
+      if t.max_nodes > 0 && t.size >= t.max_nodes then raise (Node_limit t.max_nodes);
+      if t.size > max_id then failwith "Manager.mk: node store exhausted";
+      if t.size >= Array.length t.var_ then grow t;
+      let id = t.size in
+      t.size <- t.size + 1;
+      t.var_.(id) <- v;
+      t.low_.(id) <- lo;
+      t.high_.(id) <- hi;
+      Hashtbl.replace t.unique key id;
+      t.mk_misses <- t.mk_misses + 1;
+      id
+  end
+
+(** The BDD of a single positive literal at level [v]. *)
+let ithvar t v = mk t v zero one
+
+(** The BDD of a single negative literal at level [v]. *)
+let nithvar t v = mk t v one zero
+
+(* -- operation cache ----------------------------------------------------- *)
+
+(* Binary-operation cache shared by all apply-style operations.  Keys
+   pack a small opcode with the two operand ids.  Fused
+   quantify-and-apply operations (appex/appall) use per-call tables
+   instead because their result depends on the variable set. *)
+
+let cache_key op f g = op lor (f lsl 5) lor (g lsl 32)
+
+let cache_find t op f g =
+  t.cache_lookups <- t.cache_lookups + 1;
+  match Hashtbl.find_opt t.apply_cache (cache_key op f g) with
+  | Some r ->
+    t.cache_hits <- t.cache_hits + 1;
+    Some r
+  | None -> None
+
+let cache_add t op f g r = Hashtbl.replace t.apply_cache (cache_key op f g) r
+
+let ite_cache_find t f g h =
+  t.cache_lookups <- t.cache_lookups + 1;
+  match Hashtbl.find_opt t.ite_cache (f, g, h) with
+  | Some r ->
+    t.cache_hits <- t.cache_hits + 1;
+    Some r
+  | None -> None
+
+let ite_cache_add t f g h r = Hashtbl.replace t.ite_cache (f, g, h) r
+
+(* Quantification results depend on (binary op, quantifier op, level
+   set); interning that triple as a small signature lets every
+   quantify/appquant call share one packed-int-keyed cache — the same
+   trick as BuDDy's quantification cache. *)
+let quant_signature t ~descr =
+  match Hashtbl.find_opt t.quant_sigs descr with
+  | Some s -> s
+  | None ->
+    let s = Hashtbl.length t.quant_sigs in
+    if s > 63 then begin
+      (* unbounded distinct level sets: recycle by flushing *)
+      Hashtbl.reset t.quant_sigs;
+      Hashtbl.reset t.quant_cache;
+      Hashtbl.replace t.quant_sigs descr 0;
+      0
+    end
+    else begin
+      Hashtbl.replace t.quant_sigs descr s;
+      s
+    end
+
+(* 6-bit signature + two 27-bit node ids = 60 bits, within OCaml's
+   native int *)
+let quant_cache_key sig_ f g = sig_ lor (f lsl 6) lor (g lsl 33)
+
+let quant_cache_find t sig_ f g =
+  t.cache_lookups <- t.cache_lookups + 1;
+  match Hashtbl.find_opt t.quant_cache (quant_cache_key sig_ f g) with
+  | Some r ->
+    t.cache_hits <- t.cache_hits + 1;
+    Some r
+  | None -> None
+
+let quant_cache_add t sig_ f g r = Hashtbl.replace t.quant_cache (quant_cache_key sig_ f g) r
+
+let clear_caches t =
+  Hashtbl.reset t.apply_cache;
+  Hashtbl.reset t.ite_cache;
+  Hashtbl.reset t.quant_cache;
+  Hashtbl.reset t.quant_sigs
+
+type stats = {
+  nodes : int;
+  variables : int;
+  unique_hits : int;
+  unique_misses : int;
+  op_cache_hits : int;
+  op_cache_lookups : int;
+}
+
+let stats t =
+  {
+    nodes = t.size;
+    variables = t.nvars;
+    unique_hits = t.mk_hits;
+    unique_misses = t.mk_misses;
+    op_cache_hits = t.cache_hits;
+    op_cache_lookups = t.cache_lookups;
+  }
+
+(** Number of nodes reachable from [root], terminals included —
+    the "BDD size" reported throughout the paper's experiments. *)
+let node_count t root =
+  let visited = Hashtbl.create 256 in
+  let count = ref 0 in
+  let rec go id =
+    if not (Hashtbl.mem visited id) then begin
+      Hashtbl.add visited id ();
+      incr count;
+      if not (is_terminal id) then begin
+        go t.low_.(id);
+        go t.high_.(id)
+      end
+    end
+  in
+  go root;
+  !count
+
+(** Shared node count across several roots (the paper's shared-node
+    implementation remark: conjunction of BDDs costs only additive
+    space). *)
+let node_count_shared t roots =
+  let visited = Hashtbl.create 256 in
+  let count = ref 0 in
+  let rec go id =
+    if not (Hashtbl.mem visited id) then begin
+      Hashtbl.add visited id ();
+      incr count;
+      if not (is_terminal id) then begin
+        go t.low_.(id);
+        go t.high_.(id)
+      end
+    end
+  in
+  List.iter go roots;
+  !count
+
+(** Garbage collection: rebuild the node store keeping only the nodes
+    reachable from [roots], and return the remapping of the given
+    roots.  Every other node id becomes invalid, and all operation
+    caches are flushed — callers must re-derive any BDD they want to
+    keep through the returned roots.  Dead nodes accumulate naturally
+    under incremental maintenance (each update's OR/DIFF abandons the
+    previous root), so long-running index stores call this
+    periodically. *)
+let compact t roots =
+  let remap = Hashtbl.create (Hashtbl.length t.unique) in
+  Hashtbl.replace remap zero zero;
+  Hashtbl.replace remap one one;
+  (* collect reachable interior nodes in children-first order *)
+  let order = ref [] in
+  let rec visit id =
+    if not (Hashtbl.mem remap id) then begin
+      visit t.low_.(id);
+      visit t.high_.(id);
+      Hashtbl.replace remap id (-1);
+      order := id :: !order
+    end
+  in
+  List.iter visit roots;
+  let nodes = List.rev !order in
+  (* reset the store and re-create nodes through mk (budget is
+     temporarily lifted: compaction can only shrink) *)
+  let saved_budget = t.max_nodes in
+  t.max_nodes <- 0;
+  t.size <- 2;
+  Hashtbl.reset t.unique;
+  Hashtbl.reset t.apply_cache;
+  Hashtbl.reset t.ite_cache;
+  Hashtbl.reset t.quant_cache;
+  Hashtbl.reset t.quant_sigs;
+  (* old var/low/high entries above the shrinking [size] are stale but
+     unreachable; mk overwrites slots as it reallocates *)
+  let old_var = Array.copy t.var_ and old_low = Array.copy t.low_ and old_high = Array.copy t.high_ in
+  List.iter
+    (fun id ->
+      let lo = Hashtbl.find remap old_low.(id) in
+      let hi = Hashtbl.find remap old_high.(id) in
+      Hashtbl.replace remap id (mk t old_var.(id) lo hi))
+    nodes;
+  t.max_nodes <- saved_budget;
+  List.map (fun r -> Hashtbl.find remap r) roots
+
+(** Set of levels occurring in [root], sorted ascending. *)
+let support t root =
+  let visited = Hashtbl.create 256 in
+  let levels = Hashtbl.create 16 in
+  let rec go id =
+    if (not (is_terminal id)) && not (Hashtbl.mem visited id) then begin
+      Hashtbl.add visited id ();
+      Hashtbl.replace levels t.var_.(id) ();
+      go t.low_.(id);
+      go t.high_.(id)
+    end
+  in
+  go root;
+  Hashtbl.fold (fun l () acc -> l :: acc) levels [] |> List.sort compare
+
+(** Evaluate [root] under a total assignment [env]: [env.(level)] gives
+    the value of the variable at [level]. *)
+let eval t root env =
+  let rec go id =
+    if id = zero then false
+    else if id = one then true
+    else if env.(t.var_.(id)) then go t.high_.(id)
+    else go t.low_.(id)
+  in
+  go root

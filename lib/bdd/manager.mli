@@ -1,0 +1,112 @@
+(** Hash-consed store of ROBDD nodes.
+
+    Nodes are dense integer ids; {!zero} and {!one} are the terminals.
+    Interior nodes satisfy the ROBDD invariants by construction (no
+    redundant tests, unique triples, strictly increasing levels), so
+    semantic equivalence is id equality (Bryant's canonicity — Fact 1
+    of the paper).
+
+    Variables are identified with their {e level} (0 is tested first);
+    a different variable order is realised by allocating levels in a
+    different sequence.  The optional {b node budget} makes {!mk}
+    raise {!Node_limit} once exceeded — the §4 size-threshold that
+    lets the constraint checker abandon BDD processing and fall back
+    to SQL. *)
+
+type t
+
+exception Node_limit of int
+(** Raised by {!mk} when the node budget is exceeded. *)
+
+val zero : int
+(** The [false] terminal (id 0). *)
+
+val one : int
+(** The [true] terminal (id 1). *)
+
+val terminal_level : int
+(** Pseudo-level of terminals ([max_int]); deeper than any variable. *)
+
+val create : ?max_nodes:int -> nvars:int -> unit -> t
+(** Fresh manager with [nvars] pre-allocated variables (more can be
+    added with {!new_var}).  [max_nodes = 0] (default) means no
+    budget. *)
+
+val nvars : t -> int
+val size : t -> int
+(** Total allocated nodes, terminals included. *)
+
+val max_nodes : t -> int
+val set_max_nodes : t -> int -> unit
+
+val new_var : t -> int
+(** Allocate a fresh variable at the bottom of the order. *)
+
+val new_vars : t -> int -> int array
+
+val is_terminal : int -> bool
+val var : t -> int -> int
+(** Level of a node; {!terminal_level} for terminals. *)
+
+val low : t -> int -> int
+val high : t -> int -> int
+
+val mk : t -> int -> int -> int -> int
+(** [mk t v lo hi] is the unique reduced node testing level [v].
+    @raise Node_limit when the budget is exceeded. *)
+
+val ithvar : t -> int -> int
+(** BDD of the positive literal at a level. *)
+
+val nithvar : t -> int -> int
+(** BDD of the negative literal at a level. *)
+
+(** {2 Operation caches} — used by {!Ops}; exposed for completeness. *)
+
+val cache_find : t -> int -> int -> int -> int option
+val cache_add : t -> int -> int -> int -> int -> unit
+val ite_cache_find : t -> int -> int -> int -> int option
+val ite_cache_add : t -> int -> int -> int -> int -> unit
+
+val quant_signature : t -> descr:string -> int
+(** Intern a quantification description into a small signature for
+    {!quant_cache_find}; recycling flushes the cache when signatures
+    run out. *)
+
+val quant_cache_find : t -> int -> int -> int -> int option
+val quant_cache_add : t -> int -> int -> int -> int -> unit
+
+val clear_caches : t -> unit
+(** Drop all memoisation (nodes are kept).  Benchmarks call this
+    between repetitions so they measure cold operations. *)
+
+(** {2 Inspection} *)
+
+type stats = {
+  nodes : int;
+  variables : int;
+  unique_hits : int;
+  unique_misses : int;
+  op_cache_hits : int;
+  op_cache_lookups : int;
+}
+
+val stats : t -> stats
+
+val compact : t -> int list -> int list
+(** Garbage-collect: keep only nodes reachable from the given roots
+    and return their remapped ids.  All other node ids become invalid
+    and every operation cache is flushed. *)
+
+val node_count : t -> int -> int
+(** Reachable nodes from a root, terminals included — the "BDD size"
+    of the paper's experiments. *)
+
+val node_count_shared : t -> int list -> int
+(** Shared node count of several roots. *)
+
+val support : t -> int -> int list
+(** Levels occurring in a BDD, ascending. *)
+
+val eval : t -> int -> bool array -> bool
+(** Evaluate under a total assignment indexed by level. *)

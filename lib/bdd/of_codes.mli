@@ -1,0 +1,11 @@
+(** Direct top-down ROBDD construction from a sorted code set — the
+    fast path for encoding a relation (each tuple packed into one
+    integer under the attribute order).  O(width × n) hash-cons
+    operations, no apply-cache traffic, reduced by construction. *)
+
+val build : Manager.t -> levels:int array -> codes:int array -> int
+(** [build m ~levels ~codes] accepts exactly [codes].
+
+    [levels] must be strictly increasing; [levels.(0)] carries the
+    most significant bit.  [codes] must be sorted ascending and
+    duplicate-free, each within [0, 2^width). *)

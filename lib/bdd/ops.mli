@@ -1,0 +1,55 @@
+(** Logical operations on ROBDDs.
+
+    All operations are memoised against the manager's shared caches;
+    results are canonical node ids, so [f = g] decides logical
+    equivalence and {!is_true}/{!is_satisfiable} are O(1) — the
+    properties behind the paper's leading-quantifier-elimination
+    rewrite (§4.1). *)
+
+type binop = And | Or | Xor | Imp | Iff | Diff
+(** [Diff] is [f ∧ ¬g]. *)
+
+val op_code : binop -> int
+val op_eval : binop -> bool -> bool -> bool
+
+val apply : Manager.t -> binop -> int -> int -> int
+(** Memoised Shannon-expansion apply. *)
+
+val neg : Manager.t -> int -> int
+
+val band : Manager.t -> int -> int -> int
+val bor : Manager.t -> int -> int -> int
+val bxor : Manager.t -> int -> int -> int
+val bimp : Manager.t -> int -> int -> int
+val biff : Manager.t -> int -> int -> int
+val bdiff : Manager.t -> int -> int -> int
+
+val ite : Manager.t -> int -> int -> int -> int
+(** If-then-else; used by {!replace} for order-breaking renames. *)
+
+val restrict : Manager.t -> int -> (int * bool) list -> int
+(** Fix variables to constants; the fixed levels leave the support. *)
+
+val exists : Manager.t -> int list -> int -> int
+(** Bit-level existential quantification over a set of levels. *)
+
+val forall : Manager.t -> int list -> int -> int
+
+val appex : Manager.t -> binop -> int list -> int -> int -> int
+(** [appex m op levels f g] = [exists m levels (apply m op f g)]
+    without materialising the intermediate — BuDDy's [bdd_appex],
+    the target of the §4.3 ∃-pull-up rewrite. *)
+
+val appall : Manager.t -> binop -> int list -> int -> int -> int
+(** ∀ analogue — BuDDy's [bdd_appall]. *)
+
+val replace : Manager.t -> int -> (int * int) list -> int
+(** Simultaneous variable renaming [(from_level, to_level)] — the
+    rename behind the §4.2 equi-join rewrite.  Target variables must
+    not occur in the support (except under a simultaneous swap).
+    Order-preserving renames are linear; others fall back to {!ite}. *)
+
+val equal : int -> int -> bool
+val is_true : int -> bool
+val is_false : int -> bool
+val is_satisfiable : int -> bool

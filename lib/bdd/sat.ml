@@ -1,0 +1,93 @@
+(** Model counting and model enumeration over ROBDDs.  These back the
+    violation-reporting layer: once a constraint is known to be
+    violated, the violating tuples are exactly the models of the
+    violation BDD. *)
+
+module M = Manager
+
+(** Number of satisfying assignments of [root] over the manager's full
+    variable set, as a float (counts overflow 63-bit ints quickly).
+
+    The count for a node at level [v] is weighted by [2^(v' - v - 1)]
+    for each child at level [v'] to account for skipped variables. *)
+let count m root =
+  let nvars = M.nvars m in
+  let memo = Hashtbl.create 256 in
+  (* memoised count "from the node's own level" *)
+  let rec node_count id =
+    if id = M.zero then 0.
+    else if id = M.one then 1.
+    else
+      match Hashtbl.find_opt memo id with
+      | Some c -> c
+      | None ->
+        let c = below (M.var m id) (M.low m id) +. below (M.var m id) (M.high m id) in
+        Hashtbl.add memo id c;
+        c
+  and below parent_level child =
+    let child_level = if M.is_terminal child then nvars else M.var m child in
+    node_count child *. Float.pow 2. (float_of_int (child_level - parent_level - 1))
+  in
+  let top_level = if M.is_terminal root then nvars else M.var m root in
+  node_count root *. Float.pow 2. (float_of_int top_level)
+
+(** One satisfying partial assignment as [(level, value)] pairs along a
+    high-preferring path, or [None] if unsatisfiable.  Levels absent
+    from the result are don't-cares. *)
+let any m root =
+  if root = M.zero then None
+  else begin
+    let rec go id acc =
+      if id = M.one then List.rev acc
+      else begin
+        let v = M.var m id in
+        if M.high m id <> M.zero then go (M.high m id) ((v, true) :: acc)
+        else go (M.low m id) ((v, false) :: acc)
+      end
+    in
+    Some (go root [])
+  end
+
+(** Fold over all satisfying cubes.  Each cube is a list of
+    [(level, value)] pairs in ascending level order; unmentioned levels
+    are don't-cares.  Cubes are disjoint and cover exactly the models
+    of [root]. *)
+let fold_cubes m root ~init ~f =
+  let rec go id acc cube =
+    if id = M.zero then acc
+    else if id = M.one then f acc (List.rev cube)
+    else begin
+      let v = M.var m id in
+      let acc = go (M.low m id) acc ((v, false) :: cube) in
+      go (M.high m id) acc ((v, true) :: cube)
+    end
+  in
+  go root init []
+
+(** All satisfying cubes, materialised.  Intended for small result
+    sets (tests, violation samples); use [fold_cubes] for streaming. *)
+let all_cubes m root = List.rev (fold_cubes m root ~init:[] ~f:(fun acc c -> c :: acc))
+
+(** Expand a cube to full assignments over the given [levels] (a sorted
+    array); don't-care levels branch both ways.  Calls [f] once per
+    total assignment, represented as a populated bool array indexed by
+    position in [levels]. *)
+let iter_expanded ~levels cube ~f =
+  let n = Array.length levels in
+  let fixed = Hashtbl.create 8 in
+  List.iter (fun (v, b) -> Hashtbl.replace fixed v b) cube;
+  let values = Array.make n false in
+  let rec go i =
+    if i = n then f values
+    else
+      match Hashtbl.find_opt fixed levels.(i) with
+      | Some b ->
+        values.(i) <- b;
+        go (i + 1)
+      | None ->
+        values.(i) <- false;
+        go (i + 1);
+        values.(i) <- true;
+        go (i + 1)
+  in
+  go 0

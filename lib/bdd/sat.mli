@@ -1,0 +1,26 @@
+(** Model counting and enumeration — the machinery behind violation
+    counting and witness listing. *)
+
+val count : Manager.t -> int -> float
+(** Satisfying assignments over the manager's full variable set (as a
+    float; counts overflow native ints quickly).  Divide by
+    [2^(unused bits)] to count over a sub-space. *)
+
+val any : Manager.t -> int -> (int * bool) list option
+(** One satisfying partial assignment (ascending levels; missing
+    levels are don't-cares), or [None] if unsatisfiable. *)
+
+val fold_cubes :
+  Manager.t -> int -> init:'a -> f:('a -> (int * bool) list -> 'a) -> 'a
+(** Fold over all satisfying cubes.  Cubes are disjoint, cover exactly
+    the models, and list [(level, value)] pairs ascending; unmentioned
+    levels are don't-cares. *)
+
+val all_cubes : Manager.t -> int -> (int * bool) list list
+(** Materialised {!fold_cubes}; for small result sets. *)
+
+val iter_expanded :
+  levels:int array -> (int * bool) list -> f:(bool array -> unit) -> unit
+(** Expand a cube to total assignments over [levels] (sorted),
+    branching don't-cares both ways; [f] receives a reused array
+    indexed by position in [levels]. *)

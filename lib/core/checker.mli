@@ -1,0 +1,63 @@
+(** The end-to-end constraint checker: typing → §4.4 rewrites →
+    compilation to BDD operations over the logical indices → O(1)
+    verdict off the final BDD — falling back to the SQL violation
+    query (or, outside the safe fragment, the naive evaluator) when
+    the node budget trips. *)
+
+type method_used = Bdd | Sql | Naive
+
+val method_name : method_used -> string
+
+type outcome = Satisfied | Violated
+
+type result = {
+  outcome : outcome;
+  method_used : method_used;
+  elapsed_ms : float;
+  bdd_overhead_ms : float;
+      (** cost of the abandoned BDD attempt when a fallback ran — the
+          paper's "constant overhead" of the thresholding strategy *)
+  rewritten : Formula.t;
+  check : Rewrite.check;
+}
+
+type polarity = Direct | Violation
+(** [Violation] (default) compiles nnf(¬matrix) and tests
+    unsatisfiability — negation sits on small sparse atom BDDs and ∧
+    short-circuits.  [Direct] compiles the matrix and tests
+    validity. *)
+
+type pipeline = {
+  rewrite : Formula.t -> Rewrite.check * Formula.t;
+  use_appquant : bool;
+  polarity : polarity;
+  use_fd_fast_path : bool;
+      (** route FD-shaped constraints to {!Fd_check.fd_holds} (the
+          Fig. 5(b) projection-count method) instead of compiling the
+          self-join *)
+}
+
+val default_pipeline : pipeline
+(** Full §4.4 rewrites, fused quantifiers, violation polarity. *)
+
+val direct_pipeline : pipeline
+(** Full rewrites, direct validity test (polarity ablation). *)
+
+val naive_pipeline : pipeline
+(** No rewrites, unfused quantifiers (rewrite ablation). *)
+
+val check : ?pipeline:pipeline -> Index.t -> Formula.t -> result
+(** Check one closed constraint.  Every mentioned relation needs a
+    covering index ({!ensure_indices}).
+    @raise Invalid_argument on open formulas.
+    @raise Typing.Type_error on ill-typed constraints. *)
+
+val check_all : ?pipeline:pipeline -> Index.t -> Formula.t list -> result list
+
+val ensure_indices : ?strategy:Ordering.strategy -> Index.t -> Formula.t list -> unit
+(** Build missing full-attribute indices for every mentioned relation
+    (default strategy: Prob-Converge, the paper's recommendation). *)
+
+val check_sql : Fcv_relation.Database.t -> Formula.t -> outcome * float
+(** The SQL-only baseline: translate to the violation query, run it,
+    report the verdict and elapsed milliseconds. *)

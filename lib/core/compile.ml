@@ -1,0 +1,347 @@
+(** Compilation of a (rewritten) constraint into BDD operations over
+    the logical indices.
+
+    Every logical variable is assigned a {e home block}: the attribute
+    block of its first atom occurrence when that block is still free,
+    otherwise a fresh scratch block.  Later occurrences are {b renamed}
+    onto the home block — the §4.2 equi-join rewrite; the naive
+    equality-conjunction alternative is exposed separately as
+    {!join_naive} for the Fig. 6(a) comparison.
+
+    Quantifiers range over active domains, so ∃ compiles to the fused
+    [appex(∧, valid, φ)] and ∀ to [appall(⇒, valid, φ)]; when the body
+    is a disjunction (resp. conjunction), the §4.3-optimised forms
+    using [appex]/[appall] across the connective are used.
+
+    The compiled BDD agrees with the formula on all {e valid}
+    assignments of its free variables; callers must test validity or
+    satisfiability relative to the conjunction of the free variables'
+    domain guards (see {!free_guard}). *)
+
+module R = Fcv_relation
+module M = Fcv_bdd.Manager
+module O = Fcv_bdd.Ops
+module Fd = Fcv_bdd.Fd
+open Formula
+
+exception Unsupported of string
+
+let fail fmt = Printf.ksprintf (fun s -> raise (Unsupported s)) fmt
+
+type ctx = {
+  index : Index.t;
+  typing : Typing.env;
+  use_appquant : bool;  (** §4.3 fused operators; off for ablation *)
+  vars : (string, Fd.block) Hashtbl.t;  (** variable → home block *)
+  claimed : (int, unit) Hashtbl.t;  (** first level of each claimed block *)
+  mutable borrowed : Fd.block list;  (** scratch blocks to return on release *)
+}
+
+let make_ctx ?(use_appquant = true) index typing =
+  {
+    index;
+    typing;
+    use_appquant;
+    vars = Hashtbl.create 16;
+    claimed = Hashtbl.create 16;
+    borrowed = [];
+  }
+
+(** Return the context's scratch blocks to the index's pool.  Call
+    once the final BDD has been read; results referencing scratch
+    levels must not be consulted afterwards. *)
+let release ctx =
+  Index.release_scratch ctx.index ctx.borrowed;
+  ctx.borrowed <- []
+
+let mgr ctx = Index.mgr ctx.index
+
+let dict_of ctx x = R.Database.domain ctx.index.Index.db (Typing.domain_of ctx.typing x)
+
+let claim ctx block = Hashtbl.replace ctx.claimed block.Fd.levels.(0) ()
+
+let is_claimed ctx block = Hashtbl.mem ctx.claimed block.Fd.levels.(0)
+
+let fresh_block ctx x =
+  let dict = dict_of ctx x in
+  let b = Index.borrow_scratch ctx.index ~dom_size:(R.Dict.size dict) in
+  ctx.borrowed <- b :: ctx.borrowed;
+  claim ctx b;
+  b
+
+(** The home block of [x], allocating a scratch block if [x] has not
+    occurred in any atom yet. *)
+let home ctx x =
+  match Hashtbl.find_opt ctx.vars x with
+  | Some b -> b
+  | None ->
+    let b = fresh_block ctx x in
+    Hashtbl.replace ctx.vars x b;
+    b
+
+(* Restrict a block of [f] to a constant code (bits disappear). *)
+let restrict_code m f block code =
+  O.restrict m f
+    (List.init (Fd.width block) (fun j ->
+         (Fd.level_of_bit block j, Fcv_util.Bits.test code j)))
+
+(* -- atoms ---------------------------------------------------------------- *)
+
+let compile_atom ctx rel terms =
+  let m = mgr ctx in
+  let table =
+    match R.Database.table_opt ctx.index.Index.db rel with
+    | Some t -> t
+    | None -> fail "unknown relation %s" rel
+  in
+  let terms = Array.of_list terms in
+  let needed = ref [] in
+  Array.iteri (fun i t -> if t <> Wildcard then needed := i :: !needed) terms;
+  let entry =
+    match Index.find_covering ctx.index ~table_name:rel ~needed:!needed with
+    | Some e -> e
+    | None -> fail "no logical index on %s covers the atom's attributes" rel
+  in
+  (* map schema position -> index within entry.attrs *)
+  let slot_of_pos p =
+    let rec go i = if entry.Index.attrs.(i) = p then i else go (i + 1) in
+    go 0
+  in
+  let bdd = ref entry.Index.root in
+  (* duplicate variables within the atom: keep the first occurrence,
+     equate and project the rest *)
+  let seen_var : (string, int) Hashtbl.t = Hashtbl.create 4 in
+  let to_quantify = ref [] in
+  let renames = ref [] in
+  (* constants first: restriction shrinks the BDD before anything else *)
+  Array.iteri
+    (fun pos t ->
+      match t with
+      | Const value -> (
+        let slot = slot_of_pos pos in
+        let dict = R.Table.dict table pos in
+        match R.Dict.code dict value with
+        | Some code when code < entry.Index.blocks.(slot).Fd.dom_size ->
+          bdd := restrict_code m !bdd entry.Index.blocks.(slot) code
+        | _ -> bdd := M.zero)
+      | Var _ | Wildcard -> ())
+    terms;
+  if !bdd <> M.zero then begin
+    Array.iteri
+      (fun pos t ->
+        match t with
+        | Const _ -> ()
+        | Wildcard ->
+          (* present in the entry? project it out (entry BDDs contain
+             only valid codes, so unguarded bit-level ∃ is exact) *)
+          if Array.exists (( = ) pos) entry.Index.attrs then
+            to_quantify := entry.Index.blocks.(slot_of_pos pos) :: !to_quantify
+        | Var x -> (
+          let block = entry.Index.blocks.(slot_of_pos pos) in
+          match Hashtbl.find_opt seen_var x with
+          | Some _first_slot ->
+            (* R(x, x): equate with the first occurrence, then project *)
+            let first_block = entry.Index.blocks.(Hashtbl.find seen_var x) in
+            bdd := O.band m !bdd (Fd.eq_blocks m first_block block);
+            to_quantify := block :: !to_quantify
+          | None ->
+            Hashtbl.replace seen_var x (slot_of_pos pos);
+            (match Hashtbl.find_opt ctx.vars x with
+            | Some home_block ->
+              if home_block.Fd.levels <> block.Fd.levels then
+                renames := (block, home_block) :: !renames
+            | None ->
+              if is_claimed ctx block then begin
+                (* the entry's own block already hosts another
+                   variable: divert to a fresh scratch block *)
+                let scratch = fresh_block ctx x in
+                Hashtbl.replace ctx.vars x scratch;
+                renames := (block, scratch) :: !renames
+              end
+              else begin
+                claim ctx block;
+                Hashtbl.replace ctx.vars x block
+              end)))
+      terms;
+    (* project the don't-care / duplicate blocks *)
+    let levels =
+      List.concat_map (fun b -> Array.to_list b.Fd.levels) !to_quantify
+    in
+    if levels <> [] then bdd := O.exists m levels !bdd;
+    (* simultaneous rename of remaining occurrences onto home blocks *)
+    let pairs =
+      List.concat_map
+        (fun (src, dst) ->
+          List.init (Fd.width src) (fun i -> (src.Fd.levels.(i), dst.Fd.levels.(i))))
+        !renames
+    in
+    if pairs <> [] then bdd := O.replace m !bdd pairs
+  end;
+  !bdd
+
+(* -- quantifiers ----------------------------------------------------------- *)
+
+let exists_var ctx f x =
+  match Hashtbl.find_opt ctx.vars x with
+  | None -> f (* vacuous: domains are non-empty *)
+  | Some b -> Fd.exists (mgr ctx) b f
+
+let forall_var ctx f x =
+  match Hashtbl.find_opt ctx.vars x with
+  | None -> f
+  | Some b -> Fd.forall (mgr ctx) b f
+
+(* -- home planning ----------------------------------------------------------- *)
+
+(* Before compiling, decide every variable's home block globally:
+   process atom instances from the LARGEST index entry downwards and
+   let each claim its own attribute blocks for still-homeless
+   variables.  Renaming a BDD is linear in its size, so the big
+   operands should stay put and the small ones be renamed onto them —
+   without this pass, left-to-right claiming can force a rename of a
+   10^5-node index because a 10^3-node relation got there first. *)
+let plan_homes ctx f =
+  let atoms = ref [] in
+  let rec walk = function
+    | True | False | Eq _ | In _ -> ()
+    | Atom (rel, terms) -> atoms := (rel, terms) :: !atoms
+    | Not g -> walk g
+    | And (a, b) | Or (a, b) | Implies (a, b) | Iff (a, b) ->
+      walk a;
+      walk b
+    | Exists (_, g) | Forall (_, g) -> walk g
+  in
+  walk f;
+  let sized =
+    List.filter_map
+      (fun (rel, terms) ->
+        let needed = ref [] in
+        List.iteri (fun i t -> if t <> Wildcard then needed := i :: !needed) terms;
+        match Index.find_covering ctx.index ~table_name:rel ~needed:!needed with
+        | Some entry -> Some (Index.entry_size ctx.index entry, entry, terms)
+        | None -> None)
+      !atoms
+  in
+  let sorted = List.sort (fun (a, _, _) (b, _, _) -> compare b a) sized in
+  List.iter
+    (fun (_, entry, terms) ->
+      let slot_of_pos p =
+        let rec go i = if entry.Index.attrs.(i) = p then i else go (i + 1) in
+        go 0
+      in
+      List.iteri
+        (fun pos t ->
+          match t with
+          | Var x
+            when (not (Hashtbl.mem ctx.vars x))
+                 && Array.exists (( = ) pos) entry.Index.attrs ->
+            let block = entry.Index.blocks.(slot_of_pos pos) in
+            if not (is_claimed ctx block) then begin
+              claim ctx block;
+              Hashtbl.replace ctx.vars x block
+            end
+          | _ -> ())
+        terms)
+    sorted
+
+(* -- formulas --------------------------------------------------------------- *)
+
+let rec compile_rec ctx f =
+  let m = mgr ctx in
+  match f with
+  | True -> M.one
+  | False -> M.zero
+  | Atom (rel, terms) -> compile_atom ctx rel terms
+  | Eq (Var x, Var y) -> Fd.eq_blocks m (home ctx x) (home ctx y)
+  | Eq (Var x, Const value) | Eq (Const value, Var x) -> (
+    let b = home ctx x in
+    match R.Dict.code (dict_of ctx x) value with
+    | Some code when code < b.Fd.dom_size -> Fd.eq_const m b code
+    | _ -> M.zero)
+  | Eq (Const a, Const b) -> if R.Value.equal a b then M.one else M.zero
+  | Eq _ -> fail "wildcard in equality"
+  | In (Var x, values) ->
+    let b = home ctx x in
+    let dict = dict_of ctx x in
+    let codes =
+      List.filter_map
+        (fun value ->
+          match R.Dict.code dict value with
+          | Some c when c < b.Fd.dom_size -> Some c
+          | _ -> None)
+        values
+    in
+    if codes = [] then M.zero else Fd.in_set m b codes
+  | In (Const v, values) -> if List.exists (R.Value.equal v) values then M.one else M.zero
+  | In (Wildcard, _) -> fail "wildcard in membership test"
+  | Not g -> O.neg m (compile_rec ctx g)
+  | And (a, b) -> O.band m (compile_rec ctx a) (compile_rec ctx b)
+  | Or (a, b) -> O.bor m (compile_rec ctx a) (compile_rec ctx b)
+  | Implies (a, b) -> O.bimp m (compile_rec ctx a) (compile_rec ctx b)
+  | Iff (a, b) -> O.biff m (compile_rec ctx a) (compile_rec ctx b)
+  | Exists ([ x ], Or (a, b)) when ctx.use_appquant ->
+    (* Rule 6 (pull-up) in fused form:
+       ∃x(φ₁ ∨ φ₂) = ∃bits((valid∧φ₁) ∨ (valid∧φ₂)) via appex *)
+    let fa = compile_rec ctx a in
+    let fb = compile_rec ctx b in
+    (match Hashtbl.find_opt ctx.vars x with
+    | None -> O.bor m fa fb
+    | Some blk ->
+      let guard = Fd.valid m blk in
+      O.appex m O.Or (Array.to_list blk.Fd.levels) (O.band m guard fa) (O.band m guard fb))
+  | Forall ([ x ], And (a, b)) when ctx.use_appquant ->
+    (* Rule 5 companion in fused form:
+       ∀x(φ₁ ∧ φ₂) = ∀bits((valid⇒φ₁) ∧ (valid⇒φ₂)) via appall *)
+    let fa = compile_rec ctx a in
+    let fb = compile_rec ctx b in
+    (match Hashtbl.find_opt ctx.vars x with
+    | None -> O.band m fa fb
+    | Some blk ->
+      let guard = Fd.valid m blk in
+      O.appall m O.And (Array.to_list blk.Fd.levels) (O.bimp m guard fa) (O.bimp m guard fb))
+  | Exists (xs, body) ->
+    let f = compile_rec ctx body in
+    List.fold_left (exists_var ctx) f (List.rev xs)
+  | Forall (xs, body) ->
+    let f = compile_rec ctx body in
+    List.fold_left (forall_var ctx) f (List.rev xs)
+
+(** Compile a formula to a BDD (plans variable homes first; see
+    above). *)
+let compile ctx f =
+  plan_homes ctx f;
+  compile_rec ctx f
+
+(** Conjunction of the domain guards of the given variables' home
+    blocks — the context against which validity/satisfiability of the
+    compiled matrix must be judged once leading quantifiers were
+    eliminated. *)
+let free_guard ctx vars =
+  let m = mgr ctx in
+  List.fold_left
+    (fun acc x ->
+      match Hashtbl.find_opt ctx.vars x with
+      | None -> acc
+      | Some b -> O.band m acc (Fd.valid m b))
+    M.one vars
+
+(* -- standalone join strategies (Fig. 6(a)) -------------------------------- *)
+
+(** Naive equi-join (§4.2 option 1): BDD(R1) ∧ BDD(R2) ∧ ⋀ᵢ(xᵢ=yᵢ). *)
+let join_naive m f g pairs =
+  let eqs = List.fold_left (fun acc (b1, b2) -> O.band m acc (Fd.eq_blocks m b1 b2)) M.one pairs in
+  O.band m (O.band m f g) eqs
+
+(** Optimised equi-join (§4.2 option 2): rename R2's join blocks onto
+    R1's, then a single conjunction. *)
+let join_rename m f g pairs =
+  let g' =
+    let level_pairs =
+      List.concat_map
+        (fun (b1, b2) ->
+          List.init (Fd.width b2) (fun i -> (b2.Fd.levels.(i), b1.Fd.levels.(i))))
+        pairs
+    in
+    O.replace m g level_pairs
+  in
+  O.band m f g'

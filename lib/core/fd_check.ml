@@ -1,0 +1,282 @@
+(** Functional-dependency checking directly on a logical index — the
+    technique behind the paper's Fig. 5(b) ("testing this constraint
+    using BDDs involves projection of suitable attributes to construct
+    new BDDs and manipulation of the resulting BDDs").
+
+    The FD  lhs → rhs  holds on R iff
+
+      |π_{lhs ∪ rhs}(R)| = |π_{lhs}(R)|
+
+    and both projections are single [exists] passes over the entry's
+    BDD followed by O(|BDD|) model counts — no self-join, no renaming.
+    The SQL counterpart is the paper's GROUP BY query
+    (SELECT lhs FROM R GROUP BY lhs HAVING COUNT(DISTINCT rhs) > 1). *)
+
+module R = Fcv_relation
+module M = Fcv_bdd.Manager
+module O = Fcv_bdd.Ops
+module Fd = Fcv_bdd.Fd
+module Sat = Fcv_bdd.Sat
+
+(* Model count of [root] over exactly the given blocks (every other
+   manager variable must be out of [root]'s support). *)
+let count_over m blocks root =
+  let bits = List.fold_left (fun acc b -> acc + Fd.width b) 0 blocks in
+  Sat.count m root /. Float.pow 2. (float_of_int (M.nvars m - bits))
+
+(** Does [lhs → rhs] (attribute names) hold according to the logical
+    index?  Picks a covering entry of [table_name].
+    @raise Invalid_argument if no entry covers lhs ∪ rhs. *)
+let fd_holds index ~table_name ~lhs ~rhs =
+  let table = R.Database.table index.Index.db table_name in
+  let schema = R.Table.schema table in
+  let lhs_pos = List.map (R.Schema.position schema) lhs in
+  let rhs_pos = List.map (R.Schema.position schema) rhs in
+  let entry =
+    match Index.find_covering index ~table_name ~needed:(lhs_pos @ rhs_pos) with
+    | Some e -> e
+    | None -> invalid_arg "Fd_check.fd_holds: no covering index"
+  in
+  let m = Index.mgr index in
+  let slot p =
+    let rec go i = if entry.Index.attrs.(i) = p then i else go (i + 1) in
+    go 0
+  in
+  let block_of p = entry.Index.blocks.(slot p) in
+  let lhs_blocks = List.map block_of lhs_pos in
+  let rhs_blocks = List.map block_of rhs_pos in
+  let other_blocks =
+    Array.to_list entry.Index.blocks
+    |> List.filteri (fun i _ ->
+           let p = entry.Index.attrs.(i) in
+           not (List.mem p lhs_pos || List.mem p rhs_pos))
+  in
+  let drop blocks root =
+    let levels = List.concat_map (fun b -> Array.to_list b.Fd.levels) blocks in
+    if levels = [] then root else O.exists m levels root
+  in
+  (* π_{lhs ∪ rhs} then π_{lhs}: the second is a further projection of
+     the first, sharing work *)
+  let proj_lr = drop other_blocks entry.Index.root in
+  let proj_l = drop rhs_blocks proj_lr in
+  count_over m (lhs_blocks @ rhs_blocks) proj_lr = count_over m lhs_blocks proj_l
+
+(** Does the multivalued dependency [lhs →→ mid] hold (with the
+    complement side being every other indexed attribute)?  §2 of the
+    paper singles out MVDs as the structure good orderings exploit:
+    R satisfies lhs →→ mid iff R = π_{lhs∪mid}(R) ⋈ π_{lhs∪rest}(R).
+    On BDDs the natural join of the two projections is a single
+    conjunction (shared lhs blocks), and the test is canonical-node
+    equality with the index root. *)
+let mvd_holds index ~table_name ~lhs ~mid =
+  let table = R.Database.table index.Index.db table_name in
+  let schema = R.Table.schema table in
+  let lhs_pos = List.map (R.Schema.position schema) lhs in
+  let mid_pos = List.map (R.Schema.position schema) mid in
+  List.iter
+    (fun p ->
+      if List.mem p lhs_pos then
+        invalid_arg "Fd_check.mvd_holds: lhs and mid overlap")
+    mid_pos;
+  let entry =
+    match Index.find_covering index ~table_name ~needed:(lhs_pos @ mid_pos) with
+    | Some e -> e
+    | None -> invalid_arg "Fd_check.mvd_holds: no covering index"
+  in
+  let m = Index.mgr index in
+  let rest_blocks, mid_blocks =
+    let classify i =
+      let p = entry.Index.attrs.(i) in
+      if List.mem p mid_pos then `Mid
+      else if List.mem p lhs_pos then `Lhs
+      else `Rest
+    in
+    let all = Array.to_list (Array.mapi (fun i b -> (classify i, b)) entry.Index.blocks) in
+    ( List.filter_map (function `Rest, b -> Some b | _ -> None) all,
+      List.filter_map (function `Mid, b -> Some b | _ -> None) all )
+  in
+  let drop blocks root =
+    let levels = List.concat_map (fun b -> Array.to_list b.Fd.levels) blocks in
+    if levels = [] then root else O.exists m levels root
+  in
+  let proj_mid = drop rest_blocks entry.Index.root in
+  let proj_rest = drop mid_blocks entry.Index.root in
+  O.band m proj_mid proj_rest = entry.Index.root
+
+(** Recognise a functional-dependency-shaped constraint
+
+      ∀ x̄, r1, r2.  R(..., r1, ...) ∧ R(..., r2, ...) → r1 = r2
+
+    where the two atoms agree position-wise (shared variables or
+    wildcards) except at exactly one position carrying r1 / r2.
+    Returns [(relation, lhs attribute names, rhs attribute name)] so
+    the checker can route the constraint to the projection-count
+    method instead of compiling the self-join. *)
+let recognize_fd db formula =
+  let open Formula in
+  match formula with
+  | Forall
+      (xs, Implies (And (Atom (r1, ts1), Atom (r2, ts2)), Eq (Var a, Var b)))
+    when r1 = r2 && a <> b && List.length ts1 = List.length ts2 -> (
+    match R.Database.table_opt db r1 with
+    | None -> None
+    | Some table ->
+      let schema = R.Table.schema table in
+      if List.length ts1 <> R.Schema.arity schema then None
+      else begin
+        let ok = ref true in
+        let lhs = ref [] in
+        let rhs = ref None in
+        List.iteri
+          (fun i (t1, t2) ->
+            match (t1, t2) with
+            | Wildcard, Wildcard -> ()
+            | Var v1, Var v2 when v1 = v2 && v1 <> a && v1 <> b ->
+              lhs := (v1, i) :: !lhs
+            | Var v1, Var v2
+              when ((v1 = a && v2 = b) || (v1 = b && v2 = a)) && !rhs = None ->
+              rhs := Some i
+            | _ -> ok := false)
+          (List.combine ts1 ts2);
+        match (!ok, !rhs) with
+        | true, Some rhs_pos ->
+          let lhs_vars = List.map fst !lhs in
+          (* every quantified variable must play a role, and every role
+             variable must be quantified *)
+          let roles = a :: b :: lhs_vars in
+          if
+            List.sort compare roles = List.sort compare xs
+            && List.length (List.sort_uniq compare lhs_vars) = List.length lhs_vars
+          then
+            Some
+              ( r1,
+                List.map (fun (_, i) -> schema.(i).R.Schema.name) (List.rev !lhs),
+                schema.(rhs_pos).R.Schema.name )
+          else None
+        | _ -> None
+      end)
+  | _ -> None
+
+(** Does the inclusion dependency R[attrs_r] ⊆ S[attrs_s] hold?  On
+    logical indices this is projection, rename onto shared blocks and
+    an O(1) emptiness test of the difference — the last of the three
+    classic dependency classes (FD / MVD / IND) checkable directly on
+    the index.  The attribute lists pair up positionally and must draw
+    from the same domains. *)
+let ind_holds index ~r ~attrs_r ~s ~attrs_s =
+  if List.length attrs_r <> List.length attrs_s then
+    invalid_arg "Fd_check.ind_holds: attribute lists differ in length";
+  let resolve table_name attrs =
+    let table = R.Database.table index.Index.db table_name in
+    let schema = R.Table.schema table in
+    let pos = List.map (R.Schema.position schema) attrs in
+    let entry =
+      match Index.find_covering index ~table_name ~needed:pos with
+      | Some e -> e
+      | None -> invalid_arg "Fd_check.ind_holds: no covering index"
+    in
+    let slot p =
+      let rec go i = if entry.Index.attrs.(i) = p then i else go (i + 1) in
+      go 0
+    in
+    let keep = List.map (fun p -> entry.Index.blocks.(slot p)) pos in
+    let others =
+      Array.to_list entry.Index.blocks
+      |> List.filteri (fun i _ -> not (List.mem entry.Index.attrs.(i) pos))
+    in
+    (table, schema, keep, others, entry)
+  in
+  let table_r, schema_r, keep_r, others_r, entry_r = resolve r attrs_r in
+  let _table_s, _schema_s, keep_s, others_s, entry_s = resolve s attrs_s in
+  ignore (table_r, schema_r);
+  List.iter2
+    (fun br bs ->
+      if br.Fd.dom_size <> bs.Fd.dom_size then
+        invalid_arg "Fd_check.ind_holds: attributes over different domains")
+    keep_r keep_s;
+  let m = Index.mgr index in
+  let drop blocks root =
+    let levels = List.concat_map (fun b -> Array.to_list b.Fd.levels) blocks in
+    if levels = [] then root else O.exists m levels root
+  in
+  let proj_r = drop others_r entry_r.Index.root in
+  let proj_s = drop others_s entry_s.Index.root in
+  (* rename S's projection onto R's blocks, then π_R \ π_S must be empty *)
+  let pairs =
+    List.concat (List.map2 (fun br bs ->
+        List.init (Fd.width bs) (fun i -> (bs.Fd.levels.(i), br.Fd.levels.(i))))
+        keep_r keep_s)
+  in
+  let proj_s' = if pairs = [] then proj_s else O.replace m proj_s pairs in
+  O.is_false (O.bdiff m proj_r proj_s')
+
+(** The violating lhs values: those determining more than one rhs
+    tuple.  Returned as decoded value tuples, one list per lhs
+    attribute. *)
+let violating_lhs ?(limit = max_int) index ~table_name ~lhs ~rhs =
+  let table = R.Database.table index.Index.db table_name in
+  let schema = R.Table.schema table in
+  let lhs_pos = List.map (R.Schema.position schema) lhs in
+  let rhs_pos = List.map (R.Schema.position schema) rhs in
+  let entry =
+    match Index.find_covering index ~table_name ~needed:(lhs_pos @ rhs_pos) with
+    | Some e -> e
+    | None -> invalid_arg "Fd_check.violating_lhs: no covering index"
+  in
+  let m = Index.mgr index in
+  let slot p =
+    let rec go i = if entry.Index.attrs.(i) = p then i else go (i + 1) in
+    go 0
+  in
+  let block_of p = entry.Index.blocks.(slot p) in
+  let lhs_blocks = List.map block_of lhs_pos in
+  let rhs_blocks = List.map block_of rhs_pos in
+  let other_blocks =
+    Array.to_list entry.Index.blocks
+    |> List.filteri (fun i _ ->
+           let p = entry.Index.attrs.(i) in
+           not (List.mem p lhs_pos || List.mem p rhs_pos))
+  in
+  let drop blocks root =
+    let levels = List.concat_map (fun b -> Array.to_list b.Fd.levels) blocks in
+    if levels = [] then root else O.exists m levels root
+  in
+  let proj_lr = drop other_blocks entry.Index.root in
+  (* walk the lhs values present and count their rhs co-domain *)
+  let proj_l = drop rhs_blocks proj_lr in
+  let results = ref [] in
+  let count = ref 0 in
+  let lhs_levels =
+    List.concat_map (fun b -> Array.to_list b.Fd.levels) lhs_blocks |> List.sort compare
+  in
+  (try
+     ignore
+       (Sat.fold_cubes m proj_l ~init:() ~f:(fun () cube ->
+            Sat.iter_expanded ~levels:(Array.of_list lhs_levels) cube ~f:(fun values ->
+                if !count < limit then begin
+                  let env = Array.make (M.nvars m) false in
+                  List.iteri (fun i l -> env.(l) <- values.(i)) lhs_levels;
+                  let codes = List.map (fun b -> Fd.read_env b env) lhs_blocks in
+                  (* restrict proj_lr to this lhs value and count rhs *)
+                  let restricted =
+                    List.fold_left2
+                      (fun acc b c ->
+                        O.restrict m acc
+                          (List.init (Fd.width b) (fun j ->
+                               (Fd.level_of_bit b j, Fcv_util.Bits.test c j))))
+                      proj_lr lhs_blocks codes
+                  in
+                  let rhs_count = count_over m rhs_blocks restricted in
+                  if rhs_count > 1. then begin
+                    let decoded =
+                      List.map2
+                        (fun p c -> R.Dict.value (R.Table.dict table p) c)
+                        lhs_pos codes
+                    in
+                    results := decoded :: !results;
+                    incr count
+                  end
+                end
+                else raise Exit)))
+   with Exit -> ());
+  List.rev !results

@@ -1,0 +1,275 @@
+(** Concrete syntax for constraints, used by the CLI and examples:
+
+    {v
+    forall s . student(s, 'CS', _) ->
+      (exists c . course(c, 'Programming') and takes(s, c))
+    v}
+
+    Grammar (loosest binding first): [<->], [->] (right-assoc), [or],
+    [and], [not], quantifiers [forall x, y . f] / [exists x . f],
+    atoms [rel(t, ...)], [t = t], [t in {lit, ...}], parentheses,
+    [true]/[false].  Terms are variables (identifiers), string
+    literals in single quotes, integers, or the wildcard [_]. *)
+
+open Formula
+module Value = Fcv_relation.Value
+
+exception Error of string
+
+type token =
+  | IDENT of string
+  | INT of int
+  | STRING of string
+  | LPAREN
+  | RPAREN
+  | LBRACE
+  | RBRACE
+  | COMMA
+  | DOT
+  | EQUAL
+  | ARROW
+  | DARROW
+  | UNDERSCORE
+  | KW of string
+  | EOF
+
+let keywords = [ "forall"; "exists"; "and"; "or"; "not"; "in"; "true"; "false"; "implies" ]
+
+let tokenize s =
+  let n = String.length s in
+  let out = ref [] in
+  let emit t = out := t :: !out in
+  let is_start c = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') in
+  let is_char c = is_start c || (c >= '0' && c <= '9') || c = '_' in
+  let rec go i =
+    if i >= n then emit EOF
+    else
+      match s.[i] with
+      | ' ' | '\t' | '\n' | '\r' -> go (i + 1)
+      | '(' ->
+        emit LPAREN;
+        go (i + 1)
+      | ')' ->
+        emit RPAREN;
+        go (i + 1)
+      | '{' ->
+        emit LBRACE;
+        go (i + 1)
+      | '}' ->
+        emit RBRACE;
+        go (i + 1)
+      | ',' ->
+        emit COMMA;
+        go (i + 1)
+      | '.' ->
+        emit DOT;
+        go (i + 1)
+      | '=' ->
+        emit EQUAL;
+        go (i + 1)
+      | '-' when i + 1 < n && s.[i + 1] = '>' ->
+        emit ARROW;
+        go (i + 2)
+      | '<' when i + 2 < n && s.[i + 1] = '-' && s.[i + 2] = '>' ->
+        emit DARROW;
+        go (i + 3)
+      | '_' when i + 1 >= n || not (is_char s.[i + 1]) ->
+        emit UNDERSCORE;
+        go (i + 1)
+      | '\'' ->
+        let buf = Buffer.create 16 in
+        let rec str j =
+          if j >= n then raise (Error "unterminated string literal")
+          else if s.[j] = '\'' then j + 1
+          else begin
+            Buffer.add_char buf s.[j];
+            str (j + 1)
+          end
+        in
+        let i' = str (i + 1) in
+        emit (STRING (Buffer.contents buf));
+        go i'
+      | c when c >= '0' && c <= '9' ->
+        let rec num j = if j < n && s.[j] >= '0' && s.[j] <= '9' then num (j + 1) else j in
+        let j = num i in
+        emit (INT (int_of_string (String.sub s i (j - i))));
+        go j
+      | c when is_start c || c = '_' ->
+        let rec ident j = if j < n && is_char s.[j] then ident (j + 1) else j in
+        let j = ident i in
+        let word = String.sub s i (j - i) in
+        if List.mem (String.lowercase_ascii word) keywords then
+          emit (KW (String.lowercase_ascii word))
+        else emit (IDENT word);
+        go j
+      | c -> raise (Error (Printf.sprintf "unexpected character %C" c))
+  in
+  go 0;
+  List.rev !out
+
+type state = { mutable toks : token list }
+
+let peek st = match st.toks with [] -> EOF | t :: _ -> t
+let peek2 st = match st.toks with _ :: t :: _ -> t | _ -> EOF
+
+let advance st = match st.toks with [] -> () | _ :: r -> st.toks <- r
+
+let describe = function
+  | IDENT s -> "identifier " ^ s
+  | INT i -> string_of_int i
+  | STRING s -> Printf.sprintf "'%s'" s
+  | LPAREN -> "("
+  | RPAREN -> ")"
+  | LBRACE -> "{"
+  | RBRACE -> "}"
+  | COMMA -> ","
+  | DOT -> "."
+  | EQUAL -> "="
+  | ARROW -> "->"
+  | DARROW -> "<->"
+  | UNDERSCORE -> "_"
+  | KW k -> k
+  | EOF -> "end of input"
+
+let expect st t =
+  if peek st = t then advance st
+  else raise (Error (Printf.sprintf "expected %s, found %s" (describe t) (describe (peek st))))
+
+let parse_lit st =
+  match peek st with
+  | STRING s ->
+    advance st;
+    Value.Str s
+  | INT i ->
+    advance st;
+    Value.Int i
+  | t -> raise (Error ("expected literal, found " ^ describe t))
+
+let parse_term st =
+  match peek st with
+  | IDENT x ->
+    advance st;
+    Var x
+  | UNDERSCORE ->
+    advance st;
+    Wildcard
+  | STRING _ | INT _ -> Const (parse_lit st)
+  | t -> raise (Error ("expected term, found " ^ describe t))
+
+let rec parse_formula st = parse_iff st
+
+and parse_iff st =
+  let left = parse_imp st in
+  if peek st = DARROW then begin
+    advance st;
+    Iff (left, parse_iff st)
+  end
+  else left
+
+and parse_imp st =
+  let left = parse_or st in
+  match peek st with
+  | ARROW | KW "implies" ->
+    advance st;
+    Implies (left, parse_imp st)
+  | _ -> left
+
+and parse_or st =
+  let left = parse_and st in
+  if peek st = KW "or" then begin
+    advance st;
+    Or (left, parse_or st)
+  end
+  else left
+
+and parse_and st =
+  let left = parse_unary st in
+  if peek st = KW "and" then begin
+    advance st;
+    And (left, parse_and st)
+  end
+  else left
+
+and parse_unary st =
+  match peek st with
+  | KW "not" ->
+    advance st;
+    Not (parse_unary st)
+  | KW "forall" | KW "exists" ->
+    let kind = peek st in
+    advance st;
+    let rec vars acc =
+      match peek st with
+      | IDENT x ->
+        advance st;
+        if peek st = COMMA then begin
+          advance st;
+          vars (x :: acc)
+        end
+        else List.rev (x :: acc)
+      | t -> raise (Error ("expected variable, found " ^ describe t))
+    in
+    let xs = vars [] in
+    expect st DOT;
+    let body = parse_formula st in
+    if kind = KW "forall" then Forall (xs, body) else Exists (xs, body)
+  | _ -> parse_primary st
+
+and parse_primary st =
+  match peek st with
+  | LPAREN ->
+    advance st;
+    let f = parse_formula st in
+    expect st RPAREN;
+    f
+  | KW "true" ->
+    advance st;
+    True
+  | KW "false" ->
+    advance st;
+    False
+  | IDENT name when peek2 st = LPAREN ->
+    advance st;
+    advance st;
+    let rec terms acc =
+      let t = parse_term st in
+      if peek st = COMMA then begin
+        advance st;
+        terms (t :: acc)
+      end
+      else List.rev (t :: acc)
+    in
+    let ts = if peek st = RPAREN then [] else terms [] in
+    expect st RPAREN;
+    Atom (name, ts)
+  | IDENT _ | UNDERSCORE | STRING _ | INT _ -> (
+    let t = parse_term st in
+    match peek st with
+    | EQUAL ->
+      advance st;
+      Eq (t, parse_term st)
+    | KW "in" ->
+      advance st;
+      expect st LBRACE;
+      let rec lits acc =
+        let l = parse_lit st in
+        if peek st = COMMA then begin
+          advance st;
+          lits (l :: acc)
+        end
+        else List.rev (l :: acc)
+      in
+      let ls = lits [] in
+      expect st RBRACE;
+      In (t, ls)
+    | tok -> raise (Error ("expected = or in after term, found " ^ describe tok)))
+  | t -> raise (Error ("unexpected " ^ describe t))
+
+(** Parse a constraint from text. *)
+let of_string s =
+  let st = { toks = tokenize s } in
+  let f = parse_formula st in
+  (match peek st with
+  | EOF -> ()
+  | t -> raise (Error ("trailing input: " ^ describe t)));
+  f

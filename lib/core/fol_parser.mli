@@ -1,0 +1,17 @@
+(** Concrete syntax for constraints:
+
+    {v
+    forall s . student(s, 'CS', _) ->
+      (exists c . course(c, 'Programming') and takes(s, c))
+    v}
+
+    Binding strength (loosest first): [<->], [->] (right-assoc),
+    [or], [and], [not], quantifiers, atoms / [t = t] /
+    [t in {lit, ...}] / parentheses / [true] / [false].  Terms are
+    variables, single-quoted strings, integers, or the wildcard
+    [_]. *)
+
+exception Error of string
+
+val of_string : string -> Formula.t
+(** @raise Error on syntax errors. *)

@@ -1,0 +1,137 @@
+(** First-order-logic constraints over a relational database (§1, §4).
+
+    A constraint is a closed formula built from relation atoms,
+    equality/membership tests, the boolean connectives and typed
+    quantifiers ranging over the active domain of each variable.  The
+    paper's running example reads, in this AST:
+
+    {[
+      Forall (["xs"],
+        Implies (Atom ("student", [Var "xs"; Const (Str "CS"); Wildcard]),
+                 Exists (["xc"],
+                   And (Atom ("course", [Var "xc"; Const (Str "Programming")]),
+                        Atom ("takes", [Var "xs"; Var "xc"])))))
+    ]} *)
+
+module Value = Fcv_relation.Value
+
+type term = Var of string | Const of Value.t | Wildcard
+
+type t =
+  | True
+  | False
+  | Atom of string * term list  (** relation name, one term per attribute *)
+  | Eq of term * term
+  | In of term * Value.t list
+  | Not of t
+  | And of t * t
+  | Or of t * t
+  | Implies of t * t
+  | Iff of t * t
+  | Exists of string list * t
+  | Forall of string list * t
+
+(* -- convenience constructors ------------------------------------------- *)
+
+let v x = Var x
+let str s = Const (Value.Str s)
+let int i = Const (Value.Int i)
+let atom name terms = Atom (name, terms)
+let ( &&& ) a b = And (a, b)
+let ( ||| ) a b = Or (a, b)
+let ( ==> ) a b = Implies (a, b)
+let forall xs f = Forall (xs, f)
+let exists xs f = Exists (xs, f)
+
+(* -- free variables ------------------------------------------------------ *)
+
+module Sset = Set.Make (String)
+
+let term_vars = function Var x -> Sset.singleton x | Const _ | Wildcard -> Sset.empty
+
+let rec free_vars = function
+  | True | False -> Sset.empty
+  | Atom (_, terms) ->
+    List.fold_left (fun acc t -> Sset.union acc (term_vars t)) Sset.empty terms
+  | Eq (a, b) -> Sset.union (term_vars a) (term_vars b)
+  | In (a, _) -> term_vars a
+  | Not f -> free_vars f
+  | And (a, b) | Or (a, b) | Implies (a, b) | Iff (a, b) ->
+    Sset.union (free_vars a) (free_vars b)
+  | Exists (xs, f) | Forall (xs, f) ->
+    Sset.diff (free_vars f) (Sset.of_list xs)
+
+let is_closed f = Sset.is_empty (free_vars f)
+
+(* -- capture-avoiding variable renaming ---------------------------------- *)
+
+let rename_term subst = function
+  | Var x -> Var (Option.value ~default:x (List.assoc_opt x subst))
+  | t -> t
+
+(** Rename free occurrences per [subst : (old * new) list]. *)
+let rec rename subst f =
+  if subst = [] then f
+  else
+    match f with
+    | True | False -> f
+    | Atom (r, terms) -> Atom (r, List.map (rename_term subst) terms)
+    | Eq (a, b) -> Eq (rename_term subst a, rename_term subst b)
+    | In (a, vs) -> In (rename_term subst a, vs)
+    | Not g -> Not (rename subst g)
+    | And (a, b) -> And (rename subst a, rename subst b)
+    | Or (a, b) -> Or (rename subst a, rename subst b)
+    | Implies (a, b) -> Implies (rename subst a, rename subst b)
+    | Iff (a, b) -> Iff (rename subst a, rename subst b)
+    | Exists (xs, g) -> Exists (xs, rename (List.filter (fun (o, _) -> not (List.mem o xs)) subst) g)
+    | Forall (xs, g) -> Forall (xs, rename (List.filter (fun (o, _) -> not (List.mem o xs)) subst) g)
+
+(* -- pretty printing ------------------------------------------------------ *)
+
+let pp_term fmt = function
+  | Var x -> Format.pp_print_string fmt x
+  | Const (Value.Str s) -> Format.fprintf fmt "'%s'" s
+  | Const (Value.Int i) -> Format.pp_print_int fmt i
+  | Wildcard -> Format.pp_print_char fmt '_'
+
+let rec pp fmt = function
+  | True -> Format.pp_print_string fmt "true"
+  | False -> Format.pp_print_string fmt "false"
+  | Atom (r, terms) ->
+    Format.fprintf fmt "%s(%a)" r
+      (Format.pp_print_list ~pp_sep:(fun f () -> Format.pp_print_string f ", ") pp_term)
+      terms
+  | Eq (a, b) -> Format.fprintf fmt "%a = %a" pp_term a pp_term b
+  | In (a, vs) ->
+    Format.fprintf fmt "%a in {%s}" pp_term a
+      (String.concat ", " (List.map Value.to_string vs))
+  | Not f -> Format.fprintf fmt "not (%a)" pp f
+  | And (a, b) -> Format.fprintf fmt "(%a and %a)" pp a pp b
+  | Or (a, b) -> Format.fprintf fmt "(%a or %a)" pp a pp b
+  | Implies (a, b) -> Format.fprintf fmt "(%a -> %a)" pp a pp b
+  | Iff (a, b) -> Format.fprintf fmt "(%a <-> %a)" pp a pp b
+  | Exists (xs, f) -> Format.fprintf fmt "(exists %s. %a)" (String.concat ", " xs) pp f
+  | Forall (xs, f) -> Format.fprintf fmt "(forall %s. %a)" (String.concat ", " xs) pp f
+
+let to_string f = Format.asprintf "%a" pp f
+
+(* -- structural helpers --------------------------------------------------- *)
+
+(** Count of atoms, used by size heuristics and tests. *)
+let rec atom_count = function
+  | True | False | Eq _ | In _ -> 0
+  | Atom _ -> 1
+  | Not f -> atom_count f
+  | And (a, b) | Or (a, b) | Implies (a, b) | Iff (a, b) -> atom_count a + atom_count b
+  | Exists (_, f) | Forall (_, f) -> atom_count f
+
+(** All relation names mentioned. *)
+let relations f =
+  let rec go acc = function
+    | True | False | Eq _ | In _ -> acc
+    | Atom (r, _) -> Sset.add r acc
+    | Not f -> go acc f
+    | And (a, b) | Or (a, b) | Implies (a, b) | Iff (a, b) -> go (go acc a) b
+    | Exists (_, f) | Forall (_, f) -> go acc f
+  in
+  Sset.elements (go Sset.empty f)

@@ -1,0 +1,56 @@
+(** First-order-logic constraints over a relational database (§1, §4):
+    relation atoms, equality/membership tests, boolean connectives and
+    typed quantifiers over active domains. *)
+
+module Value = Fcv_relation.Value
+
+type term = Var of string | Const of Value.t | Wildcard
+
+type t =
+  | True
+  | False
+  | Atom of string * term list  (** relation name, one term per attribute *)
+  | Eq of term * term
+  | In of term * Value.t list
+  | Not of t
+  | And of t * t
+  | Or of t * t
+  | Implies of t * t
+  | Iff of t * t
+  | Exists of string list * t
+  | Forall of string list * t
+
+(** {2 Constructors} *)
+
+val v : string -> term
+val str : string -> term
+val int : int -> term
+val atom : string -> term list -> t
+val ( &&& ) : t -> t -> t
+val ( ||| ) : t -> t -> t
+val ( ==> ) : t -> t -> t
+val forall : string list -> t -> t
+val exists : string list -> t -> t
+
+(** {2 Analysis} *)
+
+module Sset : Set.S with type elt = string
+
+val free_vars : t -> Sset.t
+val is_closed : t -> bool
+
+val rename : (string * string) list -> t -> t
+(** Rename free occurrences (capture-aware w.r.t. binders). *)
+
+val atom_count : t -> int
+
+val relations : t -> string list
+(** Relation names mentioned, sorted. *)
+
+(** {2 Printing} *)
+
+val pp_term : Format.formatter -> term -> unit
+val pp : Format.formatter -> t -> unit
+
+val to_string : t -> string
+(** Parseable by {!Fol_parser.of_string}. *)

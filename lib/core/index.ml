@@ -1,0 +1,210 @@
+(** The logical index store (§2.3, §3): one shared BDD manager per
+    database holding a characteristic-function BDD for each indexed
+    table (or projection of a table), plus the incremental-maintenance
+    hooks of §5.2.
+
+    All indices share one manager so that constraint compilation can
+    combine them directly; each index's attribute blocks occupy a
+    contiguous range of levels allocated at build time in the order
+    chosen by its {!Ordering.strategy}. *)
+
+module R = Fcv_relation
+module M = Fcv_bdd.Manager
+module O = Fcv_bdd.Ops
+module Fd = Fcv_bdd.Fd
+
+type entry = {
+  table : R.Table.t;
+  attrs : int array;  (** indexed schema positions, ascending *)
+  order : int array;  (** permutation of [0, |attrs|): order.(k) indexes [attrs] *)
+  strategy : Ordering.strategy;
+  blocks : Fd.block array;  (** blocks.(i) is the block of attrs.(i) *)
+  mutable root : int;
+  counts : (int, int) Hashtbl.t;
+      (** multiset of projected rows (packed codes) — needed to decide
+          when a deletion removes the last witness of a projection *)
+  mutable build_time : float;  (** seconds spent constructing [root] *)
+}
+
+type t = {
+  db : R.Database.t;
+  mgr : M.t;
+  mutable entries : entry list;
+  scratch_pool : (int, Fd.block list) Hashtbl.t;
+      (* reusable scratch blocks by domain size: constraint compilation
+         borrows auxiliary blocks and returns them afterwards, so the
+         manager's bounded level space is not consumed by repeated
+         checks *)
+}
+
+let create ?(max_nodes = 0) db =
+  {
+    db;
+    mgr = M.create ~max_nodes ~nvars:0 ();
+    entries = [];
+    scratch_pool = Hashtbl.create 8;
+  }
+
+(** Borrow an auxiliary block of the given domain size, reusing a
+    previously released one when available. *)
+let borrow_scratch t ~dom_size =
+  match Hashtbl.find_opt t.scratch_pool dom_size with
+  | Some (b :: rest) ->
+    Hashtbl.replace t.scratch_pool dom_size rest;
+    b
+  | Some [] | None -> Fd.alloc t.mgr ~name:(Printf.sprintf "scratch/%d" dom_size) ~dom_size
+
+(** Return borrowed blocks to the pool. *)
+let release_scratch t blocks =
+  List.iter
+    (fun b ->
+      let dom_size = b.Fd.dom_size in
+      let existing = Option.value ~default:[] (Hashtbl.find_opt t.scratch_pool dom_size) in
+      Hashtbl.replace t.scratch_pool dom_size (b :: existing))
+    blocks
+
+let mgr t = t.mgr
+let entries t = t.entries
+
+(* Distinct projection of [table] onto [attrs], as a fresh table
+   sharing the same dictionaries (not registered in any database). *)
+let project table attrs =
+  let schema = R.Table.schema table in
+  let sub_schema =
+    R.Schema.make
+      (Array.to_list
+         (Array.map (fun a -> (schema.(a).R.Schema.name, schema.(a).R.Schema.domain)) attrs))
+  in
+  let dicts = Array.map (fun a -> R.Table.dict table a) attrs in
+  let proj =
+    R.Table.create ~name:(R.Table.name table ^ "_proj") ~schema:sub_schema ~dicts
+  in
+  let seen = Hashtbl.create 1024 in
+  R.Table.iter table (fun row ->
+      let sub = Array.map (fun a -> row.(a)) attrs in
+      if not (Hashtbl.mem seen sub) then begin
+        Hashtbl.add seen sub ();
+        R.Table.insert_coded proj sub
+      end);
+  proj
+
+(* Pack a projected row into one integer key for the counts multiset
+   (attribute blocks are at most 62 bits wide in total for every
+   workload we index; wider projections reject maintenance). *)
+let pack_key blocks sub =
+  let bits = Array.fold_left (fun acc b -> acc + Fd.width b) 0 blocks in
+  if bits > 62 then None
+  else begin
+    let acc = ref 0 in
+    Array.iteri (fun i c -> acc := (!acc lsl Fd.width blocks.(i)) lor c) sub;
+    Some !acc
+  end
+
+(** Build (or rebuild) a logical index on [table_name], restricted to
+    [attrs] (attribute names; default: all attributes), ordered by
+    [strategy].  Returns the entry; it is also registered in [t]. *)
+let add t ~table_name ?attrs ~strategy () =
+  let table = R.Database.table t.db table_name in
+  let schema = R.Table.schema table in
+  let attrs =
+    match attrs with
+    | None -> Array.init (R.Schema.arity schema) Fun.id
+    | Some names ->
+      let positions = List.map (R.Schema.position schema) names in
+      Array.of_list (List.sort compare positions)
+  in
+  let proj = project table attrs in
+  let order = Ordering.resolve strategy proj in
+  let t0 = Fcv_util.Timer.now () in
+  let blocks = R.Encode.alloc_blocks t.mgr proj ~order in
+  let root = R.Encode.build t.mgr proj ~order ~blocks in
+  let build_time = Fcv_util.Timer.now () -. t0 in
+  let counts = Hashtbl.create (max 16 (R.Table.cardinality table)) in
+  R.Table.iter table (fun row ->
+      let sub = Array.map (fun a -> row.(a)) attrs in
+      match pack_key blocks sub with
+      | Some key ->
+        Hashtbl.replace counts key (1 + Option.value ~default:0 (Hashtbl.find_opt counts key))
+      | None -> ());
+  let entry = { table; attrs; order; strategy; blocks; root; counts; build_time } in
+  t.entries <- entry :: t.entries;
+  entry
+
+(** Entries indexed on [table_name]. *)
+let entries_for t table_name =
+  List.filter (fun e -> R.Table.name e.table = table_name) t.entries
+
+(** The first entry on [table_name] whose attribute set covers
+    [needed] (schema positions). *)
+let find_covering t ~table_name ~needed =
+  let covers e = List.for_all (fun p -> Array.exists (( = ) p) e.attrs) needed in
+  List.find_opt covers (entries_for t table_name)
+
+(** Does the index contain this projected row? *)
+let entry_mem t entry sub =
+  let env = Array.make (M.nvars t.mgr) false in
+  Array.iteri (fun i c -> Fd.set_env entry.blocks.(i) c env) sub;
+  M.eval t.mgr entry.root env
+
+(** BDD size of an entry. *)
+let entry_size t entry = M.node_count t.mgr entry.root
+
+let minterm t entry sub =
+  Fd.tuple_minterm t.mgr (List.init (Array.length sub) (fun i -> (entry.blocks.(i), sub.(i))))
+
+exception Needs_rebuild of string
+
+(* Apply one base-table update to a single entry. *)
+let update_entry t entry ~insert row =
+  let sub = Array.map (fun a -> row.(a)) entry.attrs in
+  Array.iteri
+    (fun i c ->
+      if c >= entry.blocks.(i).Fd.dom_size then
+        raise
+          (Needs_rebuild
+             (Printf.sprintf "value code %d exceeds indexed domain of %s" c
+                entry.blocks.(i).Fd.name)))
+    sub;
+  match pack_key entry.blocks sub with
+  | None -> raise (Needs_rebuild "projection too wide for incremental maintenance")
+  | Some key ->
+    let current = Option.value ~default:0 (Hashtbl.find_opt entry.counts key) in
+    if insert then begin
+      if current = 0 then entry.root <- O.bor t.mgr entry.root (minterm t entry sub);
+      Hashtbl.replace entry.counts key (current + 1)
+    end
+    else begin
+      if current <= 0 then ()
+      else if current = 1 then begin
+        entry.root <- O.bdiff t.mgr entry.root (minterm t entry sub);
+        Hashtbl.remove entry.counts key
+      end
+      else Hashtbl.replace entry.counts key (current - 1)
+    end
+
+(** Insert a full coded row into the base table and every index on
+    it. *)
+let insert t ~table_name row =
+  let table = R.Database.table t.db table_name in
+  R.Table.insert_coded table row;
+  List.iter (fun e -> update_entry t e ~insert:true row) (entries_for t table_name)
+
+(** Garbage-collect the shared manager: keep exactly the entries'
+    current BDDs, dropping the dead intermediates that incremental
+    maintenance and past constraint checks left behind.  Returns the
+    number of nodes reclaimed. *)
+let compact t =
+  let before = M.size t.mgr in
+  let entries = t.entries in
+  let roots = M.compact t.mgr (List.map (fun e -> e.root) entries) in
+  List.iter2 (fun e root -> e.root <- root) entries roots;
+  before - M.size t.mgr
+
+(** Delete one occurrence of a full coded row from the base table and
+    every index on it. *)
+let delete t ~table_name row =
+  let table = R.Database.table t.db table_name in
+  let removed = R.Table.delete_coded table row in
+  if removed then
+    List.iter (fun e -> update_entry t e ~insert:false row) (entries_for t table_name);
+  removed

@@ -1,0 +1,84 @@
+(** The logical index store: one shared BDD manager per database, one
+    characteristic-function BDD per indexed table (or projection),
+    plus the §5.2 incremental maintenance. *)
+
+type entry = {
+  table : Fcv_relation.Table.t;
+  attrs : int array;  (** indexed schema positions, ascending *)
+  order : int array;  (** permutation of [0, |attrs|) over [attrs] *)
+  strategy : Ordering.strategy;
+  blocks : Fcv_bdd.Fd.block array;  (** blocks.(i) belongs to attrs.(i) *)
+  mutable root : int;
+  counts : (int, int) Hashtbl.t;
+      (** multiset of projected rows — deletions must know when the
+          last witness of a projection disappears *)
+  mutable build_time : float;  (** seconds spent building [root] *)
+}
+
+type t = {
+  db : Fcv_relation.Database.t;
+  mgr : Fcv_bdd.Manager.t;
+  mutable entries : entry list;
+  scratch_pool : (int, Fcv_bdd.Fd.block list) Hashtbl.t;
+      (** reusable auxiliary blocks by domain size, so repeated checks
+          do not consume the manager's bounded level space *)
+}
+
+exception Needs_rebuild of string
+(** An update fell outside an index's frozen domain capacity (new
+    dictionary codes) or maintenance capability; rebuild the entry. *)
+
+val create : ?max_nodes:int -> Fcv_relation.Database.t -> t
+(** [max_nodes] is the shared node budget (0 = unlimited). *)
+
+val mgr : t -> Fcv_bdd.Manager.t
+val entries : t -> entry list
+
+val borrow_scratch : t -> dom_size:int -> Fcv_bdd.Fd.block
+(** Borrow an auxiliary block (reused from the pool when possible). *)
+
+val release_scratch : t -> Fcv_bdd.Fd.block list -> unit
+(** Return borrowed blocks; their BDDs must no longer be consulted. *)
+
+val project : Fcv_relation.Table.t -> int array -> Fcv_relation.Table.t
+(** Distinct projection as a fresh (unregistered) table sharing the
+    same dictionaries. *)
+
+val add :
+  t ->
+  table_name:string ->
+  ?attrs:string list ->
+  strategy:Ordering.strategy ->
+  unit ->
+  entry
+(** Build and register an index on a table (default: all attributes)
+    under the ordering chosen by [strategy]. *)
+
+val entries_for : t -> string -> entry list
+
+val find_covering : t -> table_name:string -> needed:int list -> entry option
+(** First entry on the table whose attribute set covers [needed]. *)
+
+val entry_mem : t -> entry -> int array -> bool
+(** Is this projected row in the index? *)
+
+val entry_size : t -> entry -> int
+val minterm : t -> entry -> int array -> int
+
+val update_entry : t -> entry -> insert:bool -> int array -> unit
+(** Apply one base-row update to one entry (exposed for benchmarks);
+    normally use {!insert}/{!delete}.  @raise Needs_rebuild *)
+
+val insert : t -> table_name:string -> int array -> unit
+(** Insert a full coded row into the base table and every index on
+    it.  @raise Needs_rebuild *)
+
+val delete : t -> table_name:string -> int array -> bool
+(** Delete one occurrence of a row from the base table and every
+    index; returns whether a row existed. *)
+
+val compact : t -> int
+(** Garbage-collect the shared manager down to the entries' live
+    BDDs; returns the number of nodes reclaimed.  Call between
+    checks, never while holding node ids from an ongoing
+    compilation. *)

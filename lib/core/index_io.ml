@@ -1,0 +1,146 @@
+(** Persistence for the logical index store: save every entry's
+    metadata and BDD to one file; reload against the same database
+    (same tables, same dictionary contents) without re-encoding.
+
+    The file begins with a manifest of the entries (table, attribute
+    names, ordering, per-attribute domain sizes — checked on load so a
+    drifted dictionary is rejected rather than silently decoded
+    wrongly), followed by one {!Fcv_bdd.Io} section with all roots. *)
+
+module R = Fcv_relation
+module M = Fcv_bdd.Manager
+module Fd = Fcv_bdd.Fd
+
+exception Format_error of string
+
+let fail fmt = Printf.ksprintf (fun s -> raise (Format_error s)) fmt
+
+let magic = "fcv-index 1"
+
+let save index oc =
+  let entries = List.rev (Index.entries index) in
+  Printf.fprintf oc "%s\n" magic;
+  Printf.fprintf oc "entries %d\n" (List.length entries);
+  List.iter
+    (fun e ->
+      let table = e.Index.table in
+      let schema = R.Table.schema table in
+      let attr_names =
+        Array.to_list e.Index.attrs
+        |> List.map (fun p -> schema.(p).R.Schema.name)
+      in
+      let dom_sizes =
+        Array.to_list e.Index.blocks |> List.map (fun b -> string_of_int b.Fd.dom_size)
+      in
+      Printf.fprintf oc "entry %s\n" (R.Table.name table);
+      Printf.fprintf oc "attrs %s\n" (String.concat " " attr_names);
+      Printf.fprintf oc "order %s\n"
+        (String.concat " " (Array.to_list e.Index.order |> List.map string_of_int));
+      Printf.fprintf oc "domains %s\n" (String.concat " " dom_sizes);
+      (* the maintenance multiset *)
+      Printf.fprintf oc "counts %d\n" (Hashtbl.length e.Index.counts);
+      Hashtbl.iter (fun k c -> Printf.fprintf oc "%d %d\n" k c) e.Index.counts)
+    entries;
+  Fcv_bdd.Io.save (Index.mgr index) ~roots:(List.map (fun e -> e.Index.root) entries) oc
+
+(** Rebuild an index store from [ic] against [db].  Blocks are
+    re-allocated in the same level order, so roots load unchanged.
+    @raise Format_error on malformed input or when a table's current
+    dictionary sizes disagree with the saved ones. *)
+let load db ic =
+  let line () = try input_line ic with End_of_file -> fail "unexpected end of file" in
+  let words s = String.split_on_char ' ' (String.trim s) |> List.filter (( <> ) "") in
+  if String.trim (line ()) <> magic then fail "bad magic";
+  let count =
+    match words (line ()) with
+    | [ "entries"; n ] -> int_of_string n
+    | _ -> fail "expected entries"
+  in
+  let index = Index.create db in
+  let mgr = Index.mgr index in
+  let metas =
+    List.init count (fun _ ->
+        let table_name =
+          match words (line ()) with
+          | [ "entry"; t ] -> t
+          | _ -> fail "expected entry"
+        in
+        let attr_names =
+          match words (line ()) with
+          | "attrs" :: rest -> rest
+          | _ -> fail "expected attrs"
+        in
+        let order =
+          match words (line ()) with
+          | "order" :: rest -> Array.of_list (List.map int_of_string rest)
+          | _ -> fail "expected order"
+        in
+        let dom_sizes =
+          match words (line ()) with
+          | "domains" :: rest -> List.map int_of_string rest
+          | _ -> fail "expected domains"
+        in
+        let n_counts =
+          match words (line ()) with
+          | [ "counts"; n ] -> int_of_string n
+          | _ -> fail "expected counts"
+        in
+        let counts = Hashtbl.create (max 16 n_counts) in
+        for _ = 1 to n_counts do
+          match words (line ()) with
+          | [ k; c ] -> Hashtbl.replace counts (int_of_string k) (int_of_string c)
+          | _ -> fail "malformed count line"
+        done;
+        let table = R.Database.table db table_name in
+        let schema = R.Table.schema table in
+        let attrs =
+          Array.of_list (List.map (R.Schema.position schema) attr_names)
+        in
+        (* re-allocate blocks in saved (ordering) sequence so levels
+           match the saved BDDs *)
+        let slots = Array.make (Array.length attrs) None in
+        Array.iter
+          (fun k ->
+            let p = attrs.(k) in
+            let dom = R.Table.dom_size table p in
+            slots.(k) <-
+              Some
+                (Fd.alloc mgr ~name:schema.(p).R.Schema.name ~dom_size:(max 1 dom)))
+          order;
+        let blocks = Array.map (function Some b -> b | None -> fail "bad order") slots in
+        (* domain drift check *)
+        List.iteri
+          (fun i saved ->
+            if blocks.(i).Fd.dom_size <> saved then
+              fail "domain size of %s.%s changed since the index was saved (%d -> %d)"
+                table_name (List.nth attr_names i) saved blocks.(i).Fd.dom_size)
+          dom_sizes;
+        (table, attrs, order, blocks, counts))
+  in
+  let roots = Fcv_bdd.Io.load mgr ic in
+  if List.length roots <> count then fail "root count mismatch";
+  List.iter2
+    (fun (table, attrs, order, blocks, counts) root ->
+      let entry =
+        {
+          Index.table;
+          attrs;
+          order;
+          strategy = Ordering.Fixed (Array.copy order);
+          blocks;
+          root;
+          counts;
+          build_time = 0.;
+        }
+      in
+      index.Index.entries <- entry :: index.Index.entries)
+    metas roots;
+  index
+
+let save_file index path =
+  let oc = open_out path in
+  Fun.protect ~finally:(fun () -> close_out oc) (fun () -> save index oc)
+
+let load_file db path =
+  let ic = open_in path in
+  Fun.protect ~finally:(fun () -> close_in ic) (fun () -> load db ic)

@@ -1,0 +1,14 @@
+(** Persistence for the logical index store: entry manifests plus one
+    {!Fcv_bdd.Io} section.  Loading re-allocates the blocks in the
+    saved level order and verifies that the database's dictionary
+    sizes have not drifted since the save. *)
+
+exception Format_error of string
+
+val save : Index.t -> out_channel -> unit
+
+val load : Fcv_relation.Database.t -> in_channel -> Index.t
+(** @raise Format_error on malformed input or domain drift. *)
+
+val save_file : Index.t -> string -> unit
+val load_file : Fcv_relation.Database.t -> string -> Index.t

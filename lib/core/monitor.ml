@@ -1,0 +1,116 @@
+(** Continuous constraint validation — the paper's motivating scenario
+    ("databases are primarily dynamic ... being able to identify
+    constraints that are violated within and across tables is highly
+    important") turned into an API: register constraints once, stream
+    updates through the logical indices, and re-validate lazily —
+    only constraints touching tables dirtied since their last check
+    are re-run. *)
+
+module R = Fcv_relation
+
+type registered = {
+  id : int;
+  source : string;  (** the constraint's concrete syntax, for reporting *)
+  formula : Formula.t;
+  tables : string list;
+  mutable last_outcome : Checker.outcome option;
+  mutable checks_run : int;
+  mutable checks_skipped : int;  (** skipped because no watched table changed *)
+}
+
+type t = {
+  index : Index.t;
+  pipeline : Checker.pipeline;
+  mutable constraints : registered list;
+  mutable next_id : int;
+  dirty : (string, unit) Hashtbl.t;  (** tables updated since the last validation *)
+}
+
+let create ?(pipeline = Checker.default_pipeline) index =
+  { index; pipeline; constraints = []; next_id = 0; dirty = Hashtbl.create 8 }
+
+(** Register a constraint (given as concrete syntax); builds any
+    missing indices.  Returns its id. *)
+let add t source =
+  let formula = Fol_parser.of_string source in
+  if not (Formula.is_closed formula) then
+    invalid_arg "Monitor.add: constraint must be closed";
+  ignore (Typing.infer t.index.Index.db formula);
+  Checker.ensure_indices t.index [ formula ];
+  let id = t.next_id in
+  t.next_id <- t.next_id + 1;
+  let reg =
+    {
+      id;
+      source;
+      formula;
+      tables = Formula.relations formula;
+      last_outcome = None;
+      checks_run = 0;
+      checks_skipped = 0;
+    }
+  in
+  t.constraints <- t.constraints @ [ reg ];
+  reg
+
+let remove t id = t.constraints <- List.filter (fun r -> r.id <> id) t.constraints
+
+(** Stream one row insertion through the base table and indices; marks
+    the table dirty. *)
+let insert t ~table_name row =
+  Index.insert t.index ~table_name row;
+  Hashtbl.replace t.dirty table_name ()
+
+(** Stream one row deletion; marks the table dirty if a row was
+    removed. *)
+let delete t ~table_name row =
+  let removed = Index.delete t.index ~table_name row in
+  if removed then Hashtbl.replace t.dirty table_name ();
+  removed
+
+type report = {
+  constraint_ : registered;
+  outcome : Checker.outcome;
+  fresh : bool;  (** false when the cached verdict was still valid *)
+  elapsed_ms : float;
+}
+
+(** Validate the registered constraints: a constraint is re-checked
+    only when it has never been checked or one of its tables changed
+    since its last check; otherwise the cached verdict is returned.
+    Clears the dirty set. *)
+let validate t =
+  let reports =
+    List.map
+      (fun reg ->
+        let needs_check =
+          reg.last_outcome = None
+          || List.exists (Hashtbl.mem t.dirty) reg.tables
+        in
+        if needs_check then begin
+          let r = Checker.check ~pipeline:t.pipeline t.index reg.formula in
+          reg.last_outcome <- Some r.Checker.outcome;
+          reg.checks_run <- reg.checks_run + 1;
+          {
+            constraint_ = reg;
+            outcome = r.Checker.outcome;
+            fresh = true;
+            elapsed_ms = r.Checker.elapsed_ms;
+          }
+        end
+        else begin
+          reg.checks_skipped <- reg.checks_skipped + 1;
+          match reg.last_outcome with
+          | Some outcome -> { constraint_ = reg; outcome; fresh = false; elapsed_ms = 0. }
+          | None -> assert false
+        end)
+      t.constraints
+  in
+  Hashtbl.reset t.dirty;
+  reports
+
+(** The registered constraints currently violated (validating first). *)
+let violated t =
+  List.filter_map
+    (fun r -> if r.outcome = Checker.Violated then Some r.constraint_ else None)
+    (validate t)

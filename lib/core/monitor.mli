@@ -1,0 +1,40 @@
+(** Continuous constraint validation over a dynamic database: register
+    constraints once, stream updates through the logical indices, and
+    re-validate lazily — only constraints whose tables changed since
+    their last check are re-run. *)
+
+type registered = {
+  id : int;
+  source : string;
+  formula : Formula.t;
+  tables : string list;
+  mutable last_outcome : Checker.outcome option;
+  mutable checks_run : int;
+  mutable checks_skipped : int;
+}
+
+type t
+
+val create : ?pipeline:Checker.pipeline -> Index.t -> t
+
+val add : t -> string -> registered
+(** Register a constraint (concrete syntax); builds missing indices.
+    @raise Fol_parser.Error / Typing.Type_error / Invalid_argument. *)
+
+val remove : t -> int -> unit
+
+val insert : t -> table_name:string -> int array -> unit
+val delete : t -> table_name:string -> int array -> bool
+
+type report = {
+  constraint_ : registered;
+  outcome : Checker.outcome;
+  fresh : bool;  (** false when a cached verdict was still valid *)
+  elapsed_ms : float;
+}
+
+val validate : t -> report list
+(** Check dirty constraints, reuse cached verdicts for clean ones,
+    clear the dirty set. *)
+
+val violated : t -> registered list

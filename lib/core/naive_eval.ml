@@ -1,0 +1,173 @@
+(** Reference (ground-truth) semantics for constraints: direct
+    first-order evaluation with quantifiers ranging over active
+    domains and atoms checked by scanning base tables.  Exponential in
+    quantifier depth — used by the test suite to validate both the BDD
+    and the SQL paths, and as a last-resort fallback for formulas
+    outside the SQL translator's safe fragment. *)
+
+module R = Fcv_relation
+open Formula
+
+(** Evaluate [f] (closed) against [db].  [typing] as from
+    {!Typing.infer}; computed when omitted. *)
+let holds ?typing db f =
+  let typing = match typing with Some t -> t | None -> Typing.infer db f in
+  let dict_of x = R.Database.domain db (Typing.domain_of typing x) in
+  (* environment: variable -> code *)
+  let env : (string, int) Hashtbl.t = Hashtbl.create 16 in
+  let term_code dict = function
+    | Var x -> Hashtbl.find_opt env x
+    | Const value -> R.Dict.code dict value
+    | Wildcard -> None
+  in
+  let atom_holds r terms =
+    let table = R.Database.table db r in
+    let matchers =
+      List.mapi
+        (fun i t ->
+          match t with
+          | Wildcard -> `Any
+          | Var x -> (
+            match Hashtbl.find_opt env x with
+            | Some c -> `Code c
+            | None -> failwith ("Naive_eval: unbound variable " ^ x))
+          | Const value -> (
+            match R.Dict.code (R.Table.dict table i) value with
+            | Some c -> `Code c
+            | None -> `Impossible))
+        terms
+    in
+    if List.exists (fun m -> m = `Impossible) matchers then false
+    else begin
+      let matchers = Array.of_list matchers in
+      let matches row =
+        let ok = ref true in
+        Array.iteri
+          (fun i m -> match m with `Code c when row.(i) <> c -> ok := false | _ -> ())
+          matchers;
+        !ok
+      in
+      let found = ref false in
+      R.Table.iter table (fun row -> if (not !found) && matches row then found := true);
+      !found
+    end
+  in
+  let term_value = function
+    | Var x ->
+      let dict = dict_of x in
+      R.Dict.value dict (Hashtbl.find env x)
+    | Const value -> value
+    | Wildcard -> failwith "Naive_eval: wildcard outside atom"
+  in
+  let rec eval = function
+    | True -> true
+    | False -> false
+    | Atom (r, terms) -> atom_holds r terms
+    | Eq (a, b) -> (
+      (* compare as values so Var = Const works across representations *)
+      match (a, b) with
+      | Var x, Const value | Const value, Var x -> (
+        match term_code (dict_of x) (Var x) with
+        | Some c -> R.Value.equal (R.Dict.value (dict_of x) c) value
+        | None -> failwith "Naive_eval: unbound variable in equality")
+      | _ -> R.Value.equal (term_value a) (term_value b))
+    | In (a, values) -> List.exists (R.Value.equal (term_value a)) values
+    | Not f -> not (eval f)
+    | And (a, b) -> eval a && eval b
+    | Or (a, b) -> eval a || eval b
+    | Implies (a, b) -> (not (eval a)) || eval b
+    | Iff (a, b) -> eval a = eval b
+    | Exists (xs, f) -> quantify_exists xs f
+    | Forall (xs, f) -> quantify_forall xs f
+  and quantify_exists xs f =
+    match xs with
+    | [] -> eval f
+    | x :: rest ->
+      let dict = dict_of x in
+      let n = R.Dict.size dict in
+      let rec try_code c =
+        if c >= n then false
+        else begin
+          (* Hashtbl.add/remove push and pop, so an inner binding
+             correctly shadows an outer variable of the same name *)
+          Hashtbl.add env x c;
+          let r = quantify_exists rest f in
+          Hashtbl.remove env x;
+          r || try_code (c + 1)
+        end
+      in
+      try_code 0
+  and quantify_forall xs f =
+    match xs with
+    | [] -> eval f
+    | x :: rest ->
+      let dict = dict_of x in
+      let n = R.Dict.size dict in
+      let rec all_codes c =
+        if c >= n then true
+        else begin
+          Hashtbl.add env x c;
+          let r = quantify_forall rest f in
+          Hashtbl.remove env x;
+          r && all_codes (c + 1)
+        end
+      in
+      all_codes 0
+  in
+  eval f
+
+(** Enumerate the violating bindings of a universally quantified
+    constraint ∀x̄. φ: all assignments of x̄ (as decoded values) under
+    which φ is false.  Used by tests to cross-check
+    {!Violations}. *)
+let violating_bindings ?typing db f =
+  match f with
+  | Forall (xs, body) ->
+    let typing = match typing with Some t -> t | None -> Typing.infer db f in
+    let dicts = List.map (fun x -> (x, R.Database.domain db (Typing.domain_of typing x))) xs in
+    let results = ref [] in
+    let rec loop bound = function
+      | [] ->
+        (* Evaluate body with constants substituted for the variables. *)
+        let subst_term t =
+          match t with
+          | Var x -> (
+            match List.assoc_opt x (List.map (fun (x, _, v) -> (x, v)) bound) with
+            | Some value -> Const value
+            | None -> t)
+          | _ -> t
+        in
+        (* substitution must stop at binders that rebind a substituted
+           variable (shadowing) *)
+        let bound_names = List.map (fun (x, _, _) -> x) bound in
+        let rec subst_formula shadowed = function
+          | True -> True
+          | False -> False
+          | Atom (r, terms) ->
+            Atom (r, List.map (fun t -> if is_shadowed shadowed t then t else subst_term t) terms)
+          | Eq (a, b) -> Eq (subst shadowed a, subst shadowed b)
+          | In (a, vs) -> In (subst shadowed a, vs)
+          | Not g -> Not (subst_formula shadowed g)
+          | And (a, b) -> And (subst_formula shadowed a, subst_formula shadowed b)
+          | Or (a, b) -> Or (subst_formula shadowed a, subst_formula shadowed b)
+          | Implies (a, b) -> Implies (subst_formula shadowed a, subst_formula shadowed b)
+          | Iff (a, b) -> Iff (subst_formula shadowed a, subst_formula shadowed b)
+          | Exists (ys, g) ->
+            Exists (ys, subst_formula (List.filter (fun n -> List.mem n bound_names) ys @ shadowed) g)
+          | Forall (ys, g) ->
+            Forall (ys, subst_formula (List.filter (fun n -> List.mem n bound_names) ys @ shadowed) g)
+        and is_shadowed shadowed = function
+          | Var x -> List.mem x shadowed
+          | Const _ | Wildcard -> false
+        and subst shadowed t = if is_shadowed shadowed t then t else subst_term t in
+        let ground = subst_formula [] body in
+        if not (holds db ground) then
+          results := List.map (fun (x, _, v) -> (x, v)) bound :: !results
+      | (x, dict) :: rest ->
+        for c = 0 to R.Dict.size dict - 1 do
+          loop (bound @ [ (x, c, R.Dict.value dict c) ]) rest
+        done
+    in
+    loop [] dicts;
+    List.rev !results
+  | _ -> invalid_arg "Naive_eval.violating_bindings: expects a top-level Forall"

@@ -1,0 +1,16 @@
+(** Reference semantics: direct first-order evaluation (quantifiers
+    loop over active domains, atoms scan base tables).  Exponential in
+    quantifier depth — the test suite's ground truth and the
+    last-resort fallback outside the safe-SQL fragment. *)
+
+val holds : ?typing:Typing.env -> Fcv_relation.Database.t -> Formula.t -> bool
+(** Evaluate a closed formula. *)
+
+val violating_bindings :
+  ?typing:Typing.env ->
+  Fcv_relation.Database.t ->
+  Formula.t ->
+  (string * Fcv_relation.Value.t) list list
+(** All bindings of a top-level ∀ block under which the body fails.
+    @raise Invalid_argument unless the formula is a top-level
+    [Forall]. *)

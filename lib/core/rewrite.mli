@@ -1,0 +1,44 @@
+(** The paper's query re-write rules (§4), applied in the prioritised
+    order of §4.4: prenex normal form (subsuming the ∃/∨ and ∀/∧
+    pull-ups of Eqs. 3–4), leading-quantifier elimination (§4.1), and
+    ∀ push-down across conjunctions (Rule 5).  The equi-join rename
+    (§4.2) lives in {!Compile}. *)
+
+type check = Check_valid | Check_satisfiable
+(** How to read the final BDD: a dropped leading ∀-run means the
+    constraint holds iff the matrix is valid; a dropped ∃-run, iff it
+    is satisfiable. *)
+
+type quantifier = Q_exists | Q_forall
+
+val nnf : Formula.t -> Formula.t
+(** Negation normal form: ¬ pushed to literals, [Implies]/[Iff]
+    expanded. *)
+
+val prenex : Formula.t -> (quantifier * string) list * Formula.t
+(** Prefix (outermost first, variables renamed apart) and
+    quantifier-free matrix. *)
+
+val rename_apart : Formula.t -> Formula.t
+(** Rename binders so no name is bound twice or shadows a free
+    variable; conflict-free names are kept.  {!Compile} requires
+    shadow-free input. *)
+
+val requantify : (quantifier * string) list -> Formula.t -> Formula.t
+(** Rebuild a formula from prefix + matrix, grouping adjacent
+    same-kind quantifiers. *)
+
+val eliminate_leading :
+  (quantifier * string) list * Formula.t -> check * Formula.t
+(** Drop the maximal leading run of same-kind quantifiers (§4.1). *)
+
+val push_forall : Formula.t -> Formula.t
+(** Rule 5: ∀x(φ₁ ∧ φ₂) ⇝ ∀xφ₁ ∧ ∀xφ₂, recursively; vacuous
+    quantifiers are dropped (domains are non-empty). *)
+
+val optimize : Formula.t -> check * Formula.t
+(** The full §4.4 pipeline. *)
+
+val no_rewrite : Formula.t -> check * Formula.t
+(** Identity pipeline (ablation): validity of the unchanged closed
+    formula. *)

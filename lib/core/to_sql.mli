@@ -1,0 +1,29 @@
+(** Constraints → relational-algebra {e violation queries}: the SQL
+    baseline of every BDD-vs-SQL figure, and the fallback when the
+    node budget trips (§4's thresholding).
+
+    The classical safe-FOL translation over nnf(¬C): atoms → scans,
+    ∧ → natural join, negative conjuncts → anti-joins, ∨ → union
+    (after DNF distribution), ∃ → projection.  Formulas outside the
+    range-restricted fragment raise {!Not_safe}. *)
+
+exception Not_safe of string
+
+type tplan = { plan : Fcv_sql.Algebra.plan; vars : string list }
+(** a translated sub-plan: column i produces variable [vars.(i)] *)
+
+val translate : Fcv_relation.Database.t -> Typing.env -> Formula.t -> tplan
+(** Plan producing the satisfying bindings of an NNF range-restricted
+    formula's free variables.  @raise Not_safe *)
+
+val violation_plan :
+  Fcv_relation.Database.t ->
+  Typing.env ->
+  Formula.t ->
+  Fcv_sql.Algebra.plan * string list * string list
+(** Violation plan of a closed constraint: rows are the bindings of
+    ¬C's leading existential block.  Returns (plan, column variables,
+    witness variables).  @raise Not_safe *)
+
+val violated : Fcv_relation.Database.t -> Typing.env -> Formula.t -> bool
+(** Is the constraint violated, per the SQL engine?  @raise Not_safe *)

@@ -1,0 +1,106 @@
+(** Static checks on constraints: every atom matches its relation's
+    arity, every variable is used consistently at positions of a single
+    domain, every quantified variable gets a domain, and comparisons
+    stay within one domain.  The inferred variable → domain map drives
+    block allocation in {!Compile} and quantifier ranges in
+    {!Naive_eval}. *)
+
+module R = Fcv_relation
+open Formula
+
+exception Type_error of string
+
+let fail fmt = Printf.ksprintf (fun s -> raise (Type_error s)) fmt
+
+type env = (string, string) Hashtbl.t
+(** variable name → domain name *)
+
+let unify env x domain =
+  match Hashtbl.find_opt env x with
+  | None -> Hashtbl.replace env x domain
+  | Some d when d = domain -> ()
+  | Some d -> fail "variable %s used at domains %s and %s" x d domain
+
+(** Infer the variable typing of [f] against [db].
+    @raise Type_error on arity or domain inconsistencies. *)
+let infer db f =
+  let env : env = Hashtbl.create 16 in
+  (* Equalities between two variables are unifiable only once one side
+     is known; iterate to a fixpoint over pending constraints. *)
+  let pending_eqs = ref [] in
+  let rec go = function
+    | True | False -> ()
+    | Atom (r, terms) ->
+      let table =
+        match R.Database.table_opt db r with
+        | Some t -> t
+        | None -> fail "unknown relation %s" r
+      in
+      let schema = R.Table.schema table in
+      if List.length terms <> R.Schema.arity schema then
+        fail "relation %s expects %d terms, got %d" r (R.Schema.arity schema)
+          (List.length terms);
+      List.iteri
+        (fun i t ->
+          match t with
+          | Var x -> unify env x (R.Schema.domain_of schema i)
+          | Const _ | Wildcard -> ())
+        terms
+    | Eq (Var x, Var y) -> pending_eqs := (x, y) :: !pending_eqs
+    | Eq (Var _, Const _) | Eq (Const _, Var _) -> ()
+    | Eq (Const _, Const _) -> ()
+    | Eq (Wildcard, _) | Eq (_, Wildcard) -> fail "wildcard in equality"
+    | In (Var _, _) -> ()
+    | In (Const _, _) -> ()
+    | In (Wildcard, _) -> fail "wildcard in membership test"
+    | Not g -> go g
+    | And (a, b) | Or (a, b) | Implies (a, b) | Iff (a, b) ->
+      go a;
+      go b
+    | Exists (xs, g) | Forall (xs, g) ->
+      List.iter
+        (fun x -> if x = "_" then fail "'_' cannot be quantified") xs;
+      go g
+  in
+  go f;
+  (* propagate domains across variable equalities *)
+  let changed = ref true in
+  while !changed do
+    changed := false;
+    List.iter
+      (fun (x, y) ->
+        match (Hashtbl.find_opt env x, Hashtbl.find_opt env y) with
+        | Some dx, None ->
+          Hashtbl.replace env y dx;
+          changed := true
+        | None, Some dy ->
+          Hashtbl.replace env x dy;
+          changed := true
+        | Some dx, Some dy when dx <> dy ->
+          fail "equality between distinct domains %s and %s" dx dy
+        | _ -> ())
+      !pending_eqs
+  done;
+  (* every quantified variable must have been grounded somewhere *)
+  let rec check_quantified = function
+    | True | False | Atom _ | Eq _ | In _ -> ()
+    | Not g -> check_quantified g
+    | And (a, b) | Or (a, b) | Implies (a, b) | Iff (a, b) ->
+      check_quantified a;
+      check_quantified b
+    | Exists (xs, g) | Forall (xs, g) ->
+      List.iter
+        (fun x ->
+          if not (Hashtbl.mem env x) then
+            fail "cannot infer a domain for quantified variable %s" x)
+        xs;
+      check_quantified g
+  in
+  check_quantified f;
+  env
+
+(** Domain of variable [x] under a typing. *)
+let domain_of env x =
+  match Hashtbl.find_opt env x with
+  | Some d -> d
+  | None -> fail "untyped variable %s" x

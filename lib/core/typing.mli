@@ -1,0 +1,15 @@
+(** Static checks on constraints: atom arities, per-variable domain
+    consistency, groundedness of quantified variables.  The inferred
+    variable → domain map drives block allocation in {!Compile} and
+    quantifier ranges in {!Naive_eval}. *)
+
+exception Type_error of string
+
+type env = (string, string) Hashtbl.t
+(** variable name → domain name *)
+
+val infer : Fcv_relation.Database.t -> Formula.t -> env
+(** @raise Type_error *)
+
+val domain_of : env -> string -> string
+(** @raise Type_error on untyped variables. *)

@@ -1,0 +1,131 @@
+(** Violating-tuple enumeration: once a constraint is known to be
+    violated (the fast check of the paper), this module performs the
+    second, more expensive phase — identifying the witnesses — directly
+    on the BDDs: the models of nnf(¬C)'s matrix, restricted to valid
+    codes, decoded through the domain dictionaries. *)
+
+module R = Fcv_relation
+module M = Fcv_bdd.Manager
+module O = Fcv_bdd.Ops
+module Fd = Fcv_bdd.Fd
+module Sat = Fcv_bdd.Sat
+open Formula
+
+type witness = (string * R.Value.t) list
+(** one violating binding: variable name → value *)
+
+(** Enumerate up to [limit] violating bindings of the constraint's
+    outermost universally quantified variables (i.e. models of the
+    leading existential block of ¬C).  Returns [None] when ¬C has no
+    leading existential block to witness (e.g. the constraint is a
+    bare existential — then a violation has no finite witness, only
+    the fact of emptiness). *)
+let enumerate ?(limit = max_int) index constraint_ =
+  let db = index.Index.db in
+  (* the compiler needs shadow-free binders; names without conflicts
+     are preserved so witnesses keep their user-facing names *)
+  let constraint_ = Rewrite.rename_apart constraint_ in
+  let typing = Typing.infer db constraint_ in
+  let v = Rewrite.nnf (Not constraint_) in
+  let rec strip = function
+    | Exists (xs, f) ->
+      let xs', f' = strip f in
+      (xs @ xs', f')
+    | f -> ([], f)
+  in
+  let witnesses, matrix = strip v in
+  if witnesses = [] then None
+  else begin
+    let ctx = Compile.make_ctx index typing in
+    let m = Compile.mgr ctx in
+    let root = Compile.compile ctx matrix in
+    (* witnesses that never got a block are vacuous: the matrix doesn't
+       depend on them; report only the grounded ones *)
+    let blocks =
+      List.filter_map
+        (fun x ->
+          match Hashtbl.find_opt ctx.Compile.vars x with
+          | Some b -> Some (x, b)
+          | None -> None)
+        witnesses
+    in
+    let guard =
+      List.fold_left (fun acc (_, b) -> O.band m acc (Fd.valid m b)) M.one blocks
+    in
+    let root = O.band m guard root in
+    (* project away any non-witness levels (inner quantifications leave
+       none, but scratch equality blocks may remain) *)
+    let witness_levels =
+      List.concat_map (fun (_, b) -> Array.to_list b.Fd.levels) blocks
+    in
+    let support = M.support m root in
+    let extra = List.filter (fun l -> not (List.mem l witness_levels)) support in
+    let root = if extra = [] then root else O.exists m extra root in
+    let results = ref [] in
+    let count = ref 0 in
+    (try
+       ignore
+         (Sat.fold_cubes m root ~init:() ~f:(fun () cube ->
+              (* expand don't-cares per witness block *)
+              let levels = Array.of_list (List.sort compare witness_levels) in
+              Sat.iter_expanded ~levels cube ~f:(fun values ->
+                  if !count < limit then begin
+                    let env = Array.make (M.nvars m) false in
+                    Array.iteri (fun i l -> env.(l) <- values.(i)) levels;
+                    let binding =
+                      List.map
+                        (fun (x, b) ->
+                          let code = Fd.read_env b env in
+                          let dict = R.Database.domain db (Typing.domain_of typing x) in
+                          (x, R.Dict.value dict code))
+                        blocks
+                    in
+                    (* expansion may produce invalid codes on don't-care
+                       bits beyond the guard only if the guard was not
+                       conjoined; it was, so every expansion is valid *)
+                    results := binding :: !results;
+                    incr count
+                  end
+                  else raise Exit)));
+       ()
+     with Exit -> ());
+    Compile.release ctx;
+    Some (List.rev !results)
+  end
+
+(** Number of violating bindings (exact model count over the witness
+    blocks), without enumerating them. *)
+let count index constraint_ =
+  let db = index.Index.db in
+  let constraint_ = Rewrite.rename_apart constraint_ in
+  let typing = Typing.infer db constraint_ in
+  let v = Rewrite.nnf (Not constraint_) in
+  let rec strip = function
+    | Exists (xs, f) ->
+      let xs', f' = strip f in
+      (xs @ xs', f')
+    | f -> ([], f)
+  in
+  let witnesses, matrix = strip v in
+  if witnesses = [] then None
+  else begin
+    let ctx = Compile.make_ctx index typing in
+    let m = Compile.mgr ctx in
+    let root = Compile.compile ctx matrix in
+    let blocks =
+      List.filter_map (fun x -> Hashtbl.find_opt ctx.Compile.vars x) witnesses
+    in
+    let guard = List.fold_left (fun acc b -> O.band m acc (Fd.valid m b)) M.one blocks in
+    let root = O.band m guard root in
+    let support = M.support m root in
+    let witness_levels = List.concat_map (fun b -> Array.to_list b.Fd.levels) blocks in
+    let extra = List.filter (fun l -> not (List.mem l witness_levels)) support in
+    let root = if extra = [] then root else O.exists m extra root in
+    (* Sat.count ranges over every manager variable; divide the excess
+       don't-care factor out *)
+    let total_vars = M.nvars m in
+    let free_vars = List.length witness_levels in
+    let c = Sat.count m root /. Float.pow 2. (float_of_int (total_vars - free_vars)) in
+    Compile.release ctx;
+    Some c
+  end

@@ -1,0 +1,16 @@
+(** Violating-tuple enumeration — the second, expensive phase the
+    paper defers until a fast check has said "violated".  Witnesses
+    are the models of ¬C's leading existential block, read directly
+    off the BDDs and decoded through the domain dictionaries. *)
+
+type witness = (string * Fcv_relation.Value.t) list
+(** one violating binding: variable name → value *)
+
+val enumerate : ?limit:int -> Index.t -> Formula.t -> witness list option
+(** Up to [limit] violating bindings of the constraint's outermost
+    universally quantified variables; [None] when ¬C has no leading
+    existential block to witness. *)
+
+val count : Index.t -> Formula.t -> float option
+(** Exact number of violating bindings (model count over the witness
+    blocks) without enumerating them. *)

@@ -1,0 +1,120 @@
+(** Synthetic stand-in for the paper's real dataset: 406,769 US/Canada
+    customers with schema (areacode, number, city, state, zipcode) and
+    active-domain sizes (281, 889, 10894, 50, 17557).
+
+    We reproduce what the experiments actually depend on — the schema,
+    those exact active-domain cardinalities, and the near-functional
+    correlations (city→state, zipcode→city→state, areacode→state) that
+    make the data compressible — with a configurable violation rate
+    that breaks each dependency on a small fraction of rows.  See
+    DESIGN.md §2 for the substitution rationale. *)
+
+module R = Fcv_relation
+
+let n_areacode = 281
+let n_number = 889
+let n_city = 10894
+let n_state = 50
+let n_zip = 17557
+
+type world = {
+  city_state : int array;  (** home state of each city *)
+  zip_city : int array;  (** home city of each zipcode *)
+  area_state : int array;  (** home state of each areacode *)
+}
+
+(** Deterministic "geography": fixed assignments of cities, zips and
+    areacodes to states, drawn once from the seed. *)
+let make_world rng =
+  {
+    city_state = Array.init n_city (fun _ -> Fcv_util.Rng.int rng n_state);
+    zip_city = Array.init n_zip (fun _ -> Fcv_util.Rng.int rng n_city);
+    area_state = Array.init n_areacode (fun _ -> Fcv_util.Rng.int rng n_state);
+  }
+
+(** Database with the customer domains registered as integer ranges of
+    the paper's exact active-domain sizes. *)
+let make_db () =
+  let db = R.Database.create () in
+  R.Database.add_domain db (R.Dict.of_int_range "areacode" n_areacode);
+  R.Database.add_domain db (R.Dict.of_int_range "number" n_number);
+  R.Database.add_domain db (R.Dict.of_int_range "city" n_city);
+  R.Database.add_domain db (R.Dict.of_int_range "state" n_state);
+  R.Database.add_domain db (R.Dict.of_int_range "zipcode" n_zip);
+  db
+
+let schema_attrs =
+  [
+    ("areacode", "areacode");
+    ("number", "number");
+    ("city", "city");
+    ("state", "state");
+    ("zipcode", "zipcode");
+  ]
+
+(* Per-state list of areacodes, derived from the world. *)
+let areas_by_state world =
+  let buckets = Array.make n_state [] in
+  Array.iteri (fun a s -> buckets.(s) <- a :: buckets.(s)) world.area_state;
+  Array.map Array.of_list buckets
+
+(** Generate [rows] customers into a fresh table [name].
+    [violation_rate] is the per-row probability that one of the
+    dependencies (city→state, areacode→state) is deliberately broken —
+    0.0 yields data on which those constraints hold. *)
+let generate ?(violation_rate = 0.0) rng db ~name ~rows =
+  let world = make_world rng in
+  let by_state = areas_by_state world in
+  let table = R.Database.create_table db ~name ~attrs:schema_attrs in
+  for _ = 1 to rows do
+    let zip = Fcv_util.Rng.int rng n_zip in
+    let city = world.zip_city.(zip) in
+    let state = world.city_state.(city) in
+    let areacode =
+      let candidates = by_state.(state) in
+      if Array.length candidates = 0 then Fcv_util.Rng.int rng n_areacode
+      else Fcv_util.Rng.choose rng candidates
+    in
+    let number = Fcv_util.Rng.int rng n_number in
+    let state, areacode =
+      if violation_rate > 0. && Fcv_util.Rng.bernoulli rng violation_rate then
+        (* corrupt either the state or the areacode *)
+        if Fcv_util.Rng.bool rng then (Fcv_util.Rng.int rng n_state, areacode)
+        else (state, Fcv_util.Rng.int rng n_areacode)
+      else (state, areacode)
+    in
+    R.Table.insert_coded table [| areacode; number; city; state; zip |]
+  done;
+  (table, world)
+
+(** The Fig. 5(a) "Constraints" relation: [n] rows with schema
+    (city, areacode) listing allowed areacodes per city, derived from
+    the world's geography so that clean data satisfies them.  If
+    [drop_rate] > 0, that fraction of legitimate pairs is withheld,
+    making some clean rows violate the constraint set. *)
+let constraints_table ?(drop_rate = 0.0) rng db world ~name ~n =
+  let by_state = areas_by_state world in
+  let table =
+    R.Database.create_table db ~name
+      ~attrs:[ ("city", "city"); ("areacode", "areacode") ]
+  in
+  let seen = Hashtbl.create n in
+  let count = ref 0 in
+  let attempts = ref 0 in
+  while !count < n && !attempts < n * 50 do
+    incr attempts;
+    let city = Fcv_util.Rng.int rng n_city in
+    let state = world.city_state.(city) in
+    let candidates = by_state.(state) in
+    if Array.length candidates > 0 then begin
+      let areacode = Fcv_util.Rng.choose rng candidates in
+      if (not (Hashtbl.mem seen (city, areacode)))
+         && not (Fcv_util.Rng.bernoulli rng drop_rate)
+      then begin
+        Hashtbl.add seen (city, areacode) ();
+        R.Table.insert_coded table [| city; areacode |];
+        incr count
+      end
+    end
+  done;
+  table

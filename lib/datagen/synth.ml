@@ -1,0 +1,118 @@
+(** The paper's synthetic workload (§5): relations with [attrs]
+    attributes over integer domains of size ≤ [dom], generated as
+    1-PROD (a Cartesian product of smaller random relations), k-PROD
+    (a union of k such products over freshly drawn attribute
+    partitions), or fully RANDOM. *)
+
+module R = Fcv_relation
+
+type family = Prod of int  (** [Prod k] = k-PROD; [Prod 1] = 1-PROD *) | Random
+
+let family_name = function
+  | Prod 1 -> "1-PROD"
+  | Prod k -> Printf.sprintf "%d-PROD" k
+  | Random -> "RANDOM"
+
+(** A database whose domains [d0..d(attrs-1)] are integer ranges of
+    size [dom], so active-domain sizes are fixed independent of the
+    sample. *)
+let make_db ~attrs ~dom =
+  let db = R.Database.create () in
+  for i = 0 to attrs - 1 do
+    R.Database.add_domain db (R.Dict.of_int_range (Printf.sprintf "d%d" i) dom)
+  done;
+  db
+
+let attr_list attrs = List.init attrs (fun i -> (Printf.sprintf "a%d" i, Printf.sprintf "d%d" i))
+
+(* Random partition of [0, attrs) into [groups] non-empty blocks. *)
+let random_partition rng ~attrs ~groups =
+  if groups > attrs then invalid_arg "random_partition: more groups than attributes";
+  let order = Array.init attrs (fun i -> i) in
+  Fcv_util.Rng.shuffle rng order;
+  (* choose groups-1 cut points *)
+  let cuts = Fcv_util.Rng.sample rng (groups - 1) (attrs - 1) in
+  Array.sort compare cuts;
+  let cuts = Array.to_list (Array.map (fun c -> c + 1) cuts) @ [ attrs ] in
+  let rec slice start = function
+    | [] -> []
+    | c :: rest -> Array.to_list (Array.sub order start (c - start)) :: slice c rest
+  in
+  slice 0 cuts
+
+(* Distinct random sub-tuples over the given attribute positions. *)
+let random_factor rng ~dom ~positions ~size =
+  let seen = Hashtbl.create size in
+  let rows = ref [] in
+  let n = ref 0 in
+  (* cap at the factor's domain capacity *)
+  let capacity =
+    List.fold_left (fun acc _ -> if acc > size then acc else acc * dom) 1 positions
+  in
+  let target = min size capacity in
+  while !n < target do
+    let t = List.map (fun _ -> Fcv_util.Rng.int rng dom) positions in
+    if not (Hashtbl.mem seen t) then begin
+      Hashtbl.add seen t ();
+      rows := t :: !rows;
+      incr n
+    end
+  done;
+  !rows
+
+(* One product block of ~[rows] tuples over a given attribute
+   partition: each factor gets ~rows^(1/g) tuples, emit the full
+   product. *)
+let one_prod rng ~dom ~rows ~partition ~arity emit =
+  let g = List.length partition in
+  let per_factor =
+    int_of_float (Float.round (Float.pow (float_of_int rows) (1. /. float_of_int g)))
+  in
+  let per_factor = max 2 per_factor in
+  let factors =
+    List.map
+      (fun positions ->
+        (positions, random_factor rng ~dom ~positions ~size:per_factor))
+      partition
+  in
+  let tuple = Array.make arity 0 in
+  let rec product = function
+    | [] -> emit (Array.copy tuple)
+    | (positions, rows) :: rest ->
+      List.iter
+        (fun sub ->
+          List.iteri (fun i p -> tuple.(p) <- List.nth sub i) positions;
+          product rest)
+        rows
+  in
+  product factors
+
+(** Generate a table named [name] in [db] (domains must exist, see
+    {!make_db}).  [rows] is a target size; product structure makes the
+    exact count the nearest product/union of factor sizes. *)
+let generate rng db ~name ~attrs ~dom ~rows ~family =
+  let table = R.Database.create_table db ~name ~attrs:(attr_list attrs) in
+  let emit t = R.Table.insert_coded table t in
+  (match family with
+  | Random ->
+    for _ = 1 to rows do
+      emit (Array.init attrs (fun _ -> Fcv_util.Rng.int rng dom))
+    done
+  | Prod k ->
+    if k <= 0 then invalid_arg "Synth.generate: Prod k with k <= 0";
+    (* one attribute partition shared by every union member: k-PROD
+       keeps the multivalued-dependency structure of Section 2 (union
+       of products over the same factorisation), only the factor
+       contents vary per member *)
+    let groups = 2 + (if attrs >= 3 then Fcv_util.Rng.int rng 2 else 0) in
+    let groups = min groups attrs in
+    let partition = random_partition rng ~attrs ~groups in
+    for _ = 1 to k do
+      one_prod rng ~dom ~rows:(rows / k) ~partition ~arity:attrs emit
+    done);
+  table
+
+(** Fresh single-table database + table in one call. *)
+let table rng ~name ~attrs ~dom ~rows ~family =
+  let db = make_db ~attrs ~dom in
+  (db, generate rng db ~name ~attrs ~dom ~rows ~family)

@@ -1,0 +1,93 @@
+(** The paper's running example (§1): STUDENT(student_id, department,
+    contact), COURSE(course_id, area), TAKES(student_id, course_id),
+    with the policy "every CS student takes some Programming course".
+    [violators] students are generated in breach of the policy. *)
+
+module R = Fcv_relation
+
+type config = {
+  students : int;
+  courses : int;
+  departments : int;
+  areas : int;
+  takes_per_student : int;
+  violators : int;  (** CS students given no Programming course *)
+}
+
+let default =
+  {
+    students = 1000;
+    courses = 100;
+    departments = 8;
+    areas = 10;
+    takes_per_student = 3;
+    violators = 0;
+  }
+
+(** Department code 0 plays "CS"; area code 0 plays "Programming". *)
+let cs = 0
+
+let programming = 0
+
+let make_db cfg =
+  let db = R.Database.create () in
+  R.Database.add_domain db (R.Dict.of_int_range "student_id" cfg.students);
+  R.Database.add_domain db (R.Dict.of_int_range "course_id" cfg.courses);
+  R.Database.add_domain db (R.Dict.of_int_range "department" cfg.departments);
+  R.Database.add_domain db (R.Dict.of_int_range "area" cfg.areas);
+  R.Database.add_domain db (R.Dict.of_int_range "contact" cfg.students);
+  db
+
+let generate rng cfg =
+  let db = make_db cfg in
+  let student =
+    R.Database.create_table db ~name:"student"
+      ~attrs:
+        [ ("student_id", "student_id"); ("department", "department"); ("contact", "contact") ]
+  in
+  let course =
+    R.Database.create_table db ~name:"course"
+      ~attrs:[ ("course_id", "course_id"); ("area", "area") ]
+  in
+  let takes =
+    R.Database.create_table db ~name:"takes"
+      ~attrs:[ ("student_id", "student_id"); ("course_id", "course_id") ]
+  in
+  (* courses: spread areas round-robin with noise so Programming has
+     cfg.courses / cfg.areas courses *)
+  let course_area = Array.init cfg.courses (fun c -> c mod cfg.areas) in
+  Array.iteri (fun c a -> R.Table.insert_coded course [| c; a |]) course_area;
+  let programming_courses =
+    Array.of_list
+      (List.filter (fun c -> course_area.(c) = programming) (List.init cfg.courses Fun.id))
+  in
+  let other_courses =
+    Array.of_list
+      (List.filter (fun c -> course_area.(c) <> programming) (List.init cfg.courses Fun.id))
+  in
+  let violators_left = ref cfg.violators in
+  for s = 0 to cfg.students - 1 do
+    let dept = Fcv_util.Rng.int rng cfg.departments in
+    let make_violator = dept = cs && !violators_left > 0 in
+    if make_violator then decr violators_left;
+    R.Table.insert_coded student [| s; dept; Fcv_util.Rng.int rng cfg.students |];
+    let enrolled = Hashtbl.create 4 in
+    let enroll c =
+      if not (Hashtbl.mem enrolled c) then begin
+        Hashtbl.add enrolled c ();
+        R.Table.insert_coded takes [| s; c |]
+      end
+    in
+    if make_violator then
+      (* only non-Programming courses *)
+      for _ = 1 to cfg.takes_per_student do
+        enroll (Fcv_util.Rng.choose rng other_courses)
+      done
+    else begin
+      if dept = cs then enroll (Fcv_util.Rng.choose rng programming_courses);
+      for _ = 1 to cfg.takes_per_student - if dept = cs then 1 else 0 do
+        enroll (Fcv_util.Rng.int rng cfg.courses)
+      done
+    end
+  done;
+  (db, student, course, takes)

@@ -1,0 +1,113 @@
+(** Minimal CSV reader/writer (RFC-4180 quoting) so the CLI and
+    examples can load real-looking data files. *)
+
+(** Parse one CSV record that is already known to be a full record
+    (no embedded newlines handled here; [read_channel] deals with
+    those). *)
+let parse_line line =
+  let n = String.length line in
+  let fields = ref [] in
+  let buf = Buffer.create 32 in
+  let flush_field () =
+    fields := Buffer.contents buf :: !fields;
+    Buffer.clear buf
+  in
+  let rec plain i =
+    if i >= n then flush_field ()
+    else
+      match line.[i] with
+      | ',' ->
+        flush_field ();
+        plain (i + 1)
+      | '"' when Buffer.length buf = 0 -> quoted (i + 1)
+      | c ->
+        Buffer.add_char buf c;
+        plain (i + 1)
+  and quoted i =
+    if i >= n then failwith "Csv.parse_line: unterminated quote"
+    else
+      match line.[i] with
+      | '"' when i + 1 < n && line.[i + 1] = '"' ->
+        Buffer.add_char buf '"';
+        quoted (i + 2)
+      | '"' -> plain (i + 1)
+      | c ->
+        Buffer.add_char buf c;
+        quoted (i + 1)
+  in
+  plain 0;
+  List.rev !fields
+
+let escape_field s =
+  if String.exists (fun c -> c = ',' || c = '"' || c = '\n') s then begin
+    let buf = Buffer.create (String.length s + 2) in
+    Buffer.add_char buf '"';
+    String.iter
+      (fun c ->
+        if c = '"' then Buffer.add_string buf "\"\"" else Buffer.add_char buf c)
+      s;
+    Buffer.add_char buf '"';
+    Buffer.contents buf
+  end
+  else s
+
+(** Read all records from a file; the first record is the header.
+    Returns [(header, rows)]. *)
+let read_file path =
+  let ic = open_in path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () ->
+      let records = ref [] in
+      (try
+         while true do
+           let line = input_line ic in
+           let line =
+             (* tolerate CRLF *)
+             if String.length line > 0 && line.[String.length line - 1] = '\r' then
+               String.sub line 0 (String.length line - 1)
+             else line
+           in
+           if line <> "" then records := parse_line line :: !records
+         done
+       with End_of_file -> ());
+      match List.rev !records with
+      | [] -> failwith "Csv.read_file: empty file"
+      | header :: rows -> (header, rows))
+
+(** Load a CSV into a fresh table of [db].  Every attribute is typed by
+    a domain named [table_name.attr] unless [domains] overrides it. *)
+let load_table db ~name ~path ?(domains = []) () =
+  let header, rows = read_file path in
+  let attrs =
+    List.map
+      (fun h ->
+        match List.assoc_opt h domains with
+        | Some d -> (h, d)
+        | None -> (h, name ^ "." ^ h))
+      header
+  in
+  let table = Database.create_table db ~name ~attrs in
+  List.iter
+    (fun fields ->
+      if List.length fields <> List.length header then
+        failwith "Csv.load_table: ragged row";
+      ignore (Table.insert table (Array.of_list (List.map Value.of_string fields))))
+    rows;
+  table
+
+(** Write a table out as CSV (decoded values). *)
+let write_table table path =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () ->
+      output_string oc
+        (String.concat "," (List.map escape_field (Schema.attr_names (Table.schema table))));
+      output_char oc '\n';
+      Table.iter table (fun row ->
+          let values = Table.decode table row in
+          output_string oc
+            (String.concat ","
+               (Array.to_list (Array.map (fun v -> escape_field (Value.to_string v)) values)));
+          output_char oc '\n'))

@@ -1,0 +1,52 @@
+(** A database: a set of named domains (shared dictionaries) and named
+    tables whose attributes reference those domains.  Sharing
+    dictionaries across tables makes codes comparable across tables,
+    which both the SQL engine's joins and the BDD rename-based
+    equi-join require. *)
+
+type t = {
+  domains : (string, Dict.t) Hashtbl.t;
+  tables : (string, Table.t) Hashtbl.t;
+}
+
+let create () = { domains = Hashtbl.create 16; tables = Hashtbl.create 16 }
+
+(** Get or create the domain dictionary named [name]. *)
+let domain t name =
+  match Hashtbl.find_opt t.domains name with
+  | Some d -> d
+  | None ->
+    let d = Dict.create name in
+    Hashtbl.add t.domains name d;
+    d
+
+(** Register a pre-built dictionary (e.g. an integer range for
+    synthetic data). @raise Invalid_argument on duplicates. *)
+let add_domain t d =
+  if Hashtbl.mem t.domains (Dict.name d) then
+    invalid_arg (Printf.sprintf "Database.add_domain: duplicate %s" (Dict.name d));
+  Hashtbl.add t.domains (Dict.name d) d
+
+(** Create an empty table.  [attrs] is a list of
+    [(attribute_name, domain_name)]. *)
+let create_table t ~name ~attrs =
+  if Hashtbl.mem t.tables name then
+    invalid_arg (Printf.sprintf "Database.create_table: duplicate %s" name);
+  let schema = Schema.make attrs in
+  let dicts = Array.map (fun (a : Schema.attr) -> domain t a.domain) schema in
+  let table = Table.create ~name ~schema ~dicts in
+  Hashtbl.add t.tables name table;
+  table
+
+let table t name =
+  match Hashtbl.find_opt t.tables name with
+  | Some tb -> tb
+  | None -> invalid_arg (Printf.sprintf "Database.table: no table %s" name)
+
+let table_opt t name = Hashtbl.find_opt t.tables name
+
+let table_names t =
+  Hashtbl.fold (fun name _ acc -> name :: acc) t.tables [] |> List.sort compare
+
+let domain_names t =
+  Hashtbl.fold (fun name _ acc -> name :: acc) t.domains [] |> List.sort compare

@@ -1,0 +1,24 @@
+(** A database: named domains (shared dictionaries) plus named tables
+    whose attributes reference those domains. *)
+
+type t
+
+val create : unit -> t
+
+val domain : t -> string -> Dict.t
+(** Get or lazily create a domain. *)
+
+val add_domain : t -> Dict.t -> unit
+(** Register a pre-built dictionary.
+    @raise Invalid_argument on duplicate names. *)
+
+val create_table : t -> name:string -> attrs:(string * string) list -> Table.t
+(** [attrs] are [(attribute, domain)] pairs.
+    @raise Invalid_argument on duplicate table names. *)
+
+val table : t -> string -> Table.t
+(** @raise Invalid_argument on unknown tables. *)
+
+val table_opt : t -> string -> Table.t option
+val table_names : t -> string list
+val domain_names : t -> string list

@@ -1,0 +1,60 @@
+(** A dictionary maps the values of one {e domain} to dense integer
+    codes in [0, size).  Dictionaries are owned by the {!Database} and
+    shared by every attribute declared over the same domain, so
+    equality of codes coincides with equality of values across tables —
+    the property the rename-based equi-join relies on. *)
+
+type t = {
+  name : string;
+  mutable values : Value.t array;
+  mutable size : int;
+  index : (Value.t, int) Hashtbl.t;
+}
+
+let create ?(capacity = 16) name =
+  {
+    name;
+    values = Array.make (max capacity 1) (Value.Int 0);
+    size = 0;
+    index = Hashtbl.create (max capacity 16);
+  }
+
+let name t = t.name
+let size t = t.size
+
+(** Code of [v], assigning the next free code if [v] is new. *)
+let intern t v =
+  match Hashtbl.find_opt t.index v with
+  | Some c -> c
+  | None ->
+    let c = t.size in
+    if c >= Array.length t.values then begin
+      let values' = Array.make (2 * Array.length t.values) (Value.Int 0) in
+      Array.blit t.values 0 values' 0 t.size;
+      t.values <- values'
+    end;
+    t.values.(c) <- v;
+    t.size <- t.size + 1;
+    Hashtbl.replace t.index v c;
+    c
+
+(** Code of [v] if already present. *)
+let code t v = Hashtbl.find_opt t.index v
+
+(** Value of a code. *)
+let value t c =
+  if c < 0 || c >= t.size then invalid_arg "Dict.value: code out of range";
+  t.values.(c)
+
+let mem t v = Hashtbl.mem t.index v
+
+(** Pre-populate a domain with [n] integer values [0..n-1]; convenient
+    for synthetic data where codes and values coincide. *)
+let of_int_range name n =
+  let t = create ~capacity:n name in
+  for i = 0 to n - 1 do
+    ignore (intern t (Value.Int i))
+  done;
+  t
+
+let to_list t = List.init t.size (fun c -> t.values.(c))

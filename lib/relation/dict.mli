@@ -1,0 +1,28 @@
+(** A domain dictionary: dense integer codes for the values of one
+    domain.  Owned by the {!Database} and shared by every attribute
+    declared over the domain, so code equality coincides with value
+    equality across tables — the property the rename-based equi-join
+    relies on. *)
+
+type t
+
+val create : ?capacity:int -> string -> t
+val name : t -> string
+val size : t -> int
+
+val intern : t -> Value.t -> int
+(** Code of a value, assigning the next free code if new. *)
+
+val code : t -> Value.t -> int option
+(** Code of a value if present. *)
+
+val value : t -> int -> Value.t
+(** @raise Invalid_argument on out-of-range codes. *)
+
+val mem : t -> Value.t -> bool
+
+val of_int_range : string -> int -> t
+(** Domain pre-populated with [Int 0 .. Int (n-1)]; codes coincide
+    with values (synthetic data convenience). *)
+
+val to_list : t -> Value.t list

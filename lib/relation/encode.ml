@@ -1,0 +1,139 @@
+(** Encoding relations as ROBDDs (§2.2): the table's characteristic
+    function over the finite-domain blocks of its attributes, under a
+    chosen attribute ordering.
+
+    Fast path: every row is packed into a single integer code under the
+    ordering; the sorted, deduplicated code set feeds the direct
+    {!Fcv_bdd.Of_codes} construction.  A naive OR-of-minterms builder
+    is provided as a cross-checked reference and is also what
+    incremental maintenance uses per update. *)
+
+module M = Fcv_bdd.Manager
+module O = Fcv_bdd.Ops
+module Fd = Fcv_bdd.Fd
+
+type t = {
+  mgr : M.t;
+  table : Table.t;
+  order : int array;  (** order.(k) = schema position of the k-th shallowest attribute *)
+  blocks : Fd.block array;  (** indexed by schema position *)
+  mutable root : int;
+}
+
+(** Allocate one block per attribute in the given order (shallowest
+    first) on [mgr]; the result array is indexed by schema position. *)
+let alloc_blocks mgr table ~order =
+  let arity = Table.arity table in
+  if not (Fcv_util.Perm.is_permutation order) || Array.length order <> arity then
+    invalid_arg "Encode.alloc_blocks: order must be a permutation of the attributes";
+  let slots = Array.make arity None in
+  Array.iter
+    (fun a ->
+      let attr = (Table.schema table).(a) in
+      slots.(a) <-
+        Some (Fd.alloc mgr ~name:attr.Schema.name ~dom_size:(max 1 (Table.dom_size table a))))
+    order;
+  Array.map (function Some b -> b | None -> assert false) slots
+
+(** The minterm BDD of one coded row. *)
+let minterm mgr blocks row =
+  Fd.tuple_minterm mgr (List.init (Array.length row) (fun a -> (blocks.(a), row.(a))))
+
+let total_width blocks order =
+  Array.fold_left (fun acc a -> acc + Fd.width blocks.(a)) 0 order
+
+(* Pack a row into a single integer under the ordering: the first
+   attribute of the order occupies the most significant bits, matching
+   Of_codes' MSB-first level convention. *)
+let pack_row blocks order row =
+  Array.fold_left
+    (fun acc a -> (acc lsl Fd.width blocks.(a)) lor row.(a))
+    0 order
+
+(** Build the characteristic-function BDD of [table] on [mgr] using
+    pre-allocated [blocks].  Requires the blocks' levels to be
+    increasing along [order] (true when allocated by
+    {!alloc_blocks} on a fresh region of the manager). *)
+let build mgr table ~order ~blocks =
+  if Table.cardinality table = 0 then M.zero
+  else begin
+    let w = total_width blocks order in
+    let levels =
+      Array.concat (List.map (fun a -> blocks.(a).Fd.levels) (Array.to_list order))
+    in
+    let increasing =
+      let ok = ref true in
+      for i = 1 to Array.length levels - 1 do
+        if levels.(i - 1) >= levels.(i) then ok := false
+      done;
+      !ok
+    in
+    if w <= 62 && increasing then begin
+      let codes = Array.make (Table.cardinality table) 0 in
+      let i = ref 0 in
+      Table.iter table (fun row ->
+          codes.(!i) <- pack_row blocks order row;
+          incr i);
+      Array.sort compare codes;
+      (* dedup in place *)
+      let n = Array.length codes in
+      let k = ref 1 in
+      for j = 1 to n - 1 do
+        if codes.(j) <> codes.(!k - 1) then begin
+          codes.(!k) <- codes.(j);
+          incr k
+        end
+      done;
+      let codes = Array.sub codes 0 !k in
+      Fcv_bdd.Of_codes.build mgr ~levels ~codes
+    end
+    else begin
+      (* Balanced OR-merge of row minterms: correct for any level
+         layout and keeps intermediate BDDs small. *)
+      let leaves = Table.fold table ~init:[] ~f:(fun acc row -> minterm mgr blocks row :: acc) in
+      let rec merge = function
+        | [] -> [ M.zero ]
+        | [ x ] -> [ x ]
+        | x :: y :: rest -> O.bor mgr x y :: merge rest
+      in
+      let rec loop = function [ x ] -> x | l -> loop (merge l) in
+      loop (if leaves = [] then [ M.zero ] else leaves)
+    end
+  end
+
+(** Reference builder: plain left fold of OR over row minterms.  Used
+    by tests to validate [build] and by Fig. 4(a) to contrast
+    construction strategies. *)
+let build_naive mgr table ~order:_ ~blocks =
+  Table.fold table ~init:M.zero ~f:(fun acc row -> O.bor mgr acc (minterm mgr blocks row))
+
+(** One-call convenience: fresh manager, blocks in [order], build. *)
+let encode ?(max_nodes = 0) table ~order =
+  let mgr = M.create ~max_nodes ~nvars:0 () in
+  let blocks = alloc_blocks mgr table ~order in
+  let root = build mgr table ~order ~blocks in
+  { mgr; table; order; blocks; root }
+
+let identity_order table = Array.init (Table.arity table) (fun i -> i)
+
+(** BDD size (reachable node count) of the encoding. *)
+let size t = M.node_count t.mgr t.root
+
+(** Does the encoding contain this coded row? *)
+let mem t row =
+  let env = Array.make (M.nvars t.mgr) false in
+  Array.iteri (fun a c -> Fd.set_env t.blocks.(a) c env) row;
+  M.eval t.mgr t.root env
+
+(** Incremental maintenance (§5.2 "update time"): OR in / carve out a
+    single row's minterm. *)
+let insert t row =
+  Array.iteri
+    (fun a c ->
+      if c < 0 || c >= t.blocks.(a).Fd.dom_size then
+        invalid_arg "Encode.insert: code outside the indexed domain (rebuild the index)")
+    row;
+  t.root <- O.bor t.mgr t.root (minterm t.mgr t.blocks row)
+
+let delete t row =
+  t.root <- O.bdiff t.mgr t.root (minterm t.mgr t.blocks row)

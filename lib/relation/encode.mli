@@ -1,0 +1,47 @@
+(** Relation → ROBDD encoding (§2.2): the characteristic function over
+    the attributes' finite-domain blocks under a chosen attribute
+    ordering, with incremental maintenance. *)
+
+type t = {
+  mgr : Fcv_bdd.Manager.t;
+  table : Table.t;
+  order : int array;  (** order.(k) = schema position of the k-th shallowest attribute *)
+  blocks : Fcv_bdd.Fd.block array;  (** indexed by schema position *)
+  mutable root : int;
+}
+
+val alloc_blocks :
+  Fcv_bdd.Manager.t -> Table.t -> order:int array -> Fcv_bdd.Fd.block array
+(** One block per attribute, allocated in ordering sequence; result
+    indexed by schema position.
+    @raise Invalid_argument unless [order] is a permutation. *)
+
+val minterm : Fcv_bdd.Manager.t -> Fcv_bdd.Fd.block array -> int array -> int
+(** Minterm BDD of a coded row. *)
+
+val build :
+  Fcv_bdd.Manager.t -> Table.t -> order:int array -> blocks:Fcv_bdd.Fd.block array -> int
+(** Fast path: rows packed into sorted integer codes, built top-down
+    (falls back to a balanced OR-merge when codes exceed 62 bits or
+    block levels are not increasing along the order). *)
+
+val build_naive :
+  Fcv_bdd.Manager.t -> Table.t -> order:int array -> blocks:Fcv_bdd.Fd.block array -> int
+(** Reference builder: left fold of OR over row minterms.  Tests
+    assert it agrees with {!build}; Fig. 4(a) contrasts their cost. *)
+
+val encode : ?max_nodes:int -> Table.t -> order:int array -> t
+(** Fresh manager + blocks + {!build} in one call. *)
+
+val identity_order : Table.t -> int array
+
+val size : t -> int
+(** Reachable node count of the encoding. *)
+
+val mem : t -> int array -> bool
+
+val insert : t -> int array -> unit
+(** OR one row's minterm in (§5.2 incremental maintenance).
+    @raise Invalid_argument if a code exceeds the indexed domain. *)
+
+val delete : t -> int array -> unit

@@ -1,0 +1,39 @@
+(** Relation schemas: an ordered list of named attributes, each typed
+    by the {e domain} (dictionary) it draws values from. *)
+
+type attr = { name : string; domain : string }
+
+type t = attr array
+
+let make pairs : t =
+  let a = Array.of_list (List.map (fun (name, domain) -> { name; domain }) pairs) in
+  let seen = Hashtbl.create 8 in
+  Array.iter
+    (fun { name; _ } ->
+      if Hashtbl.mem seen name then
+        invalid_arg (Printf.sprintf "Schema.make: duplicate attribute %s" name);
+      Hashtbl.add seen name ())
+    a;
+  a
+
+let arity (t : t) = Array.length t
+
+let attr_names (t : t) = Array.to_list (Array.map (fun a -> a.name) t)
+
+(** Position of attribute [name]. @raise Not_found *)
+let position (t : t) name =
+  let rec go i =
+    if i >= Array.length t then raise Not_found
+    else if t.(i).name = name then i
+    else go (i + 1)
+  in
+  go 0
+
+let position_opt t name = try Some (position t name) with Not_found -> None
+
+let domain_of (t : t) i = t.(i).domain
+
+let pp fmt (t : t) =
+  Format.fprintf fmt "(%s)"
+    (String.concat ", "
+       (Array.to_list (Array.map (fun a -> a.name ^ ":" ^ a.domain) t)))

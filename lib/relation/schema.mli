@@ -1,0 +1,19 @@
+(** Relation schemas: ordered named attributes typed by domain name. *)
+
+type attr = { name : string; domain : string }
+
+type t = attr array
+
+val make : (string * string) list -> t
+(** [(attribute, domain)] pairs.
+    @raise Invalid_argument on duplicate attribute names. *)
+
+val arity : t -> int
+val attr_names : t -> string list
+
+val position : t -> string -> int
+(** @raise Not_found *)
+
+val position_opt : t -> string -> int option
+val domain_of : t -> int -> string
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,94 @@
+(** Statistical measures over relations: entropy, conditional entropy,
+    information gain (for MaxInf-Gain) and the membership-probability
+    measure φ / Φ (for Prob-Converge) — Definitions 1 and §3.2 of the
+    paper.  All logarithms are base 2.
+
+    Projections are counted by packing the projected codes into a
+    single mixed-radix integer key when the radix product fits in 62
+    bits (always true for the paper's workloads), with a list-keyed
+    fallback otherwise. *)
+
+let log2 x = log x /. log 2.
+
+(* Mixed-radix packing of a projection; returns None on overflow. *)
+let radix_product table attrs =
+  let rec go acc = function
+    | [] -> Some acc
+    | a :: rest ->
+      let d = max 1 (Table.dom_size table a) in
+      if acc > max_int / d then None else go (acc * d) rest
+  in
+  go 1 attrs
+
+(** Multiset of projected rows: key -> occurrence count. *)
+let counts table attrs =
+  let tbl = Hashtbl.create 1024 in
+  let bump k = Hashtbl.replace tbl k (1 + Option.value ~default:0 (Hashtbl.find_opt tbl k)) in
+  (match radix_product table attrs with
+  | Some _ ->
+    Table.iter table (fun row ->
+        let key =
+          List.fold_left
+            (fun acc a -> (acc * max 1 (Table.dom_size table a)) + row.(a))
+            0 attrs
+        in
+        bump (`Packed key))
+  | None ->
+    Table.iter table (fun row -> bump (`List (List.map (fun a -> row.(a)) attrs))));
+  tbl
+
+(** Number of distinct projected tuples. *)
+let distinct table attrs = Hashtbl.length (counts table attrs)
+
+(** Shannon entropy H(v̄) of the projection distribution
+    p(v̄ = x̄) = ‖R|v̄=x̄‖ / ‖R‖. *)
+let entropy table attrs =
+  let n = float_of_int (Table.cardinality table) in
+  if n = 0. then 0.
+  else
+    Hashtbl.fold
+      (fun _ c acc ->
+        let p = float_of_int c /. n in
+        acc -. (p *. log2 p))
+      (counts table attrs) 0.
+
+(** Conditional entropy H(v′ | v̄) via the chain rule
+    H(v′|v̄) = H(v̄, v′) − H(v̄). *)
+let cond_entropy table ~given ~attr =
+  entropy table (given @ [ attr ]) -. entropy table given
+
+(** Information gain I(v̄; v′) = H(v′) − H(v′ | v̄).
+
+    The paper's Definition 1 writes I(v̄;v′) = H(v̄) − H(v′|v̄), which
+    is not the quantity ID3 maximises and is inconsistent with the
+    algorithm's name; we implement the standard (ID3/Quinlan) gain and
+    record the deviation in DESIGN.md. *)
+let info_gain table ~given ~attr =
+  entropy table [ attr ] -. cond_entropy table ~given ~attr
+
+(** φ(v̄ = x̄): probability that a uniformly random completion of the
+    partial tuple x̄ over the remaining attributes' active domains
+    falls in R (§3.2). *)
+let phi table ~attrs ~all_attrs =
+  let rest = List.filter (fun a -> not (List.mem a attrs)) all_attrs in
+  let completions =
+    List.fold_left (fun acc a -> acc *. float_of_int (max 1 (Table.dom_size table a))) 1. rest
+  in
+  let cnts = counts table attrs in
+  Hashtbl.fold (fun k c acc -> (k, float_of_int c /. completions) :: acc) cnts []
+
+(** Φ(v̄) = −Σ_x̄ φ log₂ φ — the entropy-like convergence measure of
+    Prob-Converge.  The paper omits the minus sign while asserting
+    Φ(V) = 0 and using argmin; we normalise to Φ ≥ 0 (see DESIGN.md).
+    Terms with φ ∈ {0, 1} contribute 0. *)
+let phi_measure table ~attrs ~all_attrs =
+  List.fold_left
+    (fun acc (_, p) ->
+      if p <= 0. || p >= 1. then acc else acc -. (p *. log2 p))
+    0.
+    (phi table ~attrs ~all_attrs)
+
+(** Does the functional dependency [lhs → rhs] hold?  (Used by the
+    implication-constraint experiments and by tests.) *)
+let fd_holds table ~lhs ~rhs =
+  distinct table (lhs @ rhs) = distinct table lhs

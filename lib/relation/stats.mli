@@ -1,0 +1,35 @@
+(** Statistics behind the variable-ordering heuristics (Definition 1
+    and §3.2 of the paper).  Logarithms are base 2; attributes are
+    schema positions. *)
+
+val counts :
+  Table.t -> int list -> ([ `Packed of int | `List of int list ], int) Hashtbl.t
+(** Multiset of projected rows. *)
+
+val distinct : Table.t -> int list -> int
+
+val entropy : Table.t -> int list -> float
+(** H(v̄) of the projection distribution. *)
+
+val cond_entropy : Table.t -> given:int list -> attr:int -> float
+(** H(v′ | v̄) via the chain rule. *)
+
+val info_gain : Table.t -> given:int list -> attr:int -> float
+(** The ID3 gain I(v̄; v′) = H(v′) − H(v′|v̄).  (The paper's
+    Definition 1 differs; see DESIGN.md and {!Core.Ordering}.) *)
+
+val phi :
+  Table.t ->
+  attrs:int list ->
+  all_attrs:int list ->
+  ([ `Packed of int | `List of int list ] * float) list
+(** φ(v̄ = x̄) per observed projection value: the probability that a
+    uniformly random completion over the remaining active domains
+    lands in R. *)
+
+val phi_measure : Table.t -> attrs:int list -> all_attrs:int list -> float
+(** Φ(v̄) = −Σ φ log₂ φ (normalised non-negative; see DESIGN.md on
+    the paper's missing sign). *)
+
+val fd_holds : Table.t -> lhs:int list -> rhs:int list -> bool
+(** Does the functional dependency lhs → rhs hold? *)

@@ -1,0 +1,108 @@
+(** In-memory row store.  Rows are arrays of dictionary codes; the
+    per-attribute dictionaries are shared with the owning database's
+    domains.  This is the base-relation substrate under both the BDD
+    logical index and the SQL baseline engine. *)
+
+type t = {
+  name : string;
+  schema : Schema.t;
+  dicts : Dict.t array;  (** one per attribute, aliasing database domains *)
+  mutable rows : int array array;
+  mutable nrows : int;
+}
+
+let create ~name ~schema ~dicts =
+  if Array.length dicts <> Schema.arity schema then
+    invalid_arg "Table.create: dicts/schema arity mismatch";
+  { name; schema; dicts; rows = Array.make 16 [||]; nrows = 0 }
+
+let name t = t.name
+let schema t = t.schema
+let arity t = Schema.arity t.schema
+let cardinality t = t.nrows
+let dict t i = t.dicts.(i)
+
+let row t i =
+  if i < 0 || i >= t.nrows then invalid_arg "Table.row: index out of range";
+  t.rows.(i)
+
+let grow t =
+  if t.nrows >= Array.length t.rows then begin
+    let rows' = Array.make (2 * Array.length t.rows) [||] in
+    Array.blit t.rows 0 rows' 0 t.nrows;
+    t.rows <- rows'
+  end
+
+(** Append an already-coded row (no dictionary interning). *)
+let insert_coded t codes =
+  if Array.length codes <> arity t then invalid_arg "Table.insert_coded: arity";
+  Array.iteri
+    (fun i c ->
+      if c < 0 || c >= Dict.size t.dicts.(i) then
+        invalid_arg "Table.insert_coded: code out of domain")
+    codes;
+  grow t;
+  t.rows.(t.nrows) <- codes;
+  t.nrows <- t.nrows + 1
+
+(** Append a row of values, interning new values into the domains. *)
+let insert t values =
+  if Array.length values <> arity t then invalid_arg "Table.insert: arity";
+  let codes = Array.mapi (fun i v -> Dict.intern t.dicts.(i) v) values in
+  grow t;
+  t.rows.(t.nrows) <- codes;
+  t.nrows <- t.nrows + 1;
+  codes
+
+(** Delete the first row equal to [codes]; returns whether a row was
+    removed.  Order is not preserved (swap-with-last). *)
+let delete_coded t codes =
+  let rec find i =
+    if i >= t.nrows then None
+    else if t.rows.(i) = codes then Some i
+    else find (i + 1)
+  in
+  match find 0 with
+  | None -> false
+  | Some i ->
+    t.rows.(i) <- t.rows.(t.nrows - 1);
+    t.nrows <- t.nrows - 1;
+    true
+
+let iter t f =
+  for i = 0 to t.nrows - 1 do
+    f t.rows.(i)
+  done
+
+let fold t ~init ~f =
+  let acc = ref init in
+  for i = 0 to t.nrows - 1 do
+    acc := f !acc t.rows.(i)
+  done;
+  !acc
+
+let to_list t = List.init t.nrows (fun i -> t.rows.(i))
+
+(** Decode a row back to values. *)
+let decode t codes = Array.mapi (fun i c -> Dict.value t.dicts.(i) c) codes
+
+let mem_coded t codes =
+  let rec go i = i < t.nrows && (t.rows.(i) = codes || go (i + 1)) in
+  go 0
+
+(** Active-domain size of attribute [i] (current dictionary size). *)
+let dom_size t i = Dict.size t.dicts.(i)
+
+(** Distinct rows (the BDD encodes a set; duplicate rows are one model). *)
+let distinct_count t =
+  let seen = Hashtbl.create (max 16 t.nrows) in
+  let count = ref 0 in
+  iter t (fun r ->
+      if not (Hashtbl.mem seen r) then begin
+        Hashtbl.add seen r ();
+        incr count
+      end);
+  !count
+
+let pp fmt t =
+  Format.fprintf fmt "%s%a [%d rows]" t.name Schema.pp t.schema t.nrows

@@ -1,0 +1,39 @@
+(** In-memory row store over dictionary codes; the base-relation
+    substrate under both the BDD logical index and the SQL engine. *)
+
+type t
+
+val create : name:string -> schema:Schema.t -> dicts:Dict.t array -> t
+(** [dicts] alias the owning database's domains, one per attribute. *)
+
+val name : t -> string
+val schema : t -> Schema.t
+val arity : t -> int
+val cardinality : t -> int
+val dict : t -> int -> Dict.t
+
+val row : t -> int -> int array
+(** The i-th row (do not mutate). @raise Invalid_argument *)
+
+val insert_coded : t -> int array -> unit
+(** Append a coded row.
+    @raise Invalid_argument on arity or domain-range mismatch. *)
+
+val insert : t -> Value.t array -> int array
+(** Append values, interning new ones; returns the coded row. *)
+
+val delete_coded : t -> int array -> bool
+(** Remove the first row equal to the argument (swap-with-last); did
+    anything get removed? *)
+
+val iter : t -> (int array -> unit) -> unit
+val fold : t -> init:'a -> f:('a -> int array -> 'a) -> 'a
+val to_list : t -> int array list
+val decode : t -> int array -> Value.t array
+val mem_coded : t -> int array -> bool
+
+val dom_size : t -> int -> int
+(** Active-domain size of an attribute (its dictionary's size). *)
+
+val distinct_count : t -> int
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,28 @@
+(** Atomic attribute values.  The system is dictionary-encoded
+    throughout — values appear only at the edges (loading, display);
+    everything else operates on integer codes. *)
+
+type t = Int of int | Str of string
+
+let compare a b =
+  match (a, b) with
+  | Int x, Int y -> Stdlib.compare x y
+  | Str x, Str y -> String.compare x y
+  | Int _, Str _ -> -1
+  | Str _, Int _ -> 1
+
+let equal a b = compare a b = 0
+
+let hash = function
+  | Int x -> Hashtbl.hash (0, x)
+  | Str s -> Hashtbl.hash (1, s)
+
+let to_string = function
+  | Int x -> string_of_int x
+  | Str s -> s
+
+(** Parse a CSV cell: integers become [Int], everything else [Str]. *)
+let of_string s =
+  match int_of_string_opt s with Some i -> Int i | None -> Str s
+
+let pp fmt v = Format.pp_print_string fmt (to_string v)

@@ -1,0 +1,14 @@
+(** Atomic attribute values; the system is dictionary-encoded, so
+    values appear only at the edges (loading, display). *)
+
+type t = Int of int | Str of string
+
+val compare : t -> t -> int
+val equal : t -> t -> bool
+val hash : t -> int
+val to_string : t -> string
+
+val of_string : string -> t
+(** Parse a CSV cell: integers become [Int], everything else [Str]. *)
+
+val pp : Format.formatter -> t -> unit

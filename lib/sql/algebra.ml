@@ -1,0 +1,107 @@
+(** Physical relational algebra.  Plans operate on dictionary-coded
+    rows; columns are positions into the current intermediate row.
+    This is the execution model of the SQL baseline that the paper's
+    BDD approach is compared against. *)
+
+module Table = Fcv_relation.Table
+
+type pred =
+  | True
+  | False
+  | Eq_col of int * int  (** both columns draw from the same domain *)
+  | Eq_const of int * int  (** column = domain code *)
+  | In_set of int * int list
+  | Gt_const of int * int
+      (** column > integer; compares raw integers, intended for
+          aggregate outputs (e.g. HAVING count(...) > 1) *)
+  | Lt_const of int * int
+  | Not of pred
+  | And of pred * pred
+  | Or of pred * pred
+
+type agg =
+  | Count_all
+  | Count_distinct of int
+  | Min_col of int
+  | Max_col of int
+
+type plan =
+  | Scan of Table.t
+  | Select of pred * plan
+  | Project of int array * plan
+  | Hash_join of (int * int) list * plan * plan
+      (** equi-join on [(left_col, right_col)] pairs; output is the
+          left row followed by the right row *)
+  | Semi_join of (int * int) list * plan * plan
+      (** left rows with at least one match on the right (EXISTS) *)
+  | Anti_join of (int * int) list * plan * plan
+      (** left rows with no match on the right (NOT EXISTS) *)
+  | Product of plan * plan
+  | Union of plan * plan  (** set union; same arity *)
+  | Diff of plan * plan  (** set difference; same arity *)
+  | Distinct of plan
+  | Group_by of int array * agg array * pred * plan
+      (** grouping keys, aggregates, HAVING predicate evaluated over
+          [keys ++ agg values]; output rows are [keys ++ agg values] *)
+
+(** Number of columns a plan produces. *)
+let rec arity = function
+  | Scan t -> Table.arity t
+  | Select (_, p) -> arity p
+  | Project (cols, _) -> Array.length cols
+  | Hash_join (_, l, r) | Product (l, r) -> arity l + arity r
+  | Semi_join (_, l, _) | Anti_join (_, l, _) -> arity l
+  | Union (l, _) | Diff (l, _) -> arity l
+  | Distinct p -> arity p
+  | Group_by (keys, aggs, _, _) -> Array.length keys + Array.length aggs
+
+let rec pp_pred fmt = function
+  | True -> Format.pp_print_string fmt "true"
+  | False -> Format.pp_print_string fmt "false"
+  | Eq_col (a, b) -> Format.fprintf fmt "#%d = #%d" a b
+  | Eq_const (a, c) -> Format.fprintf fmt "#%d = %d" a c
+  | In_set (a, cs) ->
+    Format.fprintf fmt "#%d in {%s}" a (String.concat "," (List.map string_of_int cs))
+  | Gt_const (a, c) -> Format.fprintf fmt "#%d > %d" a c
+  | Lt_const (a, c) -> Format.fprintf fmt "#%d < %d" a c
+  | Not p -> Format.fprintf fmt "not (%a)" pp_pred p
+  | And (p, q) -> Format.fprintf fmt "(%a and %a)" pp_pred p pp_pred q
+  | Or (p, q) -> Format.fprintf fmt "(%a or %a)" pp_pred p pp_pred q
+
+let pp_agg fmt = function
+  | Count_all -> Format.pp_print_string fmt "count(*)"
+  | Count_distinct c -> Format.fprintf fmt "count(distinct #%d)" c
+  | Min_col c -> Format.fprintf fmt "min(#%d)" c
+  | Max_col c -> Format.fprintf fmt "max(#%d)" c
+
+let rec pp fmt = function
+  | Scan t -> Format.fprintf fmt "scan(%s)" (Table.name t)
+  | Select (p, q) -> Format.fprintf fmt "select[%a](%a)" pp_pred p pp q
+  | Project (cols, q) ->
+    Format.fprintf fmt "project[%s](%a)"
+      (String.concat "," (Array.to_list (Array.map string_of_int cols)))
+      pp q
+  | Hash_join (keys, l, r) ->
+    Format.fprintf fmt "join[%s](%a, %a)"
+      (String.concat "," (List.map (fun (a, b) -> Printf.sprintf "%d=%d" a b) keys))
+      pp l pp r
+  | Semi_join (keys, l, r) ->
+    Format.fprintf fmt "semijoin[%s](%a, %a)"
+      (String.concat "," (List.map (fun (a, b) -> Printf.sprintf "%d=%d" a b) keys))
+      pp l pp r
+  | Anti_join (keys, l, r) ->
+    Format.fprintf fmt "antijoin[%s](%a, %a)"
+      (String.concat "," (List.map (fun (a, b) -> Printf.sprintf "%d=%d" a b) keys))
+      pp l pp r
+  | Product (l, r) -> Format.fprintf fmt "product(%a, %a)" pp l pp r
+  | Union (l, r) -> Format.fprintf fmt "union(%a, %a)" pp l pp r
+  | Diff (l, r) -> Format.fprintf fmt "diff(%a, %a)" pp l pp r
+  | Distinct q -> Format.fprintf fmt "distinct(%a)" pp q
+  | Group_by (keys, aggs, having, q) ->
+    Format.fprintf fmt "groupby[%s;%s;%a](%a)"
+      (String.concat "," (Array.to_list (Array.map string_of_int keys)))
+      (String.concat ","
+         (Array.to_list (Array.map (Format.asprintf "%a" pp_agg) aggs)))
+      pp_pred having pp q
+
+let to_string p = Format.asprintf "%a" pp p

@@ -1,0 +1,51 @@
+(** Surface syntax tree for the supported SQL subset:
+
+    {v
+    SELECT <cols | * | aggregates> FROM t1 [a1], t2 [a2], ...
+    [WHERE cond]  [GROUP BY cols]  [HAVING cond]
+    v}
+
+    with conditions built from [=], [<>], [<], [>], [IN (...)],
+    [AND]/[OR]/[NOT] and (correlated) [EXISTS]/[NOT EXISTS]
+    subqueries — enough to express every violation query in the paper
+    (§1's curriculum query, the Constraints-table joins of Fig. 5(a),
+    and the group-by FD check of Fig. 5(b)). *)
+
+type literal = L_int of int | L_str of string
+
+type column = { alias : string option; attr : string }
+
+type term = T_col of column | T_lit of literal
+
+type cmp = Eq | Neq | Lt | Gt
+
+type agg = A_count_all | A_count_distinct of column
+
+type cond =
+  | C_cmp of cmp * term * term
+  | C_in of term * literal list
+  | C_exists of query
+  | C_not_exists of query
+  | C_agg_cmp of cmp * agg * int  (** HAVING count(...) OP n *)
+  | C_and of cond * cond
+  | C_or of cond * cond
+  | C_not of cond
+
+and select_item = S_star | S_col of column | S_agg of agg
+
+and query = {
+  select : select_item list;
+  from : (string * string) list;  (** (table name, alias) *)
+  where : cond option;
+  group_by : column list;
+  having : cond option;
+}
+
+let lit_to_value = function
+  | L_int i -> Fcv_relation.Value.Int i
+  | L_str s -> Fcv_relation.Value.Str s
+
+let pp_column fmt c =
+  match c.alias with
+  | Some a -> Format.fprintf fmt "%s.%s" a c.attr
+  | None -> Format.pp_print_string fmt c.attr

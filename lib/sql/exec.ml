@@ -1,0 +1,160 @@
+(** Plan evaluator.  Joins are hash joins (build on the right input),
+    semi/anti joins build a key set on the right, grouping is hash
+    aggregation — the standard in-memory execution strategies a
+    relational engine would pick for the paper's violation queries. *)
+
+module Table = Fcv_relation.Table
+open Algebra
+
+let rec eval_pred pred (row : int array) =
+  match pred with
+  | True -> true
+  | False -> false
+  | Eq_col (a, b) -> row.(a) = row.(b)
+  | Eq_const (a, c) -> row.(a) = c
+  | In_set (a, cs) -> List.mem row.(a) cs
+  | Gt_const (a, c) -> row.(a) > c
+  | Lt_const (a, c) -> row.(a) < c
+  | Not p -> not (eval_pred p row)
+  | And (p, q) -> eval_pred p row && eval_pred q row
+  | Or (p, q) -> eval_pred p row || eval_pred q row
+
+let key_of_row cols (row : int array) = List.map (fun c -> row.(c)) cols
+
+(* Aggregate accumulators. *)
+type acc = {
+  mutable count : int;
+  distinct : (int, unit) Hashtbl.t option;
+  mutable minv : int;
+  mutable maxv : int;
+}
+
+let run plan =
+  let rec go plan : int array list =
+    match plan with
+    | Scan t -> Table.fold t ~init:[] ~f:(fun acc row -> Array.copy row :: acc)
+    | Select (p, q) -> List.filter (eval_pred p) (go q)
+    | Project (cols, q) ->
+      List.map (fun row -> Array.map (fun c -> row.(c)) cols) (go q)
+    | Hash_join (keys, l, r) ->
+      let lk = List.map fst keys and rk = List.map snd keys in
+      let index = Hashtbl.create 1024 in
+      List.iter
+        (fun row ->
+          let k = key_of_row rk row in
+          Hashtbl.add index k row)
+        (go r);
+      List.concat_map
+        (fun lrow ->
+          let k = key_of_row lk lrow in
+          List.map (fun rrow -> Array.append lrow rrow) (Hashtbl.find_all index k))
+        (go l)
+    | Semi_join (keys, l, r) ->
+      let lk = List.map fst keys and rk = List.map snd keys in
+      let index = Hashtbl.create 1024 in
+      List.iter (fun row -> Hashtbl.replace index (key_of_row rk row) ()) (go r);
+      List.filter (fun lrow -> Hashtbl.mem index (key_of_row lk lrow)) (go l)
+    | Anti_join (keys, l, r) ->
+      let lk = List.map fst keys and rk = List.map snd keys in
+      let index = Hashtbl.create 1024 in
+      List.iter (fun row -> Hashtbl.replace index (key_of_row rk row) ()) (go r);
+      List.filter (fun lrow -> not (Hashtbl.mem index (key_of_row lk lrow))) (go l)
+    | Product (l, r) ->
+      let rrows = go r in
+      List.concat_map (fun lrow -> List.map (Array.append lrow) rrows) (go l)
+    | Union (l, r) ->
+      let seen = Hashtbl.create 1024 in
+      let keep row =
+        if Hashtbl.mem seen row then false
+        else begin
+          Hashtbl.add seen row ();
+          true
+        end
+      in
+      List.filter keep (go l @ go r)
+    | Diff (l, r) ->
+      let right = Hashtbl.create 1024 in
+      List.iter (fun row -> Hashtbl.replace right row ()) (go r);
+      let seen = Hashtbl.create 1024 in
+      List.filter
+        (fun row ->
+          if Hashtbl.mem right row || Hashtbl.mem seen row then false
+          else begin
+            Hashtbl.add seen row ();
+            true
+          end)
+        (go l)
+    | Distinct q ->
+      let seen = Hashtbl.create 1024 in
+      List.filter
+        (fun row ->
+          if Hashtbl.mem seen row then false
+          else begin
+            Hashtbl.add seen row ();
+            true
+          end)
+        (go q)
+    | Group_by (keys, aggs, having, q) ->
+      let groups : (int list, acc array) Hashtbl.t = Hashtbl.create 1024 in
+      let fresh () =
+        Array.map
+          (fun a ->
+            {
+              count = 0;
+              distinct =
+                (match a with Count_distinct _ -> Some (Hashtbl.create 16) | _ -> None);
+              minv = max_int;
+              maxv = min_int;
+            })
+          aggs
+      in
+      List.iter
+        (fun row ->
+          let k = key_of_row (Array.to_list keys) row in
+          let accs =
+            match Hashtbl.find_opt groups k with
+            | Some a -> a
+            | None ->
+              let a = fresh () in
+              Hashtbl.add groups k a;
+              a
+          in
+          Array.iteri
+            (fun i agg ->
+              let acc = accs.(i) in
+              match agg with
+              | Count_all -> acc.count <- acc.count + 1
+              | Count_distinct c -> (
+                match acc.distinct with
+                | Some h -> Hashtbl.replace h row.(c) ()
+                | None -> assert false)
+              | Min_col c -> acc.minv <- min acc.minv row.(c)
+              | Max_col c -> acc.maxv <- max acc.maxv row.(c))
+            aggs)
+        (go q);
+      Hashtbl.fold
+        (fun k accs out ->
+          let agg_values =
+            Array.mapi
+              (fun i agg ->
+                match agg with
+                | Count_all -> accs.(i).count
+                | Count_distinct _ -> (
+                  match accs.(i).distinct with
+                  | Some h -> Hashtbl.length h
+                  | None -> assert false)
+                | Min_col _ -> accs.(i).minv
+                | Max_col _ -> accs.(i).maxv)
+              aggs
+          in
+          let row = Array.append (Array.of_list k) agg_values in
+          if eval_pred having row then row :: out else out)
+        groups []
+  in
+  go plan
+
+(** Run a plan and report only the result cardinality (what the
+    constraint checker needs: is the violation set empty?). *)
+let count plan = List.length (run plan)
+
+let is_empty plan = run plan = []

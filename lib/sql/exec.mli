@@ -1,0 +1,10 @@
+(** Plan evaluator: hash joins (build side right), hash semi/anti
+    joins, hash aggregation. *)
+
+val eval_pred : Algebra.pred -> int array -> bool
+
+val run : Algebra.plan -> int array list
+(** Materialise a plan's result rows (dictionary codes). *)
+
+val count : Algebra.plan -> int
+val is_empty : Algebra.plan -> bool

@@ -1,0 +1,128 @@
+(** Hand-rolled SQL tokenizer. *)
+
+type token =
+  | IDENT of string
+  | INT of int
+  | STRING of string
+  | COMMA
+  | DOT
+  | LPAREN
+  | RPAREN
+  | STAR
+  | EQ
+  | NEQ
+  | LT
+  | GT
+  | KW of string  (** upper-cased keyword *)
+  | EOF
+
+exception Error of string
+
+let keywords =
+  [
+    "SELECT"; "FROM"; "WHERE"; "AND"; "OR"; "NOT"; "EXISTS"; "IN"; "GROUP";
+    "BY"; "HAVING"; "AS"; "DISTINCT"; "COUNT"; "UNION";
+  ]
+
+let is_ident_start c = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c = '_'
+
+let is_ident_char c = is_ident_start c || (c >= '0' && c <= '9')
+
+let tokenize s =
+  let n = String.length s in
+  let tokens = ref [] in
+  let emit t = tokens := t :: !tokens in
+  let rec go i =
+    if i >= n then emit EOF
+    else
+      match s.[i] with
+      | ' ' | '\t' | '\n' | '\r' -> go (i + 1)
+      | ',' ->
+        emit COMMA;
+        go (i + 1)
+      | '.' ->
+        emit DOT;
+        go (i + 1)
+      | '(' ->
+        emit LPAREN;
+        go (i + 1)
+      | ')' ->
+        emit RPAREN;
+        go (i + 1)
+      | '*' ->
+        emit STAR;
+        go (i + 1)
+      | '=' ->
+        emit EQ;
+        go (i + 1)
+      | '<' when i + 1 < n && s.[i + 1] = '>' ->
+        emit NEQ;
+        go (i + 2)
+      | '!' when i + 1 < n && s.[i + 1] = '=' ->
+        emit NEQ;
+        go (i + 2)
+      | '<' ->
+        emit LT;
+        go (i + 1)
+      | '>' ->
+        emit GT;
+        go (i + 1)
+      | '\'' ->
+        let buf = Buffer.create 16 in
+        let rec str j =
+          if j >= n then raise (Error "unterminated string literal")
+          else if s.[j] = '\'' && j + 1 < n && s.[j + 1] = '\'' then begin
+            Buffer.add_char buf '\'';
+            str (j + 2)
+          end
+          else if s.[j] = '\'' then j + 1
+          else begin
+            Buffer.add_char buf s.[j];
+            str (j + 1)
+          end
+        in
+        let i' = str (i + 1) in
+        emit (STRING (Buffer.contents buf));
+        go i'
+      | '"' ->
+        (* double-quoted identifiers *)
+        let rec str j =
+          if j >= n then raise (Error "unterminated quoted identifier")
+          else if s.[j] = '"' then j
+          else str (j + 1)
+        in
+        let j = str (i + 1) in
+        emit (IDENT (String.sub s (i + 1) (j - i - 1)));
+        go (j + 1)
+      | c when c >= '0' && c <= '9' ->
+        let rec num j = if j < n && s.[j] >= '0' && s.[j] <= '9' then num (j + 1) else j in
+        let j = num i in
+        emit (INT (int_of_string (String.sub s i (j - i))));
+        go j
+      | c when is_ident_start c ->
+        let rec ident j = if j < n && is_ident_char s.[j] then ident (j + 1) else j in
+        let j = ident i in
+        let word = String.sub s i (j - i) in
+        let upper = String.uppercase_ascii word in
+        if List.mem upper keywords then emit (KW upper) else emit (IDENT word);
+        go j
+      | c -> raise (Error (Printf.sprintf "unexpected character %C at offset %d" c i))
+  in
+  go 0;
+  List.rev !tokens
+
+let to_string = function
+  | IDENT s -> Printf.sprintf "identifier %s" s
+  | INT i -> Printf.sprintf "integer %d" i
+  | STRING s -> Printf.sprintf "string '%s'" s
+  | COMMA -> ","
+  | DOT -> "."
+  | LPAREN -> "("
+  | RPAREN -> ")"
+  | STAR -> "*"
+  | EQ -> "="
+  | NEQ -> "<>"
+  | LT -> "<"
+  | GT -> ">"
+  | KW k -> k
+  | EOF -> "end of input"

@@ -1,0 +1,272 @@
+(** Recursive-descent parser for the SQL subset described in {!Ast}. *)
+
+open Ast
+
+exception Error of string
+
+type state = { mutable toks : Lexer.token list }
+
+let peek st = match st.toks with [] -> Lexer.EOF | t :: _ -> t
+
+let advance st = match st.toks with [] -> () | _ :: rest -> st.toks <- rest
+
+let expect st tok =
+  if peek st = tok then advance st
+  else
+    raise
+      (Error
+         (Printf.sprintf "expected %s but found %s" (Lexer.to_string tok)
+            (Lexer.to_string (peek st))))
+
+let expect_ident st =
+  match peek st with
+  | Lexer.IDENT s ->
+    advance st;
+    s
+  | t -> raise (Error (Printf.sprintf "expected identifier, found %s" (Lexer.to_string t)))
+
+let parse_column st first =
+  match peek st with
+  | Lexer.DOT ->
+    advance st;
+    let attr = expect_ident st in
+    { alias = Some first; attr }
+  | _ -> { alias = None; attr = first }
+
+let parse_literal st =
+  match peek st with
+  | Lexer.INT i ->
+    advance st;
+    L_int i
+  | Lexer.STRING s ->
+    advance st;
+    L_str s
+  | t -> raise (Error (Printf.sprintf "expected literal, found %s" (Lexer.to_string t)))
+
+let parse_term st =
+  match peek st with
+  | Lexer.IDENT s ->
+    advance st;
+    T_col (parse_column st s)
+  | Lexer.INT _ | Lexer.STRING _ -> T_lit (parse_literal st)
+  | t -> raise (Error (Printf.sprintf "expected term, found %s" (Lexer.to_string t)))
+
+let parse_count st =
+  (* COUNT already consumed *)
+  expect st Lexer.LPAREN;
+  match peek st with
+  | Lexer.STAR ->
+    advance st;
+    expect st Lexer.RPAREN;
+    A_count_all
+  | Lexer.KW "DISTINCT" ->
+    advance st;
+    let first = expect_ident st in
+    let col = parse_column st first in
+    expect st Lexer.RPAREN;
+    A_count_distinct col
+  | t ->
+    raise
+      (Error (Printf.sprintf "expected * or DISTINCT in COUNT, found %s" (Lexer.to_string t)))
+
+let rec parse_query st =
+  expect st (Lexer.KW "SELECT");
+  let select = parse_select_list st in
+  expect st (Lexer.KW "FROM");
+  let from = parse_from_list st in
+  let where =
+    if peek st = Lexer.KW "WHERE" then begin
+      advance st;
+      Some (parse_cond st)
+    end
+    else None
+  in
+  let group_by =
+    if peek st = Lexer.KW "GROUP" then begin
+      advance st;
+      expect st (Lexer.KW "BY");
+      parse_column_list st
+    end
+    else []
+  in
+  let having =
+    if peek st = Lexer.KW "HAVING" then begin
+      advance st;
+      Some (parse_cond st)
+    end
+    else None
+  in
+  { select; from; where; group_by; having }
+
+and parse_select_list st =
+  let item () =
+    match peek st with
+    | Lexer.STAR ->
+      advance st;
+      S_star
+    | Lexer.KW "COUNT" ->
+      advance st;
+      S_agg (parse_count st)
+    | Lexer.IDENT s ->
+      advance st;
+      S_col (parse_column st s)
+    | t -> raise (Error (Printf.sprintf "unexpected %s in SELECT list" (Lexer.to_string t)))
+  in
+  let rec rest acc =
+    if peek st = Lexer.COMMA then begin
+      advance st;
+      rest (item () :: acc)
+    end
+    else List.rev acc
+  in
+  rest [ item () ]
+
+and parse_from_list st =
+  let entry () =
+    let table = expect_ident st in
+    match peek st with
+    | Lexer.IDENT alias ->
+      advance st;
+      (table, alias)
+    | Lexer.KW "AS" ->
+      advance st;
+      (table, expect_ident st)
+    | _ -> (table, table)
+  in
+  let rec rest acc =
+    if peek st = Lexer.COMMA then begin
+      advance st;
+      rest (entry () :: acc)
+    end
+    else List.rev acc
+  in
+  rest [ entry () ]
+
+and parse_column_list st =
+  let col () =
+    let first = expect_ident st in
+    parse_column st first
+  in
+  let rec rest acc =
+    if peek st = Lexer.COMMA then begin
+      advance st;
+      rest (col () :: acc)
+    end
+    else List.rev acc
+  in
+  rest [ col () ]
+
+(* cond := conj (OR conj)* ; conj := unit (AND unit)* *)
+and parse_cond st =
+  let left = parse_conj st in
+  if peek st = Lexer.KW "OR" then begin
+    advance st;
+    C_or (left, parse_cond st)
+  end
+  else left
+
+and parse_conj st =
+  let left = parse_unit st in
+  if peek st = Lexer.KW "AND" then begin
+    advance st;
+    C_and (left, parse_conj st)
+  end
+  else left
+
+and parse_unit st =
+  match peek st with
+  | Lexer.KW "NOT" -> (
+    advance st;
+    match peek st with
+    | Lexer.KW "EXISTS" ->
+      advance st;
+      expect st Lexer.LPAREN;
+      let q = parse_query st in
+      expect st Lexer.RPAREN;
+      C_not_exists q
+    | _ -> C_not (parse_unit st))
+  | Lexer.KW "EXISTS" ->
+    advance st;
+    expect st Lexer.LPAREN;
+    let q = parse_query st in
+    expect st Lexer.RPAREN;
+    C_exists q
+  | Lexer.LPAREN ->
+    advance st;
+    let c = parse_cond st in
+    expect st Lexer.RPAREN;
+    c
+  | Lexer.KW "COUNT" ->
+    advance st;
+    let agg = parse_count st in
+    let op =
+      match peek st with
+      | Lexer.EQ -> Eq
+      | Lexer.NEQ -> Neq
+      | Lexer.LT -> Lt
+      | Lexer.GT -> Gt
+      | t -> raise (Error (Printf.sprintf "expected comparison after COUNT, found %s" (Lexer.to_string t)))
+    in
+    advance st;
+    let n =
+      match peek st with
+      | Lexer.INT i ->
+        advance st;
+        i
+      | t -> raise (Error (Printf.sprintf "expected integer, found %s" (Lexer.to_string t)))
+    in
+    C_agg_cmp (op, agg, n)
+  | _ -> (
+    let lhs = parse_term st in
+    match peek st with
+    | Lexer.EQ ->
+      advance st;
+      C_cmp (Eq, lhs, parse_term st)
+    | Lexer.NEQ ->
+      advance st;
+      C_cmp (Neq, lhs, parse_term st)
+    | Lexer.LT ->
+      advance st;
+      C_cmp (Lt, lhs, parse_term st)
+    | Lexer.GT ->
+      advance st;
+      C_cmp (Gt, lhs, parse_term st)
+    | Lexer.KW "IN" ->
+      advance st;
+      expect st Lexer.LPAREN;
+      let rec lits acc =
+        let l = parse_literal st in
+        if peek st = Lexer.COMMA then begin
+          advance st;
+          lits (l :: acc)
+        end
+        else List.rev (l :: acc)
+      in
+      let ls = lits [] in
+      expect st Lexer.RPAREN;
+      C_in (lhs, ls)
+    | Lexer.KW "NOT" ->
+      advance st;
+      expect st (Lexer.KW "IN");
+      expect st Lexer.LPAREN;
+      let rec lits acc =
+        let l = parse_literal st in
+        if peek st = Lexer.COMMA then begin
+          advance st;
+          lits (l :: acc)
+        end
+        else List.rev (l :: acc)
+      in
+      let ls = lits [] in
+      expect st Lexer.RPAREN;
+      C_not (C_in (lhs, ls))
+    | t -> raise (Error (Printf.sprintf "expected comparison, found %s" (Lexer.to_string t))))
+
+(** Parse a complete SELECT statement. *)
+let query_of_string s =
+  let st = { toks = Lexer.tokenize s } in
+  let q = parse_query st in
+  (match peek st with
+  | Lexer.EOF -> ()
+  | t -> raise (Error (Printf.sprintf "trailing input: %s" (Lexer.to_string t))));
+  q

@@ -1,0 +1,541 @@
+(** Translates the surface AST into a physical {!Algebra.plan}:
+
+    - FROM entries become scans; equality conjuncts between different
+      scans drive a greedy hash-join tree; leftover cross products are
+      explicit;
+    - remaining local conjuncts become a selection;
+    - (NOT) EXISTS subqueries become semi/anti joins, with the
+      subquery's outer-referencing equality conjuncts extracted as the
+      join keys (the classic unnesting of the paper's violation
+      queries);
+    - GROUP BY / HAVING become hash aggregation.
+
+    Literals are resolved against the shared domain dictionaries; a
+    literal absent from a domain can never match, so [=] against it
+    folds to [false]. *)
+
+module R = Fcv_relation
+open Ast
+
+exception Unsupported of string
+
+let fail fmt = Printf.ksprintf (fun s -> raise (Unsupported s)) fmt
+
+type binding = {
+  alias : string;
+  table : R.Table.t;
+  offset : int;  (** first column of this table in the flat row *)
+}
+
+type env = binding list
+
+(* Resolve a column to (flat position, dictionary). *)
+let resolve_local (env : env) (c : column) =
+  let candidates =
+    List.filter_map
+      (fun b ->
+        match c.alias with
+        | Some a when a <> b.alias -> None
+        | _ -> (
+          match R.Schema.position_opt (R.Table.schema b.table) c.attr with
+          | Some i -> Some (b.offset + i, R.Table.dict b.table i)
+          | None -> None))
+      env
+  in
+  match candidates with
+  | [ x ] -> Some x
+  | [] -> None
+  | _ -> fail "ambiguous column %s" (Format.asprintf "%a" pp_column c)
+
+(* Resolution that also consults the outer scope of a subquery. *)
+type resolved = Local of int * R.Dict.t | Outer of int * R.Dict.t
+
+let resolve ~env ~outer (c : column) =
+  match resolve_local env c with
+  | Some (pos, dict) -> Local (pos, dict)
+  | None -> (
+    match resolve_local outer c with
+    | Some (pos, dict) -> Outer (pos, dict)
+    | None -> fail "unknown column %s" (Format.asprintf "%a" pp_column c))
+
+let rec conjuncts = function
+  | C_and (a, b) -> conjuncts a @ conjuncts b
+  | c -> [ c ]
+
+let lit_code dict lit = R.Dict.code dict (lit_to_value lit)
+
+(* A conjunct classified relative to the current scope. *)
+type classified =
+  | Filter of Algebra.pred
+  | Join_edge of int * int  (** two local columns, equality *)
+  | Correlation of int * int  (** (outer position, local position), equality *)
+  | Subquery of bool * query  (** [true] = EXISTS, [false] = NOT EXISTS *)
+
+let rec classify ~env ~outer cond =
+  let resolve_col c = resolve ~env ~outer c in
+  let pred_of_cmp op (a : int) (b : term) dict =
+    match (op, b) with
+    | Eq, T_lit l -> (
+      match lit_code dict l with
+      | Some code -> Algebra.Eq_const (a, code)
+      | None -> Algebra.False)
+    | Neq, T_lit l -> (
+      match lit_code dict l with
+      | Some code -> Algebra.Not (Eq_const (a, code))
+      | None -> Algebra.True)
+    | (Lt | Gt), T_lit (L_int _) ->
+      fail "ordered comparison on dictionary-coded values is not supported"
+    | _ -> fail "unsupported comparison shape"
+  in
+  match cond with
+  | C_cmp (op, T_col c1, T_col c2) -> (
+    match (resolve_col c1, resolve_col c2) with
+    | Local (p1, d1), Local (p2, d2) ->
+      if R.Dict.name d1 <> R.Dict.name d2 then
+        fail "comparison across distinct domains %s / %s" (R.Dict.name d1) (R.Dict.name d2);
+      if op = Eq then Join_edge (p1, p2)
+      else if op = Neq then Filter (Algebra.Not (Eq_col (p1, p2)))
+      else fail "ordered column comparison unsupported"
+    | Outer (po, d1), Local (pl, d2) | Local (pl, d2), Outer (po, d1) ->
+      if R.Dict.name d1 <> R.Dict.name d2 then
+        fail "correlation across distinct domains";
+      if op = Eq then Correlation (po, pl)
+      else fail "only equality correlation is supported"
+    | Outer _, Outer _ -> fail "condition references only outer columns")
+  | C_cmp (op, T_col c, T_lit l) | C_cmp (op, T_lit l, T_col c) -> (
+    match resolve_col c with
+    | Local (p, dict) -> Filter (pred_of_cmp op p (T_lit l) dict)
+    | Outer _ -> fail "literal predicate on outer column inside subquery")
+  | C_cmp (_, T_lit _, T_lit _) -> fail "literal-only comparison"
+  | C_in (T_col c, lits) -> (
+    match resolve_col c with
+    | Local (p, dict) ->
+      let codes = List.filter_map (lit_code dict) lits in
+      Filter (if codes = [] then Algebra.False else Algebra.In_set (p, codes))
+    | Outer _ -> fail "IN on outer column inside subquery")
+  | C_in (T_lit _, _) -> fail "IN on literal"
+  | C_exists q -> Subquery (true, q)
+  | C_not_exists q -> Subquery (false, q)
+  | C_agg_cmp _ -> fail "aggregate comparison outside HAVING"
+  | C_not inner -> (
+    (* NOT over a purely local condition only. *)
+    match classify ~env ~outer inner with
+    | Filter p -> Filter (Algebra.Not p)
+    | Join_edge (a, b) -> Filter (Algebra.Not (Eq_col (a, b)))
+    | _ -> fail "NOT over subquery/correlation")
+  | C_or (a, b) -> (
+    match (classify ~env ~outer a, classify ~env ~outer b) with
+    | Filter pa, Filter pb -> Filter (Algebra.Or (pa, pb))
+    | Filter pa, Join_edge (x, y) -> Filter (Algebra.Or (pa, Eq_col (x, y)))
+    | Join_edge (x, y), Filter pb -> Filter (Algebra.Or (Eq_col (x, y), pb))
+    | Join_edge (x, y), Join_edge (u, v) ->
+      Filter (Algebra.Or (Eq_col (x, y), Eq_col (u, v)))
+    | _ -> fail "OR over subqueries is not supported")
+  | C_and _ -> assert false (* flattened by [conjuncts] *)
+
+(* Greedy cost-based join-tree construction: components carry a plan,
+   their flat column positions and a cardinality estimate; at each
+   step the equality edge whose join has the smallest estimated result
+   is merged first (the classic greedy heuristic over
+   |L|·|R| / max(distinct keys)). *)
+type component = {
+  plan : Algebra.plan;
+  cols : (int * int) list;  (** original flat position -> position in plan output *)
+  card : float;  (** estimated cardinality *)
+  dom_of : int -> float;  (** flat position -> active-domain estimate *)
+}
+
+let estimate_join ca cb edges_between =
+  (* independence assumption: each equality key divides the cross
+     product by the larger active domain of its endpoints *)
+  List.fold_left
+    (fun acc (x, y) -> acc /. max 1. (max (ca.dom_of x) (cb.dom_of y)))
+    (ca.card *. cb.card)
+    edges_between
+
+let build_join_tree scans edges =
+  let components = ref (List.map (fun c -> ref c) scans) in
+  let find_component pos =
+    List.find (fun c -> List.mem_assoc pos !c.cols) !components
+  in
+  let pending = ref edges in
+  let progress = ref true in
+  while !pending <> [] && !progress do
+    progress := false;
+    (* split the pending edges into same-component filters and
+       cross-component candidates *)
+    let filters, candidates =
+      List.partition (fun (a, b) -> find_component a == find_component b) !pending
+    in
+    List.iter
+      (fun (a, b) ->
+        let ca = find_component a in
+        let pa = List.assoc a !ca.cols and pb = List.assoc b !ca.cols in
+        ca := { !ca with plan = Algebra.Select (Eq_col (pa, pb), !ca.plan) };
+        progress := true)
+      filters;
+    match candidates with
+    | [] -> pending := []
+    | _ ->
+      (* pick the cheapest join among candidate component pairs *)
+      let cost (a, b) =
+        let ca = find_component a and cb = find_component b in
+        let between =
+          List.filter
+            (fun (x, y) ->
+              let cx = find_component x and cy = find_component y in
+              (cx == ca && cy == cb) || (cx == cb && cy == ca))
+            candidates
+        in
+        estimate_join !ca !cb
+          (List.map
+             (fun (x, y) -> if List.mem_assoc x !ca.cols then (x, y) else (y, x))
+             between)
+      in
+      let best =
+        List.fold_left
+          (fun acc e -> match acc with
+            | Some (_, c) when c <= cost e -> acc
+            | _ -> Some (e, cost e))
+          None candidates
+      in
+      (match best with
+      | None -> pending := []
+      | Some ((a, b), _) ->
+        let ca = find_component a and cb = find_component b in
+        let between, others =
+          List.partition
+            (fun (x, y) ->
+              let cx = find_component x and cy = find_component y in
+              (cx == ca && cy == cb) || (cx == cb && cy == ca))
+            candidates
+        in
+        let keys =
+          List.map
+            (fun (x, y) ->
+              if List.mem_assoc x !ca.cols then
+                (List.assoc x !ca.cols, List.assoc y !cb.cols)
+              else (List.assoc y !ca.cols, List.assoc x !cb.cols))
+            between
+        in
+        let left_arity = Algebra.arity !ca.plan in
+        let ca_v = !ca and cb_v = !cb in
+        let merged =
+          {
+            plan = Algebra.Hash_join (keys, ca_v.plan, cb_v.plan);
+            cols = ca_v.cols @ List.map (fun (orig, p) -> (orig, p + left_arity)) cb_v.cols;
+            card =
+              estimate_join ca_v cb_v
+                (List.map
+                   (fun (x, y) -> if List.mem_assoc x ca_v.cols then (x, y) else (y, x))
+                   between);
+            dom_of =
+              (fun pos ->
+                if List.mem_assoc pos ca_v.cols then ca_v.dom_of pos else cb_v.dom_of pos);
+          }
+        in
+        components := List.filter (fun c -> c != ca && c != cb) !components;
+        components := ref merged :: !components;
+        progress := true;
+        pending := others)
+  done;
+  (* cross-product the remaining components *)
+  match !components with
+  | [] -> fail "empty FROM"
+  | first :: rest ->
+    List.fold_left
+      (fun acc c ->
+        let left_arity = Algebra.arity acc.plan in
+        {
+          acc with
+          plan = Algebra.Product (acc.plan, !c.plan);
+          cols = acc.cols @ List.map (fun (orig, p) -> (orig, p + left_arity)) !c.cols;
+        })
+      !first rest
+
+(* Rewrite a predicate's column references through a position map. *)
+let rec remap_pred map = function
+  | Algebra.True -> Algebra.True
+  | Algebra.False -> Algebra.False
+  | Algebra.Eq_col (a, b) -> Algebra.Eq_col (List.assoc a map, List.assoc b map)
+  | Algebra.Eq_const (a, c) -> Algebra.Eq_const (List.assoc a map, c)
+  | Algebra.In_set (a, cs) -> Algebra.In_set (List.assoc a map, cs)
+  | Algebra.Gt_const (a, c) -> Algebra.Gt_const (List.assoc a map, c)
+  | Algebra.Lt_const (a, c) -> Algebra.Lt_const (List.assoc a map, c)
+  | Algebra.Not p -> Algebra.Not (remap_pred map p)
+  | Algebra.And (p, q) -> Algebra.And (remap_pred map p, remap_pred map q)
+  | Algebra.Or (p, q) -> Algebra.Or (remap_pred map p, remap_pred map q)
+
+let rec plan_scope db ~outer (q : query) =
+  (* environment over the flat (pre-join) numbering *)
+  let env, _ =
+    List.fold_left
+      (fun (env, off) (tname, alias) ->
+        let table = R.Database.table db tname in
+        (env @ [ { alias; table; offset = off } ], off + R.Table.arity table))
+      ([], 0) q.from
+  in
+  let classified =
+    match q.where with
+    | None -> []
+    | Some w -> List.map (classify ~env ~outer) (conjuncts w)
+  in
+  let filters = List.filter_map (function Filter p -> Some p | _ -> None) classified in
+  let edges = List.filter_map (function Join_edge (a, b) -> Some (a, b) | _ -> None) classified in
+  let correlations =
+    List.filter_map (function Correlation (o, l) -> Some (o, l) | _ -> None) classified
+  in
+  let subqueries =
+    List.filter_map (function Subquery (pos, sq) -> Some (pos, sq) | _ -> None) classified
+  in
+  (* push single-table filters below the join tree, with a selectivity
+     estimate feeding the cost-based join ordering *)
+  let rec pred_columns = function
+    | Algebra.True | Algebra.False -> []
+    | Algebra.Eq_col (a, b) -> [ a; b ]
+    | Algebra.Eq_const (a, _) | Algebra.In_set (a, _) | Algebra.Gt_const (a, _)
+    | Algebra.Lt_const (a, _) ->
+      [ a ]
+    | Algebra.Not p -> pred_columns p
+    | Algebra.And (p, q) | Algebra.Or (p, q) -> pred_columns p @ pred_columns q
+  in
+  let owner_of pos =
+    List.find_opt
+      (fun b -> pos >= b.offset && pos < b.offset + R.Table.arity b.table)
+      env
+  in
+  let pushed, kept =
+    List.partition
+      (fun p ->
+        match pred_columns p with
+        | [] -> false
+        | c :: rest -> (
+          match owner_of c with
+          | Some b ->
+            List.for_all
+              (fun c' ->
+                match owner_of c' with
+                | Some b' -> b'.alias = b.alias && b'.offset = b.offset
+                | None -> false)
+              rest
+          | None -> false))
+      filters
+  in
+  let rec selectivity b = function
+    | Algebra.Eq_const (a, _) ->
+      1. /. float_of_int (max 1 (R.Table.dom_size b.table (a - b.offset)))
+    | Algebra.In_set (a, cs) ->
+      float_of_int (List.length cs)
+      /. float_of_int (max 1 (R.Table.dom_size b.table (a - b.offset)))
+    | Algebra.Not p -> max 0.05 (1. -. selectivity b p)
+    | Algebra.And (p, q) -> selectivity b p *. selectivity b q
+    | Algebra.Or (p, q) -> min 1. (selectivity b p +. selectivity b q)
+    | Algebra.True -> 1.
+    | Algebra.False -> 0.
+    | Algebra.Eq_col _ | Algebra.Gt_const _ | Algebra.Lt_const _ -> 0.33
+  in
+  let scans =
+    List.map
+      (fun b ->
+        let mine =
+          List.filter
+            (fun p ->
+              match pred_columns p with
+              | c :: _ -> (
+                match owner_of c with
+                | Some b' -> b'.alias = b.alias && b'.offset = b.offset
+                | None -> false)
+              | [] -> false)
+            pushed
+        in
+        let local_map =
+          List.init (R.Table.arity b.table) (fun i -> (b.offset + i, i))
+        in
+        let plan =
+          List.fold_left
+            (fun acc p -> Algebra.Select (remap_pred local_map p, acc))
+            (Algebra.Scan b.table) mine
+        in
+        let card =
+          List.fold_left
+            (fun acc p -> acc *. selectivity b p)
+            (float_of_int (R.Table.cardinality b.table))
+            mine
+        in
+        {
+          plan;
+          cols = local_map;
+          card;
+          dom_of =
+            (fun pos -> float_of_int (max 1 (R.Table.dom_size b.table (pos - b.offset))));
+        })
+      env
+  in
+  let comp = build_join_tree scans edges in
+  let map = comp.cols in
+  let plan =
+    List.fold_left
+      (fun acc p -> Algebra.Select (remap_pred map p, acc))
+      comp.plan kept
+  in
+  (* attach subqueries as semi/anti joins *)
+  let plan =
+    List.fold_left
+      (fun acc (positive, sq) ->
+        let sub_plan, sub_corr = plan_subquery db ~outer_env:env sq in
+        let keys =
+          List.map (fun (outer_pos, sub_pos) -> (List.assoc outer_pos map, sub_pos)) sub_corr
+        in
+        if positive then Algebra.Semi_join (keys, acc, sub_plan)
+        else Algebra.Anti_join (keys, acc, sub_plan))
+      plan subqueries
+  in
+  (env, map, plan, correlations)
+
+(* A subquery's result plan plus its correlation keys, with local
+   positions expressed in the subquery plan's output numbering. *)
+and plan_subquery db ~outer_env sq =
+  let env, map, plan, correlations = plan_scope db ~outer:outer_env sq in
+  ignore env;
+  if sq.group_by <> [] || sq.having <> None then
+    fail "GROUP BY inside a subquery is not supported";
+  let keys = List.map (fun (o, l) -> (o, List.assoc l map)) correlations in
+  (plan, keys)
+
+let agg_of_ast ~env ~map = function
+  | A_count_all -> Algebra.Count_all
+  | A_count_distinct c -> (
+    match resolve_local env c with
+    | Some (pos, _) -> Algebra.Count_distinct (List.assoc pos map)
+    | None -> fail "unknown column in COUNT(DISTINCT)")
+
+(** Plan a full query.  Returns the plan and the output column names. *)
+let plan db (q : query) =
+  let env, map, plan, correlations = plan_scope db ~outer:[] q in
+  if correlations <> [] then fail "top-level query cannot be correlated";
+  let col_name b i =
+    Printf.sprintf "%s.%s" b.alias (R.Schema.attr_names (R.Table.schema b.table) |> fun l -> List.nth l i)
+  in
+  if q.group_by = [] && q.having = None then begin
+    (* plain SELECT *)
+    let has_agg = List.exists (function S_agg _ -> true | _ -> false) q.select in
+    if has_agg then begin
+      (* global aggregation: GROUP BY with no keys *)
+      let aggs =
+        List.filter_map (function S_agg a -> Some (agg_of_ast ~env ~map a) | _ -> None) q.select
+      in
+      ( Algebra.Group_by ([||], Array.of_list aggs, Algebra.True, plan),
+        List.map (fun _ -> "agg") aggs )
+    end
+    else
+      match q.select with
+      | [ S_star ] ->
+        let names =
+          List.concat_map
+            (fun b -> List.init (R.Table.arity b.table) (fun i -> col_name b i))
+            env
+        in
+        (* order output columns by original flat position *)
+        let order = List.sort compare (List.map fst map) in
+        let cols = Array.of_list (List.map (fun o -> List.assoc o map) order) in
+        (Algebra.Project (cols, plan), names)
+      | items ->
+        let positions_names =
+          List.map
+            (function
+              | S_col c -> (
+                match resolve_local env c with
+                | Some (pos, _) ->
+                  (List.assoc pos map, Format.asprintf "%a" pp_column c)
+                | None -> fail "unknown column %s" (Format.asprintf "%a" pp_column c))
+              | S_star -> fail "mixing * with explicit columns"
+              | S_agg _ -> assert false)
+            items
+        in
+        ( Algebra.Project (Array.of_list (List.map fst positions_names), plan),
+          List.map snd positions_names )
+  end
+  else begin
+    (* GROUP BY path *)
+    let key_positions =
+      List.map
+        (fun c ->
+          match resolve_local env c with
+          | Some (pos, _) -> List.assoc pos map
+          | None -> fail "unknown column in GROUP BY")
+        q.group_by
+    in
+    (* aggregates come from the SELECT list and the HAVING clause *)
+    let select_aggs =
+      List.filter_map (function S_agg a -> Some a | _ -> None) q.select
+    in
+    let having_aggs =
+      match q.having with
+      | None -> []
+      | Some h ->
+        List.filter_map (function C_agg_cmp (_, a, _) -> Some a | _ -> None) (conjuncts h)
+    in
+    let all_aggs = select_aggs @ having_aggs in
+    let aggs = Array.of_list (List.map (agg_of_ast ~env ~map) all_aggs) in
+    let nkeys = List.length key_positions in
+    let agg_index a =
+      let rec find i = function
+        | [] -> fail "HAVING references an aggregate not computed"
+        | x :: rest -> if x = a then i else find (i + 1) rest
+      in
+      nkeys + find 0 all_aggs
+    in
+    let having_pred =
+      match q.having with
+      | None -> Algebra.True
+      | Some h ->
+        List.fold_left
+          (fun acc c ->
+            let p =
+              match c with
+              | C_agg_cmp (Gt, a, n) -> Algebra.Gt_const (agg_index a, n)
+              | C_agg_cmp (Lt, a, n) -> Algebra.Lt_const (agg_index a, n)
+              | C_agg_cmp (Eq, a, n) -> Algebra.Eq_const (agg_index a, n)
+              | C_agg_cmp (Neq, a, n) -> Algebra.Not (Eq_const (agg_index a, n))
+              | _ -> fail "HAVING supports aggregate comparisons only"
+            in
+            Algebra.And (acc, p))
+          Algebra.True (conjuncts h)
+    in
+    let grouped = Algebra.Group_by (Array.of_list key_positions, aggs, having_pred, plan) in
+    (* project the SELECT list out of keys ++ aggs *)
+    let out =
+      List.map
+        (function
+          | S_col c ->
+            let rec key_pos i = function
+              | [] -> fail "SELECT column not in GROUP BY"
+              | gc :: rest -> if gc = c then i else key_pos (i + 1) rest
+            in
+            (key_pos 0 q.group_by, Format.asprintf "%a" pp_column c)
+          | S_agg a ->
+            let rec find i = function
+              | [] -> assert false
+              | x :: rest -> if x = a then i else find (i + 1) rest
+            in
+            (nkeys + find 0 all_aggs, "agg")
+          | S_star -> fail "SELECT * with GROUP BY")
+        q.select
+    in
+    ( Algebra.Project (Array.of_list (List.map fst out), grouped),
+      List.map snd out )
+  end
+
+(** Parse, plan and run a SQL string against [db]; returns decoded rows
+    is left to callers — this returns coded rows plus column names. *)
+let run db sql =
+  let q = Parser.query_of_string sql in
+  let plan, names = plan db q in
+  (Exec.run plan, names)
+
+(** Cardinality of a SQL query's result — the checker's SQL fallback
+    only needs emptiness of the violation query. *)
+let count db sql =
+  let q = Parser.query_of_string sql in
+  let plan, _ = plan db q in
+  Exec.count plan

@@ -1,0 +1,15 @@
+(** SQL AST → physical plan: greedy hash-join trees from equality
+    conjuncts, selections pushed, correlated (NOT) EXISTS unnested to
+    semi/anti joins, GROUP BY / HAVING to hash aggregation.  Literals
+    resolve through the shared domain dictionaries (an absent literal
+    folds [=] to false). *)
+
+exception Unsupported of string
+
+val plan : Fcv_relation.Database.t -> Ast.query -> Algebra.plan * string list
+(** The plan and its output column names.  @raise Unsupported *)
+
+val run : Fcv_relation.Database.t -> string -> int array list * string list
+(** Parse, plan and execute a SQL string. *)
+
+val count : Fcv_relation.Database.t -> string -> int

@@ -1,0 +1,22 @@
+(** Small bit-arithmetic helpers shared by the finite-domain encoding. *)
+
+(** Number of bits needed to represent values in [0, n), i.e.
+    ceil(log2 n); [width 1] = 1 so every domain gets at least one
+    boolean variable (matching the paper's ⌈log |dom|⌉ counts, e.g.
+    ⌈log 281⌉ + ⌈log 10894⌉ + ⌈log 50⌉ = 9 + 14 + 6 = 29). *)
+let width n =
+  if n <= 0 then invalid_arg "Bits.width: domain must be non-empty";
+  if n = 1 then 1
+  else
+    let rec go acc w = if acc >= n then w else go (acc * 2) (w + 1) in
+    go 1 0
+
+(** [test v i] is bit [i] of [v] where bit 0 is least significant. *)
+let test v i = (v lsr i) land 1 = 1
+
+(** log2 of a power of two; used for sat-count scaling. *)
+let rec log2 n = if n <= 1 then 0 else 1 + log2 (n lsr 1)
+
+let pow2 n =
+  if n < 0 || n > 62 then invalid_arg "Bits.pow2";
+  1 lsl n

@@ -1,0 +1,11 @@
+(** Bit arithmetic shared by the finite-domain encoding. *)
+
+val width : int -> int
+(** Bits needed for values in [0, n): ⌈log₂ n⌉, at least 1.
+    @raise Invalid_argument on n ≤ 0. *)
+
+val test : int -> int -> bool
+(** [test v i]: bit [i] of [v], LSB = 0. *)
+
+val log2 : int -> int
+val pow2 : int -> int

@@ -1,0 +1,65 @@
+(** Permutation utilities used by the exhaustive variable-ordering
+    search (Fig. 2/3 experiments enumerate all 120 orderings of a
+    5-attribute relation). *)
+
+let factorial n =
+  let rec go acc i = if i <= 1 then acc else go (acc * i) (i - 1) in
+  go 1 n
+
+(** All permutations of [0, n), in lexicographic order. *)
+let all n =
+  let rec insert_everywhere x = function
+    | [] -> [ [ x ] ]
+    | y :: ys as l ->
+      (x :: l) :: List.map (fun rest -> y :: rest) (insert_everywhere x ys)
+  in
+  let rec perms = function
+    | [] -> [ [] ]
+    | x :: xs -> List.concat_map (insert_everywhere x) (perms xs)
+  in
+  let base = List.init n (fun i -> i) in
+  perms base |> List.map Array.of_list |> List.sort compare
+
+(** [iter n f] applies [f] to each permutation of [0, n) without
+    materialising the whole list (Heap's algorithm).  The array passed
+    to [f] is reused; callers must copy it if they retain it. *)
+let iter n f =
+  let a = Array.init n (fun i -> i) in
+  let swap i j =
+    let t = a.(i) in
+    a.(i) <- a.(j);
+    a.(j) <- t
+  in
+  let rec go k =
+    if k = 1 then f a
+    else begin
+      for i = 0 to k - 1 do
+        go (k - 1);
+        if k mod 2 = 0 then swap i (k - 1) else swap 0 (k - 1)
+      done
+    end
+  in
+  if n = 0 then f a else go n
+
+(** Inverse permutation: [inverse p].(p.(i)) = i. *)
+let inverse p =
+  let n = Array.length p in
+  let inv = Array.make n 0 in
+  Array.iteri (fun i pi -> inv.(pi) <- i) p;
+  inv
+
+(** Check that [p] is a permutation of [0, n). *)
+let is_permutation p =
+  let n = Array.length p in
+  let seen = Array.make n false in
+  Array.for_all
+    (fun x ->
+      if x < 0 || x >= n || seen.(x) then false
+      else begin
+        seen.(x) <- true;
+        true
+      end)
+    p
+
+(** Apply a permutation to an array: result.(i) = arr.(p.(i)). *)
+let apply p arr = Array.map (fun i -> arr.(i)) p

@@ -1,0 +1,13 @@
+(** Permutation utilities for the exhaustive ordering search. *)
+
+val factorial : int -> int
+
+val all : int -> int array list
+(** All permutations of [0, n), lexicographic. *)
+
+val iter : int -> (int array -> unit) -> unit
+(** Heap's algorithm; the array passed to the callback is reused. *)
+
+val inverse : int array -> int array
+val is_permutation : int array -> bool
+val apply : int array -> 'a array -> 'a array

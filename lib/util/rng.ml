@@ -1,0 +1,83 @@
+(** Deterministic splittable pseudo-random number generator
+    (SplitMix64).  All data generators take an explicit [Rng.t] so every
+    experiment is reproducible from a seed; we deliberately avoid the
+    global [Random] state. *)
+
+type t = { mutable state : int64 }
+
+let create seed = { state = Int64.of_int seed }
+
+let copy t = { state = t.state }
+
+(* SplitMix64 step: golden-gamma increment followed by a 64-bit finaliser. *)
+let next_int64 t =
+  let open Int64 in
+  t.state <- add t.state 0x9E3779B97F4A7C15L;
+  let z = t.state in
+  let z = mul (logxor z (shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
+  let z = mul (logxor z (shift_right_logical z 27)) 0x94D049BB133111EBL in
+  logxor z (shift_right_logical z 31)
+
+(** A fresh generator whose stream is independent of the parent's
+    subsequent output. *)
+let split t =
+  let seed = next_int64 t in
+  { state = seed }
+
+(** Uniform integer in [0, bound). *)
+let int t bound =
+  if bound <= 0 then invalid_arg "Rng.int: bound must be positive";
+  (* keep 62 bits so the value fits OCaml's 63-bit native int as a
+     non-negative number *)
+  let r = Int64.to_int (Int64.shift_right_logical (next_int64 t) 2) in
+  r mod bound
+
+(** Uniform float in [0, 1). *)
+let float t =
+  let r = Int64.to_float (Int64.shift_right_logical (next_int64 t) 11) in
+  r /. 9007199254740992. (* 2^53 *)
+
+let bool t = Int64.logand (next_int64 t) 1L = 1L
+
+(** Bernoulli draw with success probability [p]. *)
+let bernoulli t p = float t < p
+
+(** In-place Fisher-Yates shuffle. *)
+let shuffle t arr =
+  for i = Array.length arr - 1 downto 1 do
+    let j = int t (i + 1) in
+    let tmp = arr.(i) in
+    arr.(i) <- arr.(j);
+    arr.(j) <- tmp
+  done
+
+(** [sample t k n] draws [k] distinct integers from [0, n). *)
+let sample t k n =
+  if k > n then invalid_arg "Rng.sample: k > n";
+  let arr = Array.init n (fun i -> i) in
+  shuffle t arr;
+  Array.sub arr 0 k
+
+(** [choose t arr] picks a uniform element of a non-empty array. *)
+let choose t arr =
+  if Array.length arr = 0 then invalid_arg "Rng.choose: empty array";
+  arr.(int t (Array.length arr))
+
+(** Zipf-like skewed integer in [0, bound): rank r has weight 1/(r+1)^s.
+    Used to give synthetic attributes non-uniform marginals. *)
+let zipf t ~s bound =
+  if bound <= 0 then invalid_arg "Rng.zipf: bound must be positive";
+  (* Inverse-CDF over precomputed weights would be costly per call; use
+     rejection-free cumulative search on demand for modest bounds. *)
+  let total = ref 0. in
+  for r = 0 to bound - 1 do
+    total := !total +. (1. /. Float.pow (float_of_int (r + 1)) s)
+  done;
+  let target = float t *. !total in
+  let rec find r acc =
+    if r >= bound - 1 then r
+    else
+      let acc = acc +. (1. /. Float.pow (float_of_int (r + 1)) s) in
+      if acc >= target then r else find (r + 1) acc
+  in
+  find 0 0.

@@ -1,0 +1,29 @@
+(** Deterministic splittable PRNG (SplitMix64).  Every generator takes
+    an explicit state so experiments reproduce from a seed. *)
+
+type t
+
+val create : int -> t
+val copy : t -> t
+val next_int64 : t -> int64
+
+val split : t -> t
+(** A child generator with an independent stream. *)
+
+val int : t -> int -> int
+(** Uniform in [0, bound). @raise Invalid_argument on bound ≤ 0. *)
+
+val float : t -> float
+(** Uniform in [0, 1). *)
+
+val bool : t -> bool
+val bernoulli : t -> float -> bool
+val shuffle : t -> 'a array -> unit
+
+val sample : t -> int -> int -> int array
+(** [sample t k n]: k distinct integers from [0, n). *)
+
+val choose : t -> 'a array -> 'a
+
+val zipf : t -> s:float -> int -> int
+(** Skewed integer in [0, bound): rank r has weight 1/(r+1)^s. *)

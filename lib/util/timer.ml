@@ -1,0 +1,54 @@
+(** Wall-clock timing helpers used by the benchmark harness and the
+    constraint checker's overhead accounting. *)
+
+type t = { mutable started : float; mutable acc : float; mutable running : bool }
+
+let now () = Unix.gettimeofday ()
+
+let create () = { started = 0.; acc = 0.; running = false }
+
+let start t =
+  t.started <- now ();
+  t.running <- true
+
+let stop t =
+  if t.running then begin
+    t.acc <- t.acc +. (now () -. t.started);
+    t.running <- false
+  end
+
+let reset t =
+  t.acc <- 0.;
+  t.running <- false
+
+(** Elapsed seconds accumulated so far (including the running span). *)
+let elapsed t = if t.running then t.acc +. (now () -. t.started) else t.acc
+
+(** [time f] runs [f ()] and returns its result with the wall-clock
+    seconds it took. *)
+let time f =
+  let t0 = now () in
+  let r = f () in
+  (r, now () -. t0)
+
+(** [time_ms f] is [time f] with the duration in milliseconds. *)
+let time_ms f =
+  let r, s = time f in
+  (r, s *. 1000.)
+
+(** Median-of-[repeat] timing for stable micro-benchmarks. The result of
+    the last run is returned alongside the median duration in seconds. *)
+let time_median ?(repeat = 3) f =
+  if repeat <= 0 then invalid_arg "Timer.time_median: repeat must be positive";
+  let durations = Array.make repeat 0. in
+  let result = ref None in
+  for i = 0 to repeat - 1 do
+    let r, s = time f in
+    durations.(i) <- s;
+    result := Some r
+  done;
+  Array.sort compare durations;
+  let median = durations.(repeat / 2) in
+  match !result with
+  | Some r -> (r, median)
+  | None -> assert false

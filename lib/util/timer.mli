@@ -1,0 +1,22 @@
+(** Wall-clock timing. *)
+
+type t
+
+val now : unit -> float
+(** Seconds since the epoch (monotonic enough for benchmarking). *)
+
+val create : unit -> t
+val start : t -> unit
+val stop : t -> unit
+val reset : t -> unit
+
+val elapsed : t -> float
+(** Accumulated seconds, including any running span. *)
+
+val time : (unit -> 'a) -> 'a * float
+(** Result and elapsed seconds. *)
+
+val time_ms : (unit -> 'a) -> 'a * float
+
+val time_median : ?repeat:int -> (unit -> 'a) -> 'a * float
+(** Median-of-[repeat] duration; returns the last run's result. *)

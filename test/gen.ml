@@ -1,0 +1,142 @@
+(** Shared random generators for property-based tests: small databases
+    over a fixed three-table schema, and random closed constraints
+    whose ground truth {!Core.Naive_eval} can still compute. *)
+
+module R = Fcv_relation
+module F = Core.Formula
+
+(* Small fixed schema: r(a: d1, b: d2), s(b: d2, c: d3), t(a: d1).
+   Domain sizes are deliberately non-powers-of-two to exercise the
+   validity guards. *)
+let d1_size = 3
+let d2_size = 5
+let d3_size = 3
+
+(** A fresh database with random table contents, driven by [seed]. *)
+let random_db seed =
+  let rng = Fcv_util.Rng.create seed in
+  let db = R.Database.create () in
+  R.Database.add_domain db (R.Dict.of_int_range "d1" d1_size);
+  R.Database.add_domain db (R.Dict.of_int_range "d2" d2_size);
+  R.Database.add_domain db (R.Dict.of_int_range "d3" d3_size);
+  let r = R.Database.create_table db ~name:"r" ~attrs:[ ("a", "d1"); ("b", "d2") ] in
+  let s = R.Database.create_table db ~name:"s" ~attrs:[ ("b", "d2"); ("c", "d3") ] in
+  let t = R.Database.create_table db ~name:"t" ~attrs:[ ("a", "d1") ] in
+  let fill table sizes density =
+    let rec cartesian = function
+      | [] -> [ [] ]
+      | n :: rest ->
+        let subs = cartesian rest in
+        List.concat_map (fun v -> List.map (fun sub -> v :: sub) subs) (List.init n Fun.id)
+    in
+    List.iter
+      (fun tuple ->
+        if Fcv_util.Rng.bernoulli rng density then
+          R.Table.insert_coded table (Array.of_list tuple))
+      (cartesian sizes)
+  in
+  fill r [ d1_size; d2_size ] 0.4;
+  fill s [ d2_size; d3_size ] 0.4;
+  fill t [ d1_size ] 0.5;
+  db
+
+(* Variables are typed by domain at generation time; we name them by
+   domain so typing always succeeds: x1_*, x2_*, x3_*. *)
+let var_name dom i = Printf.sprintf "x%d_%d" dom i
+
+(** QCheck generator of closed formulas over the fixed schema.  The
+    [depth] bounds connective nesting; quantified variables are always
+    used in at least their binding scope's atoms when possible. *)
+let formula_gen =
+  let open QCheck.Gen in
+  (* scope: per-domain list of bound variable names *)
+  let pick_term scope dom =
+    let vars = scope.(dom - 1) in
+    if vars = [] then
+      map (fun c -> F.Const (R.Value.Int c)) (int_bound ((match dom with 1 -> d1_size | 2 -> d2_size | _ -> d3_size) - 1))
+    else
+      frequency
+        [
+          (3, map (fun i -> F.Var (List.nth vars (i mod List.length vars))) (int_bound 10));
+          (1, map (fun c -> F.Const (R.Value.Int c)) (int_bound ((match dom with 1 -> d1_size | 2 -> d2_size | _ -> d3_size) - 1)));
+          (1, return F.Wildcard);
+        ]
+  in
+  let atom scope =
+    frequency
+      [
+        ( 3,
+          let* ta = pick_term scope 1 in
+          let* tb = pick_term scope 2 in
+          return (F.Atom ("r", [ ta; tb ])) );
+        ( 3,
+          let* tb = pick_term scope 2 in
+          let* tc = pick_term scope 3 in
+          return (F.Atom ("s", [ tb; tc ])) );
+        ( 2,
+          let* ta = pick_term scope 1 in
+          return (F.Atom ("t", [ ta ])) );
+        ( 1,
+          (* equality / membership over a bound variable when any *)
+          let doms = List.filter (fun d -> scope.(d - 1) <> []) [ 1; 2; 3 ] in
+          match doms with
+          | [] -> return F.True
+          | _ ->
+            let* d = oneofl doms in
+            let vars = scope.(d - 1) in
+            let* v = oneofl vars in
+            let size = match d with 1 -> d1_size | 2 -> d2_size | _ -> d3_size in
+            frequency
+              [
+                (2, map (fun c -> F.Eq (F.Var v, F.Const (R.Value.Int c))) (int_bound (size - 1)));
+                ( 1,
+                  map
+                    (fun cs ->
+                      F.In (F.Var v, List.sort_uniq compare (List.map (fun c -> R.Value.Int c) cs)))
+                    (list_size (int_range 1 3) (int_bound (size - 1))) );
+                ( 1,
+                  if List.length vars >= 2 then
+                    let* v2 = oneofl vars in
+                    return (F.Eq (F.Var v, F.Var v2))
+                  else return (F.Eq (F.Var v, F.Var v)) );
+              ] );
+      ]
+  in
+  let counter = ref 0 in
+  let rec go scope depth =
+    if depth <= 0 then atom scope
+    else
+      frequency
+        [
+          (2, atom scope);
+          ( 2,
+            let* a = go scope (depth - 1) in
+            let* b = go scope (depth - 1) in
+            oneofl [ F.And (a, b); F.Or (a, b); F.Implies (a, b) ] )
+          ;
+          ( 1,
+            let* a = go scope (depth - 1) in
+            return (F.Not a) );
+          ( 2,
+            let* dom = int_range 1 3 in
+            incr counter;
+            let x = var_name dom !counter in
+            let scope' = Array.copy scope in
+            scope'.(dom - 1) <- x :: scope'.(dom - 1);
+            let* body = go scope' (depth - 1) in
+            let* univ = bool in
+            return (if univ then F.Forall ([ x ], body) else F.Exists ([ x ], body)) );
+        ]
+  in
+  let* depth = int_range 1 4 in
+  go [| []; []; [] |] depth
+
+let formula_arbitrary =
+  QCheck.make formula_gen ~print:(fun f -> F.to_string f)
+
+(** Quantify away any remaining free variables so the formula is
+    closed (the generator only uses bound variables in atoms, so the
+    result is already closed; this is a safety net). *)
+let close f =
+  let free = F.Sset.elements (F.free_vars f) in
+  if free = [] then f else F.Forall (free, f)

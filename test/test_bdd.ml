@@ -1,0 +1,395 @@
+(** Kernel tests: the ROBDD invariants, every logical operation checked
+    against brute-force truth-table evaluation on random formulas, and
+    the node-budget behaviour. *)
+
+module M = Fcv_bdd.Manager
+module O = Fcv_bdd.Ops
+module Sat = Fcv_bdd.Sat
+
+let check = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+(* -- random boolean expressions for brute-force comparison -------------- *)
+
+type bexp =
+  | BVar of int
+  | BTrue
+  | BFalse
+  | BNot of bexp
+  | BOp of O.binop * bexp * bexp
+
+let rec eval_bexp env = function
+  | BVar i -> env.(i)
+  | BTrue -> true
+  | BFalse -> false
+  | BNot e -> not (eval_bexp env e)
+  | BOp (op, a, b) ->
+    let x = eval_bexp env a and y = eval_bexp env b in
+    (match op with
+    | O.And -> x && y
+    | O.Or -> x || y
+    | O.Xor -> x <> y
+    | O.Imp -> (not x) || y
+    | O.Iff -> x = y
+    | O.Diff -> x && not y)
+
+let rec build_bexp m = function
+  | BVar i -> M.ithvar m i
+  | BTrue -> M.one
+  | BFalse -> M.zero
+  | BNot e -> O.neg m (build_bexp m e)
+  | BOp (op, a, b) -> O.apply m op (build_bexp m a) (build_bexp m b)
+
+let bexp_gen nvars =
+  let open QCheck.Gen in
+  let rec go depth =
+    if depth <= 0 then
+      frequency [ (6, map (fun i -> BVar i) (int_bound (nvars - 1))); (1, return BTrue); (1, return BFalse) ]
+    else
+      frequency
+        [
+          (2, map (fun i -> BVar i) (int_bound (nvars - 1)));
+          (1, map (fun e -> BNot e) (go (depth - 1)));
+          ( 4,
+            let* op = oneofl [ O.And; O.Or; O.Xor; O.Imp; O.Iff; O.Diff ] in
+            let* a = go (depth - 1) in
+            let* b = go (depth - 1) in
+            return (BOp (op, a, b)) );
+        ]
+  in
+  int_range 1 6 >>= go
+
+let rec pp_bexp = function
+  | BVar i -> Printf.sprintf "x%d" i
+  | BTrue -> "T"
+  | BFalse -> "F"
+  | BNot e -> Printf.sprintf "!(%s)" (pp_bexp e)
+  | BOp (op, a, b) ->
+    let s = match op with O.And -> "&" | O.Or -> "|" | O.Xor -> "^" | O.Imp -> "=>" | O.Iff -> "<=>" | O.Diff -> "\\" in
+    Printf.sprintf "(%s %s %s)" (pp_bexp a) s (pp_bexp b)
+
+let bexp_arb nvars = QCheck.make (bexp_gen nvars) ~print:pp_bexp
+
+let all_envs nvars =
+  List.init (1 lsl nvars) (fun mask -> Array.init nvars (fun i -> (mask lsr i) land 1 = 1))
+
+let nvars = 6
+
+(* -- unit tests ----------------------------------------------------------- *)
+
+let test_terminals () =
+  let m = M.create ~nvars:2 () in
+  check "false is 0" true (M.zero = 0);
+  check "true is 1" true (M.one = 1);
+  check "terminal detect" true (M.is_terminal M.zero && M.is_terminal M.one);
+  check_int "initial size" 2 (M.size m)
+
+let test_mk_collapses () =
+  let m = M.create ~nvars:2 () in
+  let x = M.ithvar m 0 in
+  check "mk with equal children collapses" true (M.mk m 1 x x = x)
+
+let test_mk_hash_consing () =
+  let m = M.create ~nvars:2 () in
+  let a = M.mk m 0 M.zero M.one in
+  let b = M.mk m 0 M.zero M.one in
+  check "identical triples share a node" true (a = b)
+
+let test_canonicity_no_redundant () =
+  (* ROBDD invariant: every interior node has low <> high and child
+     levels strictly deeper. *)
+  let m = M.create ~nvars:nvars () in
+  let f =
+    O.bor m
+      (O.band m (M.ithvar m 0) (M.ithvar m 3))
+      (O.bxor m (M.ithvar m 1) (M.nithvar m 4))
+  in
+  let ok = ref true in
+  let visited = Hashtbl.create 16 in
+  let rec walk id =
+    if (not (M.is_terminal id)) && not (Hashtbl.mem visited id) then begin
+      Hashtbl.add visited id ();
+      if M.low m id = M.high m id then ok := false;
+      if (not (M.is_terminal (M.low m id))) && M.var m (M.low m id) <= M.var m id then
+        ok := false;
+      if (not (M.is_terminal (M.high m id))) && M.var m (M.high m id) <= M.var m id then
+        ok := false;
+      walk (M.low m id);
+      walk (M.high m id)
+    end
+  in
+  walk f;
+  check "invariants hold" true !ok
+
+let test_not_involution () =
+  let m = M.create ~nvars:3 () in
+  let f = O.bxor m (M.ithvar m 0) (O.band m (M.ithvar m 1) (M.ithvar m 2)) in
+  check "double negation" true (O.neg m (O.neg m f) = f)
+
+let test_node_limit () =
+  let m = M.create ~nvars:40 ~max_nodes:20 () in
+  let build () =
+    (* a parity chain blows past 20 nodes quickly *)
+    let f = ref (M.ithvar m 0) in
+    for i = 1 to 39 do
+      f := O.bxor m !f (M.ithvar m i)
+    done;
+    !f
+  in
+  (match build () with
+  | _ -> Alcotest.fail "expected Node_limit"
+  | exception M.Node_limit n -> check_int "budget value carried" 20 n)
+
+let test_node_limit_not_triggered_by_lookups () =
+  let m = M.create ~nvars:4 ~max_nodes:12 () in
+  let f = O.band m (M.ithvar m 0) (M.ithvar m 1) in
+  (* rebuilding the same function costs no fresh nodes *)
+  let g = O.band m (M.ithvar m 0) (M.ithvar m 1) in
+  check "cached rebuild under budget" true (f = g)
+
+let test_restrict () =
+  let m = M.create ~nvars:3 () in
+  let f = O.bor m (O.band m (M.ithvar m 0) (M.ithvar m 1)) (M.ithvar m 2) in
+  let f0 = O.restrict m f [ (0, true) ] in
+  (* with x0=1: x1 or x2 *)
+  let expect = O.bor m (M.ithvar m 1) (M.ithvar m 2) in
+  check "restrict x0=1" true (f0 = expect);
+  let f1 = O.restrict m f [ (0, false); (1, true) ] in
+  check "restrict two vars" true (f1 = M.ithvar m 2)
+
+let test_exists_forall_units () =
+  let m = M.create ~nvars:3 () in
+  let f = O.band m (M.ithvar m 0) (M.ithvar m 1) in
+  check "exists x0 (x0&x1) = x1" true (O.exists m [ 0 ] f = M.ithvar m 1);
+  check "forall x0 (x0&x1) = false" true (O.forall m [ 0 ] f = M.zero);
+  let g = O.bor m (M.ithvar m 0) (M.ithvar m 1) in
+  check "forall x0 (x0|x1) = x1" true (O.forall m [ 0 ] g = M.ithvar m 1);
+  check "exists over empty set is id" true (O.exists m [] f = f)
+
+let test_replace_simple () =
+  let m = M.create ~nvars:4 () in
+  let f = O.band m (M.ithvar m 0) (M.ithvar m 1) in
+  let g = O.replace m f [ (0, 2); (1, 3) ] in
+  let expect = O.band m (M.ithvar m 2) (M.ithvar m 3) in
+  check "shift rename" true (g = expect)
+
+let test_replace_order_breaking () =
+  (* rename to a variable ABOVE the source: forces the ite path *)
+  let m = M.create ~nvars:4 () in
+  let f = O.band m (M.ithvar m 2) (M.ithvar m 3) in
+  let g = O.replace m f [ (2, 0) ] in
+  let expect = O.band m (M.ithvar m 0) (M.ithvar m 3) in
+  check "upward rename" true (g = expect)
+
+let test_replace_swap () =
+  (* simultaneous swap of two variables *)
+  let m = M.create ~nvars:2 () in
+  let f = O.bdiff m (M.ithvar m 0) (M.ithvar m 1) in
+  (* f = x0 & !x1; swapped = x1 & !x0 *)
+  let g = O.replace m f [ (0, 1); (1, 0) ] in
+  let expect = O.bdiff m (M.ithvar m 1) (M.ithvar m 0) in
+  check "swap rename" true (g = expect)
+
+let test_ite_units () =
+  let m = M.create ~nvars:3 () in
+  let x0 = M.ithvar m 0 and x1 = M.ithvar m 1 and x2 = M.ithvar m 2 in
+  check "ite true" true (O.ite m M.one x1 x2 = x1);
+  check "ite false" true (O.ite m M.zero x1 x2 = x2);
+  check "ite same" true (O.ite m x0 x1 x1 = x1);
+  let f = O.ite m x0 x1 x2 in
+  let expect = O.bor m (O.band m x0 x1) (O.band m (O.neg m x0) x2) in
+  check "ite expansion" true (f = expect)
+
+let test_satcount () =
+  let m = M.create ~nvars:4 () in
+  check "count true" true (Sat.count m M.one = 16.);
+  check "count false" true (Sat.count m M.zero = 0.);
+  check "count literal" true (Sat.count m (M.ithvar m 2) = 8.);
+  let f = O.band m (M.ithvar m 0) (M.ithvar m 3) in
+  check "count conjunction" true (Sat.count m f = 4.)
+
+let test_any_sat () =
+  let m = M.create ~nvars:3 () in
+  check "unsat" true (Sat.any m M.zero = None);
+  let f = O.band m (M.ithvar m 0) (O.neg m (M.ithvar m 2)) in
+  (match Sat.any m f with
+  | None -> Alcotest.fail "expected sat"
+  | Some cube ->
+    let env = Array.make 3 false in
+    List.iter (fun (v, b) -> env.(v) <- b) cube;
+    check "assignment satisfies" true (M.eval m f env))
+
+let test_cubes_partition_models () =
+  let m = M.create ~nvars:4 () in
+  let f = O.bor m (O.band m (M.ithvar m 0) (M.ithvar m 1)) (M.ithvar m 3) in
+  let total =
+    Sat.fold_cubes m f ~init:0. ~f:(fun acc cube ->
+        acc +. Float.pow 2. (float_of_int (4 - List.length cube)))
+  in
+  check "cubes cover the model count" true (total = Sat.count m f)
+
+let test_support () =
+  let m = M.create ~nvars:5 () in
+  let f = O.band m (M.ithvar m 1) (O.bor m (M.ithvar m 3) (M.nithvar m 4)) in
+  Alcotest.(check (list int)) "support" [ 1; 3; 4 ] (M.support m f)
+
+let test_shared_node_count () =
+  let m = M.create ~nvars:4 () in
+  let f = O.band m (M.ithvar m 0) (M.ithvar m 1) in
+  let g = O.band m (M.ithvar m 0) (M.ithvar m 1) in
+  check "shared count is not double" true (M.node_count_shared m [ f; g ] = M.node_count m f)
+
+let test_of_codes () =
+  let m = M.create ~nvars:4 () in
+  let levels = [| 0; 1; 2; 3 |] in
+  let codes = [| 0b0011; 0b0101; 0b1111 |] in
+  let f = Fcv_bdd.Of_codes.build m ~levels ~codes in
+  check "count" true (Sat.count m f = 3.);
+  Array.iter
+    (fun c ->
+      let env = Array.init 4 (fun i -> (c lsr (3 - i)) land 1 = 1) in
+      check "member" true (M.eval m f env))
+    codes;
+  let env = Array.init 4 (fun i -> (0b0100 lsr (3 - i)) land 1 = 1) in
+  check "non-member" false (M.eval m f env)
+
+let test_of_codes_rejects_bad_input () =
+  let m = M.create ~nvars:4 () in
+  Alcotest.check_raises "decreasing levels" (Invalid_argument "Of_codes.build: levels must be strictly increasing")
+    (fun () -> ignore (Fcv_bdd.Of_codes.build m ~levels:[| 1; 0 |] ~codes:[| 0 |]))
+
+(* -- property tests -------------------------------------------------------- *)
+
+let prop_apply_matches_truth_table =
+  QCheck.Test.make ~count:300 ~name:"apply agrees with truth-table evaluation"
+    (bexp_arb nvars) (fun e ->
+      let m = M.create ~nvars () in
+      let f = build_bexp m e in
+      List.for_all (fun env -> M.eval m f env = eval_bexp env e) (all_envs nvars))
+
+let prop_canonicity =
+  QCheck.Test.make ~count:200 ~name:"equivalent formulas share one node (canonicity)"
+    (QCheck.pair (bexp_arb 4) (bexp_arb 4))
+    (fun (e1, e2) ->
+      let m = M.create ~nvars:4 () in
+      let f1 = build_bexp m e1 in
+      let f2 = build_bexp m e2 in
+      let equivalent =
+        List.for_all (fun env -> eval_bexp env e1 = eval_bexp env e2) (all_envs 4)
+      in
+      equivalent = (f1 = f2))
+
+let prop_exists_is_or_of_restricts =
+  QCheck.Test.make ~count:200 ~name:"exists v f = f|v=0 or f|v=1" (bexp_arb nvars)
+    (fun e ->
+      let m = M.create ~nvars () in
+      let f = build_bexp m e in
+      List.for_all
+        (fun v ->
+          O.exists m [ v ] f
+          = O.bor m (O.restrict m f [ (v, false) ]) (O.restrict m f [ (v, true) ]))
+        [ 0; 2; 5 ])
+
+let prop_forall_is_and_of_restricts =
+  QCheck.Test.make ~count:200 ~name:"forall v f = f|v=0 and f|v=1" (bexp_arb nvars)
+    (fun e ->
+      let m = M.create ~nvars () in
+      let f = build_bexp m e in
+      List.for_all
+        (fun v ->
+          O.forall m [ v ] f
+          = O.band m (O.restrict m f [ (v, false) ]) (O.restrict m f [ (v, true) ]))
+        [ 1; 3; 4 ])
+
+let prop_appex_fused =
+  QCheck.Test.make ~count:200 ~name:"appex = exists after apply"
+    (QCheck.pair (bexp_arb nvars) (bexp_arb nvars))
+    (fun (e1, e2) ->
+      let m = M.create ~nvars () in
+      let f = build_bexp m e1 and g = build_bexp m e2 in
+      List.for_all
+        (fun (op, vars) ->
+          O.appex m op vars f g = O.exists m vars (O.apply m op f g))
+        [ (O.And, [ 0; 1 ]); (O.Or, [ 2 ]); (O.Imp, [ 0; 3; 5 ]); (O.Xor, [ 4 ]) ])
+
+let prop_appall_fused =
+  QCheck.Test.make ~count:200 ~name:"appall = forall after apply"
+    (QCheck.pair (bexp_arb nvars) (bexp_arb nvars))
+    (fun (e1, e2) ->
+      let m = M.create ~nvars () in
+      let f = build_bexp m e1 and g = build_bexp m e2 in
+      List.for_all
+        (fun (op, vars) ->
+          O.appall m op vars f g = O.forall m vars (O.apply m op f g))
+        [ (O.And, [ 0; 1 ]); (O.Or, [ 2 ]); (O.Imp, [ 0; 3; 5 ]); (O.Iff, [ 1; 4 ]) ])
+
+let prop_replace_semantics =
+  QCheck.Test.make ~count:200 ~name:"replace renames variables semantically"
+    (bexp_arb 3) (fun e ->
+      let m = M.create ~nvars:6 () in
+      let f = build_bexp m e in
+      (* rename 0,1,2 -> 3,4,5 *)
+      let g = O.replace m f [ (0, 3); (1, 4); (2, 5) ] in
+      List.for_all
+        (fun env3 ->
+          let env6 = Array.make 6 false in
+          Array.blit env3 0 env6 3 3;
+          M.eval m g env6 = eval_bexp env3 e)
+        (all_envs 3))
+
+let prop_satcount_matches_enumeration =
+  QCheck.Test.make ~count:200 ~name:"satcount equals brute-force model count"
+    (bexp_arb nvars) (fun e ->
+      let m = M.create ~nvars () in
+      let f = build_bexp m e in
+      let brute =
+        List.length (List.filter (fun env -> eval_bexp env e) (all_envs nvars))
+      in
+      Sat.count m f = float_of_int brute)
+
+let prop_restrict_semantics =
+  QCheck.Test.make ~count:200 ~name:"restrict fixes a variable semantically"
+    (QCheck.pair (bexp_arb nvars) QCheck.bool)
+    (fun (e, b) ->
+      let m = M.create ~nvars () in
+      let f = build_bexp m e in
+      let g = O.restrict m f [ (2, b) ] in
+      List.for_all
+        (fun env ->
+          let env' = Array.copy env in
+          env'.(2) <- b;
+          M.eval m g env = eval_bexp env' e)
+        (all_envs nvars))
+
+let suite =
+  [
+    Alcotest.test_case "terminals" `Quick test_terminals;
+    Alcotest.test_case "mk collapses equal children" `Quick test_mk_collapses;
+    Alcotest.test_case "hash consing" `Quick test_mk_hash_consing;
+    Alcotest.test_case "ROBDD invariants" `Quick test_canonicity_no_redundant;
+    Alcotest.test_case "negation is involutive" `Quick test_not_involution;
+    Alcotest.test_case "node budget raises" `Quick test_node_limit;
+    Alcotest.test_case "node budget ignores cache hits" `Quick test_node_limit_not_triggered_by_lookups;
+    Alcotest.test_case "restrict" `Quick test_restrict;
+    Alcotest.test_case "exists/forall units" `Quick test_exists_forall_units;
+    Alcotest.test_case "replace (shift)" `Quick test_replace_simple;
+    Alcotest.test_case "replace (upward)" `Quick test_replace_order_breaking;
+    Alcotest.test_case "replace (swap)" `Quick test_replace_swap;
+    Alcotest.test_case "ite units" `Quick test_ite_units;
+    Alcotest.test_case "satcount units" `Quick test_satcount;
+    Alcotest.test_case "anysat" `Quick test_any_sat;
+    Alcotest.test_case "cubes partition models" `Quick test_cubes_partition_models;
+    Alcotest.test_case "support" `Quick test_support;
+    Alcotest.test_case "shared node count" `Quick test_shared_node_count;
+    Alcotest.test_case "of_codes" `Quick test_of_codes;
+    Alcotest.test_case "of_codes input validation" `Quick test_of_codes_rejects_bad_input;
+    QCheck_alcotest.to_alcotest prop_apply_matches_truth_table;
+    QCheck_alcotest.to_alcotest prop_canonicity;
+    QCheck_alcotest.to_alcotest prop_exists_is_or_of_restricts;
+    QCheck_alcotest.to_alcotest prop_forall_is_and_of_restricts;
+    QCheck_alcotest.to_alcotest prop_appex_fused;
+    QCheck_alcotest.to_alcotest prop_appall_fused;
+    QCheck_alcotest.to_alcotest prop_replace_semantics;
+    QCheck_alcotest.to_alcotest prop_satcount_matches_enumeration;
+    QCheck_alcotest.to_alcotest prop_restrict_semantics;
+  ]

@@ -1,0 +1,235 @@
+(** Finite-domain layer tests: block encodings, comparators, active
+    domain guards and guarded quantification — including the
+    non-power-of-two domain sizes the paper's data has. *)
+
+module M = Fcv_bdd.Manager
+module O = Fcv_bdd.Ops
+module F = Fcv_bdd.Fd
+module Sat = Fcv_bdd.Sat
+
+let check = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+(* Evaluate a single-block predicate on every code in [0, 2^width). *)
+let truth m block f =
+  let env = Array.make (M.nvars m) false in
+  List.init (1 lsl F.width block) (fun c ->
+      F.set_env block c env;
+      M.eval m f env)
+
+let test_width_allocation () =
+  let m = M.create ~nvars:0 () in
+  let b10 = F.alloc m ~name:"x" ~dom_size:10 in
+  let b1 = F.alloc m ~name:"y" ~dom_size:1 in
+  let b16 = F.alloc m ~name:"z" ~dom_size:16 in
+  check_int "dom 10 needs 4 bits" 4 (F.width b10);
+  check_int "dom 1 needs 1 bit" 1 (F.width b1);
+  check_int "dom 16 needs 4 bits" 4 (F.width b16)
+
+let test_paper_bit_counts () =
+  (* §5.2: ncs = ceil(log 281)+ceil(log 10894)+ceil(log 50) = 29,
+     csz = ceil(log 10894)+ceil(log 50)+ceil(log 17557) = 35 *)
+  let w n = Fcv_util.Bits.width n in
+  check_int "ncs bits" 29 (w 281 + w 10894 + w 50);
+  check_int "csz bits" 35 (w 10894 + w 50 + w 17557)
+
+let test_eq_const () =
+  let m = M.create ~nvars:0 () in
+  let b = F.alloc m ~name:"x" ~dom_size:10 in
+  let f = F.eq_const m b 6 in
+  List.iteri
+    (fun c v -> check (Printf.sprintf "code %d" c) (c = 6) v)
+    (truth m b f)
+
+let test_eq_const_out_of_domain () =
+  let m = M.create ~nvars:0 () in
+  let b = F.alloc m ~name:"x" ~dom_size:10 in
+  Alcotest.check_raises "rejects code 10"
+    (Invalid_argument "Fd.eq_const: value out of domain") (fun () ->
+      ignore (F.eq_const m b 10))
+
+let test_lt_const () =
+  let m = M.create ~nvars:0 () in
+  let b = F.alloc m ~name:"x" ~dom_size:16 in
+  let f = F.lt_const m b 11 in
+  List.iteri (fun c v -> check (Printf.sprintf "lt code %d" c) (c < 11) v) (truth m b f);
+  check "lt 0 is false" true (F.lt_const m b 0 = M.zero);
+  check "lt 16 is true" true (F.lt_const m b 16 = M.one)
+
+let test_valid_guard () =
+  let m = M.create ~nvars:0 () in
+  let b = F.alloc m ~name:"x" ~dom_size:10 in
+  let v = F.valid m b in
+  List.iteri (fun c ok -> check (Printf.sprintf "valid %d" c) (c < 10) ok) (truth m b v);
+  let b8 = F.alloc m ~name:"y" ~dom_size:8 in
+  check "power-of-two domain has trivial guard" true (F.valid m b8 = M.one)
+
+let test_in_set () =
+  let m = M.create ~nvars:0 () in
+  let b = F.alloc m ~name:"x" ~dom_size:12 in
+  let f = F.in_set m b [ 3; 7; 7; 0 ] in
+  List.iteri
+    (fun c v -> check (Printf.sprintf "in_set %d" c) (List.mem c [ 0; 3; 7 ]) v)
+    (truth m b f);
+  check "empty set" true (F.in_set m b [] = M.zero)
+
+let test_eq_blocks_same_width () =
+  let m = M.create ~nvars:0 () in
+  let b1 = F.alloc m ~name:"x" ~dom_size:8 in
+  let b2 = F.alloc m ~name:"y" ~dom_size:8 in
+  let f = F.eq_blocks m b1 b2 in
+  let env = Array.make (M.nvars m) false in
+  for c1 = 0 to 7 do
+    for c2 = 0 to 7 do
+      F.set_env b1 c1 env;
+      F.set_env b2 c2 env;
+      check (Printf.sprintf "%d=%d" c1 c2) (c1 = c2) (M.eval m f env)
+    done
+  done
+
+let test_eq_blocks_mixed_width () =
+  let m = M.create ~nvars:0 () in
+  let b1 = F.alloc m ~name:"x" ~dom_size:4 in
+  (* 2 bits *)
+  let b2 = F.alloc m ~name:"y" ~dom_size:16 in
+  (* 4 bits *)
+  let f = F.eq_blocks m b1 b2 in
+  let env = Array.make (M.nvars m) false in
+  for c1 = 0 to 3 do
+    for c2 = 0 to 15 do
+      F.set_env b1 c1 env;
+      F.set_env b2 c2 env;
+      check (Printf.sprintf "%d=%d" c1 c2) (c1 = c2) (M.eval m f env)
+    done
+  done
+
+let test_tuple_minterm () =
+  let m = M.create ~nvars:0 () in
+  let b1 = F.alloc m ~name:"x" ~dom_size:5 in
+  let b2 = F.alloc m ~name:"y" ~dom_size:3 in
+  let f = F.tuple_minterm m [ (b1, 4); (b2, 2) ] in
+  check "count = 1" true (Sat.count m f = 1.);
+  let env = Array.make (M.nvars m) false in
+  F.set_env b1 4 env;
+  F.set_env b2 2 env;
+  check "the tuple" true (M.eval m f env);
+  F.set_env b2 1 env;
+  check "other tuple" false (M.eval m f env)
+
+let test_guarded_exists () =
+  (* domain {0..9}; f true only at the invalid code 12: ∃x over the
+     active domain must be FALSE even though a bit pattern satisfies f *)
+  let m = M.create ~nvars:0 () in
+  let b = F.alloc m ~name:"x" ~dom_size:10 in
+  let f12 =
+    F.cube m (List.init (F.width b) (fun j -> (F.level_of_bit b j, Fcv_util.Bits.test 12 j)))
+  in
+  check "unguarded sees it" true (O.is_satisfiable (F.exists_bits m b f12));
+  check "guarded does not" true (O.is_false (F.exists m b f12));
+  check "guarded sees valid code" true (O.is_true (F.exists m b (F.eq_const m b 9)))
+
+let test_guarded_forall () =
+  (* f = (x < 10): true on the whole active domain, false on 10..15;
+     guarded ∀ is true, unguarded ∀ is false *)
+  let m = M.create ~nvars:0 () in
+  let b = F.alloc m ~name:"x" ~dom_size:10 in
+  let f = F.lt_const m b 10 in
+  check "guarded forall true" true (O.is_true (F.forall m b f));
+  check "unguarded forall false" true (O.is_false (F.forall_bits m b f));
+  check "guarded forall of x=3 is false" true (O.is_false (F.forall m b (F.eq_const m b 3)))
+
+let test_quantifier_removes_support () =
+  let m = M.create ~nvars:0 () in
+  let b1 = F.alloc m ~name:"x" ~dom_size:6 in
+  let b2 = F.alloc m ~name:"y" ~dom_size:6 in
+  let f = O.band m (F.eq_const m b1 3) (F.eq_const m b2 4) in
+  let g = F.exists m b1 f in
+  check "support excludes quantified block" true
+    (List.for_all
+       (fun l -> not (Array.exists (( = ) l) b1.F.levels))
+       (M.support m g));
+  check "remaining predicate" true (g = F.eq_const m b2 4)
+
+let test_rename_blocks () =
+  let m = M.create ~nvars:0 () in
+  let b1 = F.alloc m ~name:"x" ~dom_size:10 in
+  let b2 = F.alloc m ~name:"y" ~dom_size:10 in
+  let f = F.in_set m b1 [ 2; 9 ] in
+  let g = F.rename m f ~src:b1 ~dst:b2 in
+  check "renamed equals rebuilt" true (g = F.in_set m b2 [ 2; 9 ]);
+  check "rename to self is id" true (F.rename m f ~src:b1 ~dst:b1 = f)
+
+let test_rename_domain_mismatch () =
+  let m = M.create ~nvars:0 () in
+  let b1 = F.alloc m ~name:"x" ~dom_size:10 in
+  let b2 = F.alloc m ~name:"y" ~dom_size:20 in
+  Alcotest.check_raises "mismatch" (Invalid_argument "Fd.rename: domain mismatch")
+    (fun () -> ignore (F.rename m (F.eq_const m b1 1) ~src:b1 ~dst:b2))
+
+let test_env_roundtrip () =
+  let m = M.create ~nvars:0 () in
+  let b = F.alloc m ~name:"x" ~dom_size:1000 in
+  let env = Array.make (M.nvars m) false in
+  List.iter
+    (fun c ->
+      F.set_env b c env;
+      check_int (Printf.sprintf "roundtrip %d" c) c (F.read_env b env))
+    [ 0; 1; 511; 512; 999 ]
+
+(* property: eq_const through set_env/eval for random domains *)
+let prop_eq_const_semantics =
+  QCheck.Test.make ~count:100 ~name:"eq_const holds exactly at its code"
+    QCheck.(pair (int_range 2 300) (int_range 0 299))
+    (fun (dom, c) ->
+      QCheck.assume (c < dom);
+      let m = M.create ~nvars:0 () in
+      let b = F.alloc m ~name:"x" ~dom_size:dom in
+      let f = F.eq_const m b c in
+      let env = Array.make (M.nvars m) false in
+      List.for_all
+        (fun c' ->
+          F.set_env b c' env;
+          M.eval m f env = (c = c'))
+        (List.init dom Fun.id))
+
+let prop_in_set_count =
+  QCheck.Test.make ~count:100 ~name:"in_set model count equals set size"
+    QCheck.(pair (int_range 2 200) (list_of_size Gen.(int_range 0 20) (int_range 0 199)))
+    (fun (dom, codes) ->
+      let codes = List.sort_uniq compare (List.filter (fun c -> c < dom) codes) in
+      let m = M.create ~nvars:0 () in
+      let b = F.alloc m ~name:"x" ~dom_size:dom in
+      let f = F.in_set m b codes in
+      Sat.count m f = float_of_int (List.length codes))
+
+let prop_lt_const_count =
+  QCheck.Test.make ~count:100 ~name:"lt_const model count equals threshold"
+    QCheck.(pair (int_range 2 400) (int_range 0 400))
+    (fun (dom, c) ->
+      QCheck.assume (c <= dom);
+      let m = M.create ~nvars:0 () in
+      let b = F.alloc m ~name:"x" ~dom_size:dom in
+      Sat.count m (F.lt_const m b c) = float_of_int c)
+
+let suite =
+  [
+    Alcotest.test_case "block widths" `Quick test_width_allocation;
+    Alcotest.test_case "paper's 29/35 bit counts" `Quick test_paper_bit_counts;
+    Alcotest.test_case "eq_const" `Quick test_eq_const;
+    Alcotest.test_case "eq_const domain check" `Quick test_eq_const_out_of_domain;
+    Alcotest.test_case "lt_const" `Quick test_lt_const;
+    Alcotest.test_case "valid guard" `Quick test_valid_guard;
+    Alcotest.test_case "in_set" `Quick test_in_set;
+    Alcotest.test_case "eq_blocks same width" `Quick test_eq_blocks_same_width;
+    Alcotest.test_case "eq_blocks mixed width" `Quick test_eq_blocks_mixed_width;
+    Alcotest.test_case "tuple minterm" `Quick test_tuple_minterm;
+    Alcotest.test_case "guarded exists" `Quick test_guarded_exists;
+    Alcotest.test_case "guarded forall" `Quick test_guarded_forall;
+    Alcotest.test_case "quantifier removes support" `Quick test_quantifier_removes_support;
+    Alcotest.test_case "rename blocks" `Quick test_rename_blocks;
+    Alcotest.test_case "rename domain mismatch" `Quick test_rename_domain_mismatch;
+    Alcotest.test_case "env roundtrip" `Quick test_env_roundtrip;
+    QCheck_alcotest.to_alcotest prop_eq_const_semantics;
+    QCheck_alcotest.to_alcotest prop_in_set_count;
+    QCheck_alcotest.to_alcotest prop_lt_const_count;
+  ]

@@ -1,0 +1,21 @@
+(** Aggregated test runner: `dune runtest`. *)
+
+let () =
+  Alcotest.run "fcv"
+    [
+      ("util", Test_util.suite);
+      ("bdd", Test_bdd.suite);
+      ("fd", Test_fd.suite);
+      ("relation", Test_relation.suite);
+      ("sql", Test_sql.suite);
+      ("datagen", Test_datagen.suite);
+      ("formula", Test_formula.suite);
+      ("ordering", Test_ordering.suite);
+      ("index", Test_index.suite);
+      ("compile", Test_compile.suite);
+      ("to_sql", Test_to_sql.suite);
+      ("io", Test_io.suite);
+      ("monitor", Test_monitor.suite);
+      ("misc", Test_misc.suite);
+      ("checker", Test_checker.suite);
+    ]

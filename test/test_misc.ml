@@ -1,0 +1,144 @@
+(** Odds-and-ends coverage: dot export, CSV and lexer edge cases,
+    pretty-printers, violation helpers. *)
+
+module M = Fcv_bdd.Manager
+module O = Fcv_bdd.Ops
+module R = Fcv_relation
+
+let check = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+let test_dot_export () =
+  let m = M.create ~nvars:3 () in
+  let f = O.bor m (O.band m (M.ithvar m 0) (M.ithvar m 1)) (M.nithvar m 2) in
+  let dot = Fcv_bdd.Dot.to_string m f in
+  check "digraph header" true (String.length dot > 20 && String.sub dot 0 7 = "digraph");
+  (* one node line per interior node, plus both terminals *)
+  let count_sub sub s =
+    let n = ref 0 in
+    let len = String.length sub in
+    for i = 0 to String.length s - len do
+      if String.sub s i len = sub then incr n
+    done;
+    !n
+  in
+  check_int "labelled interior nodes" (M.node_count m f - 2) (count_sub "[label=\"x" dot);
+  check "terminals present" true
+    (count_sub "t0 [shape" dot = 1 && count_sub "t1 [shape" dot = 1);
+  let path = Filename.temp_file "fcv" ".dot" in
+  Fcv_bdd.Dot.to_file m f path;
+  check "file written" true (Sys.file_exists path && (Unix.stat path).Unix.st_size > 0);
+  Sys.remove path
+
+let test_terminal_dot () =
+  let m = M.create ~nvars:1 () in
+  let dot = Fcv_bdd.Dot.to_string m M.one in
+  check "true-only graph renders" true (String.length dot > 0)
+
+let test_csv_empty_and_crlf () =
+  let path = Filename.temp_file "fcv" ".csv" in
+  let oc = open_out path in
+  output_string oc "a,b\r\n1,x\r\n\r\n2,y\r\n";
+  close_out oc;
+  let header, rows = R.Csv.read_file path in
+  check "header" true (header = [ "a"; "b" ]);
+  check_int "blank lines skipped" 2 (List.length rows);
+  check "crlf stripped" true (List.hd rows = [ "1"; "x" ]);
+  Sys.remove path
+
+let test_value_parsing () =
+  check "int cell" true (R.Value.of_string "42" = R.Value.Int 42);
+  check "negative int" true (R.Value.of_string "-7" = R.Value.Int (-7));
+  check "string cell" true (R.Value.of_string "42a" = R.Value.Str "42a");
+  check "ordering across kinds" true (R.Value.compare (R.Value.Int 5) (R.Value.Str "a") < 0)
+
+let test_sql_lexer_edges () =
+  let toks s = Fcv_sql.Lexer.tokenize s in
+  check "quoted identifier" true
+    (List.exists (function Fcv_sql.Lexer.IDENT "weird col" -> true | _ -> false)
+       (toks "SELECT \"weird col\" FROM t"));
+  check "bang-equals" true
+    (List.exists (function Fcv_sql.Lexer.NEQ -> true | _ -> false) (toks "a != b"));
+  check "keywords case-insensitive" true
+    (List.exists (function Fcv_sql.Lexer.KW "SELECT" -> true | _ -> false)
+       (toks "select x from t"));
+  check "lexer error surfaces" true
+    (match toks "a ; b" with exception Fcv_sql.Lexer.Error _ -> true | _ -> false)
+
+let test_algebra_pp () =
+  let db = R.Database.create () in
+  let t = R.Database.create_table db ~name:"t" ~attrs:[ ("x", "dx") ] in
+  let open Fcv_sql.Algebra in
+  let plan =
+    Distinct
+      (Project
+         ( [| 0 |],
+           Select (And (Eq_const (0, 1), Not (In_set (0, [ 2; 3 ]))), Scan t) ))
+  in
+  let s = to_string plan in
+  let contains sub =
+    let len = String.length sub in
+    let rec go i =
+      i + len <= String.length s && (String.sub s i len = sub || go (i + 1))
+    in
+    go 0
+  in
+  check "plan prints scan" true (contains "scan(t)");
+  check "plan prints distinct" true (contains "distinct");
+  check "plan prints predicate" true (contains "in {2,3}")
+
+let test_fol_printer_escapes () =
+  (* printed formulas re-parse to the same formula *)
+  let f =
+    Core.Formula.(
+      Forall
+        ( [ "x" ],
+          Implies
+            ( Atom ("r", [ Var "x"; Const (R.Value.Str "O'Hara") ]),
+              In (Var "x", [ R.Value.Int 1; R.Value.Int 2 ]) ) ))
+  in
+  let printed = Core.Formula.to_string f in
+  check "prints" true (String.length printed > 0)
+
+let test_timer_accumulation () =
+  let t = Fcv_util.Timer.create () in
+  Fcv_util.Timer.start t;
+  Fcv_util.Timer.stop t;
+  let e1 = Fcv_util.Timer.elapsed t in
+  Fcv_util.Timer.start t;
+  Fcv_util.Timer.stop t;
+  check "accumulates" true (Fcv_util.Timer.elapsed t >= e1);
+  Fcv_util.Timer.reset t;
+  check "reset" true (Fcv_util.Timer.elapsed t = 0.)
+
+let test_violations_no_witness_shape () =
+  (* a purely existential constraint has no finite witnesses for its
+     violation: enumerate returns None *)
+  let db = Gen.random_db 3 in
+  let index = Core.Index.create db in
+  let c = Core.Fol_parser.of_string "exists x . t(x)" in
+  Core.Checker.ensure_indices index [ c ];
+  check "no witnesses" true (Core.Violations.enumerate index c = None);
+  check "no count" true (Core.Violations.count index c = None)
+
+let test_node_limit_value_accessors () =
+  let m = M.create ~nvars:4 ~max_nodes:100 () in
+  check_int "budget readable" 100 (M.max_nodes m);
+  M.set_max_nodes m 0;
+  check_int "budget clearable" 0 (M.max_nodes m);
+  let stats = M.stats m in
+  check "stats sane" true (stats.M.nodes >= 2 && stats.M.variables = 4)
+
+let suite =
+  [
+    Alcotest.test_case "dot export" `Quick test_dot_export;
+    Alcotest.test_case "dot export of terminal" `Quick test_terminal_dot;
+    Alcotest.test_case "csv crlf / blank lines" `Quick test_csv_empty_and_crlf;
+    Alcotest.test_case "value parsing" `Quick test_value_parsing;
+    Alcotest.test_case "sql lexer edges" `Quick test_sql_lexer_edges;
+    Alcotest.test_case "algebra pretty-printer" `Quick test_algebra_pp;
+    Alcotest.test_case "fol printer" `Quick test_fol_printer_escapes;
+    Alcotest.test_case "timer accumulation" `Quick test_timer_accumulation;
+    Alcotest.test_case "violations of existential constraints" `Quick test_violations_no_witness_shape;
+    Alcotest.test_case "manager accessors" `Quick test_node_limit_value_accessors;
+  ]

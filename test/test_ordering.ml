@@ -1,0 +1,153 @@
+(** Variable-ordering tests: the heuristics return valid permutations,
+    respect Theorem 1 (product structure ⇒ grouped factors), and are
+    sane against the exhaustive optimum on small relations. *)
+
+module R = Fcv_relation
+module Ord = Core.Ordering
+
+let check = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+(* R(a0, a1, a2, a3) = R1(a0, a1) x R2(a2, a3): a clean single-product
+   relation where factor grouping matters. *)
+let product_table seed =
+  let rng = Fcv_util.Rng.create seed in
+  let db = R.Database.create () in
+  for i = 0 to 3 do
+    R.Database.add_domain db (R.Dict.of_int_range (Printf.sprintf "d%d" i) 16)
+  done;
+  let t =
+    R.Database.create_table db ~name:"t"
+      ~attrs:(List.init 4 (fun i -> (Printf.sprintf "a%d" i, Printf.sprintf "d%d" i)))
+  in
+  let pairs n = List.init n (fun _ -> (Fcv_util.Rng.int rng 16, Fcv_util.Rng.int rng 16)) in
+  let left = List.sort_uniq compare (pairs 24) in
+  let right = List.sort_uniq compare (pairs 24) in
+  List.iter
+    (fun (a, b) ->
+      List.iter (fun (c, d) -> R.Table.insert_coded t [| a; b; c; d |]) right)
+    left;
+  t
+
+let grouped order =
+  (* factor {0,1} and factor {2,3} each occupy consecutive positions *)
+  let pos x = Array.to_list order |> List.mapi (fun i a -> (a, i)) |> List.assoc x in
+  abs (pos 0 - pos 1) = 1 && abs (pos 2 - pos 3) = 1
+
+let test_heuristics_return_permutations () =
+  let t = product_table 3 in
+  check "maxinf perm" true (Fcv_util.Perm.is_permutation (Ord.max_inf_gain t));
+  check "maxinf id3 perm" true (Fcv_util.Perm.is_permutation (Ord.max_inf_gain_id3 t));
+  check "probconv perm" true (Fcv_util.Perm.is_permutation (Ord.prob_converge t));
+  check "random perm" true
+    (Fcv_util.Perm.is_permutation (Ord.random_order (Fcv_util.Rng.create 1) t))
+
+let test_id3_groups_but_figure1_does_not () =
+  (* the prose-faithful ID3 gain groups product factors; the paper's
+     literal Figure-1 rule picks the attribute LEAST explained by the
+     prefix, which anti-groups (see DESIGN.md) *)
+  let grouped_count pick =
+    List.length (List.filter (fun seed -> grouped (pick (product_table seed))) [ 1; 2; 3; 4; 5 ])
+  in
+  let id3 = grouped_count Ord.max_inf_gain_id3 in
+  let fig1 = grouped_count Ord.max_inf_gain in
+  check (Printf.sprintf "id3 groups on most seeds (%d/5)" id3) true (id3 >= 4);
+  check (Printf.sprintf "figure-1 groups rarely (%d/5)" fig1) true (fig1 <= 2)
+
+let test_ranking_scores () =
+  let t = product_table 21 in
+  let cache = Hashtbl.create 64 in
+  let pc = Ord.prob_converge t in
+  let area o = List.fold_left ( +. ) 0. (Ord.score_prob_converge ~cache t o) in
+  (* the greedy's own pick must score at least as well as the reversed
+     worst-case interleaving of its choice *)
+  let worst = Array.of_list (List.rev (Array.to_list pc)) in
+  check "scores are per-prefix keys" true
+    (List.length (Ord.score_prob_converge ~cache t pc) = R.Table.arity t - 1);
+  check "greedy's area is competitive" true (area pc <= area worst +. 1e-9);
+  check "maxinf key length" true
+    (List.length (Ord.score_max_inf_gain t pc) = R.Table.arity t)
+
+let test_prob_converge_groups_factors () =
+  (* Theorem 1: optimal orderings keep factors adjacent; Prob-Converge
+     is designed to find such orderings on product data *)
+  let ok = ref 0 in
+  List.iter
+    (fun seed ->
+      let t = product_table seed in
+      if grouped (Ord.prob_converge t) then incr ok)
+    [ 1; 2; 3; 4; 5 ];
+  check ("grouped on most seeds: " ^ string_of_int !ok) true (!ok >= 4)
+
+let test_optimal_groups_factors () =
+  let t = product_table 11 in
+  let order, _ = Ord.optimal t in
+  check "exhaustive optimum groups factors" true (grouped order)
+
+let test_exhaustive_complete_and_sorted () =
+  let t = product_table 12 in
+  let all = Ord.exhaustive t in
+  check_int "4! orderings" 24 (List.length all);
+  let sizes = List.map snd all in
+  check "sorted ascending" true (List.sort compare sizes = sizes);
+  (* all orderings encode the same set: membership invariance spot check *)
+  let (o1, _), (o2, _) = (List.hd all, List.nth all 23) in
+  let e1 = R.Encode.encode t ~order:o1 in
+  let e2 = R.Encode.encode t ~order:o2 in
+  let ok = ref true in
+  R.Table.iter t (fun row ->
+      if not (R.Encode.mem e1 row && R.Encode.mem e2 row) then ok := false);
+  check "same set under both orderings" true !ok
+
+let test_heuristics_close_to_optimal_on_products () =
+  let alphas =
+    List.map
+      (fun seed ->
+        let t = product_table (100 + seed) in
+        let _, opt = Ord.optimal t in
+        let pc = Ord.bdd_size t (Ord.prob_converge t) in
+        float_of_int pc /. float_of_int opt)
+      [ 1; 2; 3 ]
+  in
+  (* the paper reports beta < 1.5 for Prob-Converge on products *)
+  List.iter (fun a -> check (Printf.sprintf "beta %.3f <= 1.5" a) true (a <= 1.5)) alphas
+
+let test_ordering_effect_on_products () =
+  (* worst/best ratio must be noticeably > 1 for structured data *)
+  let t = product_table 42 in
+  let all = Ord.exhaustive t in
+  let best = snd (List.hd all) in
+  let worst = snd (List.nth all (List.length all - 1)) in
+  check
+    (Printf.sprintf "worst/best = %.2f > 1.3" (float_of_int worst /. float_of_int best))
+    true
+    (float_of_int worst /. float_of_int best > 1.3)
+
+let test_resolve_fixed_and_validation () =
+  let t = product_table 13 in
+  let order = Ord.resolve (Ord.Fixed [| 3; 1; 0; 2 |]) t in
+  check "fixed passthrough" true (order = [| 3; 1; 0; 2 |]);
+  check "fixed validated" true
+    (match Ord.resolve (Ord.Fixed [| 0; 0; 1; 2 |]) t with
+    | exception Invalid_argument _ -> true
+    | _ -> false)
+
+let test_random_order_deterministic_by_seed () =
+  let t = product_table 14 in
+  let o1 = Ord.resolve (Ord.Random_order 9) t in
+  let o2 = Ord.resolve (Ord.Random_order 9) t in
+  check "same seed, same order" true (o1 = o2)
+
+let suite =
+  [
+    Alcotest.test_case "heuristics return permutations" `Quick test_heuristics_return_permutations;
+    Alcotest.test_case "ID3 groups, Figure-1 anti-groups" `Quick test_id3_groups_but_figure1_does_not;
+    Alcotest.test_case "ranking scores" `Quick test_ranking_scores;
+    Alcotest.test_case "Prob-Converge groups product factors" `Quick test_prob_converge_groups_factors;
+    Alcotest.test_case "optimal groups product factors" `Quick test_optimal_groups_factors;
+    Alcotest.test_case "exhaustive search complete" `Quick test_exhaustive_complete_and_sorted;
+    Alcotest.test_case "Prob-Converge near-optimal on products" `Quick test_heuristics_close_to_optimal_on_products;
+    Alcotest.test_case "ordering matters on products" `Quick test_ordering_effect_on_products;
+    Alcotest.test_case "resolve fixed order" `Quick test_resolve_fixed_and_validation;
+    Alcotest.test_case "random order deterministic" `Quick test_random_order_deterministic_by_seed;
+  ]

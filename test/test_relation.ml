@@ -1,0 +1,294 @@
+(** Relational substrate tests: dictionaries, tables, CSV round-trips,
+    statistics (entropy / information gain / Φ) and the BDD encoding
+    with its incremental maintenance. *)
+
+module R = Fcv_relation
+module M = Fcv_bdd.Manager
+module Sat = Fcv_bdd.Sat
+
+let check = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+let check_float = Alcotest.(check (float 1e-9))
+
+let test_dict_roundtrip () =
+  let d = R.Dict.create "dom" in
+  let c1 = R.Dict.intern d (R.Value.Str "toronto") in
+  let c2 = R.Dict.intern d (R.Value.Str "oshawa") in
+  let c1' = R.Dict.intern d (R.Value.Str "toronto") in
+  check_int "stable code" c1 c1';
+  check "distinct codes" true (c1 <> c2);
+  check "decode" true (R.Value.equal (R.Dict.value d c2) (R.Value.Str "oshawa"));
+  check_int "size" 2 (R.Dict.size d);
+  check "missing lookup" true (R.Dict.code d (R.Value.Str "nowhere") = None)
+
+let test_dict_growth () =
+  let d = R.Dict.create ~capacity:2 "dom" in
+  for i = 0 to 99 do
+    ignore (R.Dict.intern d (R.Value.Int i))
+  done;
+  check_int "100 values" 100 (R.Dict.size d);
+  check "value 73" true (R.Value.equal (R.Dict.value d 73) (R.Value.Int 73))
+
+let test_schema () =
+  let s = R.Schema.make [ ("a", "d1"); ("b", "d2") ] in
+  check_int "arity" 2 (R.Schema.arity s);
+  check_int "position" 1 (R.Schema.position s "b");
+  check "missing position" true (R.Schema.position_opt s "zz" = None);
+  Alcotest.check_raises "duplicate attr"
+    (Invalid_argument "Schema.make: duplicate attribute a") (fun () ->
+      ignore (R.Schema.make [ ("a", "d1"); ("a", "d2") ]))
+
+let small_table () =
+  let db = R.Database.create () in
+  let t = R.Database.create_table db ~name:"t" ~attrs:[ ("x", "dx"); ("y", "dy") ] in
+  ignore (R.Table.insert t [| R.Value.Str "a"; R.Value.Int 1 |]);
+  ignore (R.Table.insert t [| R.Value.Str "a"; R.Value.Int 2 |]);
+  ignore (R.Table.insert t [| R.Value.Str "b"; R.Value.Int 1 |]);
+  (db, t)
+
+let test_table_basics () =
+  let _, t = small_table () in
+  check_int "cardinality" 3 (R.Table.cardinality t);
+  check_int "distinct" 3 (R.Table.distinct_count t);
+  let row = R.Table.row t 0 in
+  let decoded = R.Table.decode t row in
+  check "decode first" true (R.Value.equal decoded.(0) (R.Value.Str "a"))
+
+let test_table_delete () =
+  let _, t = small_table () in
+  let row = Array.copy (R.Table.row t 1) in
+  check "delete hit" true (R.Table.delete_coded t row);
+  check_int "cardinality after" 2 (R.Table.cardinality t);
+  check "delete miss" false (R.Table.delete_coded t [| 99; 99 |])
+
+let test_database_shared_domains () =
+  let db = R.Database.create () in
+  let t1 = R.Database.create_table db ~name:"t1" ~attrs:[ ("c", "city") ] in
+  let t2 = R.Database.create_table db ~name:"t2" ~attrs:[ ("c", "city") ] in
+  let c1 = (R.Table.insert t1 [| R.Value.Str "toronto" |]).(0) in
+  let c2 = (R.Table.insert t2 [| R.Value.Str "toronto" |]).(0) in
+  check_int "same code across tables" c1 c2
+
+let test_csv_roundtrip () =
+  let db, t = small_table () in
+  ignore db;
+  let path = Filename.temp_file "fcv" ".csv" in
+  R.Csv.write_table t path;
+  let db2 = R.Database.create () in
+  let t2 = R.Csv.load_table db2 ~name:"t" ~path () in
+  check_int "same cardinality" (R.Table.cardinality t) (R.Table.cardinality t2);
+  let decoded = R.Table.decode t2 (R.Table.row t2 2) in
+  check "third row survives" true (R.Value.equal decoded.(0) (R.Value.Str "b"));
+  Sys.remove path
+
+let test_csv_quoting () =
+  check "quoted comma" true (R.Csv.parse_line "\"a,b\",c" = [ "a,b"; "c" ]);
+  check "escaped quote" true (R.Csv.parse_line "\"he said \"\"hi\"\"\",x" = [ "he said \"hi\""; "x" ]);
+  check "escape roundtrip" true
+    (R.Csv.parse_line (R.Csv.escape_field "x,\"y\"" ^ ",z") = [ "x,\"y\""; "z" ])
+
+(* -- statistics ----------------------------------------------------------- *)
+
+(* 4-row table where H(x) is exactly 1 bit and x determines y. *)
+let stats_table () =
+  let db = R.Database.create () in
+  let t = R.Database.create_table db ~name:"t" ~attrs:[ ("x", "dx"); ("y", "dy"); ("z", "dz") ] in
+  List.iter
+    (fun (x, y, z) ->
+      ignore (R.Table.insert t [| R.Value.Int x; R.Value.Int y; R.Value.Int z |]))
+    [ (0, 10, 0); (0, 10, 1); (1, 20, 0); (1, 20, 1) ];
+  t
+
+let test_entropy () =
+  let t = stats_table () in
+  check_float "H(x) = 1" 1. (R.Stats.entropy t [ 0 ]);
+  check_float "H(x,y) = 1 (y is determined)" 1. (R.Stats.entropy t [ 0; 1 ]);
+  check_float "H(x,z) = 2" 2. (R.Stats.entropy t [ 0; 2 ]);
+  check_float "H of empty prefix" 0. (R.Stats.entropy t [])
+
+let test_cond_entropy_and_gain () =
+  let t = stats_table () in
+  check_float "H(y|x) = 0 (FD)" 0. (R.Stats.cond_entropy t ~given:[ 0 ] ~attr:1);
+  check_float "H(z|x) = 1" 1. (R.Stats.cond_entropy t ~given:[ 0 ] ~attr:2);
+  check_float "I(x;y) = 1" 1. (R.Stats.info_gain t ~given:[ 0 ] ~attr:1);
+  check_float "I(x;z) = 0" 0. (R.Stats.info_gain t ~given:[ 0 ] ~attr:2)
+
+let test_fd_holds () =
+  let t = stats_table () in
+  check "x -> y" true (R.Stats.fd_holds t ~lhs:[ 0 ] ~rhs:[ 1 ]);
+  check "x -> z fails" false (R.Stats.fd_holds t ~lhs:[ 0 ] ~rhs:[ 2 ]);
+  check "y -> x" true (R.Stats.fd_holds t ~lhs:[ 1 ] ~rhs:[ 0 ])
+
+let test_phi_measure () =
+  (* For the full attribute set, φ ∈ {0,1} so Φ(V) = 0 (paper §3.2). *)
+  let t = stats_table () in
+  check_float "Phi(V) = 0" 0. (R.Stats.phi_measure t ~attrs:[ 0; 1; 2 ] ~all_attrs:[ 0; 1; 2 ]);
+  (* Φ is non-negative under our normalisation *)
+  check "Phi >= 0" true (R.Stats.phi_measure t ~attrs:[ 0 ] ~all_attrs:[ 0; 1; 2 ] >= 0.)
+
+(* -- encoding -------------------------------------------------------------- *)
+
+let random_table seed ~rows =
+  let rng = Fcv_util.Rng.create seed in
+  let db = R.Database.create () in
+  R.Database.add_domain db (R.Dict.of_int_range "da" 7);
+  R.Database.add_domain db (R.Dict.of_int_range "db" 13);
+  R.Database.add_domain db (R.Dict.of_int_range "dc" 5);
+  let t =
+    R.Database.create_table db ~name:"t" ~attrs:[ ("a", "da"); ("b", "db"); ("c", "dc") ]
+  in
+  for _ = 1 to rows do
+    R.Table.insert_coded t
+      [| Fcv_util.Rng.int rng 7; Fcv_util.Rng.int rng 13; Fcv_util.Rng.int rng 5 |]
+  done;
+  (db, t)
+
+let test_encode_membership () =
+  let _, t = random_table 7 ~rows:200 in
+  let enc = R.Encode.encode t ~order:[| 0; 1; 2 |] in
+  (* every table row is a model *)
+  R.Table.iter t (fun row -> check "row in BDD" true (R.Encode.mem enc row));
+  (* model count equals distinct rows *)
+  let distinct = R.Table.distinct_count t in
+  let total_bits = M.nvars enc.R.Encode.mgr in
+  let used_bits =
+    Array.fold_left (fun acc b -> acc + Fcv_bdd.Fd.width b) 0 enc.R.Encode.blocks
+  in
+  let models =
+    Sat.count enc.R.Encode.mgr enc.R.Encode.root
+    /. Float.pow 2. (float_of_int (total_bits - used_bits))
+  in
+  check "model count = distinct rows" true (models = float_of_int distinct)
+
+let test_encode_non_membership () =
+  let _, t = random_table 8 ~rows:50 in
+  let enc = R.Encode.encode t ~order:[| 2; 0; 1 |] in
+  let rng = Fcv_util.Rng.create 99 in
+  for _ = 1 to 200 do
+    let row =
+      [| Fcv_util.Rng.int rng 7; Fcv_util.Rng.int rng 13; Fcv_util.Rng.int rng 5 |]
+    in
+    check "membership matches table" (R.Table.mem_coded t row) (R.Encode.mem enc row)
+  done
+
+let test_encode_matches_naive () =
+  let _, t = random_table 9 ~rows:120 in
+  List.iter
+    (fun order ->
+      let mgr = M.create ~nvars:0 () in
+      let blocks = R.Encode.alloc_blocks mgr t ~order in
+      let fast = R.Encode.build mgr t ~order ~blocks in
+      let naive = R.Encode.build_naive mgr t ~order ~blocks in
+      check "fast = naive builder" true (fast = naive))
+    [ [| 0; 1; 2 |]; [| 1; 2; 0 |]; [| 2; 1; 0 |] ]
+
+let test_encode_empty_table () =
+  let db = R.Database.create () in
+  R.Database.add_domain db (R.Dict.of_int_range "da" 4);
+  let t = R.Database.create_table db ~name:"t" ~attrs:[ ("a", "da") ] in
+  let enc = R.Encode.encode t ~order:[| 0 |] in
+  check "empty is false" true (enc.R.Encode.root = M.zero)
+
+let test_encode_insert_delete () =
+  let _, t = random_table 10 ~rows:60 in
+  let enc = R.Encode.encode t ~order:[| 0; 1; 2 |] in
+  let fresh = [| 6; 12; 4 |] in
+  if not (R.Encode.mem enc fresh) then begin
+    R.Encode.insert enc fresh;
+    check "inserted row visible" true (R.Encode.mem enc fresh);
+    R.Encode.delete enc fresh;
+    check "deleted row gone" false (R.Encode.mem enc fresh)
+  end;
+  (* delete/insert keeps the rest intact *)
+  let before = enc.R.Encode.root in
+  let row = Array.copy (R.Table.row t 0) in
+  R.Encode.delete enc row;
+  R.Encode.insert enc row;
+  check "delete+insert is identity" true (enc.R.Encode.root = before)
+
+let test_encode_rejects_bad_order () =
+  let _, t = random_table 11 ~rows:5 in
+  Alcotest.check_raises "bad order"
+    (Invalid_argument "Encode.alloc_blocks: order must be a permutation of the attributes")
+    (fun () -> ignore (R.Encode.encode t ~order:[| 0; 0; 2 |]))
+
+let prop_entropy_chain_rule =
+  QCheck.Test.make ~count:60 ~name:"entropy chain rule H(xy) = H(x) + H(y|x)"
+    QCheck.(int_range 0 1000)
+    (fun seed ->
+      let _, t = random_table seed ~rows:80 in
+      let h = R.Stats.entropy t in
+      let close a b = Float.abs (a -. b) < 1e-9 in
+      close (h [ 0; 1 ]) (h [ 0 ] +. R.Stats.cond_entropy t ~given:[ 0 ] ~attr:1)
+      && close (h [ 1; 2 ]) (h [ 2 ] +. R.Stats.cond_entropy t ~given:[ 2 ] ~attr:1))
+
+let prop_entropy_monotone_and_gain_nonneg =
+  QCheck.Test.make ~count:60 ~name:"H grows with attributes; information gain >= 0"
+    QCheck.(int_range 0 1000)
+    (fun seed ->
+      let _, t = random_table (seed + 5000) ~rows:80 in
+      let h = R.Stats.entropy t in
+      h [ 0; 1 ] >= h [ 0 ] -. 1e-9
+      && h [ 0; 1; 2 ] >= h [ 0; 1 ] -. 1e-9
+      && R.Stats.info_gain t ~given:[ 0 ] ~attr:1 >= -1e-9
+      && R.Stats.info_gain t ~given:[ 0; 2 ] ~attr:1 >= -1e-9)
+
+let prop_satcount_equals_distinct_rows =
+  QCheck.Test.make ~count:40 ~name:"encoding model count = distinct rows"
+    QCheck.(int_range 0 1000)
+    (fun seed ->
+      let _, t = random_table (seed + 9000) ~rows:60 in
+      let enc = R.Encode.encode t ~order:[| 1; 0; 2 |] in
+      let used =
+        Array.fold_left (fun acc b -> acc + Fcv_bdd.Fd.width b) 0 enc.R.Encode.blocks
+      in
+      let models =
+        Sat.count enc.R.Encode.mgr enc.R.Encode.root
+        /. Float.pow 2. (float_of_int (M.nvars enc.R.Encode.mgr - used))
+      in
+      models = float_of_int (R.Table.distinct_count t))
+
+let prop_encode_membership_random_orders =
+  QCheck.Test.make ~count:30 ~name:"encoding is order-independent as a set"
+    QCheck.(int_range 0 1000)
+    (fun seed ->
+      let _, t = random_table seed ~rows:40 in
+      let rng = Fcv_util.Rng.create (seed + 1) in
+      let order = Array.init 3 Fun.id in
+      Fcv_util.Rng.shuffle rng order;
+      let enc = R.Encode.encode t ~order in
+      let ok = ref true in
+      R.Table.iter t (fun row -> if not (R.Encode.mem enc row) then ok := false);
+      for _ = 1 to 50 do
+        let row =
+          [| Fcv_util.Rng.int rng 7; Fcv_util.Rng.int rng 13; Fcv_util.Rng.int rng 5 |]
+        in
+        if R.Encode.mem enc row <> R.Table.mem_coded t row then ok := false
+      done;
+      !ok)
+
+let suite =
+  [
+    Alcotest.test_case "dict roundtrip" `Quick test_dict_roundtrip;
+    Alcotest.test_case "dict growth" `Quick test_dict_growth;
+    Alcotest.test_case "schema" `Quick test_schema;
+    Alcotest.test_case "table basics" `Quick test_table_basics;
+    Alcotest.test_case "table delete" `Quick test_table_delete;
+    Alcotest.test_case "shared domains" `Quick test_database_shared_domains;
+    Alcotest.test_case "csv roundtrip" `Quick test_csv_roundtrip;
+    Alcotest.test_case "csv quoting" `Quick test_csv_quoting;
+    Alcotest.test_case "entropy" `Quick test_entropy;
+    Alcotest.test_case "conditional entropy / gain" `Quick test_cond_entropy_and_gain;
+    Alcotest.test_case "fd_holds" `Quick test_fd_holds;
+    Alcotest.test_case "phi measure" `Quick test_phi_measure;
+    Alcotest.test_case "encode membership" `Quick test_encode_membership;
+    Alcotest.test_case "encode non-membership" `Quick test_encode_non_membership;
+    Alcotest.test_case "fast builder = naive builder" `Quick test_encode_matches_naive;
+    Alcotest.test_case "encode empty table" `Quick test_encode_empty_table;
+    Alcotest.test_case "incremental insert/delete" `Quick test_encode_insert_delete;
+    Alcotest.test_case "encode rejects bad order" `Quick test_encode_rejects_bad_order;
+    QCheck_alcotest.to_alcotest prop_encode_membership_random_orders;
+    QCheck_alcotest.to_alcotest prop_entropy_chain_rule;
+    QCheck_alcotest.to_alcotest prop_entropy_monotone_and_gain_nonneg;
+    QCheck_alcotest.to_alcotest prop_satcount_equals_distinct_rows;
+  ]

@@ -1,0 +1,311 @@
+(** SQL substrate tests: algebra evaluator, lexer/parser, and the
+    planner — including the correlated NOT EXISTS unnesting and the
+    GROUP BY / HAVING path the paper's violation queries need. *)
+
+module R = Fcv_relation
+module A = Fcv_sql.Algebra
+module E = Fcv_sql.Exec
+
+let check = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+let mk_db () =
+  let db = R.Database.create () in
+  let emp =
+    R.Database.create_table db ~name:"emp"
+      ~attrs:[ ("name", "person"); ("dept", "dept"); ("city", "city") ]
+  in
+  let dept =
+    R.Database.create_table db ~name:"dept" ~attrs:[ ("dept", "dept"); ("city", "city") ]
+  in
+  let s x = R.Value.Str x in
+  List.iter
+    (fun (n, d, c) -> ignore (R.Table.insert emp [| s n; s d; s c |]))
+    [
+      ("alice", "eng", "toronto");
+      ("bob", "eng", "oshawa");
+      ("carol", "sales", "toronto");
+      ("dan", "hr", "ottawa");
+    ];
+  List.iter
+    (fun (d, c) -> ignore (R.Table.insert dept [| s d; s c |]))
+    [ ("eng", "toronto"); ("sales", "toronto"); ("hr", "ottawa") ];
+  (db, emp, dept)
+
+(* -- algebra --------------------------------------------------------------- *)
+
+let test_scan_select () =
+  let _, emp, _ = mk_db () in
+  let plan = A.Select (A.Eq_const (1, 0), A.Scan emp) in
+  (* dept code 0 = "eng" *)
+  check_int "two engineers" 2 (E.count plan)
+
+let test_project_distinct () =
+  let _, emp, _ = mk_db () in
+  let plan = A.Distinct (A.Project ([| 1 |], A.Scan emp)) in
+  check_int "three departments" 3 (E.count plan)
+
+let test_hash_join () =
+  let _, emp, dept = mk_db () in
+  let plan = A.Hash_join ([ (1, 0) ], A.Scan emp, A.Scan dept) in
+  check_int "join on dept" 4 (E.count plan);
+  (* add the city agreement predicate: emp.city = dept.city *)
+  let consistent = A.Select (A.Eq_col (2, 4), plan) in
+  check_int "city-consistent employees" 3 (E.count consistent)
+
+let test_anti_semi_join () =
+  let _, emp, dept = mk_db () in
+  (* employees whose (dept, city) pair is NOT the dept's registered city *)
+  let anti = A.Anti_join ([ (1, 0); (2, 1) ], A.Scan emp, A.Scan dept) in
+  check_int "one inconsistent employee" 1 (E.count anti);
+  (match E.run anti with
+  | [ row ] -> check_int "bob is inconsistent" 1 row.(0)
+  | _ -> Alcotest.fail "expected one row");
+  let semi = A.Semi_join ([ (1, 0); (2, 1) ], A.Scan emp, A.Scan dept) in
+  check_int "three consistent" 3 (E.count semi)
+
+let test_empty_key_semijoin_is_existence () =
+  let _, emp, dept = mk_db () in
+  check_int "uncorrelated EXISTS keeps all" 4
+    (E.count (A.Semi_join ([], A.Scan emp, A.Scan dept)));
+  let empty = A.Select (A.False, A.Scan dept) in
+  check_int "uncorrelated EXISTS of empty drops all" 0
+    (E.count (A.Semi_join ([], A.Scan emp, empty)));
+  check_int "uncorrelated NOT EXISTS of empty keeps all" 4
+    (E.count (A.Anti_join ([], A.Scan emp, empty)))
+
+let test_union_diff () =
+  let _, emp, _ = mk_db () in
+  let eng = A.Select (A.Eq_const (1, 0), A.Scan emp) in
+  let toronto = A.Select (A.Eq_const (2, 0), A.Scan emp) in
+  check_int "union dedupes" 3 (E.count (A.Union (eng, toronto)));
+  check_int "diff" 1 (E.count (A.Diff (eng, toronto)))
+
+let test_group_by () =
+  let _, emp, _ = mk_db () in
+  let plan = A.Group_by ([| 1 |], [| A.Count_all |], A.True, A.Scan emp) in
+  let rows = E.run plan in
+  check_int "three groups" 3 (List.length rows);
+  let eng_count = List.find (fun r -> r.(0) = 0) rows in
+  check_int "eng has 2" 2 eng_count.(1)
+
+let test_group_by_having_count_distinct () =
+  let _, emp, _ = mk_db () in
+  (* departments spanning more than one city: only eng *)
+  let plan =
+    A.Group_by ([| 1 |], [| A.Count_distinct 2 |], A.Gt_const (1, 1), A.Scan emp)
+  in
+  let rows = E.run plan in
+  check_int "one multi-city dept" 1 (List.length rows);
+  check_int "it is eng" 0 (List.hd rows).(0)
+
+let test_product_arity () =
+  let _, emp, dept = mk_db () in
+  let plan = A.Product (A.Scan emp, A.Scan dept) in
+  check_int "product cardinality" 12 (E.count plan);
+  check_int "product arity" 5 (A.arity plan)
+
+(* -- lexer / parser -------------------------------------------------------- *)
+
+let test_lexer () =
+  let toks = Fcv_sql.Lexer.tokenize "SELECT a.b, 'it''s' FROM t WHERE x <> 3" in
+  check_int "token count" 13 (List.length toks);
+  check "string escape" true
+    (List.exists (function Fcv_sql.Lexer.STRING "it's" -> true | _ -> false) toks)
+
+let test_parser_shapes () =
+  let q = Fcv_sql.Parser.query_of_string "SELECT * FROM emp e WHERE e.dept = 'eng'" in
+  check_int "one from entry" 1 (List.length q.Fcv_sql.Ast.from);
+  check "alias" true (List.hd q.Fcv_sql.Ast.from = ("emp", "e"));
+  let q2 =
+    Fcv_sql.Parser.query_of_string
+      "SELECT dept FROM emp GROUP BY dept HAVING COUNT(DISTINCT city) > 1"
+  in
+  check "group by parsed" true (List.length q2.Fcv_sql.Ast.group_by = 1);
+  check "having parsed" true (q2.Fcv_sql.Ast.having <> None)
+
+let test_parser_errors () =
+  let fails s =
+    match Fcv_sql.Parser.query_of_string s with
+    | exception (Fcv_sql.Parser.Error _ | Fcv_sql.Lexer.Error _) -> true
+    | _ -> false
+  in
+  check "missing FROM" true (fails "SELECT *");
+  check "trailing junk" true (fails "SELECT * FROM t )");
+  check "bad string" true (fails "SELECT * FROM t WHERE a = 'oops")
+
+(* -- planner ---------------------------------------------------------------- *)
+
+let test_planner_select () =
+  let db, _, _ = mk_db () in
+  let rows, names = Fcv_sql.Planner.run db "SELECT e.name FROM emp e WHERE e.dept = 'eng'" in
+  check_int "two rows" 2 (List.length rows);
+  check "column name" true (names = [ "e.name" ])
+
+let test_planner_join () =
+  let db, _, _ = mk_db () in
+  let rows, _ =
+    Fcv_sql.Planner.run db
+      "SELECT e.name FROM emp e, dept d WHERE e.dept = d.dept AND e.city = d.city"
+  in
+  check_int "three consistent" 3 (List.length rows)
+
+let test_planner_not_exists () =
+  let db, _, _ = mk_db () in
+  let rows, _ =
+    Fcv_sql.Planner.run db
+      "SELECT e.name FROM emp e WHERE NOT EXISTS (SELECT * FROM dept d WHERE d.dept = e.dept AND d.city = e.city)"
+  in
+  check_int "one violator" 1 (List.length rows)
+
+let test_planner_in_and_literals () =
+  let db, _, _ = mk_db () in
+  let rows, _ =
+    Fcv_sql.Planner.run db "SELECT name FROM emp WHERE city IN ('toronto', 'ottawa')"
+  in
+  check_int "three in cities" 3 (List.length rows);
+  (* a literal missing from the dictionary can never match *)
+  let rows2, _ = Fcv_sql.Planner.run db "SELECT name FROM emp WHERE city = 'nowhere'" in
+  check_int "unknown literal" 0 (List.length rows2);
+  let rows3, _ = Fcv_sql.Planner.run db "SELECT name FROM emp WHERE city <> 'nowhere'" in
+  check_int "negated unknown literal" 4 (List.length rows3)
+
+let test_planner_group_by () =
+  let db, _, _ = mk_db () in
+  let rows, _ =
+    Fcv_sql.Planner.run db
+      "SELECT dept FROM emp GROUP BY dept HAVING COUNT(DISTINCT city) > 1"
+  in
+  check_int "one fd violator" 1 (List.length rows)
+
+let test_planner_global_agg () =
+  let db, _, _ = mk_db () in
+  let rows, _ = Fcv_sql.Planner.run db "SELECT COUNT(*) FROM emp WHERE dept = 'eng'" in
+  (match rows with
+  | [ row ] -> check_int "count value" 2 row.(0)
+  | _ -> Alcotest.fail "expected single row")
+
+let star_db () =
+  (* three tables joined in a chain; the middle one is selective *)
+  let db = R.Database.create () in
+  List.iter
+    (fun (n, s) -> R.Database.add_domain db (R.Dict.of_int_range n s))
+    [ ("k", 50); ("j", 50); ("v", 10) ];
+  let big = R.Database.create_table db ~name:"big" ~attrs:[ ("k", "k"); ("x", "v") ] in
+  let mid = R.Database.create_table db ~name:"mid" ~attrs:[ ("k", "k"); ("j", "j") ] in
+  let tiny = R.Database.create_table db ~name:"tiny" ~attrs:[ ("j", "j"); ("y", "v") ] in
+  let rng = Fcv_util.Rng.create 12 in
+  for _ = 1 to 500 do
+    R.Table.insert_coded big [| Fcv_util.Rng.int rng 50; Fcv_util.Rng.int rng 10 |]
+  done;
+  for _ = 1 to 200 do
+    R.Table.insert_coded mid [| Fcv_util.Rng.int rng 50; Fcv_util.Rng.int rng 50 |]
+  done;
+  for _ = 1 to 20 do
+    R.Table.insert_coded tiny [| Fcv_util.Rng.int rng 50; Fcv_util.Rng.int rng 10 |]
+  done;
+  db
+
+let test_planner_pushes_selections () =
+  let db = star_db () in
+  let q = Fcv_sql.Parser.query_of_string "SELECT b.k FROM big b, mid m WHERE b.k = m.k AND b.x = 3" in
+  let plan, _ = Fcv_sql.Planner.plan db q in
+  (* the constant selection must sit below the join, on big's scan *)
+  let rec select_above_join = function
+    | A.Select (A.Eq_const _, A.Hash_join _) -> true
+    | A.Select (_, p) | A.Project (_, p) | A.Distinct p -> select_above_join p
+    | A.Hash_join (_, l, r) | A.Product (l, r) -> select_above_join l || select_above_join r
+    | _ -> false
+  in
+  check "selection pushed below join" false (select_above_join plan);
+  (* and results are unchanged vs the naive semantics *)
+  let rows, _ = Fcv_sql.Planner.run db "SELECT b.k FROM big b, mid m WHERE b.k = m.k AND b.x = 3" in
+  let big = R.Database.table db "big" and mid = R.Database.table db "mid" in
+  let expected = ref 0 in
+  R.Table.iter big (fun rb ->
+      if rb.(1) = 3 then
+        R.Table.iter mid (fun rm -> if rm.(0) = rb.(0) then incr expected));
+  check_int "pushed plan result" !expected (List.length rows)
+
+let test_planner_cost_based_join_order () =
+  let db = star_db () in
+  let q =
+    Fcv_sql.Parser.query_of_string
+      "SELECT b.x FROM big b, mid m, tiny t WHERE b.k = m.k AND m.j = t.j"
+  in
+  let plan, _ = Fcv_sql.Planner.plan db q in
+  (* the cheaper mid-tiny join (est. 200*20/50 = 80) must happen before
+     the big-mid join (est. 500*200/50 = 2000): big's scan belongs to
+     the OUTER join, not the inner one *)
+  let rec inner_joins = function
+    | A.Hash_join (_, l, r) -> (
+      match (l, r) with
+      | (A.Hash_join _ as j), other | other, (A.Hash_join _ as j) ->
+        let rec mentions_big = function
+          | A.Scan t -> R.Table.name t = "big"
+          | A.Select (_, p) | A.Project (_, p) | A.Distinct p -> mentions_big p
+          | A.Hash_join (_, a, b) | A.Product (a, b) -> mentions_big a || mentions_big b
+          | _ -> false
+        in
+        Some (mentions_big j, mentions_big other)
+      | _ -> None)
+    | A.Select (_, p) | A.Project (_, p) | A.Distinct p -> inner_joins p
+    | _ -> None
+  in
+  (match inner_joins plan with
+  | Some (big_in_inner, big_in_outer) ->
+    check "big joined last" true ((not big_in_inner) && big_in_outer)
+  | None -> Alcotest.fail ("no nested join found: " ^ A.to_string plan));
+  (* correctness unchanged *)
+  let rows, _ =
+    Fcv_sql.Planner.run db "SELECT b.x FROM big b, mid m, tiny t WHERE b.k = m.k AND m.j = t.j"
+  in
+  let nested = ref 0 in
+  let big = R.Database.table db "big"
+  and mid = R.Database.table db "mid"
+  and tiny = R.Database.table db "tiny" in
+  R.Table.iter big (fun rb ->
+      R.Table.iter mid (fun rm ->
+          if rm.(0) = rb.(0) then
+            R.Table.iter tiny (fun rt -> if rt.(0) = rm.(1) then incr nested)));
+  check_int "three-way join result" !nested (List.length rows)
+
+let test_planner_cross_domain_rejected () =
+  let db, _, _ = mk_db () in
+  check "cross-domain comparison rejected" true
+    (match Fcv_sql.Planner.run db "SELECT * FROM emp WHERE name = dept" with
+    | exception Fcv_sql.Planner.Unsupported _ -> true
+    | _ -> false)
+
+let test_planner_ambiguous_column () =
+  let db, _, _ = mk_db () in
+  check "ambiguous column rejected" true
+    (match Fcv_sql.Planner.run db "SELECT city FROM emp e, dept d WHERE e.dept = d.dept" with
+    | exception Fcv_sql.Planner.Unsupported _ -> true
+    | _ -> false)
+
+let suite =
+  [
+    Alcotest.test_case "scan + select" `Quick test_scan_select;
+    Alcotest.test_case "project + distinct" `Quick test_project_distinct;
+    Alcotest.test_case "hash join" `Quick test_hash_join;
+    Alcotest.test_case "anti/semi join" `Quick test_anti_semi_join;
+    Alcotest.test_case "empty-key (anti)semijoin = existence" `Quick test_empty_key_semijoin_is_existence;
+    Alcotest.test_case "union / diff" `Quick test_union_diff;
+    Alcotest.test_case "group by" `Quick test_group_by;
+    Alcotest.test_case "having count distinct" `Quick test_group_by_having_count_distinct;
+    Alcotest.test_case "product" `Quick test_product_arity;
+    Alcotest.test_case "lexer" `Quick test_lexer;
+    Alcotest.test_case "parser shapes" `Quick test_parser_shapes;
+    Alcotest.test_case "parser errors" `Quick test_parser_errors;
+    Alcotest.test_case "planner select" `Quick test_planner_select;
+    Alcotest.test_case "planner join" `Quick test_planner_join;
+    Alcotest.test_case "planner NOT EXISTS" `Quick test_planner_not_exists;
+    Alcotest.test_case "planner IN / literals" `Quick test_planner_in_and_literals;
+    Alcotest.test_case "planner group by" `Quick test_planner_group_by;
+    Alcotest.test_case "planner global aggregate" `Quick test_planner_global_agg;
+    Alcotest.test_case "planner pushes selections" `Quick test_planner_pushes_selections;
+    Alcotest.test_case "planner cost-based join order" `Quick test_planner_cost_based_join_order;
+    Alcotest.test_case "planner cross-domain rejection" `Quick test_planner_cross_domain_rejected;
+    Alcotest.test_case "planner ambiguity rejection" `Quick test_planner_ambiguous_column;
+  ]

@@ -1,0 +1,133 @@
+(** Utility tests: the deterministic RNG, permutations and bit helpers
+    everything else builds on. *)
+
+let check = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+let test_rng_determinism () =
+  let a = Fcv_util.Rng.create 99 in
+  let b = Fcv_util.Rng.create 99 in
+  let run r = List.init 100 (fun _ -> Fcv_util.Rng.int r 1000) in
+  check "same seed same stream" true (run a = run b)
+
+let test_rng_bounds () =
+  let r = Fcv_util.Rng.create 1 in
+  for _ = 1 to 10_000 do
+    let v = Fcv_util.Rng.int r 17 in
+    if v < 0 || v >= 17 then Alcotest.fail (Printf.sprintf "out of bounds: %d" v)
+  done
+
+let test_rng_float_range () =
+  let r = Fcv_util.Rng.create 2 in
+  for _ = 1 to 10_000 do
+    let v = Fcv_util.Rng.float r in
+    if v < 0. || v >= 1. then Alcotest.fail (Printf.sprintf "float out of range: %f" v)
+  done
+
+let test_rng_split_independence () =
+  let r = Fcv_util.Rng.create 3 in
+  let child = Fcv_util.Rng.split r in
+  let a = List.init 10 (fun _ -> Fcv_util.Rng.int r 100) in
+  let b = List.init 10 (fun _ -> Fcv_util.Rng.int child 100) in
+  check "streams differ" true (a <> b)
+
+let test_rng_shuffle_permutes () =
+  let r = Fcv_util.Rng.create 4 in
+  let arr = Array.init 50 Fun.id in
+  Fcv_util.Rng.shuffle r arr;
+  check "still a permutation" true (Fcv_util.Perm.is_permutation arr)
+
+let test_rng_sample_distinct () =
+  let r = Fcv_util.Rng.create 5 in
+  let s = Fcv_util.Rng.sample r 10 30 in
+  check_int "size" 10 (Array.length s);
+  let sorted = Array.copy s in
+  Array.sort compare sorted;
+  let distinct = Array.to_list sorted |> List.sort_uniq compare |> List.length in
+  check_int "distinct" 10 distinct
+
+let test_rng_bernoulli_extremes () =
+  let r = Fcv_util.Rng.create 6 in
+  for _ = 1 to 100 do
+    check "p=0 never" false (Fcv_util.Rng.bernoulli r 0.);
+    check "p=1 always" true (Fcv_util.Rng.bernoulli r 1.)
+  done
+
+let test_perm_all () =
+  let perms = Fcv_util.Perm.all 4 in
+  check_int "4! = 24" 24 (List.length perms);
+  check_int "no duplicates" 24 (List.length (List.sort_uniq compare perms));
+  List.iter (fun p -> check "each valid" true (Fcv_util.Perm.is_permutation p)) perms
+
+let test_perm_iter_matches_all () =
+  let seen = ref [] in
+  Fcv_util.Perm.iter 4 (fun p -> seen := Array.copy p :: !seen);
+  check_int "iter visits 24" 24 (List.length !seen);
+  check "iter = all (as sets)" true
+    (List.sort compare !seen = List.sort compare (Fcv_util.Perm.all 4))
+
+let test_perm_inverse () =
+  let p = [| 2; 0; 3; 1 |] in
+  let inv = Fcv_util.Perm.inverse p in
+  Array.iteri (fun i pi -> check_int "inverse law" i inv.(pi)) p
+
+let test_perm_apply () =
+  let p = [| 2; 0; 1 |] in
+  let arr = [| "a"; "b"; "c" |] in
+  check "apply" true (Fcv_util.Perm.apply p arr = [| "c"; "a"; "b" |])
+
+let test_factorial () =
+  check_int "5!" 120 (Fcv_util.Perm.factorial 5);
+  check_int "0!" 1 (Fcv_util.Perm.factorial 0)
+
+let test_bits_width () =
+  List.iter
+    (fun (n, w) -> check_int (Printf.sprintf "width %d" n) w (Fcv_util.Bits.width n))
+    [ (1, 1); (2, 1); (3, 2); (4, 2); (5, 3); (50, 6); (281, 9); (10894, 14); (17557, 15) ]
+
+let test_bits_test () =
+  check "bit 0 of 5" true (Fcv_util.Bits.test 5 0);
+  check "bit 1 of 5" false (Fcv_util.Bits.test 5 1);
+  check "bit 2 of 5" true (Fcv_util.Bits.test 5 2)
+
+let test_timer () =
+  let t = Fcv_util.Timer.create () in
+  Fcv_util.Timer.start t;
+  let x = ref 0 in
+  for i = 1 to 100_000 do
+    x := !x + i
+  done;
+  Fcv_util.Timer.stop t;
+  check "elapsed non-negative" true (Fcv_util.Timer.elapsed t >= 0.);
+  let _, ms = Fcv_util.Timer.time_ms (fun () -> ()) in
+  check "time_ms non-negative" true (ms >= 0.);
+  let v, _ = Fcv_util.Timer.time_median ~repeat:3 (fun () -> 42) in
+  check_int "median returns result" 42 v
+
+let prop_zipf_in_range =
+  QCheck.Test.make ~count:100 ~name:"zipf stays in range"
+    QCheck.(pair (int_range 1 50) (int_range 0 1000))
+    (fun (bound, seed) ->
+      let r = Fcv_util.Rng.create seed in
+      let v = Fcv_util.Rng.zipf r ~s:1.0 bound in
+      v >= 0 && v < bound)
+
+let suite =
+  [
+    Alcotest.test_case "rng determinism" `Quick test_rng_determinism;
+    Alcotest.test_case "rng bounds" `Quick test_rng_bounds;
+    Alcotest.test_case "rng float range" `Quick test_rng_float_range;
+    Alcotest.test_case "rng split" `Quick test_rng_split_independence;
+    Alcotest.test_case "rng shuffle" `Quick test_rng_shuffle_permutes;
+    Alcotest.test_case "rng sample" `Quick test_rng_sample_distinct;
+    Alcotest.test_case "rng bernoulli extremes" `Quick test_rng_bernoulli_extremes;
+    Alcotest.test_case "perm all" `Quick test_perm_all;
+    Alcotest.test_case "perm iter" `Quick test_perm_iter_matches_all;
+    Alcotest.test_case "perm inverse" `Quick test_perm_inverse;
+    Alcotest.test_case "perm apply" `Quick test_perm_apply;
+    Alcotest.test_case "factorial" `Quick test_factorial;
+    Alcotest.test_case "bits width" `Quick test_bits_width;
+    Alcotest.test_case "bits test" `Quick test_bits_test;
+    Alcotest.test_case "timer" `Quick test_timer;
+    QCheck_alcotest.to_alcotest prop_zipf_in_range;
+  ]
