@@ -1,0 +1,24 @@
+# Convenience wrappers; `make verify` is the CI gate (format check
+# when ocamlformat is present, build, tests with a pinned QCheck seed).
+
+.PHONY: all build test verify fmt bench clean
+
+all: build
+
+build:
+	dune build
+
+test:
+	dune runtest --force
+
+verify:
+	sh bench/ci.sh
+
+fmt:
+	dune build @fmt --auto-promote
+
+bench:
+	dune exec bench/main.exe
+
+clean:
+	dune clean

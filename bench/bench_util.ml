@@ -37,6 +37,23 @@ let row fmt = Printf.printf fmt
 
 let paper_note fmt = Printf.ksprintf (fun s -> Printf.printf "  [paper] %s\n" s) fmt
 
+(* -- kernel digests -------------------------------------------------------------- *)
+
+(** One-line BDD-kernel digest — apply-cache hit rate, peak node count,
+    budget trips — since [before] (whole manager history when omitted).
+    E10–E16 print this under their timing tables. *)
+let kernel_note ?before mgr =
+  let module M = Fcv_bdd.Manager in
+  let s = M.stats mgr in
+  let trips =
+    match before with
+    | Some b -> s.M.budget_trips - b.M.budget_trips
+    | None -> s.M.budget_trips
+  in
+  Printf.printf "  [kernel] apply-cache hit rate %.1f%%, peak nodes %d, budget trips %d\n"
+    (100. *. M.cache_hit_rate ?before s)
+    s.M.peak_nodes trips
+
 (* -- timing -------------------------------------------------------------------- *)
 
 (** Median wall-clock milliseconds of [f], with caches cleared by

@@ -47,10 +47,12 @@ let fixed_rows2 = match scale with Quick -> 20_000 | Full -> 100_000
 
 let fig6a () =
   section "Fig 6(a): equi-join rewrite — naive equality-BDD vs rename (ms)";
-  row "%-10s %12s %14s %14s %14s %14s\n" "R1 rows" "R1 nodes" "naive 1attr" "opt 1attr" "naive 2attr" "opt 2attr";
+  row "%-10s %12s %14s %14s %14s %14s %8s %12s\n" "R1 rows" "R1 nodes" "naive 1attr"
+    "opt 1attr" "naive 2attr" "opt 2attr" "hit%" "peak nodes";
   List.iter
     (fun rows1 ->
       let mgr, b1, r1, b2, r2 = make_pair ~rows1 ~rows2:fixed_rows2 in
+      let before = M.stats mgr in
       let reset () = M.clear_caches mgr in
       let pairs1 = [ (b1.(0), b2.(0)) ] in
       let pairs2 = [ (b1.(0), b2.(0)); (b1.(1), b2.(1)) ] in
@@ -58,8 +60,11 @@ let fig6a () =
       let opt1 = time_ms ~reset (fun () -> ignore (Core.Compile.join_rename mgr r1 r2 pairs1)) in
       let naive2 = time_ms ~reset (fun () -> ignore (Core.Compile.join_naive mgr r1 r2 pairs2)) in
       let opt2 = time_ms ~reset (fun () -> ignore (Core.Compile.join_rename mgr r1 r2 pairs2)) in
-      row "%-10d %12d %14.1f %14.1f %14.1f %14.1f\n" rows1 (M.node_count mgr r1) naive1
-        opt1 naive2 opt2)
+      let after = M.stats mgr in
+      row "%-10d %12d %14.1f %14.1f %14.1f %14.1f %7.1f%% %12d\n" rows1
+        (M.node_count mgr r1) naive1 opt1 naive2 opt2
+        (100. *. M.cache_hit_rate ~before after)
+        after.M.peak_nodes)
     join_sizes;
   paper_note "renaming is 2-3x faster than the equality-clause strategy"
 
@@ -131,13 +136,15 @@ let make_pq_dense ?(seed = 0) ~rows_p ~rows_q () =
 
 let fig6b () =
   section "Fig 6(b): existential pull-up — Ex(P) OR Ex(Q) vs appex(P OR Q) (ms)";
-  row "%-10s %12s %18s %20s\n" "P rows" "P nodes" "Ex(P) or Ex(Q)" "appex(P or Q)";
+  row "%-10s %12s %18s %20s %8s %12s\n" "P rows" "P nodes" "Ex(P) or Ex(Q)"
+    "appex(P or Q)" "hit%" "peak nodes";
   List.iter
     (fun rows_p ->
       let runs =
         List.map
           (fun seed ->
             let mgr, x, fp, fq = make_pq ~seed ~rows_p ~rows_q:fixed_q () in
+            let before = M.stats mgr in
             let levels = Array.to_list x.Fd.levels in
             let reset () = M.clear_caches mgr in
             let separate =
@@ -147,25 +154,35 @@ let fig6b () =
             let fused =
               time_ms ~repeat:1 ~reset (fun () -> ignore (O.appex mgr O.Or levels fp fq))
             in
-            (M.node_count mgr fp, separate, fused))
+            let after = M.stats mgr in
+            ( M.node_count mgr fp,
+              separate,
+              fused,
+              M.cache_hit_rate ~before after,
+              after.M.peak_nodes ))
           [ 1; 2; 3 ]
       in
-      let nodes = match runs with (n, _, _) :: _ -> n | [] -> 0 in
-      let separate = mean (List.map (fun (_, s, _) -> s) runs) in
-      let fused = mean (List.map (fun (_, _, f) -> f) runs) in
-      row "%-10d %12d %18.1f %20.1f\n" rows_p nodes separate fused)
+      let nodes = match runs with (n, _, _, _, _) :: _ -> n | [] -> 0 in
+      let separate = mean (List.map (fun (_, s, _, _, _) -> s) runs) in
+      let fused = mean (List.map (fun (_, _, f, _, _) -> f) runs) in
+      let hit = mean (List.map (fun (_, _, _, h, _) -> h) runs) in
+      let peak = List.fold_left (fun acc (_, _, _, _, p) -> max acc p) 0 runs in
+      row "%-10d %12d %18.1f %20.1f %7.1f%% %12d\n" rows_p nodes separate fused
+        (100. *. hit) peak)
     pq_sizes;
   paper_note "pull-up (appex over the disjunction) wins"
 
 let fig6c () =
   section "Fig 6(c): universal push-down — FAx(P) AND FAx(Q) vs appall(P AND Q) (ms)";
-  row "%-10s %12s %20s %20s\n" "P rows" "P nodes" "FAx(P) and FAx(Q)" "appall(P and Q)";
+  row "%-10s %12s %20s %20s %8s %12s\n" "P rows" "P nodes" "FAx(P) and FAx(Q)"
+    "appall(P and Q)" "hit%" "peak nodes";
   List.iter
     (fun rows_p ->
       let runs =
         List.map
           (fun seed ->
             let mgr, x, fp, fq = make_pq_dense ~seed ~rows_p ~rows_q:fixed_q () in
+            let before = M.stats mgr in
             let levels = Array.to_list x.Fd.levels in
             let reset () = M.clear_caches mgr in
             let pushed =
@@ -175,13 +192,21 @@ let fig6c () =
             let fused =
               time_ms ~repeat:1 ~reset (fun () -> ignore (O.appall mgr O.And levels fp fq))
             in
-            (M.node_count mgr fp, pushed, fused))
+            let after = M.stats mgr in
+            ( M.node_count mgr fp,
+              pushed,
+              fused,
+              M.cache_hit_rate ~before after,
+              after.M.peak_nodes ))
           [ 1; 2; 3 ]
       in
-      let nodes = match runs with (n, _, _) :: _ -> n | [] -> 0 in
-      let pushed = mean (List.map (fun (_, s, _) -> s) runs) in
-      let fused = mean (List.map (fun (_, _, f) -> f) runs) in
-      row "%-10d %12d %20.1f %20.1f\n" rows_p nodes pushed fused)
+      let nodes = match runs with (n, _, _, _, _) :: _ -> n | [] -> 0 in
+      let pushed = mean (List.map (fun (_, s, _, _, _) -> s) runs) in
+      let fused = mean (List.map (fun (_, _, f, _, _) -> f) runs) in
+      let hit = mean (List.map (fun (_, _, _, h, _) -> h) runs) in
+      let peak = List.fold_left (fun acc (_, _, _, _, p) -> max acc p) 0 runs in
+      row "%-10d %12d %20.1f %20.1f %7.1f%% %12d\n" rows_p nodes pushed fused
+        (100. *. hit) peak)
     pq_sizes;
   paper_note "push-down (separate foralls, then AND) wins over the fused form";
   paper_note "operands are dense implications, the shape a universal constraint quantifies"

@@ -31,6 +31,10 @@ let registry : (string * string * (unit -> unit)) list =
     ("micro", "Bechamel micro-benchmarks of kernel primitives", Micro.all);
   ]
 
+(* FCV_TELEMETRY=PREFIX records telemetry around each experiment and
+   writes PREFIX.<name>.jsonl (events + counter/histogram summary). *)
+let telemetry_prefix = Sys.getenv_opt "FCV_TELEMETRY"
+
 let () =
   let requested =
     match Array.to_list Sys.argv with
@@ -41,13 +45,25 @@ let () =
     (match Bench_util.scale with
     | Bench_util.Quick -> "quick (set FCV_BENCH_SCALE=full for paper scale)"
     | Bench_util.Full -> "full");
+  let module T = Fcv_util.Telemetry in
   List.iter
     (fun name ->
       match List.find_opt (fun (n, _, _) -> n = name) registry with
       | Some (_, _, run) ->
+        if telemetry_prefix <> None then begin
+          T.reset ();
+          T.enable ()
+        end;
         let t0 = Fcv_util.Timer.now () in
         run ();
-        Printf.printf "\n[%s done in %.1f s]\n" name (Fcv_util.Timer.now () -. t0)
+        Printf.printf "\n[%s done in %.1f s]\n" name (Fcv_util.Timer.now () -. t0);
+        Option.iter
+          (fun prefix ->
+            let path = Printf.sprintf "%s.%s.jsonl" prefix name in
+            T.write_jsonl path;
+            T.disable ();
+            Printf.printf "[telemetry: %s]\n" path)
+          telemetry_prefix
       | None ->
         Printf.eprintf "unknown experiment %s; known:\n" name;
         List.iter (fun (n, d, _) -> Printf.eprintf "  %-8s %s\n" n d) registry;

@@ -64,15 +64,23 @@ let table1 () =
     let reset () = M.clear_caches (Core.Index.mgr index) in
     time_ms ~reset (fun () -> ignore (Core.Checker.check ?pipeline index c))
   in
-  row "%-16s %10s %14s %14s %16s\n" "query" "SQL" "BDD: random" "BDD: optimized" "BDD: no-rewrite";
+  let mgr_opt = Core.Index.mgr optimized in
+  row "%-16s %10s %14s %14s %16s %8s %12s\n" "query" "SQL" "BDD: random" "BDD: optimized"
+    "BDD: no-rewrite" "hit%" "peak nodes";
   List.iter
     (fun (name, c) ->
       let sql = time_ms (fun () -> ignore (Core.Checker.check_sql db c)) in
       let bdd_rand = check random c in
+      let before = M.stats mgr_opt in
       let bdd_opt = check optimized c in
+      let after = M.stats mgr_opt in
       let bdd_norw = check optimized ~pipeline:Core.Checker.naive_pipeline c in
-      row "%-16s %10.1f %14.1f %14.1f %16.1f\n" name sql bdd_rand bdd_opt bdd_norw)
+      row "%-16s %10.1f %14.1f %14.1f %16.1f %7.1f%% %12d\n" name sql bdd_rand bdd_opt
+        bdd_norw
+        (100. *. M.cache_hit_rate ~before after)
+        after.M.peak_nodes)
     parsed;
+  kernel_note mgr_opt;
   (* index size context *)
   let sizes index =
     List.map
@@ -107,12 +115,17 @@ let fill_budget budget =
    with
   | _ -> failwith "Table 2: budget was never exceeded — increase the hard formula's width"
   | exception M.Node_limit _ -> ());
-  Fcv_util.Timer.now () -. t0
+  let s = M.stats mgr in
+  (Fcv_util.Timer.now () -. t0, s.M.peak_nodes, s.M.budget_trips)
 
 let table2 () =
   section "Table 2: time to fill the BDD node budget (thresholding overhead)";
-  row "%-14s %12s\n" "budget (nodes)" "time (s)";
-  List.iter (fun b -> row "%-14d %12.2f\n" b (fill_budget b)) thresholds;
+  row "%-14s %12s %12s %8s\n" "budget (nodes)" "time (s)" "peak nodes" "trips";
+  List.iter
+    (fun b ->
+      let t, peak, trips = fill_budget b in
+      row "%-14d %12.2f %12d %8d\n" b t peak trips)
+    thresholds;
   paper_note "paper: 10^3 -> 2.0s, 10^5 -> 2.2s, 10^6 -> 3.5s, 10^7 -> 17s";
   paper_note
     "(the paper's floor of ~2s is BuDDy's fixed start-up/allocation cost; ours \

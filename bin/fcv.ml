@@ -55,6 +55,59 @@ let max_nodes_arg =
   let doc = "BDD node budget; past it the checker falls back to SQL (0 = unlimited)." in
   Arg.(value & opt int 1_000_000 & info [ "max-nodes" ] ~docv:"N" ~doc)
 
+let telemetry_arg =
+  let doc =
+    "Record telemetry (spans, counters, kernel stats) while running and write it \
+     to $(docv) as JSON lines: one event object per line, then summary lines."
+  in
+  Arg.(value & opt (some string) None & info [ "telemetry" ] ~docv:"FILE" ~doc)
+
+(* Run [f] with telemetry enabled when [file] is given, writing the
+   JSONL dump before returning or re-raising.  Callers must not call
+   [exit] inside [f] — the dump would be skipped. *)
+let with_telemetry file f =
+  match file with
+  | None -> f ()
+  | Some path ->
+    let module T = Fcv_util.Telemetry in
+    T.reset ();
+    T.enable ();
+    let finish () =
+      (try
+         T.write_jsonl path;
+         Printf.eprintf "(telemetry written to %s)\n" path
+       with Sys_error msg -> Printf.eprintf "fcv: cannot write telemetry: %s\n" msg);
+      T.disable ()
+    in
+    (match f () with
+    | v ->
+      finish ();
+      v
+    | exception e ->
+      finish ();
+      raise e)
+
+(* The shared BDD-kernel stats table ([fcv stats], and handy after any
+   instrumented run). *)
+let print_manager_stats oc mgr =
+  let module M = Fcv_bdd.Manager in
+  let s = M.stats mgr in
+  Printf.fprintf oc "BDD manager\n";
+  Printf.fprintf oc "  nodes                 %12d\n" s.M.nodes;
+  Printf.fprintf oc "  peak nodes            %12d\n" s.M.peak_nodes;
+  Printf.fprintf oc "  variables             %12d\n" s.M.variables;
+  Printf.fprintf oc "  unique-table probes   %12d\n" (s.M.unique_hits + s.M.unique_misses);
+  Printf.fprintf oc "    hits / misses       %12d / %d\n" s.M.unique_hits s.M.unique_misses;
+  Printf.fprintf oc "    buckets (longest)   %12d (%d)\n" s.M.unique_buckets s.M.unique_max_bucket;
+  Printf.fprintf oc "  apply-cache lookups   %12d\n" s.M.op_cache_lookups;
+  Printf.fprintf oc "    hit rate            %12.1f%%\n" (100. *. M.cache_hit_rate s);
+  Printf.fprintf oc "  budget trips          %12d\n" s.M.budget_trips;
+  Printf.fprintf oc "  compact reclaimed     %12d\n" s.M.compact_reclaimed;
+  let calls = List.filter (fun (_, n) -> n > 0) s.M.op_calls in
+  if calls <> [] then
+    Printf.fprintf oc "  op calls              %s\n"
+      (String.concat ", " (List.map (fun (name, n) -> Printf.sprintf "%s=%d" name n) calls))
+
 (* -- fcv check --------------------------------------------------------------- *)
 
 let read_constraints path =
@@ -74,15 +127,51 @@ let read_constraints path =
              l <> "" && not (String.length l >= 1 && l.[0] = '#'))
       |> List.map (fun l -> (l, Core.Fol_parser.of_string l)))
 
-let check_cmd =
-  let constraints_arg =
-    let doc =
-      "File of constraints, one per line, in the FOL syntax, e.g.\n\
-       forall x . people(x, c) -> (exists s . cities(c, s)).\n\
-       Lines starting with # are comments."
-    in
-    Arg.(required & opt (some file) None & info [ "c"; "constraints" ] ~docv:"FILE" ~doc)
+let constraints_arg =
+  let doc =
+    "File of constraints, one per line, in the FOL syntax, e.g.\n\
+     forall x . people(x, c) -> (exists s . cities(c, s)).\n\
+     Lines starting with # are comments."
   in
+  Arg.(required & opt (some file) None & info [ "c"; "constraints" ] ~docv:"FILE" ~doc)
+
+(* Check every constraint against [index], printing one verdict line
+   each (shared by [fcv check] and [fcv stats]); returns the number
+   violated. *)
+let run_checks ?(witnesses = 0) index constraints =
+  let violated = ref 0 in
+  List.iter
+    (fun (src, c) ->
+      match Core.Checker.check index c with
+      | r ->
+        let verdict =
+          match r.Core.Checker.outcome with
+          | Core.Checker.Satisfied -> "SATISFIED"
+          | Core.Checker.Violated ->
+            incr violated;
+            "VIOLATED "
+        in
+        Printf.printf "[%s] (%6.2f ms, %s) %s\n" verdict r.Core.Checker.elapsed_ms
+          (Core.Checker.method_name r.Core.Checker.method_used)
+          src;
+        if witnesses > 0 && r.Core.Checker.outcome = Core.Checker.Violated then begin
+          match Core.Violations.enumerate ~limit:witnesses index c with
+          | Some ws ->
+            List.iter
+              (fun w ->
+                print_endline
+                  ("    "
+                  ^ String.concat ", "
+                      (List.map (fun (x, v) -> x ^ "=" ^ R.Value.to_string v) w)))
+              ws
+          | None -> print_endline "    (no finite witnesses)"
+        end
+      | exception (Core.Typing.Type_error msg | Core.Compile.Unsupported msg) ->
+        Printf.printf "[ERROR    ] %s: %s\n" src msg)
+    constraints;
+  !violated
+
+let check_cmd =
   let witnesses_arg =
     let doc = "Print up to $(docv) violating bindings per violated constraint." in
     Arg.(value & opt int 0 & info [ "w"; "witnesses" ] ~docv:"K" ~doc)
@@ -95,69 +184,45 @@ let check_cmd =
     let doc = "Restore logical indices from $(docv) instead of re-encoding." in
     Arg.(value & opt (some string) None & info [ "load-index" ] ~docv:"FILE" ~doc)
   in
-  let run data constraints_file strategy max_nodes witnesses save_index load_index =
-    let db, _ = load_dir data in
-    let constraints = read_constraints constraints_file in
-    let t0 = Fcv_util.Timer.now () in
-    let index =
-      match load_index with
-      | Some path ->
-        let index = Core.Index_io.load_file db path in
-        Fcv_bdd.Manager.set_max_nodes (Core.Index.mgr index) max_nodes;
-        (* any relation not covered by the snapshot still gets an index *)
-        Core.Checker.ensure_indices ~strategy:(strategy_of_string strategy) index
-          (List.map snd constraints);
-        index
-      | None ->
-        let index = Core.Index.create ~max_nodes db in
-        Core.Checker.ensure_indices ~strategy:(strategy_of_string strategy) index
-          (List.map snd constraints);
-        index
+  let run data constraints_file strategy max_nodes witnesses save_index load_index telemetry =
+    let violated =
+      with_telemetry telemetry @@ fun () ->
+      let db, _ = load_dir data in
+      let constraints = read_constraints constraints_file in
+      let t0 = Fcv_util.Timer.now () in
+      let index =
+        Fcv_util.Telemetry.with_span "build_indices" @@ fun () ->
+        match load_index with
+        | Some path ->
+          let index = Core.Index_io.load_file db path in
+          Fcv_bdd.Manager.set_max_nodes (Core.Index.mgr index) max_nodes;
+          (* any relation not covered by the snapshot still gets an index *)
+          Core.Checker.ensure_indices ~strategy:(strategy_of_string strategy) index
+            (List.map snd constraints);
+          index
+        | None ->
+          let index = Core.Index.create ~max_nodes db in
+          Core.Checker.ensure_indices ~strategy:(strategy_of_string strategy) index
+            (List.map snd constraints);
+          index
+      in
+      Option.iter (Core.Index_io.save_file index) save_index;
+      Printf.printf "%s %d logical indices in %.1f ms\n\n"
+        (if load_index = None then "built" else "loaded")
+        (List.length (Core.Index.entries index))
+        ((Fcv_util.Timer.now () -. t0) *. 1000.);
+      let violated = run_checks ~witnesses index constraints in
+      Printf.printf "\n%d/%d constraints violated\n" violated (List.length constraints);
+      violated
     in
-    Option.iter (Core.Index_io.save_file index) save_index;
-    Printf.printf "%s %d logical indices in %.1f ms\n\n"
-      (if load_index = None then "built" else "loaded")
-      (List.length (Core.Index.entries index))
-      ((Fcv_util.Timer.now () -. t0) *. 1000.);
-    let violated = ref 0 in
-    List.iter
-      (fun (src, c) ->
-        match Core.Checker.check index c with
-        | r ->
-          let verdict =
-            match r.Core.Checker.outcome with
-            | Core.Checker.Satisfied -> "SATISFIED"
-            | Core.Checker.Violated ->
-              incr violated;
-              "VIOLATED "
-          in
-          Printf.printf "[%s] (%6.2f ms, %s) %s\n" verdict r.Core.Checker.elapsed_ms
-            (Core.Checker.method_name r.Core.Checker.method_used)
-            src;
-          if witnesses > 0 && r.Core.Checker.outcome = Core.Checker.Violated then begin
-            match Core.Violations.enumerate ~limit:witnesses index c with
-            | Some ws ->
-              List.iter
-                (fun w ->
-                  print_endline
-                    ("    "
-                    ^ String.concat ", "
-                        (List.map (fun (x, v) -> x ^ "=" ^ R.Value.to_string v) w)))
-                ws
-            | None -> print_endline "    (no finite witnesses)"
-          end
-        | exception (Core.Typing.Type_error msg | Core.Compile.Unsupported msg) ->
-          Printf.printf "[ERROR    ] %s: %s\n" src msg)
-      constraints;
-    Printf.printf "\n%d/%d constraints violated\n" !violated (List.length constraints);
-    if !violated > 0 then exit 1
+    if violated > 0 then exit 1
   in
   let doc = "validate constraints against CSV tables using BDD logical indices" in
   Cmd.v
     (Cmd.info "check" ~doc)
     Term.(
       const run $ data_arg $ constraints_arg $ strategy_arg $ max_nodes_arg
-      $ witnesses_arg $ save_index_arg $ load_index_arg)
+      $ witnesses_arg $ save_index_arg $ load_index_arg $ telemetry_arg)
 
 (* -- fcv index ----------------------------------------------------------------- *)
 
@@ -335,6 +400,144 @@ let deps_cmd =
   let doc = "check a functional or multivalued dependency on the logical index" in
   Cmd.v (Cmd.info "deps" ~doc) Term.(const run $ data_arg $ table_arg $ lhs_arg $ rhs_arg $ mvd_arg)
 
+(* -- fcv stats ------------------------------------------------------------------------ *)
+
+let stats_cmd =
+  let run data constraints_file strategy max_nodes telemetry =
+    let module T = Fcv_util.Telemetry in
+    T.reset ();
+    T.enable ();
+    let db, _ = load_dir data in
+    let constraints = read_constraints constraints_file in
+    let index = Core.Index.create ~max_nodes db in
+    T.with_span "build_indices" (fun () ->
+        Core.Checker.ensure_indices ~strategy:(strategy_of_string strategy) index
+          (List.map snd constraints));
+    let violated = run_checks index constraints in
+    Printf.printf "\n%d/%d constraints violated\n\n" violated (List.length constraints);
+    print_manager_stats stdout (Core.Index.mgr index);
+    print_newline ();
+    T.print_summary stdout;
+    Option.iter
+      (fun path ->
+        T.write_jsonl path;
+        Printf.eprintf "(telemetry written to %s)\n" path)
+      telemetry;
+    T.disable ()
+  in
+  let doc =
+    "run the checks with telemetry on and print kernel statistics (apply-cache \
+     hit rate, peak node count, per-stage spans, rewrite-rule firings)"
+  in
+  Cmd.v
+    (Cmd.info "stats" ~doc)
+    Term.(const run $ data_arg $ constraints_arg $ strategy_arg $ max_nodes_arg $ telemetry_arg)
+
+(* -- fcv monitor ---------------------------------------------------------------------- *)
+
+(* Updates file: one command per line —
+     insert TABLE,v1,v2,...
+     delete TABLE,v1,v2,...
+     validate
+   Values are matched against the tables' existing dictionaries; a row
+   mentioning an unknown value is skipped with a warning (streaming
+   brand-new domain values would force an index rebuild). *)
+let monitor_cmd =
+  let updates_arg =
+    let doc =
+      "File of streamed updates: lines 'insert TABLE,v1,...', 'delete TABLE,v1,...' \
+       or 'validate'.  Lines starting with # are comments."
+    in
+    Arg.(required & opt (some file) None & info [ "u"; "updates" ] ~docv:"FILE" ~doc)
+  in
+  let parse_row db line =
+    match String.split_on_char ',' line |> List.map String.trim with
+    | table_name :: cells when cells <> [] -> (
+      let t = R.Database.table db table_name in
+      if List.length cells <> R.Table.arity t then
+        failwith
+          (Printf.sprintf "%s: expected %d values, got %d" table_name (R.Table.arity t)
+             (List.length cells));
+      let coded =
+        List.mapi
+          (fun j cell ->
+            R.Dict.code (R.Table.dict t j) (R.Value.of_string cell))
+          cells
+      in
+      if List.exists (( = ) None) coded then None
+      else Some (table_name, Array.of_list (List.map Option.get coded)))
+    | _ -> failwith ("malformed update row: " ^ line)
+  in
+  let print_reports reports =
+    List.iter
+      (fun rep ->
+        Printf.printf "  [%s] (%s%6.2f ms) %s\n"
+          (match rep.Core.Monitor.outcome with
+          | Core.Checker.Satisfied -> "SATISFIED"
+          | Core.Checker.Violated -> "VIOLATED ")
+          (if rep.Core.Monitor.fresh then "fresh,  " else "cached, ")
+          rep.Core.Monitor.elapsed_ms rep.Core.Monitor.constraint_.Core.Monitor.source)
+      reports
+  in
+  let run data constraints_file strategy max_nodes updates_file telemetry =
+    let any_violated =
+      with_telemetry telemetry @@ fun () ->
+      let db, _ = load_dir data in
+      let constraints = read_constraints constraints_file in
+      let index = Core.Index.create ~max_nodes db in
+      Core.Checker.ensure_indices ~strategy:(strategy_of_string strategy) index
+        (List.map snd constraints);
+      let monitor = Core.Monitor.create index in
+      List.iter (fun (src, _) -> ignore (Core.Monitor.add monitor src)) constraints;
+      let any_violated = ref false in
+      let validate label =
+        Printf.printf "%s:\n" label;
+        let reports = Core.Monitor.validate monitor in
+        print_reports reports;
+        if List.exists (fun r -> r.Core.Monitor.outcome = Core.Checker.Violated) reports
+        then any_violated := true
+      in
+      let ic = open_in updates_file in
+      Fun.protect
+        ~finally:(fun () -> close_in ic)
+        (fun () ->
+          let n = ref 0 in
+          try
+            while true do
+              let line = String.trim (input_line ic) in
+              incr n;
+              if line <> "" && line.[0] <> '#' then begin
+                match String.index_opt line ' ' with
+                | _ when line = "validate" -> validate (Printf.sprintf "validate (line %d)" !n)
+                | Some k -> (
+                  let cmd = String.sub line 0 k in
+                  let rest = String.sub line (k + 1) (String.length line - k - 1) in
+                  match (cmd, parse_row db rest) with
+                  | "insert", Some (table_name, row) -> Core.Monitor.insert monitor ~table_name row
+                  | "delete", Some (table_name, row) ->
+                    ignore (Core.Monitor.delete monitor ~table_name row)
+                  | ("insert" | "delete"), None ->
+                    Printf.eprintf "line %d: unknown value, row skipped: %s\n" !n rest
+                  | _ -> failwith (Printf.sprintf "line %d: unknown command %s" !n cmd))
+                | None -> failwith (Printf.sprintf "line %d: malformed line: %s" !n line)
+              end
+            done
+          with End_of_file -> ());
+      validate "final validation";
+      !any_violated
+    in
+    if any_violated then exit 1
+  in
+  let doc =
+    "replay a stream of inserts/deletes through the logical indices and lazily \
+     re-validate the registered constraints"
+  in
+  Cmd.v
+    (Cmd.info "monitor" ~doc)
+    Term.(
+      const run $ data_arg $ constraints_arg $ strategy_arg $ max_nodes_arg $ updates_arg
+      $ telemetry_arg)
+
 (* -- fcv gen -------------------------------------------------------------------------- *)
 
 let gen_cmd =
@@ -392,4 +595,24 @@ let gen_cmd =
 let () =
   let doc = "fast identification of relational constraint violations (ICDE'07 reproduction)" in
   let info = Cmd.info "fcv" ~version:"1.0.0" ~doc in
-  exit (Cmd.eval (Cmd.group info [ check_cmd; index_cmd; orderings_cmd; sql_cmd; deps_cmd; gen_cmd ]))
+  (* User-level errors (bad input files, unknown tables/kinds, ...) are
+     raised as Failure/Sys_error from the subcommands; turn them into a
+     clean message instead of cmdliner's "internal error" backtrace. *)
+  exit
+    (try
+       Cmd.eval ~catch:false
+         (Cmd.group info
+          [
+            check_cmd;
+            monitor_cmd;
+            stats_cmd;
+            index_cmd;
+            orderings_cmd;
+            sql_cmd;
+            deps_cmd;
+            gen_cmd;
+          ])
+     with
+     | Failure msg | Sys_error msg | Invalid_argument msg ->
+       Printf.eprintf "fcv: %s\n" msg;
+       2)

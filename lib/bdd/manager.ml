@@ -21,6 +21,21 @@ exception Node_limit of int
 (** Raised by {!mk} when the node budget is exceeded; carries the
     budget that was exceeded. *)
 
+(* Slots of the per-manager operation-call counter array; one public
+   entry point of {!Ops} each. *)
+let op_slot_names =
+  [| "apply"; "neg"; "ite"; "restrict"; "exists"; "forall"; "appex"; "appall"; "replace" |]
+
+let op_apply = 0
+let op_neg = 1
+let op_ite = 2
+let op_restrict = 3
+let op_exists = 4
+let op_forall = 5
+let op_appex = 6
+let op_appall = 7
+let op_replace = 8
+
 type t = {
   mutable nvars : int;
   mutable var_ : int array;  (* level of each node; terminals get terminal_level *)
@@ -37,6 +52,10 @@ type t = {
   mutable mk_misses : int;  (* fresh nodes created *)
   mutable cache_hits : int;
   mutable cache_lookups : int;
+  mutable peak_size : int;  (* largest [size] ever reached *)
+  mutable budget_trips : int;  (* times Node_limit was raised *)
+  mutable compact_reclaimed : int;  (* nodes dropped by all compactions *)
+  op_calls : int array;  (* indexed by the op_* slots above *)
 }
 
 let terminal_level = max_int
@@ -78,6 +97,10 @@ let create ?(max_nodes = 0) ~nvars () =
     mk_misses = 0;
     cache_hits = 0;
     cache_lookups = 0;
+    peak_size = 2;
+    budget_trips = 0;
+    compact_reclaimed = 0;
+    op_calls = Array.make (Array.length op_slot_names) 0;
   }
 
 let nvars t = t.nvars
@@ -128,11 +151,20 @@ let mk t v lo hi =
       t.mk_hits <- t.mk_hits + 1;
       id
     | None ->
-      if t.max_nodes > 0 && t.size >= t.max_nodes then raise (Node_limit t.max_nodes);
+      if t.max_nodes > 0 && t.size >= t.max_nodes then begin
+        t.budget_trips <- t.budget_trips + 1;
+        Fcv_util.Telemetry.event "bdd.budget_trip"
+          [
+            ("budget", Fcv_util.Telemetry.Int t.max_nodes);
+            ("nodes", Fcv_util.Telemetry.Int t.size);
+          ];
+        raise (Node_limit t.max_nodes)
+      end;
       if t.size > max_id then failwith "Manager.mk: node store exhausted";
       if t.size >= Array.length t.var_ then grow t;
       let id = t.size in
       t.size <- t.size + 1;
+      if t.size > t.peak_size then t.peak_size <- t.size;
       t.var_.(id) <- v;
       t.low_.(id) <- lo;
       t.high_.(id) <- hi;
@@ -217,24 +249,54 @@ let clear_caches t =
   Hashtbl.reset t.quant_cache;
   Hashtbl.reset t.quant_sigs
 
+(** Count one public {!Ops} entry-point call in slot [i] (one of the
+    [op_*] constants). *)
+let count_op t i = t.op_calls.(i) <- t.op_calls.(i) + 1
+
 type stats = {
   nodes : int;
+  peak_nodes : int;
   variables : int;
   unique_hits : int;
   unique_misses : int;
+  unique_buckets : int;
+  unique_max_bucket : int;
   op_cache_hits : int;
   op_cache_lookups : int;
+  budget_trips : int;
+  compact_reclaimed : int;
+  op_calls : (string * int) list;
 }
 
 let stats t =
+  let hstats = Hashtbl.stats t.unique in
   {
     nodes = t.size;
+    peak_nodes = t.peak_size;
     variables = t.nvars;
     unique_hits = t.mk_hits;
     unique_misses = t.mk_misses;
+    unique_buckets = hstats.Hashtbl.num_buckets;
+    unique_max_bucket = hstats.Hashtbl.max_bucket_length;
     op_cache_hits = t.cache_hits;
     op_cache_lookups = t.cache_lookups;
+    budget_trips = t.budget_trips;
+    compact_reclaimed = t.compact_reclaimed;
+    op_calls = Array.to_list (Array.mapi (fun i n -> (op_slot_names.(i), n)) t.op_calls);
   }
+
+(** Apply-cache hit rate over a window: [cache_hit_rate after ~before]
+    is hits/lookups between two {!stats} snapshots (0 when no
+    lookups). *)
+let cache_hit_rate ?(before : stats option) (after : stats) =
+  let h0, l0 =
+    match before with
+    | Some b -> (b.op_cache_hits, b.op_cache_lookups)
+    | None -> (0, 0)
+  in
+  let lookups = after.op_cache_lookups - l0 in
+  if lookups <= 0 then 0.
+  else float_of_int (after.op_cache_hits - h0) /. float_of_int lookups
 
 (** Number of nodes reachable from [root], terminals included —
     the "BDD size" reported throughout the paper's experiments. *)
@@ -282,6 +344,7 @@ let node_count_shared t roots =
     previous root), so long-running index stores call this
     periodically. *)
 let compact t roots =
+  let size_before = t.size in
   let remap = Hashtbl.create (Hashtbl.length t.unique) in
   Hashtbl.replace remap zero zero;
   Hashtbl.replace remap one one;
@@ -317,6 +380,7 @@ let compact t roots =
       Hashtbl.replace remap id (mk t old_var.(id) lo hi))
     nodes;
   t.max_nodes <- saved_budget;
+  t.compact_reclaimed <- t.compact_reclaimed + (size_before - t.size);
   List.map (fun r -> Hashtbl.find remap r) roots
 
 (** Set of levels occurring in [root], sorted ascending. *)

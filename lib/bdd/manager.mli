@@ -80,18 +80,44 @@ val clear_caches : t -> unit
 (** Drop all memoisation (nodes are kept).  Benchmarks call this
     between repetitions so they measure cold operations. *)
 
+(** {2 Operation-call accounting} — used by {!Ops}; each public entry
+    point counts itself in a per-manager slot so telemetry can report
+    apply/quantify/rename call mixes per check. *)
+
+val op_apply : int
+val op_neg : int
+val op_ite : int
+val op_restrict : int
+val op_exists : int
+val op_forall : int
+val op_appex : int
+val op_appall : int
+val op_replace : int
+
+val count_op : t -> int -> unit
+
 (** {2 Inspection} *)
 
 type stats = {
-  nodes : int;
+  nodes : int;  (** currently allocated, terminals included *)
+  peak_nodes : int;  (** high-water mark of [nodes] *)
   variables : int;
-  unique_hits : int;
-  unique_misses : int;
+  unique_hits : int;  (** unique-table probes answered by an existing node *)
+  unique_misses : int;  (** probes that allocated a fresh node *)
+  unique_buckets : int;  (** unique-table bucket count *)
+  unique_max_bucket : int;  (** longest unique-table collision chain *)
   op_cache_hits : int;
   op_cache_lookups : int;
+  budget_trips : int;  (** times {!Node_limit} was raised *)
+  compact_reclaimed : int;  (** nodes reclaimed by all {!compact} runs *)
+  op_calls : (string * int) list;  (** public {!Ops} entry-point call counts *)
 }
 
 val stats : t -> stats
+
+val cache_hit_rate : ?before:stats -> stats -> float
+(** Apply-cache hit rate between two snapshots (whole history when
+    [before] is omitted); 0 when no lookups happened. *)
 
 val compact : t -> int list -> int list
 (** Garbage-collect: keep only nodes reachable from the given roots

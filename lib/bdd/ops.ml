@@ -69,7 +69,7 @@ let normalise op f g =
   | And | Or | Xor | Iff -> if f <= g then (f, g) else (g, f)
   | Imp | Diff -> (f, g)
 
-let rec apply m op f g =
+let rec apply_rec m op f g =
   match shortcut op f g with
   | Some r -> r
   | None -> (
@@ -82,24 +82,32 @@ let rec apply m op f g =
       let v = min vf vg in
       let f0, f1 = if vf = v then (M.low m f, M.high m f) else (f, f) in
       let g0, g1 = if vg = v then (M.low m g, M.high m g) else (g, g) in
-      let r0 = apply m op f0 g0 in
-      let r1 = apply m op f1 g1 in
+      let r0 = apply_rec m op f0 g0 in
+      let r1 = apply_rec m op f1 g1 in
       let r = M.mk m v r0 r1 in
       M.cache_add m code f g r;
       r)
 
-let rec neg m f =
+let apply m op f g =
+  if !Fcv_util.Telemetry.on then M.count_op m M.op_apply;
+  apply_rec m op f g
+
+let rec neg_rec m f =
   if f = M.zero then M.one
   else if f = M.one then M.zero
   else
     match M.cache_find m not_code f f with
     | Some r -> r
     | None ->
-      let r0 = neg m (M.low m f) in
-      let r1 = neg m (M.high m f) in
+      let r0 = neg_rec m (M.low m f) in
+      let r1 = neg_rec m (M.high m f) in
       let r = M.mk m (M.var m f) r0 r1 in
       M.cache_add m not_code f f r;
       r
+
+let neg m f =
+  if !Fcv_util.Telemetry.on then M.count_op m M.op_neg;
+  neg_rec m f
 
 let band m f g = apply m And f g
 let bor m f g = apply m Or f g
@@ -112,7 +120,7 @@ let bdiff m f g = apply m Diff f g
    not preserve the level order.  Memoised in a manager-level ternary
    cache so that the many ite calls issued by one [replace] over a
    large BDD share sub-results. *)
-let rec ite m f g h =
+let rec ite_rec m f g h =
   if f = M.one then g
   else if f = M.zero then h
   else if g = h then g
@@ -127,15 +135,20 @@ let rec ite m f g h =
       let f0, f1 = split f vf in
       let g0, g1 = split g vg in
       let h0, h1 = split h vh in
-      let r0 = ite m f0 g0 h0 in
-      let r1 = ite m f1 g1 h1 in
+      let r0 = ite_rec m f0 g0 h0 in
+      let r1 = ite_rec m f1 g1 h1 in
       let r = M.mk m v r0 r1 in
       M.ite_cache_add m f g h r;
       r
 
+let ite m f g h =
+  if !Fcv_util.Telemetry.on then M.count_op m M.op_ite;
+  ite_rec m f g h
+
 (** [restrict m f bindings] fixes each [(level, value)] in [bindings];
     the bound variables disappear from the result. *)
 let restrict m f bindings =
+  if !Fcv_util.Telemetry.on then M.count_op m M.op_restrict;
   let bound = Hashtbl.create 8 in
   List.iter (fun (v, b) -> Hashtbl.replace bound v b) bindings;
   let memo = Hashtbl.create 256 in
@@ -202,8 +215,13 @@ let quantify m combine levels f =
     go f
   end
 
-let exists m levels f = quantify m Or levels f
-let forall m levels f = quantify m And levels f
+let exists m levels f =
+  if !Fcv_util.Telemetry.on then M.count_op m M.op_exists;
+  quantify m Or levels f
+
+let forall m levels f =
+  if !Fcv_util.Telemetry.on then M.count_op m M.op_forall;
+  quantify m And levels f
 
 (* Fused apply-and-quantify, the workhorse behind the §4.3 rewrite
    rules.  [appquant m op quant levels f g] computes
@@ -243,10 +261,14 @@ let appquant m op quant levels f g =
   end
 
 (** [appex m op levels f g] = ∃levels. (f op g) — BuDDy's [bdd_appex]. *)
-let appex m op levels f g = appquant m op Or levels f g
+let appex m op levels f g =
+  if !Fcv_util.Telemetry.on then M.count_op m M.op_appex;
+  appquant m op Or levels f g
 
 (** [appall m op levels f g] = ∀levels. (f op g) — BuDDy's [bdd_appall]. *)
-let appall m op levels f g = appquant m op And levels f g
+let appall m op levels f g =
+  if !Fcv_util.Telemetry.on then M.count_op m M.op_appall;
+  appquant m op And levels f g
 
 (** [replace m f pairs] renames variables: each [(from_level, to_level)]
     substitutes the variable at [from_level] with the one at
@@ -257,6 +279,7 @@ let appall m op levels f g = appquant m op And levels f g
     the support, the result is built with a cheap [mk]; otherwise we
     fall back to [ite], which is correct for arbitrary maps. *)
 let replace m f pairs =
+  if !Fcv_util.Telemetry.on then M.count_op m M.op_replace;
   if pairs = [] then f
   else begin
     let map = Hashtbl.create 8 in

@@ -16,6 +16,7 @@
 
 module M = Fcv_bdd.Manager
 module O = Fcv_bdd.Ops
+module T = Fcv_util.Telemetry
 
 type method_used = Bdd | Sql | Naive
 
@@ -94,13 +95,14 @@ let decide ctx pipeline check_mode rewritten free =
   | Violation, Rewrite.Check_valid ->
     (* C holds iff guard ∧ ¬matrix is unsatisfiable *)
     let violation = Rewrite.nnf (Formula.Not rewritten) in
-    let root = Compile.compile ctx violation in
-    let m = Compile.mgr ctx in
-    let guard = Compile.free_guard ctx free in
-    if O.is_false (O.band m guard root) then Satisfied else Violated
+    let root = T.with_span "compile" (fun () -> Compile.compile ctx violation) in
+    T.with_span "verdict" (fun () ->
+        let m = Compile.mgr ctx in
+        let guard = Compile.free_guard ctx free in
+        if O.is_false (O.band m guard root) then Satisfied else Violated)
   | Violation, Rewrite.Check_satisfiable | Direct, _ ->
-    let root = Compile.compile ctx rewritten in
-    read_answer ctx check_mode root free
+    let root = T.with_span "compile" (fun () -> Compile.compile ctx rewritten) in
+    T.with_span "verdict" (fun () -> read_answer ctx check_mode root free)
 
 (* SQL fallback; on Not_safe fall further back to the naive evaluator. *)
 let fallback db typing constraint_ =
@@ -109,14 +111,41 @@ let fallback db typing constraint_ =
   | exception To_sql.Not_safe _ ->
     ((if Naive_eval.holds ~typing db constraint_ then Satisfied else Violated), Naive)
 
+(* Post-check telemetry: per-check outcome event with the kernel-stat
+   deltas (apply-cache hit rate, nodes allocated, peak) plus the
+   method counters; [before] is the manager snapshot taken on entry. *)
+let tel_check_done ~before ~mgr ~method_used ~outcome ~elapsed_ms ~overhead_ms =
+  if T.enabled () then begin
+    T.incr (T.counter "checker.checks");
+    (match method_used with
+    | Bdd -> ()
+    | Sql -> T.incr (T.counter "checker.fallbacks.sql")
+    | Naive -> T.incr (T.counter "checker.fallbacks.naive"));
+    let after = M.stats mgr in
+    T.observe (T.histogram "checker.elapsed_ms") elapsed_ms;
+    T.event "check.done"
+      [
+        ("method", T.String (method_name method_used));
+        ("outcome", T.String (match outcome with Satisfied -> "satisfied" | Violated -> "violated"));
+        ("elapsed_ms", T.Float elapsed_ms);
+        ("bdd_overhead_ms", T.Float overhead_ms);
+        ("cache_hit_rate", T.Float (M.cache_hit_rate ~before after));
+        ("nodes_allocated", T.Int (after.M.unique_misses - before.M.unique_misses));
+        ("peak_nodes", T.Int after.M.peak_nodes);
+        ("budget_trips", T.Int (after.M.budget_trips - before.M.budget_trips));
+      ]
+  end
+
 (** Check one constraint.  [index] supplies the BDD manager, node
     budget and logical indices; every relation mentioned by the
     constraint must have a covering index (see {!ensure_indices}). *)
 let check ?(pipeline = default_pipeline) index constraint_ =
   if not (Formula.is_closed constraint_) then
     invalid_arg "Checker.check: constraint must be a closed formula";
+  T.with_span "check" @@ fun () ->
+  let kstats0 = M.stats (Index.mgr index) in
   let db = index.Index.db in
-  let typing = Typing.infer db constraint_ in
+  let typing = T.with_span "typing" (fun () -> Typing.infer db constraint_) in
   let fd_fast_path () =
     if not pipeline.use_fd_fast_path then None
     else
@@ -127,13 +156,17 @@ let check ?(pipeline = default_pipeline) index constraint_ =
         match Index.find_covering index ~table_name ~needed with
         | Some _ -> (
           let t0 = Fcv_util.Timer.now () in
-          match Fd_check.fd_holds index ~table_name ~lhs ~rhs:[ rhs ] with
+          match T.with_span "fd_fast_path" (fun () -> Fd_check.fd_holds index ~table_name ~lhs ~rhs:[ rhs ]) with
           | holds ->
+            let outcome = if holds then Satisfied else Violated in
+            let elapsed_ms = (Fcv_util.Timer.now () -. t0) *. 1000. in
+            tel_check_done ~before:kstats0 ~mgr:(Index.mgr index) ~method_used:Bdd
+              ~outcome ~elapsed_ms ~overhead_ms:0.;
             Some
               {
-                outcome = (if holds then Satisfied else Violated);
+                outcome;
                 method_used = Bdd;
-                elapsed_ms = (Fcv_util.Timer.now () -. t0) *. 1000.;
+                elapsed_ms;
                 bdd_overhead_ms = 0.;
                 rewritten = constraint_;
                 check = Rewrite.Check_valid;
@@ -148,7 +181,7 @@ let check ?(pipeline = default_pipeline) index constraint_ =
   | Some result -> result
   | None ->
   let t0 = Fcv_util.Timer.now () in
-  let check_mode, rewritten = pipeline.rewrite constraint_ in
+  let check_mode, rewritten = T.with_span "rewrite" (fun () -> pipeline.rewrite constraint_) in
   (* the rewrite renames bound variables apart, so the compile context
      needs a typing of the rewritten formula *)
   let typing_rw = Typing.infer db rewritten in
@@ -160,10 +193,13 @@ let check ?(pipeline = default_pipeline) index constraint_ =
       (fun () -> decide ctx pipeline check_mode rewritten free)
   with
   | outcome ->
+    let elapsed_ms = (Fcv_util.Timer.now () -. t0) *. 1000. in
+    tel_check_done ~before:kstats0 ~mgr:(Index.mgr index) ~method_used:Bdd
+      ~outcome ~elapsed_ms ~overhead_ms:0.;
     {
       outcome;
       method_used = Bdd;
-      elapsed_ms = (Fcv_util.Timer.now () -. t0) *. 1000.;
+      elapsed_ms;
       bdd_overhead_ms = 0.;
       rewritten;
       check = check_mode;
@@ -171,11 +207,23 @@ let check ?(pipeline = default_pipeline) index constraint_ =
   | exception M.Node_limit _ ->
     let overhead = (Fcv_util.Timer.now () -. t0) *. 1000. in
     let t1 = Fcv_util.Timer.now () in
-    let outcome, method_used = fallback db typing constraint_ in
+    let outcome, method_used =
+      T.with_span "fallback" (fun () -> fallback db typing constraint_)
+    in
+    let elapsed_ms = (Fcv_util.Timer.now () -. t1) *. 1000. in
+    if T.enabled () then
+      T.event "check.fallback"
+        [
+          ("method", T.String (method_name method_used));
+          ("bdd_overhead_ms", T.Float overhead);
+          ("fallback_ms", T.Float elapsed_ms);
+        ];
+    tel_check_done ~before:kstats0 ~mgr:(Index.mgr index) ~method_used
+      ~outcome ~elapsed_ms ~overhead_ms:overhead;
     {
       outcome;
       method_used;
-      elapsed_ms = (Fcv_util.Timer.now () -. t1) *. 1000.;
+      elapsed_ms;
       bdd_overhead_ms = overhead;
       rewritten;
       check = check_mode;

@@ -246,12 +246,25 @@ let plan_homes ctx f =
 
 (* -- formulas --------------------------------------------------------------- *)
 
+(* Telemetry tap on every compiled connective: counts the connective
+   kind and feeds the intermediate-BDD-size histogram.  node_count is
+   linear in the intermediate's size, so the tap only runs when
+   telemetry is enabled. *)
+let tel_connective ctx kind root =
+  let module T = Fcv_util.Telemetry in
+  if T.enabled () then begin
+    T.incr (T.counter ("compile.connective." ^ kind));
+    T.observe (T.histogram "compile.intermediate_nodes")
+      (float_of_int (M.node_count (mgr ctx) root))
+  end;
+  root
+
 let rec compile_rec ctx f =
   let m = mgr ctx in
   match f with
   | True -> M.one
   | False -> M.zero
-  | Atom (rel, terms) -> compile_atom ctx rel terms
+  | Atom (rel, terms) -> tel_connective ctx "atom" (compile_atom ctx rel terms)
   | Eq (Var x, Var y) -> Fd.eq_blocks m (home ctx x) (home ctx y)
   | Eq (Var x, Const value) | Eq (Const value, Var x) -> (
     let b = home ctx x in
@@ -274,37 +287,40 @@ let rec compile_rec ctx f =
     if codes = [] then M.zero else Fd.in_set m b codes
   | In (Const v, values) -> if List.exists (R.Value.equal v) values then M.one else M.zero
   | In (Wildcard, _) -> fail "wildcard in membership test"
-  | Not g -> O.neg m (compile_rec ctx g)
-  | And (a, b) -> O.band m (compile_rec ctx a) (compile_rec ctx b)
-  | Or (a, b) -> O.bor m (compile_rec ctx a) (compile_rec ctx b)
-  | Implies (a, b) -> O.bimp m (compile_rec ctx a) (compile_rec ctx b)
-  | Iff (a, b) -> O.biff m (compile_rec ctx a) (compile_rec ctx b)
+  | Not g -> tel_connective ctx "not" (O.neg m (compile_rec ctx g))
+  | And (a, b) -> tel_connective ctx "and" (O.band m (compile_rec ctx a) (compile_rec ctx b))
+  | Or (a, b) -> tel_connective ctx "or" (O.bor m (compile_rec ctx a) (compile_rec ctx b))
+  | Implies (a, b) ->
+    tel_connective ctx "implies" (O.bimp m (compile_rec ctx a) (compile_rec ctx b))
+  | Iff (a, b) -> tel_connective ctx "iff" (O.biff m (compile_rec ctx a) (compile_rec ctx b))
   | Exists ([ x ], Or (a, b)) when ctx.use_appquant ->
     (* Rule 6 (pull-up) in fused form:
        ∃x(φ₁ ∨ φ₂) = ∃bits((valid∧φ₁) ∨ (valid∧φ₂)) via appex *)
     let fa = compile_rec ctx a in
     let fb = compile_rec ctx b in
-    (match Hashtbl.find_opt ctx.vars x with
-    | None -> O.bor m fa fb
-    | Some blk ->
-      let guard = Fd.valid m blk in
-      O.appex m O.Or (Array.to_list blk.Fd.levels) (O.band m guard fa) (O.band m guard fb))
+    tel_connective ctx "exists_appex"
+      (match Hashtbl.find_opt ctx.vars x with
+      | None -> O.bor m fa fb
+      | Some blk ->
+        let guard = Fd.valid m blk in
+        O.appex m O.Or (Array.to_list blk.Fd.levels) (O.band m guard fa) (O.band m guard fb))
   | Forall ([ x ], And (a, b)) when ctx.use_appquant ->
     (* Rule 5 companion in fused form:
        ∀x(φ₁ ∧ φ₂) = ∀bits((valid⇒φ₁) ∧ (valid⇒φ₂)) via appall *)
     let fa = compile_rec ctx a in
     let fb = compile_rec ctx b in
-    (match Hashtbl.find_opt ctx.vars x with
-    | None -> O.band m fa fb
-    | Some blk ->
-      let guard = Fd.valid m blk in
-      O.appall m O.And (Array.to_list blk.Fd.levels) (O.bimp m guard fa) (O.bimp m guard fb))
+    tel_connective ctx "forall_appall"
+      (match Hashtbl.find_opt ctx.vars x with
+      | None -> O.band m fa fb
+      | Some blk ->
+        let guard = Fd.valid m blk in
+        O.appall m O.And (Array.to_list blk.Fd.levels) (O.bimp m guard fa) (O.bimp m guard fb))
   | Exists (xs, body) ->
     let f = compile_rec ctx body in
-    List.fold_left (exists_var ctx) f (List.rev xs)
+    tel_connective ctx "exists" (List.fold_left (exists_var ctx) f (List.rev xs))
   | Forall (xs, body) ->
     let f = compile_rec ctx body in
-    List.fold_left (forall_var ctx) f (List.rev xs)
+    tel_connective ctx "forall" (List.fold_left (forall_var ctx) f (List.rev xs))
 
 (** Compile a formula to a BDD (plans variable homes first; see
     above). *)

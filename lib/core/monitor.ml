@@ -7,6 +7,7 @@
     are re-run. *)
 
 module R = Fcv_relation
+module T = Fcv_util.Telemetry
 
 type registered = {
   id : int;
@@ -16,6 +17,7 @@ type registered = {
   mutable last_outcome : Checker.outcome option;
   mutable checks_run : int;
   mutable checks_skipped : int;  (** skipped because no watched table changed *)
+  mutable total_check_ms : float;  (** cumulative time of fresh checks *)
 }
 
 type t = {
@@ -48,6 +50,7 @@ let add t source =
       last_outcome = None;
       checks_run = 0;
       checks_skipped = 0;
+      total_check_ms = 0.;
     }
   in
   t.constraints <- t.constraints @ [ reg ];
@@ -59,13 +62,15 @@ let remove t id = t.constraints <- List.filter (fun r -> r.id <> id) t.constrain
     the table dirty. *)
 let insert t ~table_name row =
   Index.insert t.index ~table_name row;
-  Hashtbl.replace t.dirty table_name ()
+  Hashtbl.replace t.dirty table_name ();
+  if T.enabled () then T.incr (T.counter "monitor.inserts")
 
 (** Stream one row deletion; marks the table dirty if a row was
     removed. *)
 let delete t ~table_name row =
   let removed = Index.delete t.index ~table_name row in
   if removed then Hashtbl.replace t.dirty table_name ();
+  if T.enabled () then T.incr (T.counter "monitor.deletes");
   removed
 
 type report = {
@@ -80,6 +85,7 @@ type report = {
     since its last check; otherwise the cached verdict is returned.
     Clears the dirty set. *)
 let validate t =
+  T.with_span "monitor.validate" @@ fun () ->
   let reports =
     List.map
       (fun reg ->
@@ -91,6 +97,8 @@ let validate t =
           let r = Checker.check ~pipeline:t.pipeline t.index reg.formula in
           reg.last_outcome <- Some r.Checker.outcome;
           reg.checks_run <- reg.checks_run + 1;
+          reg.total_check_ms <- reg.total_check_ms +. r.Checker.elapsed_ms;
+          if T.enabled () then T.incr (T.counter "monitor.checks_run");
           {
             constraint_ = reg;
             outcome = r.Checker.outcome;
@@ -100,6 +108,7 @@ let validate t =
         end
         else begin
           reg.checks_skipped <- reg.checks_skipped + 1;
+          if T.enabled () then T.incr (T.counter "monitor.checks_skipped");
           match reg.last_outcome with
           | Some outcome -> { constraint_ = reg; outcome; fresh = false; elapsed_ms = 0. }
           | None -> assert false

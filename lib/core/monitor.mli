@@ -11,6 +11,7 @@ type registered = {
   mutable last_outcome : Checker.outcome option;
   mutable checks_run : int;
   mutable checks_skipped : int;
+  mutable total_check_ms : float;  (** cumulative time of fresh checks *)
 }
 
 type t

@@ -180,10 +180,31 @@ let rec push_forall = function
   | Iff (a, b) -> Iff (push_forall a, push_forall b)
 
 (** The full §4.4 pipeline.  Returns the check mode and the optimised
-    formula whose BDD is to be tested for validity/satisfiability. *)
+    formula whose BDD is to be tested for validity/satisfiability.
+    When telemetry is enabled, records which rules fired: the leading
+    quantifiers dropped (§4.1) and whether ∀ push-down (Rule 5)
+    changed the formula. *)
 let optimize f =
-  let check, g = eliminate_leading (prenex f) in
-  (check, push_forall g)
+  let module T = Fcv_util.Telemetry in
+  let prefix, matrix = prenex f in
+  let check, g = eliminate_leading (prefix, matrix) in
+  let g' = push_forall g in
+  if T.enabled () then begin
+    T.incr (T.counter "rewrite.prenex");
+    let dropped = List.length prefix - List.length (fst (prenex_nnf g)) in
+    if dropped > 0 then
+      T.incr ~by:dropped (T.counter "rewrite.leading_quantifiers_eliminated");
+    if g' <> g then T.incr (T.counter "rewrite.forall_pushdown");
+    T.event "rewrite"
+      [
+        ("leading_dropped", T.Int dropped);
+        ("forall_pushdown", T.Bool (g' <> g));
+        ( "check",
+          T.String (match check with Check_valid -> "valid" | Check_satisfiable -> "satisfiable")
+        );
+      ]
+  end;
+  (check, g')
 
 (** Drop-in identity pipeline for the ablation benchmarks: no
     rewrites beyond the rename-apart hygiene the compiler requires;

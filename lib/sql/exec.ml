@@ -4,6 +4,7 @@
     relational engine would pick for the paper's violation queries. *)
 
 module Table = Fcv_relation.Table
+module T = Fcv_util.Telemetry
 open Algebra
 
 let rec eval_pred pred (row : int array) =
@@ -32,7 +33,11 @@ type acc = {
 let run plan =
   let rec go plan : int array list =
     match plan with
-    | Scan t -> Table.fold t ~init:[] ~f:(fun acc row -> Array.copy row :: acc)
+    | Scan t ->
+      let rows = Table.fold t ~init:[] ~f:(fun acc row -> Array.copy row :: acc) in
+      if T.enabled () then
+        T.incr ~by:(List.length rows) (T.counter "sql.rows_scanned");
+      rows
     | Select (p, q) -> List.filter (eval_pred p) (go q)
     | Project (cols, q) ->
       List.map (fun row -> Array.map (fun c -> row.(c)) cols) (go q)
@@ -44,11 +49,16 @@ let run plan =
           let k = key_of_row rk row in
           Hashtbl.add index k row)
         (go r);
+      let lrows = go l in
+      if T.enabled () then begin
+        T.incr ~by:(Hashtbl.length index) (T.counter "sql.hash_join.build_rows");
+        T.incr ~by:(List.length lrows) (T.counter "sql.hash_join.probe_rows")
+      end;
       List.concat_map
         (fun lrow ->
           let k = key_of_row lk lrow in
           List.map (fun rrow -> Array.append lrow rrow) (Hashtbl.find_all index k))
-        (go l)
+        lrows
     | Semi_join (keys, l, r) ->
       let lk = List.map fst keys and rk = List.map snd keys in
       let index = Hashtbl.create 1024 in

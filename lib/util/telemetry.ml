@@ -1,0 +1,511 @@
+(** Zero-dependency counters / gauges / histograms / spans with
+    JSON-lines export.  See the interface for the design rationale;
+    the implementation notes below cover only what the types cannot:
+
+    - recording entry points check one [bool ref] first so the
+      disabled path costs a load and a branch;
+    - histograms are log₂-bucketed: bucket [i] covers
+      [2^(i-offset), 2^(i-offset+1)), with [offset] placing 1.0 in the
+      middle of the range so both sub-microsecond and multi-minute
+      observations land in real buckets;
+    - the event buffer is capped; once full, further events are counted
+      as dropped rather than recorded, so a runaway loop cannot eat the
+      heap. *)
+
+type json =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | String of string
+  | List of json list
+  | Obj of (string * json) list
+
+module Json = struct
+  exception Parse_error of string
+
+  let escape buf s =
+    String.iter
+      (fun c ->
+        match c with
+        | '"' -> Buffer.add_string buf "\\\""
+        | '\\' -> Buffer.add_string buf "\\\\"
+        | '\n' -> Buffer.add_string buf "\\n"
+        | '\r' -> Buffer.add_string buf "\\r"
+        | '\t' -> Buffer.add_string buf "\\t"
+        | c when Char.code c < 0x20 ->
+          Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+        | c -> Buffer.add_char buf c)
+      s
+
+  let rec write buf = function
+    | Null -> Buffer.add_string buf "null"
+    | Bool b -> Buffer.add_string buf (if b then "true" else "false")
+    | Int i -> Buffer.add_string buf (string_of_int i)
+    | Float f ->
+      if Float.is_nan f then Buffer.add_string buf "null"
+      else if Float.is_integer f && Float.abs f < 1e15 then
+        Buffer.add_string buf (Printf.sprintf "%.1f" f)
+      else Buffer.add_string buf (Printf.sprintf "%.12g" f)
+    | String s ->
+      Buffer.add_char buf '"';
+      escape buf s;
+      Buffer.add_char buf '"'
+    | List xs ->
+      Buffer.add_char buf '[';
+      List.iteri
+        (fun i x ->
+          if i > 0 then Buffer.add_char buf ',';
+          write buf x)
+        xs;
+      Buffer.add_char buf ']'
+    | Obj fields ->
+      Buffer.add_char buf '{';
+      List.iteri
+        (fun i (k, v) ->
+          if i > 0 then Buffer.add_char buf ',';
+          Buffer.add_char buf '"';
+          escape buf k;
+          Buffer.add_string buf "\":";
+          write buf v)
+        fields;
+      Buffer.add_char buf '}'
+
+  let to_string j =
+    let buf = Buffer.create 128 in
+    write buf j;
+    Buffer.contents buf
+
+  (* Minimal recursive-descent parser, sufficient for round-tripping
+     our own output (and any plain JSON without exotic unicode). *)
+  let of_string s =
+    let n = String.length s in
+    let pos = ref 0 in
+    let fail msg = raise (Parse_error (Printf.sprintf "%s at offset %d" msg !pos)) in
+    let peek () = if !pos < n then Some s.[!pos] else None in
+    let advance () = incr pos in
+    let rec skip_ws () =
+      match peek () with
+      | Some (' ' | '\t' | '\n' | '\r') ->
+        advance ();
+        skip_ws ()
+      | _ -> ()
+    in
+    let expect c =
+      if !pos < n && s.[!pos] = c then advance () else fail (Printf.sprintf "expected '%c'" c)
+    in
+    let literal word value =
+      let l = String.length word in
+      if !pos + l <= n && String.sub s !pos l = word then begin
+        pos := !pos + l;
+        value
+      end
+      else fail ("expected " ^ word)
+    in
+    let parse_string () =
+      expect '"';
+      let buf = Buffer.create 16 in
+      let rec go () =
+        if !pos >= n then fail "unterminated string"
+        else
+          match s.[!pos] with
+          | '"' -> advance ()
+          | '\\' ->
+            advance ();
+            (if !pos >= n then fail "unterminated escape"
+             else
+               match s.[!pos] with
+               | '"' -> Buffer.add_char buf '"'; advance ()
+               | '\\' -> Buffer.add_char buf '\\'; advance ()
+               | '/' -> Buffer.add_char buf '/'; advance ()
+               | 'n' -> Buffer.add_char buf '\n'; advance ()
+               | 'r' -> Buffer.add_char buf '\r'; advance ()
+               | 't' -> Buffer.add_char buf '\t'; advance ()
+               | 'b' -> Buffer.add_char buf '\b'; advance ()
+               | 'f' -> Buffer.add_char buf '\012'; advance ()
+               | 'u' ->
+                 if !pos + 4 >= n then fail "truncated \\u escape";
+                 let hex = String.sub s (!pos + 1) 4 in
+                 let code =
+                   try int_of_string ("0x" ^ hex) with _ -> fail "bad \\u escape"
+                 in
+                 (* ASCII round-trips exactly (all we emit); others are
+                    replaced rather than UTF-8 encoded *)
+                 Buffer.add_char buf (if code < 128 then Char.chr code else '?');
+                 pos := !pos + 5
+               | _ -> fail "bad escape");
+            go ()
+          | c ->
+            Buffer.add_char buf c;
+            advance ();
+            go ()
+      in
+      go ();
+      Buffer.contents buf
+    in
+    let parse_number () =
+      let start = !pos in
+      let is_num_char c =
+        match c with
+        | '0' .. '9' | '-' | '+' | '.' | 'e' | 'E' -> true
+        | _ -> false
+      in
+      while !pos < n && is_num_char s.[!pos] do
+        advance ()
+      done;
+      let text = String.sub s start (!pos - start) in
+      match int_of_string_opt text with
+      | Some i -> Int i
+      | None -> (
+        match float_of_string_opt text with
+        | Some f -> Float f
+        | None -> fail "bad number")
+    in
+    let rec parse_value () =
+      skip_ws ();
+      match peek () with
+      | None -> fail "unexpected end of input"
+      | Some '{' ->
+        advance ();
+        skip_ws ();
+        if peek () = Some '}' then begin
+          advance ();
+          Obj []
+        end
+        else begin
+          let rec fields acc =
+            skip_ws ();
+            let k = parse_string () in
+            skip_ws ();
+            expect ':';
+            let v = parse_value () in
+            skip_ws ();
+            match peek () with
+            | Some ',' ->
+              advance ();
+              fields ((k, v) :: acc)
+            | Some '}' ->
+              advance ();
+              List.rev ((k, v) :: acc)
+            | _ -> fail "expected ',' or '}'"
+          in
+          Obj (fields [])
+        end
+      | Some '[' ->
+        advance ();
+        skip_ws ();
+        if peek () = Some ']' then begin
+          advance ();
+          List []
+        end
+        else begin
+          let rec elems acc =
+            let v = parse_value () in
+            skip_ws ();
+            match peek () with
+            | Some ',' ->
+              advance ();
+              elems (v :: acc)
+            | Some ']' ->
+              advance ();
+              List.rev (v :: acc)
+            | _ -> fail "expected ',' or ']'"
+          in
+          List (elems [])
+        end
+      | Some '"' -> String (parse_string ())
+      | Some 't' -> literal "true" (Bool true)
+      | Some 'f' -> literal "false" (Bool false)
+      | Some 'n' -> literal "null" Null
+      | Some _ -> parse_number ()
+    in
+    let v = parse_value () in
+    skip_ws ();
+    if !pos <> n then fail "trailing input";
+    v
+
+  let member key = function
+    | Obj fields -> List.assoc_opt key fields
+    | _ -> None
+end
+
+(* -- state ----------------------------------------------------------------- *)
+
+type counter = { c_name : string; mutable count : int }
+
+type gauge = { g_name : string; mutable value : int; mutable peak : int }
+
+let hist_buckets = 64
+
+(* bucket i covers [2^(i-offset), 2^(i-offset+1)); offset 24 spans
+   roughly 6e-8 .. 1.1e12 in the observation's unit *)
+let hist_offset = 24
+
+type histogram = {
+  h_name : string;
+  buckets : int array;
+  mutable n : int;
+  mutable sum : float;
+  mutable mn : float;
+  mutable mx : float;
+}
+
+let on = ref false
+
+let counters : (string, counter) Hashtbl.t = Hashtbl.create 64
+let gauges : (string, gauge) Hashtbl.t = Hashtbl.create 16
+let histograms : (string, histogram) Hashtbl.t = Hashtbl.create 16
+
+let max_events = 200_000
+let event_log : json list ref = ref [] (* newest first *)
+let event_count = ref 0
+let dropped = ref 0
+let seq = ref 0
+let epoch = ref 0.
+let span_stack : string list ref = ref []
+
+let enabled () = !on
+
+let reset () =
+  Hashtbl.iter (fun _ c -> c.count <- 0) counters;
+  Hashtbl.iter
+    (fun _ g ->
+      g.value <- 0;
+      g.peak <- 0)
+    gauges;
+  Hashtbl.iter
+    (fun _ h ->
+      Array.fill h.buckets 0 hist_buckets 0;
+      h.n <- 0;
+      h.sum <- 0.;
+      h.mn <- infinity;
+      h.mx <- neg_infinity)
+    histograms;
+  event_log := [];
+  event_count := 0;
+  dropped := 0;
+  seq := 0;
+  span_stack := [];
+  epoch := Unix.gettimeofday ()
+
+let enable () =
+  on := true;
+  epoch := Unix.gettimeofday ()
+
+let disable () = on := false
+
+(* -- instruments ----------------------------------------------------------- *)
+
+let counter name =
+  match Hashtbl.find_opt counters name with
+  | Some c -> c
+  | None ->
+    let c = { c_name = name; count = 0 } in
+    Hashtbl.replace counters name c;
+    c
+
+let incr ?(by = 1) c = if !on then c.count <- c.count + by
+
+let counter_value c = c.count
+
+let gauge name =
+  match Hashtbl.find_opt gauges name with
+  | Some g -> g
+  | None ->
+    let g = { g_name = name; value = 0; peak = 0 } in
+    Hashtbl.replace gauges name g;
+    g
+
+let gauge_set g v =
+  if !on then begin
+    g.value <- v;
+    if v > g.peak then g.peak <- v
+  end
+
+let gauge_value g = g.value
+let gauge_peak g = g.peak
+
+let histogram name =
+  match Hashtbl.find_opt histograms name with
+  | Some h -> h
+  | None ->
+    let h =
+      {
+        h_name = name;
+        buckets = Array.make hist_buckets 0;
+        n = 0;
+        sum = 0.;
+        mn = infinity;
+        mx = neg_infinity;
+      }
+    in
+    Hashtbl.replace histograms name h;
+    h
+
+let bucket_of v =
+  if v <= 0. then 0
+  else
+    let b = int_of_float (Float.floor (Float.log2 v)) + hist_offset in
+    max 0 (min (hist_buckets - 1) b)
+
+let bucket_lo i = Float.pow 2. (float_of_int (i - hist_offset))
+
+let observe h v =
+  if !on then begin
+    h.buckets.(bucket_of v) <- h.buckets.(bucket_of v) + 1;
+    h.n <- h.n + 1;
+    h.sum <- h.sum +. v;
+    if v < h.mn then h.mn <- v;
+    if v > h.mx then h.mx <- v
+  end
+
+let histogram_count h = h.n
+let histogram_sum h = h.sum
+
+let histogram_buckets h =
+  let out = ref [] in
+  for i = hist_buckets - 1 downto 0 do
+    if h.buckets.(i) > 0 then out := (bucket_lo i, h.buckets.(i)) :: !out
+  done;
+  !out
+
+(* -- events and spans ------------------------------------------------------- *)
+
+let record kind fields =
+  if !on then begin
+    if !event_count >= max_events then Stdlib.incr dropped
+    else begin
+      Stdlib.incr seq;
+      Stdlib.incr event_count;
+      let ev =
+        Obj
+          (("seq", Int !seq)
+          :: ("t_ms", Float ((Unix.gettimeofday () -. !epoch) *. 1000.))
+          :: ("kind", String kind)
+          :: fields)
+      in
+      event_log := ev :: !event_log
+    end
+  end
+
+let event kind fields = record kind fields
+
+let with_span name f =
+  if not !on then f ()
+  else begin
+    let t0 = Unix.gettimeofday () in
+    span_stack := name :: !span_stack;
+    Fun.protect
+      ~finally:(fun () ->
+        let path = String.concat "/" (List.rev !span_stack) in
+        span_stack := (match !span_stack with [] -> [] | _ :: tl -> tl);
+        let ms = (Unix.gettimeofday () -. t0) *. 1000. in
+        observe (histogram ("span." ^ name)) ms;
+        record "span" [ ("name", String name); ("path", String path); ("ms", Float ms) ])
+      f
+  end
+
+let events () = List.rev !event_log
+let dropped_events () = !dropped
+
+(* -- export ----------------------------------------------------------------- *)
+
+let sorted_by_name to_pair tbl =
+  Hashtbl.fold (fun _ v acc -> v :: acc) tbl []
+  |> List.map to_pair
+  |> List.sort (fun (a, _) (b, _) -> compare a b)
+
+let summary_lines () =
+  let cs =
+    sorted_by_name (fun c -> (c.c_name, c)) counters
+    |> List.filter_map (fun (name, c) ->
+           if c.count = 0 then None
+           else
+             Some
+               (Obj
+                  [ ("kind", String "counter"); ("name", String name); ("value", Int c.count) ]))
+  in
+  let gs =
+    sorted_by_name (fun g -> (g.g_name, g)) gauges
+    |> List.filter_map (fun (name, g) ->
+           if g.peak = 0 && g.value = 0 then None
+           else
+             Some
+               (Obj
+                  [
+                    ("kind", String "gauge");
+                    ("name", String name);
+                    ("value", Int g.value);
+                    ("peak", Int g.peak);
+                  ]))
+  in
+  let hs =
+    sorted_by_name (fun h -> (h.h_name, h)) histograms
+    |> List.filter_map (fun (name, h) ->
+           if h.n = 0 then None
+           else
+             Some
+               (Obj
+                  [
+                    ("kind", String "histogram");
+                    ("name", String name);
+                    ("count", Int h.n);
+                    ("sum", Float h.sum);
+                    ("min", Float h.mn);
+                    ("max", Float h.mx);
+                    ( "buckets",
+                      List
+                        (List.map
+                           (fun (lo, n) -> List [ Float lo; Int n ])
+                           (histogram_buckets h)) );
+                  ]))
+  in
+  cs @ gs @ hs
+
+let jsonl () =
+  let lines = List.map Json.to_string (events () @ summary_lines ()) in
+  let lines =
+    if !dropped > 0 then
+      lines
+      @ [
+          Json.to_string
+            (Obj [ ("kind", String "dropped_events"); ("value", Int !dropped) ]);
+        ]
+    else lines
+  in
+  String.concat "\n" lines ^ if lines = [] then "" else "\n"
+
+let write_jsonl path =
+  let oc = open_out path in
+  Fun.protect ~finally:(fun () -> close_out oc) (fun () -> output_string oc (jsonl ()))
+
+let print_summary oc =
+  let p fmt = Printf.fprintf oc fmt in
+  let counters_l =
+    sorted_by_name (fun c -> (c.c_name, c)) counters
+    |> List.filter (fun (_, c) -> c.count <> 0)
+  in
+  if counters_l <> [] then begin
+    p "counters:\n";
+    List.iter (fun (name, c) -> p "  %-44s %12d\n" name c.count) counters_l
+  end;
+  let gauges_l =
+    sorted_by_name (fun g -> (g.g_name, g)) gauges
+    |> List.filter (fun (_, g) -> g.value <> 0 || g.peak <> 0)
+  in
+  if gauges_l <> [] then begin
+    p "gauges (value / peak):\n";
+    List.iter (fun (name, g) -> p "  %-44s %12d / %d\n" name g.value g.peak) gauges_l
+  end;
+  let hists_l =
+    sorted_by_name (fun h -> (h.h_name, h)) histograms
+    |> List.filter (fun (_, h) -> h.n > 0)
+  in
+  if hists_l <> [] then begin
+    p "histograms (count / sum / min / max):\n";
+    List.iter
+      (fun (name, h) ->
+        p "  %-44s %8d / %10.3f / %8.4f / %10.3f\n" name h.n h.sum h.mn h.mx)
+      hists_l
+  end;
+  if !dropped > 0 then p "(%d events dropped past the %d-event buffer cap)\n" !dropped max_events

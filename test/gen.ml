@@ -131,8 +131,33 @@ let formula_gen =
   let* depth = int_range 1 4 in
   go [| []; []; [] |] depth
 
+(** Shrink toward structurally smaller formulas so a failing property
+    reports a minimal counterexample: try replacing a node by its
+    subformulas (or a terminal), then shrinking each child in place.
+    Binders are kept around shrunk bodies; a body escaping its binder
+    is fine because properties re-close formulas with {!close}. *)
+let rec formula_shrink f =
+  let open QCheck.Iter in
+  let both mk a b =
+    return a <+> return b
+    <+> (formula_shrink a >|= fun a' -> mk a' b)
+    <+> (formula_shrink b >|= fun b' -> mk a b')
+  in
+  match f with
+  | F.True | F.False -> empty
+  | F.Atom _ | F.Eq _ | F.In _ -> return F.True <+> return F.False
+  | F.Not g -> return g <+> (formula_shrink g >|= fun g' -> F.Not g')
+  | F.And (a, b) -> both (fun x y -> F.And (x, y)) a b
+  | F.Or (a, b) -> both (fun x y -> F.Or (x, y)) a b
+  | F.Implies (a, b) -> both (fun x y -> F.Implies (x, y)) a b
+  | F.Iff (a, b) -> both (fun x y -> F.Iff (x, y)) a b
+  | F.Exists (xs, g) ->
+    return g <+> (formula_shrink g >|= fun g' -> F.Exists (xs, g'))
+  | F.Forall (xs, g) ->
+    return g <+> (formula_shrink g >|= fun g' -> F.Forall (xs, g'))
+
 let formula_arbitrary =
-  QCheck.make formula_gen ~print:(fun f -> F.to_string f)
+  QCheck.make formula_gen ~print:(fun f -> F.to_string f) ~shrink:formula_shrink
 
 (** Quantify away any remaining free variables so the formula is
     closed (the generator only uses bound variables in atoms, so the

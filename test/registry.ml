@@ -1,0 +1,14 @@
+(** Suite registry: every test module registers its suite at module
+    initialisation time, so the runner ({!Test_main}) never hard-wires
+    the suite list — adding a test file means adding one
+    [let () = Registry.register "name" suite] line to that file. *)
+
+let suites : (string * unit Alcotest.test_case list) list ref = ref []
+
+let register name suite =
+  if List.mem_assoc name !suites then
+    invalid_arg ("Registry.register: duplicate suite name " ^ name);
+  suites := (name, suite) :: !suites
+
+(** All registered suites, in registration order. *)
+let all () = List.rev !suites

@@ -393,3 +393,5 @@ let suite =
     QCheck_alcotest.to_alcotest prop_satcount_matches_enumeration;
     QCheck_alcotest.to_alcotest prop_restrict_semantics;
   ]
+
+let () = Registry.register "bdd" suite

@@ -413,3 +413,5 @@ let suite =
     QCheck_alcotest.to_alcotest prop_ablation_pipeline_agrees;
     QCheck_alcotest.to_alcotest prop_violation_witnesses_exact;
   ]
+
+let () = Registry.register "checker" suite

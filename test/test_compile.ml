@@ -213,3 +213,5 @@ let suite =
     QCheck_alcotest.to_alcotest prop_compile_agrees_with_naive;
     QCheck_alcotest.to_alcotest prop_appquant_toggle_equivalent;
   ]
+
+let () = Registry.register "compile" suite

@@ -173,3 +173,5 @@ let suite =
     Alcotest.test_case "university violators" `Quick test_university_violators;
     Alcotest.test_case "university clean" `Quick test_university_zero_violators_clean;
   ]
+
+let () = Registry.register "datagen" suite

@@ -233,3 +233,5 @@ let suite =
     QCheck_alcotest.to_alcotest prop_in_set_count;
     QCheck_alcotest.to_alcotest prop_lt_const_count;
   ]
+
+let () = Registry.register "fd" suite

@@ -213,3 +213,5 @@ let suite =
     QCheck_alcotest.to_alcotest prop_push_forall_preserves;
     QCheck_alcotest.to_alcotest prop_optimize_consistent;
   ]
+
+let () = Registry.register "formula" suite

@@ -128,3 +128,5 @@ let suite =
     Alcotest.test_case "domain growth signals rebuild" `Quick test_rejects_out_of_domain_growth;
     Alcotest.test_case "entry size / build time" `Quick test_entry_size_and_build_time;
   ]
+
+let () = Registry.register "index" suite

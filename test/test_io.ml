@@ -219,3 +219,5 @@ let suite =
     Alcotest.test_case "index roundtrip" `Quick test_index_roundtrip;
     Alcotest.test_case "index rejects domain drift" `Quick test_index_rejects_domain_drift;
   ]
+
+let () = Registry.register "io" suite

@@ -1,21 +1,35 @@
-(** Aggregated test runner: `dune runtest`. *)
+(** Aggregated test runner: `dune runtest`.
+
+    Each test file owns its suite name and contents and registers them
+    in {!Registry} at module-initialisation time.  OCaml only
+    initialises a module before this one if something here depends on
+    it, so the aliases below force that linkage — they are the only
+    thing to add for a new test file, and a wrong/duplicate name or a
+    forgotten [Registry.register] fails loudly below. *)
+
+module _ = Test_util
+module _ = Test_bdd
+module _ = Test_fd
+module _ = Test_relation
+module _ = Test_sql
+module _ = Test_datagen
+module _ = Test_formula
+module _ = Test_ordering
+module _ = Test_index
+module _ = Test_compile
+module _ = Test_to_sql
+module _ = Test_io
+module _ = Test_monitor
+module _ = Test_misc
+module _ = Test_checker
+module _ = Test_telemetry
+module _ = Test_differential
 
 let () =
-  Alcotest.run "fcv"
-    [
-      ("util", Test_util.suite);
-      ("bdd", Test_bdd.suite);
-      ("fd", Test_fd.suite);
-      ("relation", Test_relation.suite);
-      ("sql", Test_sql.suite);
-      ("datagen", Test_datagen.suite);
-      ("formula", Test_formula.suite);
-      ("ordering", Test_ordering.suite);
-      ("index", Test_index.suite);
-      ("compile", Test_compile.suite);
-      ("to_sql", Test_to_sql.suite);
-      ("io", Test_io.suite);
-      ("monitor", Test_monitor.suite);
-      ("misc", Test_misc.suite);
-      ("checker", Test_checker.suite);
-    ]
+  let suites = Registry.all () in
+  if List.length suites < 17 then
+    failwith
+      (Printf.sprintf "Test_main: only %d suites registered — a test module was \
+                       linked without calling Registry.register"
+         (List.length suites));
+  Alcotest.run "fcv" suites

@@ -142,3 +142,5 @@ let suite =
     Alcotest.test_case "violations of existential constraints" `Quick test_violations_no_witness_shape;
     Alcotest.test_case "manager accessors" `Quick test_node_limit_value_accessors;
   ]
+
+let () = Registry.register "misc" suite

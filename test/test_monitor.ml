@@ -159,3 +159,5 @@ let suite =
     Alcotest.test_case "inclusion dependencies" `Quick test_ind;
     Alcotest.test_case "IND violation detected" `Quick test_ind_violation_detected;
   ]
+
+let () = Registry.register "monitor" suite

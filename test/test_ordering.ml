@@ -151,3 +151,5 @@ let suite =
     Alcotest.test_case "resolve fixed order" `Quick test_resolve_fixed_and_validation;
     Alcotest.test_case "random order deterministic" `Quick test_random_order_deterministic_by_seed;
   ]
+
+let () = Registry.register "ordering" suite

@@ -292,3 +292,5 @@ let suite =
     QCheck_alcotest.to_alcotest prop_entropy_monotone_and_gain_nonneg;
     QCheck_alcotest.to_alcotest prop_satcount_equals_distinct_rows;
   ]
+
+let () = Registry.register "relation" suite

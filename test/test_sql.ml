@@ -309,3 +309,5 @@ let suite =
     Alcotest.test_case "planner cross-domain rejection" `Quick test_planner_cross_domain_rejected;
     Alcotest.test_case "planner ambiguity rejection" `Quick test_planner_ambiguous_column;
   ]
+
+let () = Registry.register "sql" suite

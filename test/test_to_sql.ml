@@ -99,3 +99,5 @@ let suite =
     Alcotest.test_case "unsafe formula rejected" `Quick test_unsafe_formula_rejected;
     Alcotest.test_case "nested forall conjunct" `Quick test_nested_forall_conjunct;
   ]
+
+let () = Registry.register "to_sql" suite

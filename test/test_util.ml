@@ -131,3 +131,5 @@ let suite =
     Alcotest.test_case "timer" `Quick test_timer;
     QCheck_alcotest.to_alcotest prop_zipf_in_range;
   ]
+
+let () = Registry.register "util" suite
