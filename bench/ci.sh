@@ -25,4 +25,63 @@ dune build
 echo "== dune runtest (QCHECK_SEED=$QCHECK_SEED)"
 dune runtest --force
 
+echo "== daemon smoke test (fcv serve / fcv client)"
+FCV=./_build/default/bin/fcv.exe
+SMOKE=$(mktemp -d /tmp/fcv-smoke.XXXXXX)
+SERVE_PID=""
+cleanup() {
+  if [ -n "$SERVE_PID" ] && kill -0 "$SERVE_PID" 2>/dev/null; then
+    kill "$SERVE_PID" 2>/dev/null || true
+    wait "$SERVE_PID" 2>/dev/null || true
+  fi
+  rm -rf "$SMOKE"
+}
+trap cleanup EXIT INT TERM
+
+"$FCV" gen university -o "$SMOKE/data" -n 200 >/dev/null
+
+SOCK="$SMOKE/fcv.sock"
+"$FCV" serve -d "$SMOKE/data" --sock "$SOCK" --state "$SMOKE/state" \
+  --snapshot-every 500 &
+SERVE_PID=$!
+
+# wait for the daemon to bind its socket
+i=0
+while [ ! -S "$SOCK" ]; do
+  i=$((i + 1))
+  if [ "$i" -gt 100 ]; then
+    echo "daemon did not come up" >&2
+    exit 1
+  fi
+  if ! kill -0 "$SERVE_PID" 2>/dev/null; then
+    echo "daemon exited before binding $SOCK" >&2
+    exit 1
+  fi
+  sleep 0.1
+done
+
+"$FCV" client --sock "$SOCK" ping >/dev/null
+"$FCV" client --sock "$SOCK" register \
+  'forall s, c . takes(s, c) -> (exists a . course(c, a))' >/dev/null
+
+# 1k interleaved updates (net zero: every insert is deleted again),
+# then an in-stream validation
+{
+  i=0
+  while [ "$i" -lt 500 ]; do
+    echo "insert takes,$((i % 200)),$((i % 100))"
+    echo "delete takes,$((i % 200)),$((i % 100))"
+    i=$((i + 1))
+  done
+  echo "validate"
+} >"$SMOKE/updates.txt"
+"$FCV" client --sock "$SOCK" updates "$SMOKE/updates.txt" >/dev/null 2>&1
+
+"$FCV" client --sock "$SOCK" validate >/dev/null
+"$FCV" client --sock "$SOCK" stats >/dev/null
+"$FCV" client --sock "$SOCK" shutdown >/dev/null
+wait "$SERVE_PID"
+SERVE_PID=""
+echo "daemon smoke test passed"
+
 echo "CI gate passed"

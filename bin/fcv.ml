@@ -435,13 +435,14 @@ let stats_cmd =
 
 (* -- fcv monitor ---------------------------------------------------------------------- *)
 
-(* Updates file: one command per line —
+(* Updates file: one command per line (the {!Fcv_server.Protocol}
+   update-stream syntax, shared with `fcv client updates`) —
      insert TABLE,v1,v2,...
      delete TABLE,v1,v2,...
      validate
    Values are matched against the tables' existing dictionaries; a row
-   mentioning an unknown value is skipped with a warning (streaming
-   brand-new domain values would force an index rebuild). *)
+   mentioning an unknown value is skipped with a warning (the offline
+   monitor never grows domains — stream against a daemon for that). *)
 let monitor_cmd =
   let updates_arg =
     let doc =
@@ -449,24 +450,6 @@ let monitor_cmd =
        or 'validate'.  Lines starting with # are comments."
     in
     Arg.(required & opt (some file) None & info [ "u"; "updates" ] ~docv:"FILE" ~doc)
-  in
-  let parse_row db line =
-    match String.split_on_char ',' line |> List.map String.trim with
-    | table_name :: cells when cells <> [] -> (
-      let t = R.Database.table db table_name in
-      if List.length cells <> R.Table.arity t then
-        failwith
-          (Printf.sprintf "%s: expected %d values, got %d" table_name (R.Table.arity t)
-             (List.length cells));
-      let coded =
-        List.mapi
-          (fun j cell ->
-            R.Dict.code (R.Table.dict t j) (R.Value.of_string cell))
-          cells
-      in
-      if List.exists (( = ) None) coded then None
-      else Some (table_name, Array.of_list (List.map Option.get coded)))
-    | _ -> failwith ("malformed update row: " ^ line)
   in
   let print_reports reports =
     List.iter
@@ -498,29 +481,32 @@ let monitor_cmd =
         then any_violated := true
       in
       let ic = open_in updates_file in
+      let module P = Fcv_server.Protocol in
       Fun.protect
         ~finally:(fun () -> close_in ic)
         (fun () ->
           let n = ref 0 in
+          let coded table cells =
+            match P.code_row db ~table cells with
+            | P.Coded row -> Some row
+            | P.Unknown_value v ->
+              Printf.eprintf "line %d: unknown value %s, row skipped\n" !n v;
+              None
+          in
           try
             while true do
-              let line = String.trim (input_line ic) in
+              let line = input_line ic in
               incr n;
-              if line <> "" && line.[0] <> '#' then begin
-                match String.index_opt line ' ' with
-                | _ when line = "validate" -> validate (Printf.sprintf "validate (line %d)" !n)
-                | Some k -> (
-                  let cmd = String.sub line 0 k in
-                  let rest = String.sub line (k + 1) (String.length line - k - 1) in
-                  match (cmd, parse_row db rest) with
-                  | "insert", Some (table_name, row) -> Core.Monitor.insert monitor ~table_name row
-                  | "delete", Some (table_name, row) ->
-                    ignore (Core.Monitor.delete monitor ~table_name row)
-                  | ("insert" | "delete"), None ->
-                    Printf.eprintf "line %d: unknown value, row skipped: %s\n" !n rest
-                  | _ -> failwith (Printf.sprintf "line %d: unknown command %s" !n cmd))
-                | None -> failwith (Printf.sprintf "line %d: malformed line: %s" !n line)
-              end
+              match P.update_of_line line with
+              | None -> ()
+              | Some P.U_validate -> validate (Printf.sprintf "validate (line %d)" !n)
+              | Some (P.U_insert (table, cells)) ->
+                Option.iter (Core.Monitor.insert monitor ~table_name:table) (coded table cells)
+              | Some (P.U_delete (table, cells)) ->
+                Option.iter
+                  (fun row -> ignore (Core.Monitor.delete monitor ~table_name:table row))
+                  (coded table cells)
+              | exception P.Malformed msg -> failwith (Printf.sprintf "line %d: %s" !n msg)
             done
           with End_of_file -> ());
       validate "final validation";
@@ -537,6 +523,183 @@ let monitor_cmd =
     Term.(
       const run $ data_arg $ constraints_arg $ strategy_arg $ max_nodes_arg $ updates_arg
       $ telemetry_arg)
+
+(* -- fcv serve ------------------------------------------------------------------------ *)
+
+let sock_arg =
+  let doc = "Socket to serve/reach the daemon on: a Unix path or host:port." in
+  Arg.(required & opt (some string) None & info [ "sock" ] ~docv:"ADDR" ~doc)
+
+let serve_cmd =
+  let state_arg =
+    let doc =
+      "Durability directory (snapshot generations + write-ahead log).  On start the \
+       daemon recovers from the latest snapshot plus the WAL; without $(docv) all \
+       state is in-memory only."
+    in
+    Arg.(value & opt (some string) None & info [ "state" ] ~docv:"DIR" ~doc)
+  in
+  let constraints_opt_arg =
+    let doc = "File of constraints to register at startup (one per line, FOL syntax)." in
+    Arg.(value & opt (some file) None & info [ "c"; "constraints" ] ~docv:"FILE" ~doc)
+  in
+  let fsync_arg =
+    let doc = "fsync the WAL every $(docv)-th record (1 = every record, 0 = never)." in
+    Arg.(value & opt int 1 & info [ "fsync-every" ] ~docv:"N" ~doc)
+  in
+  let snapshot_every_arg =
+    let doc = "Cut a snapshot automatically every $(docv) WAL records (0 = only on \
+               'snapshot' requests and shutdown)." in
+    Arg.(value & opt int 10_000 & info [ "snapshot-every" ] ~docv:"N" ~doc)
+  in
+  let idle_arg =
+    let doc = "Close sessions silent for $(docv) seconds (0 = never)." in
+    Arg.(value & opt float 0. & info [ "idle-timeout" ] ~docv:"SECONDS" ~doc)
+  in
+  let run data sock state constraints_file strategy max_nodes fsync_every snapshot_every
+      idle_timeout telemetry =
+    with_telemetry telemetry @@ fun () ->
+    let module S = Fcv_server.Server in
+    let strategy = strategy_of_string strategy in
+    let monitor, origin =
+      match state with
+      | Some dir ->
+        let monitor, replayed, from_snapshot =
+          S.recover ~max_nodes ~state_dir:dir ~load_base:(fun () -> fst (load_dir data)) ()
+        in
+        ( monitor,
+          Printf.sprintf "%s + %d WAL records"
+            (if from_snapshot then "snapshot" else "base data")
+            replayed )
+      | None ->
+        let db, _ = load_dir data in
+        (Core.Monitor.create (Core.Index.create ~max_nodes db), "base data (no durability)")
+    in
+    (* register startup constraints the recovered state does not
+       already hold (recovery re-registers persisted ones itself) *)
+    Option.iter
+      (fun path ->
+        let known =
+          List.map (fun r -> r.Core.Monitor.source) (Core.Monitor.constraints monitor)
+        in
+        List.iter
+          (fun (src, formula) ->
+            if not (List.mem src known) then begin
+              Core.Checker.ensure_indices ~strategy (Core.Monitor.index monitor) [ formula ];
+              ignore (Core.Monitor.add monitor src)
+            end)
+          (read_constraints path))
+      constraints_file;
+    let config =
+      {
+        (S.default_config ~addr:sock) with
+        S.state_dir = state;
+        fsync_every;
+        snapshot_every;
+        idle_timeout;
+      }
+    in
+    let server = S.create config monitor in
+    let db = (Core.Monitor.index monitor).Core.Index.db in
+    Printf.printf "fcv serve: listening on %s — %d tables, %d constraints, state from %s\n%!"
+      sock
+      (List.length (R.Database.table_names db))
+      (List.length (Core.Monitor.constraints monitor))
+      origin;
+    S.run server;
+    print_endline "fcv serve: stopped"
+  in
+  let doc =
+    "run the constraint service: a daemon holding the logical indices resident, \
+     validating registered constraints against streamed updates from concurrent \
+     clients, with WAL-backed crash recovery (see docs/PROTOCOL.md)"
+  in
+  Cmd.v
+    (Cmd.info "serve" ~doc)
+    Term.(
+      const run $ data_arg $ sock_arg $ state_arg $ constraints_opt_arg $ strategy_arg
+      $ max_nodes_arg $ fsync_arg $ snapshot_every_arg $ idle_arg $ telemetry_arg)
+
+(* -- fcv client ----------------------------------------------------------------------- *)
+
+let client_cmd =
+  let cmd_arg =
+    let doc =
+      "One of: ping | stats | validate | snapshot | shutdown | register | unregister | \
+       insert | delete | updates."
+    in
+    Arg.(required & pos 0 (some string) None & info [] ~docv:"CMD" ~doc)
+  in
+  let arg_arg =
+    let doc =
+      "The command's argument: a constraint (register), an id (unregister), \
+       'TABLE,v1,...' (insert/delete), or an updates file / '-' for stdin (updates)."
+    in
+    Arg.(value & pos 1 (some string) None & info [] ~docv:"ARG" ~doc)
+  in
+  let run sock cmd arg =
+    let module P = Fcv_server.Protocol in
+    let module C = Fcv_server.Client in
+    let module T = Fcv_util.Telemetry in
+    let need what =
+      match arg with
+      | Some a -> a
+      | None -> failwith (Printf.sprintf "client %s needs %s" cmd what)
+    in
+    let client = C.connect sock in
+    Fun.protect ~finally:(fun () -> C.close client) @@ fun () ->
+    let one req = print_endline (T.Json.to_string (C.ok_exn (C.request client req))) in
+    let print_validation body =
+      (match T.Json.member "reports" body with
+      | Some (T.List reports) ->
+        List.iter
+          (fun rep ->
+            let str f = match T.Json.member f rep with Some (T.String s) -> s | _ -> "?" in
+            let fresh =
+              match T.Json.member "fresh" rep with Some (T.Bool b) -> b | _ -> false
+            in
+            let ms = match T.Json.member "ms" rep with Some (T.Float f) -> f | _ -> 0. in
+            Printf.printf "  [%-9s] (%s%6.2f ms) %s\n"
+              (String.uppercase_ascii (str "outcome"))
+              (if fresh then "fresh,  " else "cached, ")
+              ms (str "source"))
+          reports
+      | _ -> ());
+      match T.Json.member "violated" body with Some (T.Int v) -> v | _ -> 0
+    in
+    match cmd with
+    | "ping" -> one P.Ping
+    | "stats" -> one P.Stats
+    | "snapshot" -> one P.Snapshot
+    | "shutdown" -> one P.Shutdown
+    | "register" -> one (P.Register { source = need "a constraint"; id = None })
+    | "unregister" -> one (P.Unregister (int_of_string (need "a constraint id")))
+    | "insert" | "delete" -> (
+      match P.update_of_line (cmd ^ " " ^ need "TABLE,v1,...") with
+      | Some u -> one (P.request_of_update u)
+      | None -> failwith "empty row")
+    | "validate" ->
+      let body = C.ok_exn (C.request client P.Validate) in
+      print_endline "validation:";
+      if print_validation body > 0 then exit 1
+    | "updates" ->
+      let path = need "an updates file or '-'" in
+      let ic = if path = "-" then stdin else open_in path in
+      let violated = ref 0 in
+      let updates, validations =
+        Fun.protect
+          ~finally:(fun () -> if path <> "-" then close_in ic)
+          (fun () ->
+            C.stream_updates client ic ~on_validate:(fun body ->
+                print_endline "validation:";
+                violated := !violated + print_validation body))
+      in
+      Printf.eprintf "(%d updates streamed, %d validations)\n" updates validations;
+      if !violated > 0 then exit 1
+    | c -> failwith ("unknown client command: " ^ c)
+  in
+  let doc = "talk to a running fcv serve daemon (line-delimited JSON protocol)" in
+  Cmd.v (Cmd.info "client" ~doc) Term.(const run $ sock_arg $ cmd_arg $ arg_arg)
 
 (* -- fcv gen -------------------------------------------------------------------------- *)
 
@@ -605,6 +768,8 @@ let () =
           [
             check_cmd;
             monitor_cmd;
+            serve_cmd;
+            client_cmd;
             stats_cmd;
             index_cmd;
             orderings_cmd;
@@ -615,4 +780,10 @@ let () =
      with
      | Failure msg | Sys_error msg | Invalid_argument msg ->
        Printf.eprintf "fcv: %s\n" msg;
+       2
+     | Unix.Unix_error (err, fn, arg) ->
+       Printf.eprintf "fcv: %s %s: %s\n" fn arg (Unix.error_message err);
+       2
+     | Fcv_server.Protocol.Malformed msg ->
+       Printf.eprintf "fcv: protocol error: %s\n" msg;
        2)

@@ -21,8 +21,15 @@ let magic = "fcv-bdd"
 let version = 1
 
 (** Serialise the subgraphs of [roots].  Node ids in the file are
-    local; [roots] are rewritten accordingly. *)
-let save m ~roots oc =
+    local; [roots] are rewritten accordingly.  [rename] maps manager
+    variable ids to file variable ids (identity by default) and
+    [nvars] overrides the recorded variable count — callers use the
+    pair to compact away variables the roots no longer reference
+    (scratch blocks, blocks of rebuilt indices), so the file loads
+    into a manager that allocates only the live blocks.  [rename]
+    must be strictly increasing on the variables of each root's
+    subgraph or the ordering invariant breaks on load. *)
+let save ?(rename = Fun.id) ?nvars m ~roots oc =
   (* assign file ids in children-first order *)
   let file_id = Hashtbl.create 1024 in
   Hashtbl.replace file_id M.zero 0;
@@ -41,11 +48,12 @@ let save m ~roots oc =
   List.iter visit roots;
   let nodes = List.rev !order in
   Printf.fprintf oc "%s %d\n" magic version;
-  Printf.fprintf oc "nvars %d\n" (M.nvars m);
+  Printf.fprintf oc "nvars %d\n" (Option.value nvars ~default:(M.nvars m));
   Printf.fprintf oc "nodes %d\n" (List.length nodes);
   List.iter
     (fun id ->
-      Printf.fprintf oc "%d %d %d\n" (M.var m id)
+      Printf.fprintf oc "%d %d %d\n"
+        (rename (M.var m id))
         (Hashtbl.find file_id (M.low m id))
         (Hashtbl.find file_id (M.high m id)))
     nodes;

@@ -3,7 +3,13 @@
 
 exception Format_error of string
 
-val save : Manager.t -> roots:int list -> out_channel -> unit
+val save :
+  ?rename:(int -> int) -> ?nvars:int -> Manager.t -> roots:int list -> out_channel -> unit
+(** [rename] maps manager variable ids to file variable ids (identity
+    by default) and [nvars] overrides the recorded variable count;
+    together they let callers compact away variables the roots never
+    reference.  [rename] must be strictly increasing on each root's
+    own variables. *)
 
 val load : Manager.t -> in_channel -> int list
 (** Load into a manager with at least as many variables (same intended

@@ -182,12 +182,36 @@ let update_entry t entry ~insert row =
       else Hashtbl.replace entry.counts key (current - 1)
     end
 
+(** Rebuild one entry from the current base table (same attributes,
+    same strategy), replacing it in the store.  Used when an update
+    falls outside the entry's frozen domain capacity: the new entry's
+    blocks are wide enough for the grown dictionaries.  The old
+    blocks' levels are abandoned (level space only grows; rebuilds are
+    O(log |dom|) per attribute since block widths double). *)
+let rebuild_entry t entry =
+  let table_name = R.Table.name entry.table in
+  let schema = R.Table.schema entry.table in
+  let attr_names =
+    Array.to_list entry.attrs |> List.map (fun p -> schema.(p).R.Schema.name)
+  in
+  t.entries <- List.filter (fun e -> e != entry) t.entries;
+  let rebuilt = add t ~table_name ~attrs:attr_names ~strategy:entry.strategy () in
+  if Fcv_util.Telemetry.enabled () then
+    Fcv_util.Telemetry.incr (Fcv_util.Telemetry.counter "index.rebuilds");
+  rebuilt
+
 (** Insert a full coded row into the base table and every index on
-    it. *)
+    it.  An entry whose frozen domain capacity the row exceeds (new
+    dictionary codes) is transparently rebuilt in place instead of
+    {!Needs_rebuild} escaping to the caller. *)
 let insert t ~table_name row =
   let table = R.Database.table t.db table_name in
   R.Table.insert_coded table row;
-  List.iter (fun e -> update_entry t e ~insert:true row) (entries_for t table_name)
+  List.iter
+    (fun e ->
+      try update_entry t e ~insert:true row
+      with Needs_rebuild _ -> ignore (rebuild_entry t e))
+    (entries_for t table_name)
 
 (** Garbage-collect the shared manager: keep exactly the entries'
     current BDDs, dropping the dead intermediates that incremental
@@ -201,10 +225,15 @@ let compact t =
   before - M.size t.mgr
 
 (** Delete one occurrence of a full coded row from the base table and
-    every index on it. *)
+    every index on it; entries that cannot maintain the deletion
+    incrementally are rebuilt in place (see {!insert}). *)
 let delete t ~table_name row =
   let table = R.Database.table t.db table_name in
   let removed = R.Table.delete_coded table row in
   if removed then
-    List.iter (fun e -> update_entry t e ~insert:false row) (entries_for t table_name);
+    List.iter
+      (fun e ->
+        try update_entry t e ~insert:false row
+        with Needs_rebuild _ -> ignore (rebuild_entry t e))
+      (entries_for t table_name);
   removed

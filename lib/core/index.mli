@@ -69,13 +69,21 @@ val update_entry : t -> entry -> insert:bool -> int array -> unit
 (** Apply one base-row update to one entry (exposed for benchmarks);
     normally use {!insert}/{!delete}.  @raise Needs_rebuild *)
 
+val rebuild_entry : t -> entry -> entry
+(** Rebuild an entry from the current base table (same attributes and
+    strategy), replacing it in the store — the recovery for
+    {!Needs_rebuild} after the base table / dictionaries changed. *)
+
 val insert : t -> table_name:string -> int array -> unit
 (** Insert a full coded row into the base table and every index on
-    it.  @raise Needs_rebuild *)
+    it.  The row's codes must already be interned in the table's
+    dictionaries; an entry whose capacity they exceed is transparently
+    rebuilt ({!rebuild_entry}) rather than raising. *)
 
 val delete : t -> table_name:string -> int array -> bool
 (** Delete one occurrence of a row from the base table and every
-    index; returns whether a row existed. *)
+    index; returns whether a row existed.  Rebuilds entries that
+    cannot maintain the deletion incrementally. *)
 
 val compact : t -> int
 (** Garbage-collect the shared manager down to the entries' live

@@ -3,9 +3,10 @@
     (same tables, same dictionary contents) without re-encoding.
 
     The file begins with a manifest of the entries (table, attribute
-    names, ordering, per-attribute domain sizes — checked on load so a
-    drifted dictionary is rejected rather than silently decoded
-    wrongly), followed by one {!Fcv_bdd.Io} section with all roots. *)
+    names, ordering, per-attribute domain sizes — restored verbatim,
+    since block widths fix both the variable layout and the packed
+    count keys; a dictionary smaller than a saved domain is rejected
+    as drift), followed by one {!Fcv_bdd.Io} section with all roots. *)
 
 module R = Fcv_relation
 module M = Fcv_bdd.Manager
@@ -19,6 +20,30 @@ let magic = "fcv-index 1"
 
 let save index oc =
   let entries = List.rev (Index.entries index) in
+  (* Compact the variable numbering: the live manager also carries
+     scratch blocks and the dead blocks of rebuilt entries, but [load]
+     re-allocates only the saved blocks (per entry, in ordering
+     sequence).  Saving raw variable ids would therefore shift or
+     overflow on reload, so renumber to exactly the layout [load]
+     recreates. *)
+  let remap = Hashtbl.create 64 in
+  let next_var = ref 0 in
+  List.iter
+    (fun e ->
+      Array.iter
+        (fun k ->
+          Array.iter
+            (fun lvl ->
+              Hashtbl.replace remap lvl !next_var;
+              incr next_var)
+            e.Index.blocks.(k).Fd.levels)
+        e.Index.order)
+    entries;
+  let rename v =
+    match Hashtbl.find_opt remap v with
+    | Some v' -> v'
+    | None -> fail "index BDD references variable %d outside its entry blocks" v
+  in
   Printf.fprintf oc "%s\n" magic;
   Printf.fprintf oc "entries %d\n" (List.length entries);
   List.iter
@@ -41,7 +66,9 @@ let save index oc =
       Printf.fprintf oc "counts %d\n" (Hashtbl.length e.Index.counts);
       Hashtbl.iter (fun k c -> Printf.fprintf oc "%d %d\n" k c) e.Index.counts)
     entries;
-  Fcv_bdd.Io.save (Index.mgr index) ~roots:(List.map (fun e -> e.Index.root) entries) oc
+  Fcv_bdd.Io.save ~rename ~nvars:!next_var (Index.mgr index)
+    ~roots:(List.map (fun e -> e.Index.root) entries)
+    oc
 
 (** Rebuild an index store from [ic] against [db].  Blocks are
     re-allocated in the same level order, so roots load unchanged.
@@ -77,7 +104,7 @@ let load db ic =
         in
         let dom_sizes =
           match words (line ()) with
-          | "domains" :: rest -> List.map int_of_string rest
+          | "domains" :: rest -> Array.of_list (List.map int_of_string rest)
           | _ -> fail "expected domains"
         in
         let n_counts =
@@ -96,25 +123,27 @@ let load db ic =
         let attrs =
           Array.of_list (List.map (R.Schema.position schema) attr_names)
         in
-        (* re-allocate blocks in saved (ordering) sequence so levels
-           match the saved BDDs *)
+        (* re-allocate blocks in saved (ordering) sequence, with the
+           SAVED domain sizes: widths decide the variable layout and
+           the packed count keys, so they must be restored verbatim.
+           A dictionary that has since grown is fine — the entry comes
+           back exactly as narrow as it was saved, and the first update
+           beyond its capacity rebuilds it like it would have live.  A
+           dictionary smaller than the saved domain means the index was
+           saved against different data: reject it. *)
         let slots = Array.make (Array.length attrs) None in
         Array.iter
           (fun k ->
             let p = attrs.(k) in
-            let dom = R.Table.dom_size table p in
+            let current = R.Table.dom_size table p in
+            let saved = dom_sizes.(k) in
+            if saved > current then
+              fail "domain of %s.%s shrank since the index was saved (%d -> %d)"
+                table_name schema.(p).R.Schema.name saved current;
             slots.(k) <-
-              Some
-                (Fd.alloc mgr ~name:schema.(p).R.Schema.name ~dom_size:(max 1 dom)))
+              Some (Fd.alloc mgr ~name:schema.(p).R.Schema.name ~dom_size:(max 1 saved)))
           order;
         let blocks = Array.map (function Some b -> b | None -> fail "bad order") slots in
-        (* domain drift check *)
-        List.iteri
-          (fun i saved ->
-            if blocks.(i).Fd.dom_size <> saved then
-              fail "domain size of %s.%s changed since the index was saved (%d -> %d)"
-                table_name (List.nth attr_names i) saved blocks.(i).Fd.dom_size)
-          dom_sizes;
         (table, attrs, order, blocks, counts))
   in
   let roots = Fcv_bdd.Io.load mgr ic in

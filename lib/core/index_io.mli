@@ -1,14 +1,16 @@
 (** Persistence for the logical index store: entry manifests plus one
     {!Fcv_bdd.Io} section.  Loading re-allocates the blocks in the
-    saved level order and verifies that the database's dictionary
-    sizes have not drifted since the save. *)
+    saved level order with their saved domain sizes (grown
+    dictionaries are fine — the entry rebuilds on its first
+    out-of-capacity update, as it would have live); a dictionary
+    smaller than a saved domain is rejected as drift. *)
 
 exception Format_error of string
 
 val save : Index.t -> out_channel -> unit
 
 val load : Fcv_relation.Database.t -> in_channel -> Index.t
-(** @raise Format_error on malformed input or domain drift. *)
+(** @raise Format_error on malformed input or a shrunken domain. *)
 
 val save_file : Index.t -> string -> unit
 val load_file : Fcv_relation.Database.t -> string -> Index.t

@@ -31,16 +31,31 @@ type t = {
 let create ?(pipeline = Checker.default_pipeline) index =
   { index; pipeline; constraints = []; next_id = 0; dirty = Hashtbl.create 8 }
 
+let index t = t.index
+let constraints t = t.constraints
+
 (** Register a constraint (given as concrete syntax); builds any
-    missing indices.  Returns its id. *)
-let add t source =
+    missing indices.  Returns its id — the caller may pin one (WAL
+    replay / snapshot recovery re-registers constraints under their
+    original ids so logged [unregister] records stay valid). *)
+let add ?id t source =
   let formula = Fol_parser.of_string source in
   if not (Formula.is_closed formula) then
     invalid_arg "Monitor.add: constraint must be closed";
   ignore (Typing.infer t.index.Index.db formula);
   Checker.ensure_indices t.index [ formula ];
-  let id = t.next_id in
-  t.next_id <- t.next_id + 1;
+  let id =
+    match id with
+    | Some i ->
+      if List.exists (fun r -> r.id = i) t.constraints then
+        invalid_arg "Monitor.add: duplicate constraint id";
+      t.next_id <- max t.next_id (i + 1);
+      i
+    | None ->
+      let i = t.next_id in
+      t.next_id <- i + 1;
+      i
+  in
   let reg =
     {
       id;

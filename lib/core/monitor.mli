@@ -18,8 +18,15 @@ type t
 
 val create : ?pipeline:Checker.pipeline -> Index.t -> t
 
-val add : t -> string -> registered
+val index : t -> Index.t
+
+val constraints : t -> registered list
+(** The registered constraints, oldest first. *)
+
+val add : ?id:int -> t -> string -> registered
 (** Register a constraint (concrete syntax); builds missing indices.
+    [id] pins the assigned id (recovery re-registers constraints under
+    their original ids); fresh ids stay above any pinned one.
     @raise Fol_parser.Error / Typing.Type_error / Invalid_argument. *)
 
 val remove : t -> int -> unit

@@ -1,0 +1,66 @@
+(** Blocking line-oriented client: the [fcv client] subcommand, the
+    daemon smoke test and the end-to-end tests all speak through
+    this. *)
+
+module T = Fcv_util.Telemetry
+module P = Protocol
+
+type t = {
+  fd : Unix.file_descr;
+  ic : in_channel;
+  oc : out_channel;
+  mutable next_id : int;
+}
+
+let connect addr =
+  let sockaddr = P.sockaddr_of_string addr in
+  let domain =
+    match sockaddr with Unix.ADDR_UNIX _ -> Unix.PF_UNIX | Unix.ADDR_INET _ -> Unix.PF_INET
+  in
+  let fd = Unix.socket domain Unix.SOCK_STREAM 0 in
+  Unix.connect fd sockaddr;
+  { fd; ic = Unix.in_channel_of_descr fd; oc = Unix.out_channel_of_descr fd; next_id = 0 }
+
+let close t =
+  (try flush t.oc with Sys_error _ -> ());
+  try Unix.close t.fd with Unix.Unix_error _ -> ()
+
+let request t req =
+  let id = t.next_id in
+  t.next_id <- id + 1;
+  output_string t.oc (P.request_to_line ~id:(T.Int id) req);
+  output_char t.oc '\n';
+  flush t.oc;
+  let resp = P.parse_response (input_line t.ic) in
+  (match resp.P.id with
+  | Some (T.Int echoed) when echoed = id -> ()
+  | _ -> raise (P.Malformed (Printf.sprintf "response id mismatch (request %d)" id)));
+  resp
+
+let ok_exn resp =
+  if resp.P.ok then resp.P.body
+  else begin
+    let field name =
+      match T.Json.member name resp.P.body with Some (T.String s) -> s | _ -> "?"
+    in
+    failwith (Printf.sprintf "server error [%s]: %s" (field "error") (field "message"))
+  end
+
+let stream_updates t ~on_validate ic =
+  let updates = ref 0 in
+  let validations = ref 0 in
+  (try
+     while true do
+       match P.update_of_line (input_line ic) with
+       | None -> ()
+       | Some u ->
+         let resp = request t (P.request_of_update u) in
+         let body = ok_exn resp in
+         (match u with
+         | P.U_validate ->
+           incr validations;
+           on_validate body
+         | P.U_insert _ | P.U_delete _ -> incr updates)
+     done
+   with End_of_file -> ());
+  (!updates, !validations)

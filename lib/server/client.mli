@@ -1,0 +1,27 @@
+(** Blocking client for the constraint service — the library behind
+    [fcv client] and the end-to-end tests.  One request, one response
+    line; request ids are attached and checked automatically. *)
+
+type t
+
+val connect : string -> t
+(** Connect to a Unix socket path or ["host:port"].
+    @raise Unix.Unix_error when the daemon is not there. *)
+
+val close : t -> unit
+
+val request : t -> Protocol.request -> Protocol.response
+(** Send one request and block for its response.
+    @raise Protocol.Malformed on a garbled response or id mismatch.
+    @raise End_of_file if the server closed the connection. *)
+
+val ok_exn : Protocol.response -> Protocol.json
+(** The response body after asserting [ok]; @raise Failure with the
+    server's error code and message otherwise. *)
+
+val stream_updates :
+  t -> on_validate:(Protocol.json -> unit) -> in_channel -> int * int
+(** Forward a textual update stream ({!Protocol.update_of_line}) to
+    the daemon, calling [on_validate] with each validation response
+    body.  Returns [(updates sent, validations run)].
+    @raise Failure on the first request the server rejects. *)

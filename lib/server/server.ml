@@ -1,0 +1,446 @@
+(** The constraint-service daemon: a single-threaded [select] loop
+    multiplexing client sessions over one {!Core.Monitor}, coalescing
+    update bursts into one dirty-set pass per validation, journaling
+    mutations to the WAL before responding, and snapshotting through
+    {!State}.  See server.mli for the design summary. *)
+
+module R = Fcv_relation
+module T = Fcv_util.Telemetry
+module P = Protocol
+
+type config = {
+  addr : string;
+  state_dir : string option;
+  fsync_every : int;
+  snapshot_every : int;
+  idle_timeout : float;
+  partial_timeout : float;
+  max_line : int;
+  max_sessions : int;
+}
+
+let default_config ~addr =
+  {
+    addr;
+    state_dir = None;
+    fsync_every = 1;
+    snapshot_every = 10_000;
+    idle_timeout = 60.;
+    partial_timeout = 10.;
+    max_line = 1 lsl 20;
+    max_sessions = 64;
+  }
+
+type t = {
+  config : config;
+  monitor : Core.Monitor.t;
+  listen_fd : Unix.file_descr;
+  unix_path : string option;  (** to unlink on close *)
+  wal : Wal.t option;
+  mutable wal_since_snapshot : int;
+  mutable sessions : Session.t list;  (** arrival order *)
+  mutable next_session : int;
+  mutable requests : int;
+  mutable draining : bool;
+  mutable stopped : bool;
+  mutable kill_requested : bool;
+  started : float;
+  readbuf : Bytes.t;
+}
+
+let monitor t = t.monitor
+let draining t = t.draining
+let request_drain t = t.draining <- true
+
+let create config monitor =
+  Sys.set_signal Sys.sigpipe Sys.Signal_ignore;
+  let sockaddr = P.sockaddr_of_string config.addr in
+  let domain, unix_path =
+    match sockaddr with
+    | Unix.ADDR_UNIX path ->
+      if Sys.file_exists path then Unix.unlink path;
+      (Unix.PF_UNIX, Some path)
+    | Unix.ADDR_INET _ -> (Unix.PF_INET, None)
+  in
+  let listen_fd = Unix.socket domain Unix.SOCK_STREAM 0 in
+  if unix_path = None then Unix.setsockopt listen_fd Unix.SO_REUSEADDR true;
+  Unix.bind listen_fd sockaddr;
+  Unix.listen listen_fd 64;
+  Unix.set_nonblock listen_fd;
+  let wal =
+    Option.map
+      (fun dir ->
+        if not (Sys.file_exists dir) then Sys.mkdir dir 0o755;
+        Wal.open_ ~fsync_every:config.fsync_every (State.wal_path ~dir))
+      config.state_dir
+  in
+  {
+    config;
+    monitor;
+    listen_fd;
+    unix_path;
+    wal;
+    wal_since_snapshot = 0;
+    sessions = [];
+    next_session = 0;
+    requests = 0;
+    draining = false;
+    stopped = false;
+    kill_requested = false;
+    started = Unix.gettimeofday ();
+    readbuf = Bytes.create 65536;
+  }
+
+(* -- replay semantics (shared with recovery and the crash tests) ----------- *)
+
+let apply_logged monitor req =
+  let db = (Core.Monitor.index monitor).Core.Index.db in
+  match req with
+  | P.Register { source; id } -> ignore (Core.Monitor.add ?id monitor source)
+  | P.Unregister c -> Core.Monitor.remove monitor c
+  | P.Insert (table, row) -> (
+    match P.code_row ~intern:true db ~table row with
+    | P.Coded coded -> Core.Monitor.insert monitor ~table_name:table coded
+    | P.Unknown_value _ -> assert false (* intern never yields this *))
+  | P.Delete (table, row) -> (
+    match P.code_row ~intern:true db ~table row with
+    | P.Coded coded -> ignore (Core.Monitor.delete monitor ~table_name:table coded)
+    | P.Unknown_value _ -> assert false)
+  | P.Validate | P.Stats | P.Snapshot | P.Ping | P.Shutdown -> ()
+
+let recover ?(max_nodes = 0) ~state_dir ~load_base () =
+  let monitor, from_snapshot =
+    match State.load ~dir:state_dir ~max_nodes with
+    | Some m -> (m, true)
+    | None ->
+      let db = load_base () in
+      (Core.Monitor.create (Core.Index.create ~max_nodes db), false)
+  in
+  let replayed =
+    Wal.replay (State.wal_path ~dir:state_dir) ~f:(fun req -> apply_logged monitor req)
+  in
+  (monitor, replayed, from_snapshot)
+
+(* -- durability ------------------------------------------------------------ *)
+
+let log_wal t req =
+  match t.wal with
+  | None -> ()
+  | Some wal ->
+    Wal.append wal req;
+    t.wal_since_snapshot <- t.wal_since_snapshot + 1
+
+let snapshot t =
+  match t.config.state_dir with
+  | None -> ()
+  | Some dir ->
+    T.with_span "server.snapshot" @@ fun () ->
+    State.save ~dir t.monitor;
+    Option.iter Wal.reset t.wal;
+    t.wal_since_snapshot <- 0
+
+(* -- request handling ------------------------------------------------------ *)
+
+let json_of_report rep =
+  T.Obj
+    [
+      ("constraint", T.Int rep.Core.Monitor.constraint_.Core.Monitor.id);
+      ("source", T.String rep.Core.Monitor.constraint_.Core.Monitor.source);
+      ( "outcome",
+        T.String
+          (match rep.Core.Monitor.outcome with
+          | Core.Checker.Satisfied -> "satisfied"
+          | Core.Checker.Violated -> "violated") );
+      ("fresh", T.Bool rep.Core.Monitor.fresh);
+      ("ms", T.Float rep.Core.Monitor.elapsed_ms);
+    ]
+
+let stats_json t =
+  let index = Core.Monitor.index t.monitor in
+  let db = index.Core.Index.db in
+  let tables =
+    List.map
+      (fun n -> (n, T.Int (R.Table.cardinality (R.Database.table db n))))
+      (R.Database.table_names db)
+  in
+  [
+    ("uptime_ms", T.Float ((Unix.gettimeofday () -. t.started) *. 1000.));
+    ("sessions", T.Int (List.length t.sessions));
+    ("requests", T.Int t.requests);
+    ("constraints", T.Int (List.length (Core.Monitor.constraints t.monitor)));
+    ("indices", T.Int (List.length (Core.Index.entries index)));
+    ("bdd_nodes", T.Int (Fcv_bdd.Manager.size (Core.Index.mgr index)));
+    ("tables", T.Obj tables);
+    ( "wal",
+      T.Obj
+        [
+          ("appended", T.Int (match t.wal with Some w -> Wal.appended w | None -> 0));
+          ("since_snapshot", T.Int t.wal_since_snapshot);
+        ] );
+  ]
+
+(* Answer one non-validate request.  Any escaping exception becomes an
+   [internal] error response — a bad request must not kill the loop. *)
+let handle t session rid req =
+  let db = (Core.Monitor.index t.monitor).Core.Index.db in
+  let t0 = Fcv_util.Timer.now () in
+  let reply line = Session.send session line in
+  (try
+     match req with
+     | P.Ping -> reply (P.ok_line ?id:rid [ ("pong", T.Bool true) ])
+     | P.Register { source; id = pinned } -> (
+       match Core.Monitor.add ?id:pinned t.monitor source with
+       | reg ->
+         log_wal t (P.Register { source; id = Some reg.Core.Monitor.id });
+         reply (P.ok_line ?id:rid [ ("constraint", T.Int reg.Core.Monitor.id) ])
+       | exception
+           ( Core.Fol_parser.Error msg
+           | Core.Typing.Type_error msg
+           | Core.Compile.Unsupported msg
+           | Invalid_argument msg ) ->
+         reply (P.error_line ?id:rid P.Constraint_error msg))
+     | P.Unregister c ->
+       let known =
+         List.exists (fun r -> r.Core.Monitor.id = c) (Core.Monitor.constraints t.monitor)
+       in
+       if known then begin
+         log_wal t req;
+         Core.Monitor.remove t.monitor c;
+         reply (P.ok_line ?id:rid [])
+       end
+       else reply (P.error_line ?id:rid P.Bad_request (Printf.sprintf "no constraint %d" c))
+     | P.Insert (table, row) -> (
+       match P.code_row ~intern:true db ~table row with
+       | P.Coded coded ->
+         log_wal t req;
+         Core.Monitor.insert t.monitor ~table_name:table coded;
+         reply (P.ok_line ?id:rid [])
+       | P.Unknown_value _ -> assert false
+       | exception P.Malformed msg -> reply (P.error_line ?id:rid P.Bad_request msg)
+       | exception Invalid_argument msg -> reply (P.error_line ?id:rid P.Unknown_table msg))
+     | P.Delete (table, row) -> (
+       match P.code_row ~intern:true db ~table row with
+       | P.Coded coded ->
+         log_wal t req;
+         let removed = Core.Monitor.delete t.monitor ~table_name:table coded in
+         reply (P.ok_line ?id:rid [ ("removed", T.Bool removed) ])
+       | P.Unknown_value _ -> assert false
+       | exception P.Malformed msg -> reply (P.error_line ?id:rid P.Bad_request msg)
+       | exception Invalid_argument msg -> reply (P.error_line ?id:rid P.Unknown_table msg))
+     | P.Stats -> reply (P.ok_line ?id:rid (stats_json t))
+     | P.Snapshot ->
+       snapshot t;
+       reply (P.ok_line ?id:rid [ ("snapshot", T.Bool (t.config.state_dir <> None)) ])
+     | P.Shutdown ->
+       reply (P.ok_line ?id:rid [ ("draining", T.Bool true) ]);
+       t.draining <- true
+     | P.Validate -> assert false (* coalesced by [process] *)
+   with e ->
+     reply (P.error_line ?id:rid P.Internal (Printexc.to_string e)));
+  session.Session.requests <- session.Session.requests + 1;
+  t.requests <- t.requests + 1;
+  if T.enabled () then
+    T.observe
+      (T.histogram ("server.op." ^ P.request_name req))
+      ((Fcv_util.Timer.now () -. t0) *. 1000.)
+
+(* Drain every session's request queue.  Each outer round applies all
+   sessions' update bursts first, then — if anyone asked — runs ONE
+   Monitor.validate (one dirty-set pass) whose reports answer every
+   waiting session.  A session's requests keep their order: its lines
+   after a [validate] wait for the next round. *)
+let process t =
+  let progress = ref true in
+  while !progress do
+    progress := false;
+    let validators = ref [] in
+    List.iter
+      (fun session ->
+        let continue = ref true in
+        while !continue do
+          match Session.next_line session with
+          | None -> continue := false
+          | Some line ->
+            progress := true;
+            if String.trim line = "" then ()
+            else (
+              match P.parse_request line with
+              | Error (code, msg) ->
+                Session.send session (P.error_line code msg);
+                session.Session.requests <- session.Session.requests + 1;
+                t.requests <- t.requests + 1
+              | Ok (rid, P.Validate) ->
+                validators := (session, rid) :: !validators;
+                continue := false
+              | Ok (rid, req) -> handle t session rid req)
+        done)
+      t.sessions;
+    if !validators <> [] then begin
+      let t0 = Fcv_util.Timer.now () in
+      let result =
+        match Core.Monitor.validate t.monitor with
+        | reports ->
+          let violated =
+            List.length
+              (List.filter (fun r -> r.Core.Monitor.outcome = Core.Checker.Violated) reports)
+          in
+          Ok
+            [
+              ("violated", T.Int violated);
+              ("reports", T.List (List.map json_of_report reports));
+            ]
+        | exception e -> Error (Printexc.to_string e)
+      in
+      let ms = (Fcv_util.Timer.now () -. t0) *. 1000. in
+      List.iter
+        (fun (session, rid) ->
+          (match result with
+          | Ok fields -> Session.send session (P.ok_line ?id:rid fields)
+          | Error msg -> Session.send session (P.error_line ?id:rid P.Internal msg));
+          session.Session.requests <- session.Session.requests + 1;
+          t.requests <- t.requests + 1;
+          if T.enabled () then T.observe (T.histogram "server.op.validate") ms)
+        (List.rev !validators)
+    end
+  done
+
+(* -- the event loop -------------------------------------------------------- *)
+
+let drop_session t session =
+  (try Unix.close session.Session.fd with Unix.Unix_error _ -> ());
+  t.sessions <- List.filter (fun s -> s != session) t.sessions
+
+let accept_pending t =
+  let continue = ref (not t.draining) in
+  while !continue do
+    match Unix.accept t.listen_fd with
+    | fd, peer ->
+      let peer =
+        match peer with
+        | Unix.ADDR_UNIX _ -> "unix"
+        | Unix.ADDR_INET (a, p) -> Printf.sprintf "%s:%d" (Unix.string_of_inet_addr a) p
+      in
+      let session = Session.create ~id:t.next_session ~fd ~peer in
+      t.next_session <- t.next_session + 1;
+      if List.length t.sessions >= t.config.max_sessions then begin
+        Session.send session (P.error_line P.Internal "session limit reached");
+        ignore (Session.flush session);
+        (try Unix.close fd with Unix.Unix_error _ -> ())
+      end
+      else begin
+        t.sessions <- t.sessions @ [ session ];
+        if T.enabled () then T.incr (T.counter "server.accepts")
+      end
+    | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK | Unix.EINTR), _, _) ->
+      continue := false
+  done
+
+(* Read whatever is ready on [session]; [false] when it must be
+   dropped (EOF with an empty queue, dead peer, or an over-long
+   line). *)
+let read_session t session =
+  match Unix.read session.Session.fd t.readbuf 0 (Bytes.length t.readbuf) with
+  | 0 ->
+    (* EOF: answer what was already queued, then close *)
+    session.Session.closing <- true;
+    true
+  | n -> (
+    match Session.feed session ~max_line:t.config.max_line t.readbuf n with
+    | `Ok -> true
+    | `Line_too_long ->
+      Session.send session
+        (P.error_line P.Bad_request
+           (Printf.sprintf "request line exceeds %d bytes" t.config.max_line));
+      ignore (Session.flush session);
+      false)
+  | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK | Unix.EINTR), _, _) -> true
+  | exception Unix.Unix_error ((Unix.ECONNRESET | Unix.EPIPE), _, _) -> false
+
+let reap_timeouts t =
+  let now = Unix.gettimeofday () in
+  let expired session =
+    let idle = t.config.idle_timeout in
+    let partial = t.config.partial_timeout in
+    (idle > 0. && now -. session.Session.last_activity > idle)
+    || partial > 0.
+       && (match session.Session.partial_since with
+          | Some since -> now -. since > partial
+          | None -> false)
+  in
+  List.iter
+    (fun session ->
+      if expired session then begin
+        if T.enabled () then T.incr (T.counter "server.timeouts");
+        drop_session t session
+      end)
+    t.sessions
+
+let close_all t =
+  List.iter (fun s -> try Unix.close s.Session.fd with Unix.Unix_error _ -> ()) t.sessions;
+  t.sessions <- [];
+  (try Unix.close t.listen_fd with Unix.Unix_error _ -> ());
+  Option.iter (fun path -> try Unix.unlink path with Unix.Unix_error _ -> ()) t.unix_path;
+  Option.iter Wal.close t.wal
+
+let stop t =
+  if not t.stopped then begin
+    t.stopped <- true;
+    snapshot t;
+    close_all t
+  end
+
+let kill t = t.kill_requested <- true
+
+let poll ?(timeout = 0.25) t =
+  if t.kill_requested && not t.stopped then begin
+    (* crash simulation: drop every fd without a final snapshot, so
+       recovery exercises the snapshot + WAL path *)
+    t.stopped <- true;
+    close_all t
+  end;
+  if t.stopped then false
+  else begin
+    let watched = List.map (fun s -> s.Session.fd) t.sessions in
+    let read_fds = if t.draining then watched else t.listen_fd :: watched in
+    let write_fds =
+      List.filter_map
+        (fun s -> if Session.has_output s then Some s.Session.fd else None)
+        t.sessions
+    in
+    let ready_r, _, _ =
+      try Unix.select read_fds write_fds [] timeout
+      with Unix.Unix_error (Unix.EINTR, _, _) -> ([], [], [])
+    in
+    if List.memq t.listen_fd ready_r then accept_pending t;
+    List.iter
+      (fun session ->
+        if List.memq session.Session.fd ready_r then
+          if not (read_session t session) then drop_session t session)
+      t.sessions;
+    if T.enabled () then
+      T.gauge_set (T.gauge "server.queue_depth")
+        (List.fold_left (fun acc s -> acc + Session.queued s) 0 t.sessions);
+    process t;
+    List.iter
+      (fun session ->
+        if not (Session.flush session) then drop_session t session
+        else if session.Session.closing && not (Session.has_output session) then
+          drop_session t session)
+      t.sessions;
+    reap_timeouts t;
+    if
+      t.config.snapshot_every > 0
+      && t.wal_since_snapshot >= t.config.snapshot_every
+      && not t.draining
+    then snapshot t;
+    if t.draining then stop t;
+    not t.stopped
+  end
+
+let run t =
+  let drain _ = t.draining <- true in
+  Sys.set_signal Sys.sigterm (Sys.Signal_handle drain);
+  Sys.set_signal Sys.sigint (Sys.Signal_handle drain);
+  while poll t do
+    ()
+  done

@@ -1,0 +1,96 @@
+(** The constraint service: a long-running daemon multiplexing
+    concurrent client sessions over one {!Core.Monitor}, with
+    WAL-backed durability.
+
+    Design points (see DESIGN.md §"Constraint service"):
+    - single-threaded [select] event loop — the BDD manager is
+      single-threaded, so sessions interleave at request granularity;
+    - {e update coalescing}: within one loop round, every session's
+      burst of inserts/deletes is applied before validation runs, and
+      all sessions awaiting [validate] share one dirty-set pass;
+    - {e durability}: mutating requests append to the WAL (fsync'd per
+      policy) before their response is sent; snapshots
+      ({!Core.Index_io} + database + constraint registry) bound replay
+      length and are switched atomically ({!State});
+    - {e isolation}: malformed lines get an error response, oversized
+      or half-dead sessions are closed, handler exceptions become
+      [internal] error responses — one bad client never kills the
+      loop;
+    - graceful drain on SIGTERM/SIGINT (or a [shutdown] request):
+      queued requests are answered, a final snapshot is cut, sockets
+      are closed.
+
+    The loop is exposed as {!poll} (one round) so tests can drive
+    server and clients deterministically from a single thread; {!run}
+    is the daemon entry point. *)
+
+type config = {
+  addr : string;  (** Unix socket path or "host:port" ({!Protocol.sockaddr_of_string}) *)
+  state_dir : string option;  (** durability root; [None] = in-memory only *)
+  fsync_every : int;  (** WAL fsync cadence (1 = every record, 0 = never) *)
+  snapshot_every : int;
+      (** cut a snapshot automatically every this many WAL records
+          (0 = only on [snapshot] requests and shutdown) *)
+  idle_timeout : float;  (** close sessions silent this long, in seconds (0 = never) *)
+  partial_timeout : float;
+      (** close sessions holding a half-received line this long —
+          the request read timeout (0 = never) *)
+  max_line : int;  (** max request-line bytes before the session is killed *)
+  max_sessions : int;
+}
+
+val default_config : addr:string -> config
+(** fsync every record, snapshot every 10k records, 60 s idle timeout,
+    10 s partial-request timeout, 1 MiB lines, 64 sessions. *)
+
+type t
+
+val create : config -> Core.Monitor.t -> t
+(** Bind and listen (unlinking a stale Unix socket path), open the
+    WAL when [state_dir] is set.  SIGPIPE is ignored process-wide. *)
+
+val monitor : t -> Core.Monitor.t
+
+val poll : ?timeout:float -> t -> bool
+(** One event-loop round: accept, read, process (with update
+    coalescing), flush, reap timed-out sessions, auto-snapshot.
+    Returns [false] once the server has stopped. *)
+
+val draining : t -> bool
+
+val request_drain : t -> unit
+(** Ask for a graceful stop: the next {!poll} round answers what is
+    queued, cuts a final snapshot and closes. *)
+
+val stop : t -> unit
+(** Immediate graceful stop: final snapshot, close every socket. *)
+
+val kill : t -> unit
+(** Crash simulation (for tests): the next {!poll} round closes every
+    socket {e without} cutting a snapshot and returns [false], leaving
+    exactly the on-disk state an abrupt kill would — recovery must
+    come from the last snapshot plus the WAL.  Safe to call from
+    another thread than the one polling. *)
+
+val snapshot : t -> unit
+(** Cut a snapshot now and reset the WAL (no-op without [state_dir]). *)
+
+val run : t -> unit
+(** Daemon entry point: install SIGTERM/SIGINT drain handlers and
+    {!poll} until stopped. *)
+
+val apply_logged : Core.Monitor.t -> Protocol.request -> unit
+(** Apply one WAL record (register / unregister / insert / delete) to
+    a monitor — the replay semantics; non-mutating requests are
+    ignored. *)
+
+val recover :
+  ?max_nodes:int ->
+  state_dir:string ->
+  load_base:(unit -> Fcv_relation.Database.t) ->
+  unit ->
+  Core.Monitor.t * int * bool
+(** Rebuild the monitor a daemon should resume from: the latest
+    snapshot if one exists (else a fresh monitor over [load_base ()]),
+    then the WAL replayed over it.  Returns
+    [(monitor, wal records replayed, started from snapshot)]. *)

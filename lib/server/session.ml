@@ -1,0 +1,84 @@
+(** Per-connection state: non-blocking buffered line I/O with a cap on
+    unterminated input (one misbehaving client cannot balloon memory
+    or stall the loop). *)
+
+type t = {
+  id : int;
+  fd : Unix.file_descr;
+  peer : string;
+  inbuf : Buffer.t;
+  mutable queue : string list;  (** oldest first *)
+  mutable out : string;
+  mutable last_activity : float;
+  mutable partial_since : float option;
+  mutable requests : int;
+  mutable closing : bool;
+}
+
+let create ~id ~fd ~peer =
+  Unix.set_nonblock fd;
+  {
+    id;
+    fd;
+    peer;
+    inbuf = Buffer.create 256;
+    queue = [];
+    out = "";
+    last_activity = Unix.gettimeofday ();
+    partial_since = None;
+    requests = 0;
+    closing = false;
+  }
+
+(* Split [inbuf] on newlines: complete lines (sans '\n', tolerating a
+   trailing '\r') append to the queue, the unterminated tail stays. *)
+let split_lines t =
+  let s = Buffer.contents t.inbuf in
+  match String.rindex_opt s '\n' with
+  | None -> ()
+  | Some last ->
+    let lines =
+      String.sub s 0 last |> String.split_on_char '\n'
+      |> List.map (fun l ->
+             let n = String.length l in
+             if n > 0 && l.[n - 1] = '\r' then String.sub l 0 (n - 1) else l)
+    in
+    t.queue <- t.queue @ lines;
+    Buffer.clear t.inbuf;
+    Buffer.add_substring t.inbuf s (last + 1) (String.length s - last - 1)
+
+let feed t ~max_line bytes n =
+  Buffer.add_subbytes t.inbuf bytes 0 n;
+  t.last_activity <- Unix.gettimeofday ();
+  split_lines t;
+  if Buffer.length t.inbuf = 0 then t.partial_since <- None
+  else if t.partial_since = None then t.partial_since <- Some t.last_activity;
+  if
+    Buffer.length t.inbuf > max_line
+    || List.exists (fun l -> String.length l > max_line) t.queue
+  then `Line_too_long
+  else `Ok
+
+let next_line t =
+  match t.queue with
+  | [] -> None
+  | l :: rest ->
+    t.queue <- rest;
+    Some l
+
+let peek_line t = match t.queue with [] -> None | l :: _ -> Some l
+let queued t = List.length t.queue
+let send t line = t.out <- t.out ^ line ^ "\n"
+let has_output t = t.out <> ""
+
+let flush t =
+  if t.out = "" then true
+  else begin
+    let b = Bytes.unsafe_of_string t.out in
+    match Unix.write t.fd b 0 (Bytes.length b) with
+    | written ->
+      t.out <- String.sub t.out written (String.length t.out - written);
+      true
+    | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK | Unix.EINTR), _, _) -> true
+    | exception Unix.Unix_error ((Unix.EPIPE | Unix.ECONNRESET), _, _) -> false
+  end

@@ -1,0 +1,44 @@
+(** One client connection of the constraint service: the socket, the
+    partial-line input buffer, the queue of complete request lines not
+    yet processed, and the pending output bytes.  All I/O is
+    non-blocking; the {!Server} loop owns scheduling. *)
+
+type t = {
+  id : int;
+  fd : Unix.file_descr;
+  peer : string;
+  inbuf : Buffer.t;  (** bytes read but not yet terminated by '\n' *)
+  mutable queue : string list;  (** complete lines awaiting processing, oldest first *)
+  mutable out : string;  (** bytes accepted for sending, not yet written *)
+  mutable last_activity : float;  (** last byte received (Unix time) *)
+  mutable partial_since : float option;
+      (** when the current half-received line started, for the
+          partial-request timeout *)
+  mutable requests : int;  (** requests processed on this session *)
+  mutable closing : bool;  (** close once [out] drains *)
+}
+
+val create : id:int -> fd:Unix.file_descr -> peer:string -> t
+(** Marks [fd] non-blocking. *)
+
+val feed : t -> max_line:int -> bytes -> int -> [ `Ok | `Line_too_long ]
+(** Ingest [n] received bytes: complete lines move to [queue];
+    [`Line_too_long] when any queued line or the unterminated tail
+    exceeds [max_line] (malformed-input isolation — the server kills
+    the session). *)
+
+val next_line : t -> string option
+(** Pop the oldest queued line. *)
+
+val peek_line : t -> string option
+
+val queued : t -> int
+
+val send : t -> string -> unit
+(** Queue one response line ('\n' appended). *)
+
+val flush : t -> bool
+(** Write as much of [out] as the socket accepts; [false] when the
+    peer is gone (EPIPE/ECONNRESET) and the session must be dropped. *)
+
+val has_output : t -> bool

@@ -1,0 +1,212 @@
+(** Snapshot persistence for the constraint service.  A generation is
+    three files (database dump, {!Core.Index_io} indices, constraint
+    registry) made live by atomically renaming a [CURRENT] pointer;
+    the WAL then only needs to cover updates since that generation.
+
+    The database dump stores dictionaries {e verbatim} (name and
+    values in code order) — the packed keys inside the index
+    maintenance multisets and the saved BDDs are only meaningful under
+    the exact same code assignment, so re-interning from CSV would
+    corrupt recovered indices. *)
+
+module R = Fcv_relation
+
+exception Format_error of string
+
+let fail fmt = Printf.ksprintf (fun s -> raise (Format_error s)) fmt
+
+let db_magic = "fcv-db 1"
+let cons_magic = "fcv-constraints 1"
+
+(* Metadata lines are tab-separated; names are [String.escaped] so
+   embedded tabs/newlines cannot break the framing. *)
+let esc = String.escaped
+
+let unesc s = try Scanf.unescaped s with Scanf.Scan_failure _ -> fail "bad escape: %s" s
+
+let value_to_line = function
+  | R.Value.Int i -> "i\t" ^ string_of_int i
+  | R.Value.Str s -> "s\t" ^ esc s
+
+let value_of_line line =
+  match String.index_opt line '\t' with
+  | Some 1 when line.[0] = 'i' ->
+    let rest = String.sub line 2 (String.length line - 2) in
+    (try R.Value.Int (int_of_string rest) with _ -> fail "bad int value: %s" rest)
+  | Some 1 when line.[0] = 's' -> R.Value.Str (unesc (String.sub line 2 (String.length line - 2)))
+  | _ -> fail "bad value line: %s" line
+
+(* -- database dump --------------------------------------------------------- *)
+
+let save_db db oc =
+  Printf.fprintf oc "%s\n" db_magic;
+  let domains = R.Database.domain_names db in
+  Printf.fprintf oc "domains\t%d\n" (List.length domains);
+  List.iter
+    (fun name ->
+      let dict = R.Database.domain db name in
+      Printf.fprintf oc "domain\t%s\t%d\n" (esc name) (R.Dict.size dict);
+      List.iter (fun v -> output_string oc (value_to_line v ^ "\n")) (R.Dict.to_list dict))
+    domains;
+  let tables = R.Database.table_names db in
+  Printf.fprintf oc "tables\t%d\n" (List.length tables);
+  List.iter
+    (fun name ->
+      let t = R.Database.table db name in
+      let schema = R.Table.schema t in
+      Printf.fprintf oc "table\t%s\t%d\t%d\n" (esc name) (R.Table.arity t)
+        (R.Table.cardinality t);
+      Array.iter
+        (fun a -> Printf.fprintf oc "attr\t%s\t%s\n" (esc a.R.Schema.name) (esc a.R.Schema.domain))
+        schema;
+      R.Table.iter t (fun row ->
+          output_string oc
+            (String.concat " " (Array.to_list (Array.map string_of_int row)) ^ "\n")))
+    tables
+
+let load_db ic =
+  let line () = try input_line ic with End_of_file -> fail "unexpected end of file" in
+  let fields s = String.split_on_char '\t' s in
+  if String.trim (line ()) <> db_magic then fail "bad db magic";
+  let db = R.Database.create () in
+  let n_domains =
+    match fields (line ()) with
+    | [ "domains"; n ] -> ( try int_of_string n with _ -> fail "bad domain count")
+    | _ -> fail "expected domains"
+  in
+  for _ = 1 to n_domains do
+    let name, size =
+      match fields (line ()) with
+      | [ "domain"; name; size ] -> (
+        (unesc name, try int_of_string size with _ -> fail "bad domain size"))
+      | _ -> fail "expected domain"
+    in
+    let dict = R.Dict.create ~capacity:(max 16 size) name in
+    for expected = 0 to size - 1 do
+      let code = R.Dict.intern dict (value_of_line (line ())) in
+      if code <> expected then fail "duplicate value in domain %s" name
+    done;
+    R.Database.add_domain db dict
+  done;
+  let n_tables =
+    match fields (line ()) with
+    | [ "tables"; n ] -> ( try int_of_string n with _ -> fail "bad table count")
+    | _ -> fail "expected tables"
+  in
+  for _ = 1 to n_tables do
+    let name, arity, rows =
+      match fields (line ()) with
+      | [ "table"; name; arity; rows ] -> (
+        ( unesc name,
+          (try int_of_string arity with _ -> fail "bad arity"),
+          try int_of_string rows with _ -> fail "bad row count" ))
+      | _ -> fail "expected table"
+    in
+    let attrs =
+      List.init arity (fun _ ->
+          match fields (line ()) with
+          | [ "attr"; a; d ] -> (unesc a, unesc d)
+          | _ -> fail "expected attr")
+    in
+    let t = R.Database.create_table db ~name ~attrs in
+    for _ = 1 to rows do
+      let row =
+        String.split_on_char ' ' (String.trim (line ()))
+        |> List.filter (( <> ) "")
+        |> List.map (fun c -> try int_of_string c with _ -> fail "bad row code")
+      in
+      R.Table.insert_coded t (Array.of_list row)
+    done
+  done;
+  db
+
+(* -- generations ----------------------------------------------------------- *)
+
+let wal_path ~dir = Filename.concat dir "wal.log"
+let current_path dir = Filename.concat dir "CURRENT"
+let gen_file dir gen ext = Filename.concat dir (Printf.sprintf "snap-%d.%s" gen ext)
+
+let read_current dir =
+  let path = current_path dir in
+  if not (Sys.file_exists path) then None
+  else begin
+    let ic = open_in path in
+    Fun.protect
+      ~finally:(fun () -> close_in ic)
+      (fun () ->
+        match String.split_on_char ' ' (String.trim (input_line ic)) with
+        | [ "gen"; n ] -> ( try Some (int_of_string n) with _ -> fail "bad CURRENT")
+        | _ -> fail "bad CURRENT"
+        | exception End_of_file -> fail "empty CURRENT")
+  end
+
+(* Write [f]'s output to [path] durably (flush + fsync before close). *)
+let write_file path f =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () ->
+      f oc;
+      flush oc;
+      Unix.fsync (Unix.descr_of_out_channel oc))
+
+let save ~dir monitor =
+  if not (Sys.file_exists dir) then Sys.mkdir dir 0o755;
+  let prev = read_current dir in
+  let gen = 1 + Option.value ~default:0 prev in
+  let index = Core.Monitor.index monitor in
+  write_file (gen_file dir gen "db") (fun oc -> save_db index.Core.Index.db oc);
+  write_file (gen_file dir gen "idx") (fun oc -> Core.Index_io.save index oc);
+  write_file (gen_file dir gen "cons") (fun oc ->
+      let cons = Core.Monitor.constraints monitor in
+      Printf.fprintf oc "%s\n" cons_magic;
+      Printf.fprintf oc "constraints\t%d\n" (List.length cons);
+      List.iter
+        (fun r -> Printf.fprintf oc "%d\t%s\n" r.Core.Monitor.id (esc r.Core.Monitor.source))
+        cons);
+  (* switch generations atomically, then drop the old one *)
+  let tmp = current_path dir ^ ".tmp" in
+  write_file tmp (fun oc -> Printf.fprintf oc "gen %d\n" gen);
+  Sys.rename tmp (current_path dir);
+  Option.iter
+    (fun old ->
+      List.iter
+        (fun ext -> try Sys.remove (gen_file dir old ext) with Sys_error _ -> ())
+        [ "db"; "idx"; "cons" ])
+    prev;
+  if Fcv_util.Telemetry.enabled () then
+    Fcv_util.Telemetry.incr (Fcv_util.Telemetry.counter "server.snapshots")
+
+let load ~dir ~max_nodes =
+  match read_current dir with
+  | None -> None
+  | Some gen ->
+    let db =
+      let ic = open_in (gen_file dir gen "db") in
+      Fun.protect ~finally:(fun () -> close_in ic) (fun () -> load_db ic)
+    in
+    let index =
+      try Core.Index_io.load_file db (gen_file dir gen "idx")
+      with Core.Index_io.Format_error msg -> fail "index snapshot: %s" msg
+    in
+    Fcv_bdd.Manager.set_max_nodes (Core.Index.mgr index) max_nodes;
+    let monitor = Core.Monitor.create index in
+    let ic = open_in (gen_file dir gen "cons") in
+    Fun.protect
+      ~finally:(fun () -> close_in ic)
+      (fun () ->
+        let line () = try input_line ic with End_of_file -> fail "unexpected end of file" in
+        if String.trim (line ()) <> cons_magic then fail "bad constraints magic";
+        let n =
+          match String.split_on_char '\t' (line ()) with
+          | [ "constraints"; n ] -> ( try int_of_string n with _ -> fail "bad count")
+          | _ -> fail "expected constraints"
+        in
+        for _ = 1 to n do
+          match String.split_on_char '\t' (line ()) with
+          | [ id; source ] ->
+            let id = try int_of_string id with _ -> fail "bad constraint id" in
+            ignore (Core.Monitor.add ~id monitor (unesc source))
+          | _ -> fail "bad constraint line"
+        done);
+    Some monitor

@@ -1,0 +1,36 @@
+(** Durable state for the constraint service: a snapshot generation is
+    the database (dictionaries verbatim + coded rows), the logical
+    indices (one {!Core.Index_io} file) and the registered constraints
+    with their ids.  Generations are switched atomically through a
+    [CURRENT] pointer file, so a crash mid-snapshot leaves the previous
+    generation (plus its WAL) intact.
+
+    State-directory layout:
+    {v
+    CURRENT        "gen N" — the live generation (atomic rename)
+    snap-N.db      database dump
+    snap-N.idx     Index_io snapshot
+    snap-N.cons    registered constraints (id, source)
+    wal.log        update log since generation N (managed by Server)
+    v} *)
+
+exception Format_error of string
+
+val save_db : Fcv_relation.Database.t -> out_channel -> unit
+
+val load_db : in_channel -> Fcv_relation.Database.t
+(** @raise Format_error on malformed input. *)
+
+val wal_path : dir:string -> string
+
+val save : dir:string -> Core.Monitor.t -> unit
+(** Write the next snapshot generation and switch [CURRENT] to it;
+    previous-generation files are deleted afterwards (best effort).
+    Does {e not} touch the WAL — the server resets it once [save]
+    returns. *)
+
+val load : dir:string -> max_nodes:int -> Core.Monitor.t option
+(** Restore the monitor from the live generation: database, indices
+    (node budget re-imposed), constraints re-registered under their
+    saved ids.  [None] when the directory holds no snapshot yet.
+    @raise Format_error on a corrupt snapshot. *)

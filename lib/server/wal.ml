@@ -1,0 +1,80 @@
+(** Write-ahead log: one {!Protocol} request line per record, appended
+    before the mutation is applied, fsync'd per policy.  Replay
+    tolerates a torn tail (crash mid-append). *)
+
+module T = Fcv_util.Telemetry
+
+type t = {
+  path : string;
+  mutable fd : Unix.file_descr;
+  buf : Buffer.t;  (** scratch for one record *)
+  fsync_every : int;
+  mutable appended : int;
+  mutable unsynced : int;
+}
+
+let open_ ?(fsync_every = 1) path =
+  let fd = Unix.openfile path [ Unix.O_WRONLY; Unix.O_CREAT; Unix.O_APPEND ] 0o644 in
+  { path; fd; buf = Buffer.create 256; fsync_every; appended = 0; unsynced = 0 }
+
+(* Write the whole string, handling short writes. *)
+let write_all fd s =
+  let b = Bytes.unsafe_of_string s in
+  let n = Bytes.length b in
+  let off = ref 0 in
+  while !off < n do
+    off := !off + Unix.write fd b !off (n - !off)
+  done
+
+let sync t =
+  Unix.fsync t.fd;
+  t.unsynced <- 0;
+  if T.enabled () then T.incr (T.counter "server.wal.fsyncs")
+
+let append t req =
+  Buffer.clear t.buf;
+  Buffer.add_string t.buf (Protocol.request_to_line req);
+  Buffer.add_char t.buf '\n';
+  write_all t.fd (Buffer.contents t.buf);
+  t.appended <- t.appended + 1;
+  t.unsynced <- t.unsynced + 1;
+  if T.enabled () then T.incr (T.counter "server.wal.appends");
+  if t.fsync_every > 0 && t.unsynced >= t.fsync_every then sync t
+
+let appended t = t.appended
+
+let close t = Unix.close t.fd
+
+let replay path ~f =
+  if not (Sys.file_exists path) then 0
+  else begin
+    let ic = open_in path in
+    Fun.protect
+      ~finally:(fun () -> close_in ic)
+      (fun () ->
+        let replayed = ref 0 in
+        (try
+           let stop = ref false in
+           while not !stop do
+             let line = input_line ic in
+             if String.trim line <> "" then begin
+               match Protocol.parse_request line with
+               | Ok (_, req) ->
+                 f req;
+                 incr replayed
+               | Error _ ->
+                 (* torn tail from a crash mid-append: everything after
+                    the first bad line is unusable *)
+                 stop := true
+             end
+           done
+         with End_of_file -> ());
+        !replayed)
+  end
+
+let reset t =
+  (* O_APPEND writes position atomically at the current end, so
+     truncating the shared descriptor restarts the log in place *)
+  Unix.ftruncate t.fd 0;
+  t.unsynced <- 0;
+  if T.enabled () then T.incr (T.counter "server.wal.resets")

@@ -1,0 +1,36 @@
+(** Write-ahead log for the constraint service: every durable-state
+    mutation ([register] / [unregister] / [insert] / [delete]) is
+    appended — as its {!Protocol} request line — before it is applied,
+    so a killed daemon replays the log over the last snapshot and
+    recovers the same verdicts.
+
+    Crash tolerance: a crash mid-append leaves a trailing partial
+    line; {!replay} stops at the first malformed record and reports
+    how many clean records preceded it. *)
+
+type t
+
+val open_ : ?fsync_every:int -> string -> t
+(** Open (creating if missing) for appending.  [fsync_every] is the
+    durability knob: fsync after every [n]-th append (default 1 =
+    every append; 0 = never, OS-buffered only). *)
+
+val append : t -> Protocol.request -> unit
+(** Append one record (and fsync per policy). *)
+
+val sync : t -> unit
+(** Flush and fsync unconditionally. *)
+
+val appended : t -> int
+(** Records appended through this handle since {!open_}. *)
+
+val close : t -> unit
+
+val replay : string -> f:(Protocol.request -> unit) -> int
+(** Apply [f] to each well-formed record in order; returns the number
+    replayed.  A missing file replays 0 records; a malformed tail
+    (crash damage) is ignored from the first bad line on. *)
+
+val reset : t -> unit
+(** Truncate the log in place — called right after a snapshot has been
+    durably written, making the snapshot the new recovery base. *)

@@ -91,7 +91,7 @@ let test_duplicate_aware_deletion () =
   ignore (I.delete idx ~table_name:"t" row);
   check "gone after deleting the second" false (I.entry_mem idx e row)
 
-let test_rejects_out_of_domain_growth () =
+let test_out_of_domain_growth_rebuilds () =
   let db = R.Database.create () in
   let dict = R.Dict.create "grow" in
   ignore (R.Dict.intern dict (R.Value.Int 0));
@@ -100,16 +100,27 @@ let test_rejects_out_of_domain_growth () =
   let t = R.Database.create_table db ~name:"g" ~attrs:[ ("x", "grow") ] in
   ignore (R.Table.insert t [| R.Value.Int 0 |]);
   let idx = I.create db in
-  ignore (I.add idx ~table_name:"g" ~strategy:Core.Ordering.Prob_converge ());
-  (* interning a new value after the index was built: codes 2.. exceed
-     the block's capacity and must demand a rebuild rather than corrupt
-     the index *)
+  let e0 = I.add idx ~table_name:"g" ~strategy:Core.Ordering.Prob_converge () in
+  (* interning new values after the index was built: codes 2.. exceed
+     the block's one-bit capacity, so the insert must transparently
+     rebuild the entry rather than raise or corrupt it *)
   ignore (R.Dict.intern dict (R.Value.Int 2));
   ignore (R.Dict.intern dict (R.Value.Int 3));
-  check "needs rebuild signalled" true
-    (match I.insert idx ~table_name:"g" [| 3 |] with
+  (* the raw single-entry maintenance hook still signals *)
+  check "update_entry signals rebuild" true
+    (match I.update_entry idx e0 ~insert:true [| 3 |] with
     | exception I.Needs_rebuild _ -> true
-    | _ -> false)
+    | _ -> false);
+  I.insert idx ~table_name:"g" [| 3 |];
+  let e = List.hd (I.entries_for idx "g") in
+  check "entry replaced" true (e != e0);
+  check_int "block widened to the grown domain" 4 e.I.blocks.(0).Fcv_bdd.Fd.dom_size;
+  check "new row present" true (I.entry_mem idx e [| 3 |]);
+  check "old row retained" true (I.entry_mem idx e [| 0 |]);
+  (* incremental maintenance keeps working on the rebuilt entry *)
+  check "deletes one occurrence" true (I.delete idx ~table_name:"g" [| 3 |]);
+  check "gone after delete" false (I.entry_mem idx e [| 3 |]);
+  check_int "base table back to one row" 1 (R.Table.cardinality t)
 
 let test_entry_size_and_build_time () =
   let db, _, _ = make_db 6 ~rows:200 in
@@ -125,7 +136,8 @@ let suite =
     Alcotest.test_case "projection contents" `Quick test_projection_contents;
     Alcotest.test_case "maintenance consistency" `Quick test_maintenance_consistency;
     Alcotest.test_case "duplicate-aware deletion" `Quick test_duplicate_aware_deletion;
-    Alcotest.test_case "domain growth signals rebuild" `Quick test_rejects_out_of_domain_growth;
+    Alcotest.test_case "domain growth rebuilds in place" `Quick
+      test_out_of_domain_growth_rebuilds;
     Alcotest.test_case "entry size / build time" `Quick test_entry_size_and_build_time;
   ]
 

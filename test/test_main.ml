@@ -24,10 +24,11 @@ module _ = Test_misc
 module _ = Test_checker
 module _ = Test_telemetry
 module _ = Test_differential
+module _ = Test_server
 
 let () =
   let suites = Registry.all () in
-  if List.length suites < 17 then
+  if List.length suites < 18 then
     failwith
       (Printf.sprintf "Test_main: only %d suites registered — a test module was \
                        linked without calling Registry.register"
