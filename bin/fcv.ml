@@ -561,35 +561,23 @@ let serve_cmd =
     with_telemetry telemetry @@ fun () ->
     let module S = Fcv_server.Server in
     let strategy = strategy_of_string strategy in
-    let monitor, origin =
+    let monitor, unregistered, origin =
       match state with
       | Some dir ->
-        let monitor, replayed, from_snapshot =
+        let r =
           S.recover ~max_nodes ~state_dir:dir ~load_base:(fun () -> fst (load_dir data)) ()
         in
-        ( monitor,
+        ( r.S.monitor,
+          r.S.unregistered,
           Printf.sprintf "%s + %d WAL records"
-            (if from_snapshot then "snapshot" else "base data")
-            replayed )
+            (if r.S.from_snapshot then "snapshot" else "base data")
+            r.S.replayed )
       | None ->
         let db, _ = load_dir data in
-        (Core.Monitor.create (Core.Index.create ~max_nodes db), "base data (no durability)")
+        ( Core.Monitor.create (Core.Index.create ~max_nodes db),
+          [],
+          "base data (no durability)" )
     in
-    (* register startup constraints the recovered state does not
-       already hold (recovery re-registers persisted ones itself) *)
-    Option.iter
-      (fun path ->
-        let known =
-          List.map (fun r -> r.Core.Monitor.source) (Core.Monitor.constraints monitor)
-        in
-        List.iter
-          (fun (src, formula) ->
-            if not (List.mem src known) then begin
-              Core.Checker.ensure_indices ~strategy (Core.Monitor.index monitor) [ formula ];
-              ignore (Core.Monitor.add monitor src)
-            end)
-          (read_constraints path))
-      constraints_file;
     let config =
       {
         (S.default_config ~addr:sock) with
@@ -599,7 +587,25 @@ let serve_cmd =
         idle_timeout;
       }
     in
-    let server = S.create config monitor in
+    let server = S.create ~unregistered config monitor in
+    (* Register startup constraints through the server's durability
+       path (WAL-logged under their pinned ids, so they stay stable
+       across recoveries), skipping sources the recovered state
+       already holds — or explicitly unregistered (tombstones): a
+       restart must not resurrect those. *)
+    Option.iter
+      (fun path ->
+        let known =
+          List.map (fun r -> r.Core.Monitor.source) (Core.Monitor.constraints monitor)
+        in
+        List.iter
+          (fun (src, formula) ->
+            if (not (List.mem src known)) && not (List.mem src unregistered) then begin
+              Core.Checker.ensure_indices ~strategy (Core.Monitor.index monitor) [ formula ];
+              ignore (S.register server src)
+            end)
+          (read_constraints path))
+      constraints_file;
     let db = (Core.Monitor.index monitor).Core.Index.db in
     Printf.printf "fcv serve: listening on %s — %d tables, %d constraints, state from %s\n%!"
       sock

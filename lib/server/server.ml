@@ -31,13 +31,23 @@ let default_config ~addr =
     max_sessions = 64;
   }
 
+type recovered = {
+  monitor : Core.Monitor.t;
+  replayed : int;
+  from_snapshot : bool;
+  unregistered : string list;
+}
+
 type t = {
   config : config;
   monitor : Core.Monitor.t;
   listen_fd : Unix.file_descr;
   unix_path : string option;  (** to unlink on close *)
-  wal : Wal.t option;
+  mutable wal : Wal.t option;  (** rotates with the snapshot generation *)
   mutable wal_since_snapshot : int;
+  mutable unregistered : string list;
+      (** tombstones: sources explicitly unregistered, persisted in
+          snapshots so startup files don't resurrect them *)
   mutable sessions : Session.t list;  (** arrival order *)
   mutable next_session : int;
   mutable requests : int;
@@ -52,7 +62,7 @@ let monitor t = t.monitor
 let draining t = t.draining
 let request_drain t = t.draining <- true
 
-let create config monitor =
+let create ?(unregistered = []) config monitor =
   Sys.set_signal Sys.sigpipe Sys.Signal_ignore;
   let sockaddr = P.sockaddr_of_string config.addr in
   let domain, unix_path =
@@ -71,7 +81,8 @@ let create config monitor =
     Option.map
       (fun dir ->
         if not (Sys.file_exists dir) then Sys.mkdir dir 0o755;
-        Wal.open_ ~fsync_every:config.fsync_every (State.wal_path ~dir))
+        Wal.open_ ~fsync_every:config.fsync_every
+          (State.wal_path ~dir ~gen:(State.current_gen ~dir)))
       config.state_dir
   in
   {
@@ -81,6 +92,7 @@ let create config monitor =
     unix_path;
     wal;
     wal_since_snapshot = 0;
+    unregistered;
     sessions = [];
     next_session = 0;
     requests = 0;
@@ -109,17 +121,37 @@ let apply_logged monitor req =
   | P.Validate | P.Stats | P.Snapshot | P.Ping | P.Shutdown -> ()
 
 let recover ?(max_nodes = 0) ~state_dir ~load_base () =
-  let monitor, from_snapshot =
+  let monitor, unregistered, from_snapshot =
     match State.load ~dir:state_dir ~max_nodes with
-    | Some m -> (m, true)
+    | Some (m, unreg) -> (m, unreg, true)
     | None ->
       let db = load_base () in
-      (Core.Monitor.create (Core.Index.create ~max_nodes db), false)
+      (Core.Monitor.create (Core.Index.create ~max_nodes db), [], false)
+  in
+  (* track tombstones through the replay: an unregister buries its
+     source, a (re-)register digs it up *)
+  let unreg = ref unregistered in
+  let note req =
+    match req with
+    | P.Register { source; _ } -> unreg := List.filter (( <> ) source) !unreg
+    | P.Unregister c ->
+      Option.iter
+        (fun r ->
+          let source = r.Core.Monitor.source in
+          if not (List.mem source !unreg) then unreg := source :: !unreg)
+        (List.find_opt
+           (fun r -> r.Core.Monitor.id = c)
+           (Core.Monitor.constraints monitor))
+    | _ -> ()
   in
   let replayed =
-    Wal.replay (State.wal_path ~dir:state_dir) ~f:(fun req -> apply_logged monitor req)
+    Wal.replay
+      (State.wal_path ~dir:state_dir ~gen:(State.current_gen ~dir:state_dir))
+      ~f:(fun req ->
+        note req;
+        apply_logged monitor req)
   in
-  (monitor, replayed, from_snapshot)
+  ({ monitor; replayed; from_snapshot; unregistered = !unreg } : recovered)
 
 (* -- durability ------------------------------------------------------------ *)
 
@@ -135,8 +167,29 @@ let snapshot t =
   | None -> ()
   | Some dir ->
     T.with_span "server.snapshot" @@ fun () ->
-    State.save ~dir t.monitor;
-    Option.iter Wal.reset t.wal;
+    (* The new generation's empty WAL is created (durably) before the
+       CURRENT rename commits the snapshot, so snapshot and log switch
+       as one: a crash on either side of the rename leaves a
+       generation whose WAL holds exactly the records the snapshot
+       does not cover. *)
+    let gen =
+      State.save ~dir ~unregistered:t.unregistered
+        ~prepare_wal:(fun ~gen ->
+          let fd =
+            Unix.openfile (State.wal_path ~dir ~gen)
+              [ Unix.O_WRONLY; Unix.O_CREAT; Unix.O_TRUNC ]
+              0o644
+          in
+          Unix.fsync fd;
+          Unix.close fd)
+        t.monitor
+    in
+    Option.iter
+      (fun wal ->
+        Wal.close wal;
+        t.wal <-
+          Some (Wal.open_ ~fsync_every:t.config.fsync_every (State.wal_path ~dir ~gen)))
+      t.wal;
     t.wal_since_snapshot <- 0
 
 (* -- request handling ------------------------------------------------------ *)
@@ -179,8 +232,20 @@ let stats_json t =
         ] );
   ]
 
-(* Answer one non-validate request.  Any escaping exception becomes an
-   [internal] error response — a bad request must not kill the loop. *)
+(* Apply + journal one registration — the durability path shared by
+   client [register] requests and [--constraints] startup files, so
+   both get WAL-pinned ids.  Re-registering digs up a tombstone. *)
+let register ?id t source =
+  let reg = Core.Monitor.add ?id t.monitor source in
+  t.unregistered <- List.filter (( <> ) source) t.unregistered;
+  log_wal t (P.Register { source; id = Some reg.Core.Monitor.id });
+  reg
+
+(* Answer one non-validate request.  Mutations are applied first and
+   journaled only on success, so a failed mutation (the client gets an
+   error) can never be replayed by recovery.  Any escaping exception
+   becomes an [internal] error response — a bad request must not kill
+   the loop. *)
 let handle t session rid req =
   let db = (Core.Monitor.index t.monitor).Core.Index.db in
   let t0 = Fcv_util.Timer.now () in
@@ -189,31 +254,32 @@ let handle t session rid req =
      match req with
      | P.Ping -> reply (P.ok_line ?id:rid [ ("pong", T.Bool true) ])
      | P.Register { source; id = pinned } -> (
-       match Core.Monitor.add ?id:pinned t.monitor source with
-       | reg ->
-         log_wal t (P.Register { source; id = Some reg.Core.Monitor.id });
-         reply (P.ok_line ?id:rid [ ("constraint", T.Int reg.Core.Monitor.id) ])
+       match register ?id:pinned t source with
+       | reg -> reply (P.ok_line ?id:rid [ ("constraint", T.Int reg.Core.Monitor.id) ])
        | exception
            ( Core.Fol_parser.Error msg
            | Core.Typing.Type_error msg
            | Core.Compile.Unsupported msg
            | Invalid_argument msg ) ->
          reply (P.error_line ?id:rid P.Constraint_error msg))
-     | P.Unregister c ->
-       let known =
-         List.exists (fun r -> r.Core.Monitor.id = c) (Core.Monitor.constraints t.monitor)
-       in
-       if known then begin
-         log_wal t req;
+     | P.Unregister c -> (
+       match
+         List.find_opt (fun r -> r.Core.Monitor.id = c) (Core.Monitor.constraints t.monitor)
+       with
+       | Some r ->
          Core.Monitor.remove t.monitor c;
+         let source = r.Core.Monitor.source in
+         if not (List.mem source t.unregistered) then
+           t.unregistered <- source :: t.unregistered;
+         log_wal t req;
          reply (P.ok_line ?id:rid [])
-       end
-       else reply (P.error_line ?id:rid P.Bad_request (Printf.sprintf "no constraint %d" c))
+       | None ->
+         reply (P.error_line ?id:rid P.Bad_request (Printf.sprintf "no constraint %d" c)))
      | P.Insert (table, row) -> (
        match P.code_row ~intern:true db ~table row with
        | P.Coded coded ->
-         log_wal t req;
          Core.Monitor.insert t.monitor ~table_name:table coded;
+         log_wal t req;
          reply (P.ok_line ?id:rid [])
        | P.Unknown_value _ -> assert false
        | exception P.Malformed msg -> reply (P.error_line ?id:rid P.Bad_request msg)
@@ -221,8 +287,8 @@ let handle t session rid req =
      | P.Delete (table, row) -> (
        match P.code_row ~intern:true db ~table row with
        | P.Coded coded ->
-         log_wal t req;
          let removed = Core.Monitor.delete t.monitor ~table_name:table coded in
+         log_wal t req;
          reply (P.ok_line ?id:rid [ ("removed", T.Bool removed) ])
        | P.Unknown_value _ -> assert false
        | exception P.Malformed msg -> reply (P.error_line ?id:rid P.Bad_request msg)
@@ -311,7 +377,7 @@ let drop_session t session =
   t.sessions <- List.filter (fun s -> s != session) t.sessions
 
 let accept_pending t =
-  let continue = ref (not t.draining) in
+  let continue = ref true in
   while !continue do
     match Unix.accept t.listen_fd with
     | fd, peer ->
@@ -322,11 +388,17 @@ let accept_pending t =
       in
       let session = Session.create ~id:t.next_session ~fd ~peer in
       t.next_session <- t.next_session + 1;
-      if List.length t.sessions >= t.config.max_sessions then begin
-        Session.send session (P.error_line P.Internal "session limit reached");
+      let refuse code msg =
+        Session.send session (P.error_line code msg);
         ignore (Session.flush session);
         (try Unix.close fd with Unix.Unix_error _ -> ())
-      end
+      in
+      if t.draining then
+        (* still answer connects during drain: a refusal beats letting
+           the client hang until its own timeout *)
+        refuse P.Shutting_down "server is shutting down"
+      else if List.length t.sessions >= t.config.max_sessions then
+        refuse P.Internal "session limit reached"
       else begin
         t.sessions <- t.sessions @ [ session ];
         if T.enabled () then T.incr (T.counter "server.accepts")
@@ -401,7 +473,7 @@ let poll ?(timeout = 0.25) t =
   if t.stopped then false
   else begin
     let watched = List.map (fun s -> s.Session.fd) t.sessions in
-    let read_fds = if t.draining then watched else t.listen_fd :: watched in
+    let read_fds = t.listen_fd :: watched in
     let write_fds =
       List.filter_map
         (fun s -> if Session.has_output s then Some s.Session.fd else None)

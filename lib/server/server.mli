@@ -8,10 +8,13 @@
     - {e update coalescing}: within one loop round, every session's
       burst of inserts/deletes is applied before validation runs, and
       all sessions awaiting [validate] share one dirty-set pass;
-    - {e durability}: mutating requests append to the WAL (fsync'd per
-      policy) before their response is sent; snapshots
+    - {e durability}: mutating requests are applied, then appended to
+      the WAL (fsync'd per policy), then answered — a failed mutation
+      is never journaled, an acknowledged one always is; snapshots
       ({!Core.Index_io} + database + constraint registry) bound replay
-      length and are switched atomically ({!State});
+      length and switch atomically {e together with} a fresh
+      per-generation WAL ({!State}), so replay never re-applies
+      records a snapshot covers;
     - {e isolation}: malformed lines get an error response, oversized
       or half-dead sessions are closed, handler exceptions become
       [internal] error responses — one bad client never kills the
@@ -45,11 +48,20 @@ val default_config : addr:string -> config
 
 type t
 
-val create : config -> Core.Monitor.t -> t
+val create : ?unregistered:string list -> config -> Core.Monitor.t -> t
 (** Bind and listen (unlinking a stale Unix socket path), open the
-    WAL when [state_dir] is set.  SIGPIPE is ignored process-wide. *)
+    live generation's WAL when [state_dir] is set.  [unregistered]
+    seeds the tombstone list (from {!recover}).  SIGPIPE is ignored
+    process-wide. *)
 
 val monitor : t -> Core.Monitor.t
+
+val register : ?id:int -> t -> string -> Core.Monitor.registered
+(** Register a constraint through the durability path (apply, then
+    WAL-log with the pinned id) — what a client [register] request
+    does; used directly for [--constraints] startup files so their ids
+    survive crash recovery.  Clears the source's tombstone.
+    @raise the {!Core.Monitor.add} errors on a bad constraint. *)
 
 val poll : ?timeout:float -> t -> bool
 (** One event-loop round: accept, read, process (with update
@@ -60,7 +72,8 @@ val draining : t -> bool
 
 val request_drain : t -> unit
 (** Ask for a graceful stop: the next {!poll} round answers what is
-    queued, cuts a final snapshot and closes. *)
+    queued (connects arriving meanwhile are refused with
+    [shutting_down]), cuts a final snapshot and closes. *)
 
 val stop : t -> unit
 (** Immediate graceful stop: final snapshot, close every socket. *)
@@ -73,7 +86,8 @@ val kill : t -> unit
     another thread than the one polling. *)
 
 val snapshot : t -> unit
-(** Cut a snapshot now and reset the WAL (no-op without [state_dir]). *)
+(** Cut a snapshot generation now and rotate to its fresh WAL (no-op
+    without [state_dir]). *)
 
 val run : t -> unit
 (** Daemon entry point: install SIGTERM/SIGINT drain handlers and
@@ -84,13 +98,23 @@ val apply_logged : Core.Monitor.t -> Protocol.request -> unit
     a monitor — the replay semantics; non-mutating requests are
     ignored. *)
 
+type recovered = {
+  monitor : Core.Monitor.t;
+  replayed : int;  (** WAL records replayed over the snapshot *)
+  from_snapshot : bool;
+  unregistered : string list;
+      (** tombstones: sources explicitly unregistered (from the
+          snapshot, updated through the replay) — pass to {!create}
+          and do not re-register these from startup files *)
+}
+
 val recover :
   ?max_nodes:int ->
   state_dir:string ->
   load_base:(unit -> Fcv_relation.Database.t) ->
   unit ->
-  Core.Monitor.t * int * bool
+  recovered
 (** Rebuild the monitor a daemon should resume from: the latest
     snapshot if one exists (else a fresh monitor over [load_base ()]),
-    then the WAL replayed over it.  Returns
-    [(monitor, wal records replayed, started from snapshot)]. *)
+    then the live generation's WAL replayed over it — truncating any
+    torn tail so subsequent appends stay recoverable. *)

@@ -122,7 +122,7 @@ let load_db ic =
 
 (* -- generations ----------------------------------------------------------- *)
 
-let wal_path ~dir = Filename.concat dir "wal.log"
+let wal_path ~dir ~gen = Filename.concat dir (Printf.sprintf "wal-%d.log" gen)
 let current_path dir = Filename.concat dir "CURRENT"
 let gen_file dir gen ext = Filename.concat dir (Printf.sprintf "snap-%d.%s" gen ext)
 
@@ -140,6 +140,26 @@ let read_current dir =
         | exception End_of_file -> fail "empty CURRENT")
   end
 
+let current_gen ~dir =
+  if not (Sys.file_exists dir) then 0 else Option.value ~default:0 (read_current dir)
+
+(* Drop every snapshot / WAL file that does not belong to [keep]: the
+   previous generation once the new one is committed, plus any orphans
+   a crash between commit and cleanup left behind. *)
+let sweep_stale dir ~keep =
+  Array.iter
+    (fun name ->
+      let stale =
+        match Scanf.sscanf_opt name "snap-%d.%s%!" (fun g ext -> (g, ext)) with
+        | Some (g, ("db" | "idx" | "cons")) -> g <> keep
+        | Some _ | None -> (
+          match Scanf.sscanf_opt name "wal-%d.log%!" (fun g -> g) with
+          | Some g -> g <> keep
+          | None -> false)
+      in
+      if stale then try Sys.remove (Filename.concat dir name) with Sys_error _ -> ())
+    (Sys.readdir dir)
+
 (* Write [f]'s output to [path] durably (flush + fsync before close). *)
 let write_file path f =
   let oc = open_out path in
@@ -150,10 +170,9 @@ let write_file path f =
       flush oc;
       Unix.fsync (Unix.descr_of_out_channel oc))
 
-let save ~dir monitor =
+let save ?(unregistered = []) ?prepare_wal ~dir monitor =
   if not (Sys.file_exists dir) then Sys.mkdir dir 0o755;
-  let prev = read_current dir in
-  let gen = 1 + Option.value ~default:0 prev in
+  let gen = 1 + current_gen ~dir in
   let index = Core.Monitor.index monitor in
   write_file (gen_file dir gen "db") (fun oc -> save_db index.Core.Index.db oc);
   write_file (gen_file dir gen "idx") (fun oc -> Core.Index_io.save index oc);
@@ -163,19 +182,23 @@ let save ~dir monitor =
       Printf.fprintf oc "constraints\t%d\n" (List.length cons);
       List.iter
         (fun r -> Printf.fprintf oc "%d\t%s\n" r.Core.Monitor.id (esc r.Core.Monitor.source))
-        cons);
-  (* switch generations atomically, then drop the old one *)
+        cons;
+      Printf.fprintf oc "unregistered\t%d\n" (List.length unregistered);
+      List.iter (fun src -> Printf.fprintf oc "%s\n" (esc src)) unregistered);
+  (* The WAL belongs to the generation: give the caller a chance to
+     create the new generation's (empty) log durably BEFORE the
+     CURRENT rename, so that whichever generation a crash leaves
+     current, its snapshot and its log agree — replay never re-applies
+     records the snapshot already covers. *)
+  Option.iter (fun f -> f ~gen) prepare_wal;
+  (* switch generations atomically, then drop everything older *)
   let tmp = current_path dir ^ ".tmp" in
   write_file tmp (fun oc -> Printf.fprintf oc "gen %d\n" gen);
   Sys.rename tmp (current_path dir);
-  Option.iter
-    (fun old ->
-      List.iter
-        (fun ext -> try Sys.remove (gen_file dir old ext) with Sys_error _ -> ())
-        [ "db"; "idx"; "cons" ])
-    prev;
+  sweep_stale dir ~keep:gen;
   if Fcv_util.Telemetry.enabled () then
-    Fcv_util.Telemetry.incr (Fcv_util.Telemetry.counter "server.snapshots")
+    Fcv_util.Telemetry.incr (Fcv_util.Telemetry.counter "server.snapshots");
+  gen
 
 let load ~dir ~max_nodes =
   match read_current dir with
@@ -192,21 +215,33 @@ let load ~dir ~max_nodes =
     Fcv_bdd.Manager.set_max_nodes (Core.Index.mgr index) max_nodes;
     let monitor = Core.Monitor.create index in
     let ic = open_in (gen_file dir gen "cons") in
-    Fun.protect
-      ~finally:(fun () -> close_in ic)
-      (fun () ->
-        let line () = try input_line ic with End_of_file -> fail "unexpected end of file" in
-        if String.trim (line ()) <> cons_magic then fail "bad constraints magic";
-        let n =
-          match String.split_on_char '\t' (line ()) with
-          | [ "constraints"; n ] -> ( try int_of_string n with _ -> fail "bad count")
-          | _ -> fail "expected constraints"
-        in
-        for _ = 1 to n do
-          match String.split_on_char '\t' (line ()) with
-          | [ id; source ] ->
-            let id = try int_of_string id with _ -> fail "bad constraint id" in
-            ignore (Core.Monitor.add ~id monitor (unesc source))
-          | _ -> fail "bad constraint line"
-        done);
-    Some monitor
+    let unregistered =
+      Fun.protect
+        ~finally:(fun () -> close_in ic)
+        (fun () ->
+          let line () = try input_line ic with End_of_file -> fail "unexpected end of file" in
+          if String.trim (line ()) <> cons_magic then fail "bad constraints magic";
+          let n =
+            match String.split_on_char '\t' (line ()) with
+            | [ "constraints"; n ] -> ( try int_of_string n with _ -> fail "bad count")
+            | _ -> fail "expected constraints"
+          in
+          for _ = 1 to n do
+            match String.split_on_char '\t' (line ()) with
+            | [ id; source ] ->
+              let id = try int_of_string id with _ -> fail "bad constraint id" in
+              ignore (Core.Monitor.add ~id monitor (unesc source))
+            | _ -> fail "bad constraint line"
+          done;
+          (* unregister tombstones: sources explicitly removed, so a
+             restart must not resurrect them from --constraints *)
+          match input_line ic with
+          | exception End_of_file -> []
+          | tomb -> (
+            match String.split_on_char '\t' tomb with
+            | [ "unregistered"; n ] ->
+              let n = try int_of_string n with _ -> fail "bad tombstone count" in
+              List.init n (fun _ -> unesc (line ()))
+            | _ -> fail "expected unregistered"))
+    in
+    Some (monitor, unregistered)

@@ -1,17 +1,21 @@
 (** Durable state for the constraint service: a snapshot generation is
     the database (dictionaries verbatim + coded rows), the logical
-    indices (one {!Core.Index_io} file) and the registered constraints
-    with their ids.  Generations are switched atomically through a
-    [CURRENT] pointer file, so a crash mid-snapshot leaves the previous
-    generation (plus its WAL) intact.
+    indices (one {!Core.Index_io} file), the registered constraints
+    with their ids (plus unregister tombstones), and its own
+    write-ahead log.  Generations are switched atomically through a
+    [CURRENT] pointer file, so whichever generation a crash leaves
+    current, its snapshot and its WAL agree: a crash mid-snapshot
+    leaves the previous generation (with its full WAL) intact, a crash
+    right after the switch leaves the new generation with its empty
+    WAL — replay can never re-apply records a snapshot already covers.
 
     State-directory layout:
     {v
     CURRENT        "gen N" — the live generation (atomic rename)
     snap-N.db      database dump
     snap-N.idx     Index_io snapshot
-    snap-N.cons    registered constraints (id, source)
-    wal.log        update log since generation N (managed by Server)
+    snap-N.cons    registered constraints (id, source) + tombstones
+    wal-N.log      update log since generation N (managed by Server)
     v} *)
 
 exception Format_error of string
@@ -21,16 +25,32 @@ val save_db : Fcv_relation.Database.t -> out_channel -> unit
 val load_db : in_channel -> Fcv_relation.Database.t
 (** @raise Format_error on malformed input. *)
 
-val wal_path : dir:string -> string
+val wal_path : dir:string -> gen:int -> string
+(** The WAL covering updates since generation [gen] ([gen = 0] before
+    any snapshot exists). *)
 
-val save : dir:string -> Core.Monitor.t -> unit
-(** Write the next snapshot generation and switch [CURRENT] to it;
-    previous-generation files are deleted afterwards (best effort).
-    Does {e not} touch the WAL — the server resets it once [save]
-    returns. *)
+val current_gen : dir:string -> int
+(** The live generation number; 0 when no snapshot has been cut yet
+    (or the directory does not exist). *)
 
-val load : dir:string -> max_nodes:int -> Core.Monitor.t option
-(** Restore the monitor from the live generation: database, indices
-    (node budget re-imposed), constraints re-registered under their
-    saved ids.  [None] when the directory holds no snapshot yet.
+val save :
+  ?unregistered:string list ->
+  ?prepare_wal:(gen:int -> unit) ->
+  dir:string ->
+  Core.Monitor.t ->
+  int
+(** Write the next snapshot generation, switch [CURRENT] to it and
+    return its number; every older generation's files — snapshots and
+    WALs, including orphans from earlier interrupted saves — are swept
+    afterwards (best effort).  [unregistered] are tombstone sources to
+    persist.  [prepare_wal ~gen] is called after the new generation's
+    files are durably written but {e before} the [CURRENT] rename —
+    the server uses it to create the new generation's empty WAL so the
+    log switches atomically with the snapshot. *)
+
+val load : dir:string -> max_nodes:int -> (Core.Monitor.t * string list) option
+(** Restore the live generation: database, indices (node budget
+    re-imposed), constraints re-registered under their saved ids;
+    also returns the persisted unregister tombstones.  [None] when the
+    directory holds no snapshot yet.
     @raise Format_error on a corrupt snapshot. *)

@@ -1,6 +1,7 @@
 (** Write-ahead log: one {!Protocol} request line per record, appended
-    before the mutation is applied, fsync'd per policy.  Replay
-    tolerates a torn tail (crash mid-append). *)
+    once the mutation has been applied, fsync'd per policy before the
+    response is sent.  Replay tolerates a torn tail (crash mid-append)
+    and truncates it so the log stays appendable. *)
 
 module T = Fcv_util.Telemetry
 
@@ -48,33 +49,47 @@ let close t = Unix.close t.fd
 let replay path ~f =
   if not (Sys.file_exists path) then 0
   else begin
-    let ic = open_in path in
-    Fun.protect
-      ~finally:(fun () -> close_in ic)
-      (fun () ->
-        let replayed = ref 0 in
-        (try
-           let stop = ref false in
-           while not !stop do
-             let line = input_line ic in
-             if String.trim line <> "" then begin
-               match Protocol.parse_request line with
-               | Ok (_, req) ->
-                 f req;
-                 incr replayed
-               | Error _ ->
-                 (* torn tail from a crash mid-append: everything after
-                    the first bad line is unusable *)
-                 stop := true
-             end
-           done
-         with End_of_file -> ());
-        !replayed)
+    let replayed, good_end =
+      let ic = open_in_bin path in
+      Fun.protect
+        ~finally:(fun () -> close_in ic)
+        (fun () ->
+          let replayed = ref 0 in
+          let good_end = ref 0 in
+          (try
+             let stop = ref false in
+             let start = ref 0 in
+             while not !stop do
+               let line = input_line ic in
+               let fin = pos_in ic in
+               (* a record only counts once its '\n' is on disk: a
+                  complete-looking final line without one was never
+                  fully written, hence never acknowledged *)
+               let terminated = fin - !start > String.length line in
+               start := fin;
+               if not terminated then stop := true
+               else if String.trim line = "" then good_end := fin
+               else (
+                 match Protocol.parse_request line with
+                 | Ok (_, req) ->
+                   f req;
+                   incr replayed;
+                   good_end := fin
+                 | Error _ ->
+                   (* torn tail from a crash mid-append: everything
+                      after the first bad line is unusable *)
+                   stop := true)
+             done
+           with End_of_file -> ());
+          (!replayed, !good_end))
+    in
+    (* Cut the torn tail off, so appends through a subsequently opened
+       handle (O_APPEND) extend the valid prefix instead of landing
+       after — or concatenated onto — an unparseable partial record,
+       which would make them invisible to the next recovery. *)
+    if good_end < (Unix.stat path).Unix.st_size then begin
+      Unix.truncate path good_end;
+      if T.enabled () then T.incr (T.counter "server.wal.truncated_tails")
+    end;
+    replayed
   end
-
-let reset t =
-  (* O_APPEND writes position atomically at the current end, so
-     truncating the shared descriptor restarts the log in place *)
-  Unix.ftruncate t.fd 0;
-  t.unsynced <- 0;
-  if T.enabled () then T.incr (T.counter "server.wal.resets")

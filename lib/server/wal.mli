@@ -1,12 +1,20 @@
 (** Write-ahead log for the constraint service: every durable-state
     mutation ([register] / [unregister] / [insert] / [delete]) is
-    appended — as its {!Protocol} request line — before it is applied,
-    so a killed daemon replays the log over the last snapshot and
-    recovers the same verdicts.
+    appended — as its {!Protocol} request line — once it has been
+    applied, and fsync'd before the response is sent, so a killed
+    daemon replays the log over the last snapshot and recovers the
+    same verdicts.
+
+    The log is scoped to one snapshot generation ({!State.wal_path}):
+    cutting a snapshot creates a fresh, empty log for the new
+    generation before the generation is committed, so snapshot and log
+    switch atomically and replay never re-applies records a snapshot
+    already covers.
 
     Crash tolerance: a crash mid-append leaves a trailing partial
-    line; {!replay} stops at the first malformed record and reports
-    how many clean records preceded it. *)
+    line; {!replay} stops at the first malformed (or unterminated)
+    record, reports how many clean records preceded it, and truncates
+    the file to that valid prefix so later appends stay recoverable. *)
 
 type t
 
@@ -28,9 +36,7 @@ val close : t -> unit
 
 val replay : string -> f:(Protocol.request -> unit) -> int
 (** Apply [f] to each well-formed record in order; returns the number
-    replayed.  A missing file replays 0 records; a malformed tail
-    (crash damage) is ignored from the first bad line on. *)
-
-val reset : t -> unit
-(** Truncate the log in place — called right after a snapshot has been
-    durably written, making the snapshot the new recovery base. *)
+    replayed.  A missing file replays 0 records; a malformed or
+    newline-less tail (crash damage) is ignored from the first bad
+    line on {e and truncated away}, so a handle opened afterwards
+    appends right after the last replayed record. *)

@@ -131,7 +131,7 @@ let test_code_row () =
 
 let test_wal_roundtrip_and_torn_tail () =
   let dir = tmpdir () in
-  let path = St.wal_path ~dir in
+  let path = St.wal_path ~dir ~gen:0 in
   let reqs =
     [
       P.Register { source = "forall x . t(x) -> false"; id = Some 0 };
@@ -147,25 +147,34 @@ let test_wal_roundtrip_and_torn_tail () =
   let got = ref [] in
   check_int "replays all records" 4 (W.replay path ~f:(fun r -> got := r :: !got));
   check "same records, same order" true (List.rev !got = reqs);
-  (* a crash mid-append leaves a torn record: ignored from there on,
-     even if valid-looking bytes follow it *)
+  (* a crash mid-append leaves a torn record: ignored — and truncated,
+     so the log stays appendable *)
   let oc = open_out_gen [ Open_append ] 0o644 path in
   output_string oc "{\"op\":\"ins";
   close_out oc;
   check_int "torn tail ignored" 4 (W.replay path ~f:ignore);
-  let oc = open_out_gen [ Open_append ] 0o644 path in
-  output_string oc "ert\"}\n";
-  output_string oc (P.request_to_line (P.Insert ("t", [ "9" ])) ^ "\n");
-  close_out oc;
-  check_int "replay stops at the first bad record" 4 (W.replay path ~f:ignore);
-  check_int "missing file replays nothing" 0
-    (W.replay (Filename.concat dir "absent.log") ~f:ignore);
+  (* the double-crash regression: a record acknowledged after that
+     recovery must land after the valid prefix (not concatenated onto
+     the partial), so the NEXT recovery still sees it *)
   let wal = W.open_ path in
-  W.reset wal;
-  check_int "reset truncates" 0 (W.replay path ~f:ignore);
-  W.append wal (P.Insert ("t", [ "3" ]));
+  W.append wal (P.Insert ("t", [ "9" ]));
   W.close wal;
-  check_int "appends after reset survive" 1 (W.replay path ~f:ignore)
+  check_int "post-recovery appends survive another crash" 5 (W.replay path ~f:ignore);
+  (* garbage mid-file: everything from the first bad line on is
+     unusable, even valid-looking records after it *)
+  let oc = open_out_gen [ Open_append ] 0o644 path in
+  output_string oc "ga rbage\n";
+  output_string oc (P.request_to_line (P.Insert ("t", [ "7" ])) ^ "\n");
+  close_out oc;
+  check_int "replay stops at the first bad record" 5 (W.replay path ~f:ignore);
+  (* a complete-looking final record without its newline was never
+     fully written: not replayed, truncated like any torn tail *)
+  let oc = open_out_gen [ Open_append ] 0o644 path in
+  output_string oc (P.request_to_line (P.Insert ("t", [ "8" ])));
+  close_out oc;
+  check_int "newline-less tail not replayed" 5 (W.replay path ~f:ignore);
+  check_int "missing file replays nothing" 0
+    (W.replay (Filename.concat dir "absent.log") ~f:ignore)
 
 (* -- snapshots ------------------------------------------------------------- *)
 
@@ -244,9 +253,10 @@ let test_db_dump_roundtrip () =
    the snapshot exercises the variable renumbering in Index_io. *)
 let test_crash_recovery_matches_uninterrupted_run () =
   let dir = tmpdir () in
-  let monitor, replayed, from_snap = S.recover ~state_dir:dir ~load_base:make_base () in
-  check "fresh directory: no snapshot" false from_snap;
-  check_int "fresh directory: empty wal" 0 replayed;
+  let r0 = S.recover ~state_dir:dir ~load_base:make_base () in
+  let monitor = r0.S.monitor in
+  check "fresh directory: no snapshot" false r0.S.from_snapshot;
+  check_int "fresh directory: empty wal" 0 r0.S.replayed;
   let upd i =
     if i = 60 then P.Insert ("student", [ "777"; "0"; "3" ]) (* domain growth: rebuild *)
     else if i = 61 then P.Insert ("takes", [ "777"; "0" ])
@@ -259,32 +269,116 @@ let test_crash_recovery_matches_uninterrupted_run () =
     List.map (fun s -> P.Register { source = s; id = None }) sources
     @ List.init 200 upd
   in
-  let wal = W.open_ (St.wal_path ~dir) in
+  let wal = ref (W.open_ (St.wal_path ~dir ~gen:0)) in
   List.iteri
     (fun i req ->
       S.apply_logged monitor req;
-      W.append wal req;
+      W.append !wal req;
       if i = 80 then begin
         (* a check ran before the snapshot: scratch blocks are live *)
         ignore (Core.Monitor.validate monitor);
-        St.save ~dir monitor;
-        W.reset wal
+        (* snapshot the way the server does: the new generation brings
+           its own fresh WAL *)
+        let gen = St.save ~dir monitor in
+        W.close !wal;
+        wal := W.open_ (St.wal_path ~dir ~gen)
       end)
     reqs;
-  W.close wal;
+  W.close !wal;
   (* the kill: [monitor] is dropped, only dir survives *)
-  let recovered, replayed, from_snap = S.recover ~state_dir:dir ~load_base:make_base () in
-  check "recovered from snapshot" true from_snap;
-  check_int "replayed exactly the post-snapshot records" (List.length reqs - 81) replayed;
+  let r = S.recover ~state_dir:dir ~load_base:make_base () in
+  let recovered = r.S.monitor in
+  check "recovered from snapshot" true r.S.from_snapshot;
+  check_int "replayed exactly the post-snapshot records" (List.length reqs - 81) r.S.replayed;
   check_int "constraints recovered under their ids" 3
     (List.length (Core.Monitor.constraints recovered));
-  let reference, _, _ = S.recover ~state_dir:(tmpdir ()) ~load_base:make_base () in
+  let reference = (S.recover ~state_dir:(tmpdir ()) ~load_base:make_base ()).S.monitor in
   List.iter (S.apply_logged reference) reqs;
   let expected = verdicts_of_monitor reference in
   check_verdicts "recovered verdicts match the uninterrupted run" expected
     (verdicts_of_monitor recovered);
   check "the stream produced a violation" true
     (List.exists (fun (_, o) -> o = "violated") expected)
+
+(* Regression: a crash landing between the CURRENT rename and the old
+   log's sweep must not replay the pre-snapshot WAL on top of the new
+   snapshot (which used to abort recovery on the first re-registered
+   id).  The WAL is generation-scoped: whichever generation CURRENT
+   names, recovery reads that generation's log and no other. *)
+let test_snapshot_commits_atomically_with_wal () =
+  let dir = tmpdir () in
+  let monitor = (S.recover ~state_dir:dir ~load_base:make_base ()).S.monitor in
+  let reqs =
+    List.map (fun s -> P.Register { source = s; id = None }) sources
+    @ List.init 40 (fun i ->
+          P.Insert ("takes", [ string_of_int (i mod 80); string_of_int (i mod 20) ]))
+  in
+  let wal0 = St.wal_path ~dir ~gen:0 in
+  let wal = W.open_ wal0 in
+  List.iter
+    (fun req ->
+      S.apply_logged monitor req;
+      W.append wal req)
+    reqs;
+  W.close wal;
+  let old_log = In_channel.with_open_bin wal0 In_channel.input_all in
+  let gen =
+    St.save ~dir
+      ~prepare_wal:(fun ~gen -> Out_channel.with_open_bin (St.wal_path ~dir ~gen) ignore)
+      monitor
+  in
+  check_int "first snapshot generation" 1 gen;
+  (* resurrect the pre-snapshot log exactly as an unfinished sweep
+     would leave it *)
+  Out_channel.with_open_bin wal0 (fun oc -> Out_channel.output_string oc old_log);
+  let r = S.recover ~state_dir:dir ~load_base:make_base () in
+  check "recovered from the snapshot" true r.S.from_snapshot;
+  check_int "stale pre-snapshot log not replayed" 0 r.S.replayed;
+  check_int "constraints intact" 3 (List.length (Core.Monitor.constraints r.S.monitor));
+  check_verdicts "verdicts preserved" (verdicts_of_monitor monitor)
+    (verdicts_of_monitor r.S.monitor);
+  (* the next snapshot sweeps every stale generation's files *)
+  ignore (St.save ~dir r.S.monitor);
+  check "stale logs swept" false (Sys.file_exists wal0)
+
+(* Unregistering must stick across restarts, even for constraints that
+   a [--constraints] startup file keeps offering: the tombstone is
+   carried through WAL replay and persisted in snapshots. *)
+let test_unregister_tombstones_survive_recovery () =
+  let dir = tmpdir () in
+  let monitor = (S.recover ~state_dir:dir ~load_base:make_base ()).S.monitor in
+  let append_all gen reqs =
+    let wal = W.open_ (St.wal_path ~dir ~gen) in
+    List.iter
+      (fun req ->
+        S.apply_logged monitor req;
+        W.append wal req)
+      reqs;
+    W.close wal
+  in
+  append_all 0
+    [
+      P.Register { source = curriculum; id = Some 0 };
+      P.Register { source = enrolment; id = Some 1 };
+    ];
+  let gen = St.save ~dir monitor in
+  (* the unregister arrives after the snapshot, so only the WAL has it *)
+  append_all gen [ P.Unregister 0 ];
+  let r = S.recover ~state_dir:dir ~load_base:make_base () in
+  check_int "one constraint left" 1 (List.length (Core.Monitor.constraints r.S.monitor));
+  check "unregistered source tombstoned" true (List.mem curriculum r.S.unregistered);
+  check "live source not tombstoned" false (List.mem enrolment r.S.unregistered);
+  (* a snapshot absorbs the unregister; the tombstone must survive it *)
+  ignore (St.save ~dir ~unregistered:r.S.unregistered r.S.monitor);
+  let r2 = S.recover ~state_dir:dir ~load_base:make_base () in
+  check "tombstone persisted through the snapshot" true
+    (List.mem curriculum r2.S.unregistered);
+  (* re-registering digs the source up again *)
+  append_all (St.current_gen ~dir) [ P.Register { source = curriculum; id = Some 5 } ];
+  let r3 = S.recover ~state_dir:dir ~load_base:make_base () in
+  check "re-register clears the tombstone" false (List.mem curriculum r3.S.unregistered);
+  check_int "both constraints live again" 2
+    (List.length (Core.Monitor.constraints r3.S.monitor))
 
 (* -- driving the daemon and raw clients from one thread -------------------- *)
 
@@ -415,6 +509,23 @@ let test_partial_line_timeout () =
   Unix.close fd;
   S.stop srv
 
+let test_connect_during_drain_refused () =
+  let srv, sock = in_memory_server () in
+  S.request_drain srv;
+  (* connect lands in the backlog before the drain round runs: the
+     server must refuse it with [shutting_down], not leave it hanging *)
+  let fd = raw_connect sock in
+  let lines, _ = pump srv fd ~want:1 in
+  (match lines with
+  | [ l ] ->
+    let r = P.parse_response l in
+    check "refused" false r.P.ok;
+    check "shutting_down code" true
+      (T.Json.member "error" r.P.body = Some (T.String "shutting_down"))
+  | _ -> Alcotest.fail "expected exactly the shutting_down refusal");
+  Unix.close fd;
+  check "server stopped after drain" false (S.poll ~timeout:0.01 srv)
+
 let test_oversized_line_rejected () =
   let srv, sock = in_memory_server ~tweak:(fun c -> { c with S.max_line = 64 }) () in
   let fd = raw_connect sock in
@@ -448,7 +559,7 @@ let test_e2e_crash_restart_parity () =
         else P.U_insert ("takes", [ string_of_int (i mod 80); string_of_int (i mod 20) ]))
   in
   let start () =
-    let monitor, _, _ = S.recover ~state_dir:dir ~load_base:make_base () in
+    let r = S.recover ~state_dir:dir ~load_base:make_base () in
     let config =
       {
         (S.default_config ~addr:sock) with
@@ -458,7 +569,7 @@ let test_e2e_crash_restart_parity () =
         partial_timeout = 0.;
       }
     in
-    let srv = S.create config monitor in
+    let srv = S.create ~unregistered:r.S.unregistered config r.S.monitor in
     let th = Thread.create (fun () -> while S.poll ~timeout:0.02 srv do () done) () in
     (srv, th)
   in
@@ -511,7 +622,7 @@ let test_e2e_crash_restart_parity () =
   C.close c3;
   C.close c4;
   (* the reference: one Monitor, same stream, single process *)
-  let reference, _, _ = S.recover ~state_dir:(tmpdir ()) ~load_base:make_base () in
+  let reference = (S.recover ~state_dir:(tmpdir ()) ~load_base:make_base ()).S.monitor in
   List.iter (fun s -> ignore (Core.Monitor.add reference s)) sources;
   List.iter (fun u -> S.apply_logged reference (P.request_of_update u)) (take 600 ops);
   check_verdicts "mid-stream parity with single-process replay"
@@ -520,11 +631,11 @@ let test_e2e_crash_restart_parity () =
   check_verdicts "final parity with single-process replay"
     (verdicts_of_monitor reference) final;
   (* and the post-shutdown snapshot alone reproduces them once more *)
-  let recovered, replayed, from_snap = S.recover ~state_dir:dir ~load_base:make_base () in
-  check "final snapshot present" true from_snap;
-  check_int "wal empty after graceful shutdown" 0 replayed;
+  let r = S.recover ~state_dir:dir ~load_base:make_base () in
+  check "final snapshot present" true r.S.from_snapshot;
+  check_int "wal empty after graceful shutdown" 0 r.S.replayed;
   check_verdicts "snapshot-only recovery reproduces the final verdicts" final
-    (verdicts_of_monitor recovered)
+    (verdicts_of_monitor r.S.monitor)
 
 let suite =
   [
@@ -537,7 +648,13 @@ let suite =
     Alcotest.test_case "db dump roundtrip" `Quick test_db_dump_roundtrip;
     Alcotest.test_case "crash recovery parity" `Quick
       test_crash_recovery_matches_uninterrupted_run;
+    Alcotest.test_case "snapshot commits atomically with its wal" `Quick
+      test_snapshot_commits_atomically_with_wal;
+    Alcotest.test_case "unregister tombstones survive recovery" `Quick
+      test_unregister_tombstones_survive_recovery;
     Alcotest.test_case "coalesced validation" `Quick test_coalesced_validation;
+    Alcotest.test_case "connect during drain refused" `Quick
+      test_connect_during_drain_refused;
     Alcotest.test_case "malformed-input isolation" `Quick test_malformed_input_isolation;
     Alcotest.test_case "partial-line timeout" `Quick test_partial_line_timeout;
     Alcotest.test_case "oversized line rejected" `Quick test_oversized_line_rejected;
