@@ -1,0 +1,132 @@
+(* Perf-regression gate for the parallel-validation benchmark.
+
+     dune exec bench/check_regression.exe [-- CURRENT [BASELINE]]
+
+   Compares BENCH_parallel.json (default) against the committed
+   bench/baseline.json and exits non-zero on regression; bench/ci.sh
+   treats that as a warning locally and fatal under FCV_CI=1.
+
+   What is gated, and why it stays machine-portable:
+   - per-workload violated counts must match the baseline EXACTLY —
+     the workloads are seeded, so any drift means the checker's
+     verdicts changed, not the machine;
+   - per-j speedups may not fall more than 25% below the baseline's,
+     but only for j within BOTH machines' core counts (env.cores is
+     recorded in each file) — an oversubscribed j measures scheduler
+     noise, and a 1-core runner measures nothing;
+   - absolute milliseconds are never compared across runs.
+
+   A speedup more than 25% ABOVE baseline is reported as a
+   re-baselining hint, not a failure — a gate should only stop
+   regressions. *)
+
+module J = Fcv_util.Telemetry.Json
+
+let tolerance = 0.25
+
+let failures = ref 0
+let fail fmt = Printf.ksprintf (fun s -> incr failures; Printf.printf "FAIL %s\n" s) fmt
+let note fmt = Printf.ksprintf (fun s -> Printf.printf "     %s\n" s) fmt
+
+let read_json path =
+  let ic = open_in path in
+  let n = in_channel_length ic in
+  let s = really_input_string ic n in
+  close_in ic;
+  J.of_string s
+
+let mem name j =
+  match J.member name j with
+  | Some v -> v
+  | None -> failwith (Printf.sprintf "missing field %S" name)
+
+let int_f name j =
+  match mem name j with
+  | Fcv_util.Telemetry.Int i -> i
+  | _ -> failwith (Printf.sprintf "field %S is not an int" name)
+
+let float_f name j =
+  match mem name j with
+  | Fcv_util.Telemetry.Float f -> f
+  | Fcv_util.Telemetry.Int i -> float_of_int i
+  | _ -> failwith (Printf.sprintf "field %S is not a number" name)
+
+let str_f name j =
+  match mem name j with
+  | Fcv_util.Telemetry.String s -> s
+  | _ -> failwith (Printf.sprintf "field %S is not a string" name)
+
+let list_f name j =
+  match mem name j with
+  | Fcv_util.Telemetry.List l -> l
+  | _ -> failwith (Printf.sprintf "field %S is not a list" name)
+
+let cores j = int_f "cores" (mem "env" j)
+
+let find_workload doc name =
+  List.find_opt (fun w -> str_f "name" w = name) (list_f "workloads" doc)
+
+let check_workload ~max_jobs ~current base =
+  let name = str_f "name" base in
+  match find_workload current name with
+  | None -> fail "workload %S missing from current results" name
+  | Some cur ->
+    if int_f "constraints" cur <> int_f "constraints" base then
+      fail "%s: constraint count changed (%d -> %d) — regenerate the baseline" name
+        (int_f "constraints" base) (int_f "constraints" cur)
+    else if int_f "violated" cur <> int_f "violated" base then
+      fail "%s: violated count changed (%d -> %d) — verdicts drifted" name
+        (int_f "violated" base) (int_f "violated" cur)
+    else begin
+      note "%s: %d violated of %d constraints — matches baseline" name
+        (int_f "violated" base) (int_f "constraints" base);
+      let cur_speedup j =
+        List.find_map
+          (fun p -> if int_f "jobs" p = j then Some (float_f "speedup" p) else None)
+          (list_f "series" cur)
+      in
+      List.iter
+        (fun p ->
+          let j = int_f "jobs" p in
+          if j > 1 && j <= max_jobs then begin
+            let base_s = float_f "speedup" p in
+            match cur_speedup j with
+            | None -> fail "%s: no j=%d point in current results" name j
+            | Some cur_s ->
+              if cur_s < base_s *. (1. -. tolerance) then
+                fail "%s: j=%d speedup %.2fx fell below baseline %.2fx - %d%%" name j
+                  cur_s base_s (int_of_float (tolerance *. 100.))
+              else begin
+                note "%s: j=%d speedup %.2fx (baseline %.2fx) — ok" name j cur_s base_s;
+                if cur_s > base_s *. (1. +. tolerance) then
+                  note "%s: j=%d is >25%% faster than baseline; consider re-baselining"
+                    name j
+              end
+          end)
+        (list_f "series" base)
+    end
+
+let () =
+  let current_path = if Array.length Sys.argv > 1 then Sys.argv.(1) else "BENCH_parallel.json" in
+  let baseline_path =
+    if Array.length Sys.argv > 2 then Sys.argv.(2) else "bench/baseline.json"
+  in
+  match (read_json current_path, read_json baseline_path) with
+  | exception Sys_error msg ->
+    Printf.printf "FAIL cannot read benchmark results: %s\n" msg;
+    exit 1
+  | exception J.Parse_error msg ->
+    Printf.printf "FAIL malformed benchmark JSON: %s\n" msg;
+    exit 1
+  | current, baseline ->
+    let max_jobs = min (cores current) (cores baseline) in
+    Printf.printf "regression gate: %s vs %s (speedups gated up to j=%d: %d cores here, %d at baseline)\n"
+      current_path baseline_path max_jobs (cores current) (cores baseline);
+    (try List.iter (check_workload ~max_jobs ~current) (list_f "workloads" baseline)
+     with Failure msg -> fail "%s" msg);
+    if !failures > 0 then begin
+      Printf.printf "regression gate: %d failure%s\n" !failures
+        (if !failures = 1 then "" else "s");
+      exit 1
+    end;
+    print_endline "regression gate: ok"

@@ -1,22 +1,33 @@
 #!/bin/sh
-# CI gate: format check (when ocamlformat is available), full build,
-# and the test suite with a pinned QCheck seed so the differential
-# oracle (test/test_differential.ml) is reproducible across runs.
+# CI gate: format check, full build, the test suite with a pinned
+# QCheck seed, a daemon smoke test, the parallel-validation scaling
+# benchmark, and the perf-regression gate against bench/baseline.json.
+#
+# FCV_CI=1 hardens the gate for CI runners: a missing ocamlformat and
+# a perf regression become failures instead of skips/warnings.  On
+# failure the workspace keeps _ci/ (smoke-test state dir) and
+# BENCH_parallel.json for artifact upload.
 set -eu
 
 cd "$(dirname "$0")/.."
 
+: "${FCV_CI:=0}"
+
 # Pinned seed: property tests (including the 3-way differential
-# oracle) replay the same cases in CI; override by exporting
-# QCHECK_SEED before calling.
+# oracle and the parallel-vs-sequential differential) replay the same
+# cases in CI; override by exporting QCHECK_SEED before calling.
 : "${QCHECK_SEED:=20070415}"
 export QCHECK_SEED
 
 if command -v ocamlformat >/dev/null 2>&1; then
-  echo "== dune build @fmt"
+  echo "== dune build @fmt (ocamlformat $(ocamlformat --version))"
   dune build @fmt
+elif [ "$FCV_CI" = "1" ]; then
+  echo "FAIL: FCV_CI=1 but ocamlformat is not installed (CI must install the" >&2
+  echo "      version pinned in .ocamlformat so the format check actually runs)" >&2
+  exit 1
 else
-  echo "== skipping format check (ocamlformat not installed)"
+  echo "== skipping format check (ocamlformat not installed; fatal under FCV_CI=1)"
 fi
 
 echo "== dune build"
@@ -27,14 +38,28 @@ dune runtest --force
 
 echo "== daemon smoke test (fcv serve / fcv client)"
 FCV=./_build/default/bin/fcv.exe
-SMOKE=$(mktemp -d /tmp/fcv-smoke.XXXXXX)
+# Keep the smoke dir inside the workspace: on failure CI uploads it
+# (WAL + snapshot generations) as a debugging artifact.
+SMOKE="$PWD/_ci/smoke"
+rm -rf "$SMOKE"
+mkdir -p "$SMOKE"
 SERVE_PID=""
+SMOKE_DONE=0
 cleanup() {
+  # capture the in-flight exit status FIRST: every command below must
+  # not clobber what we propagate
+  rc=$?
   if [ -n "$SERVE_PID" ] && kill -0 "$SERVE_PID" 2>/dev/null; then
     kill "$SERVE_PID" 2>/dev/null || true
     wait "$SERVE_PID" 2>/dev/null || true
   fi
-  rm -rf "$SMOKE"
+  # only discard the state dir after a fully successful run
+  if [ "$rc" = "0" ] && [ "$SMOKE_DONE" = "1" ]; then
+    rm -rf "$PWD/_ci"
+  else
+    echo "(keeping $SMOKE for inspection)" >&2
+  fi
+  exit "$rc"
 }
 trap cleanup EXIT INT TERM
 
@@ -42,7 +67,7 @@ trap cleanup EXIT INT TERM
 
 SOCK="$SMOKE/fcv.sock"
 "$FCV" serve -d "$SMOKE/data" --sock "$SOCK" --state "$SMOKE/state" \
-  --snapshot-every 500 &
+  --snapshot-every 500 -j 2 &
 SERVE_PID=$!
 
 # wait for the daemon to bind its socket
@@ -82,6 +107,20 @@ done
 "$FCV" client --sock "$SOCK" shutdown >/dev/null
 wait "$SERVE_PID"
 SERVE_PID=""
+SMOKE_DONE=1
 echo "daemon smoke test passed"
+
+echo "== parallel-validation scaling benchmark"
+dune exec bench/parallel.exe
+
+echo "== perf-regression gate (tolerance 25%, fatal under FCV_CI=1)"
+if dune exec bench/check_regression.exe; then
+  :
+elif [ "$FCV_CI" = "1" ]; then
+  echo "FAIL: perf regression against bench/baseline.json" >&2
+  exit 1
+else
+  echo "WARNING: perf regression against bench/baseline.json (fatal under FCV_CI=1)" >&2
+fi
 
 echo "CI gate passed"

@@ -1,0 +1,179 @@
+(* j-scaling benchmark for parallel constraint validation.
+
+     dune exec bench/parallel.exe [-- OUT.json]
+
+   Runs Checker.check_all at j ∈ {1, 2, 4, 8} over two datagen
+   workloads — the 50-constraint university policy suite and a
+   24-constraint retail audit — and writes BENCH_parallel.json
+   (default; first argument overrides) for bench/check_regression.ml
+   to gate against bench/baseline.json.
+
+   Two kinds of numbers come out:
+   - violated counts per workload, identical at every j by
+     construction (asserted here) — the machine-portable correctness
+     canary the regression gate pins exactly;
+   - best-of-R wall-clock per j and the speedup over j=1 — only
+     meaningful up to the machine's core count, which is recorded
+     under env.cores so the gate can skip oversubscribed points. *)
+
+module R = Fcv_relation
+module T = Fcv_util.Telemetry
+
+let repeats = 3
+let jobs_list = [ 1; 2; 4; 8 ]
+
+(* -- workloads --------------------------------------------------------------- *)
+
+(* The paper's running example scaled to 50 constraints: the four
+   structural constraints (referential integrity both ways, two FDs)
+   plus 46 department-area policy variants of "every CS student takes
+   some Programming course" (department 0 = CS, area 0 = Programming
+   in the generator's coding). *)
+let university_constraints =
+  [
+    "forall s, c . takes(s, c) -> (exists a . course(c, a))";
+    "forall s, c . takes(s, c) -> (exists d, k . student(s, d, k))";
+    "forall s, d1, k1, d2, k2 . student(s, d1, k1) and student(s, d2, k2) -> d1 = d2";
+    "forall c, a1, a2 . course(c, a1) and course(c, a2) -> a1 = a2";
+  ]
+  @ List.init 46 (fun i ->
+        Printf.sprintf
+          "forall s, k . student(s, %d, k) -> (exists c . takes(s, c) and course(c, %d))"
+          (i mod 8) (i / 8))
+
+let university () =
+  let rng = Fcv_util.Rng.create 42 in
+  let db, _, _, _ =
+    Fcv_datagen.University.generate rng
+      { Fcv_datagen.University.default with students = 3_000; violators = 30 }
+  in
+  (db, university_constraints)
+
+(* The retail audit suite plus per-segment channel-policy and
+   per-carrier registration variants: 8 + 4 + 12 = 24 constraints. *)
+let retail_constraints =
+  List.map snd Fcv_datagen.Retail.audit_constraints
+  @ List.init 4 (fun sg ->
+        Printf.sprintf
+          "forall c, ch . orders(_, c, _, _, ch) and customers(c, _, _, %d) -> \
+           allowed_channel(%d, ch)"
+          sg sg)
+  @ List.init 12 (fun k ->
+        Printf.sprintf "forall o . shipments(o, %d, _) -> (exists hs . carriers(%d, hs))" k k)
+
+let retail () =
+  let rng = Fcv_util.Rng.create 42 in
+  let gen =
+    Fcv_datagen.Retail.generate rng
+      {
+        Fcv_datagen.Retail.default with
+        customers = 2_000;
+        products = 500;
+        orders = 10_000;
+        bad_ref_rate = 0.002;
+        bad_dest_rate = 0.01;
+        bad_channel_rate = 0.005;
+      }
+  in
+  (gen.Fcv_datagen.Retail.db, retail_constraints)
+
+(* -- measurement ------------------------------------------------------------- *)
+
+type point = { jobs : int; best_ms : float; mean_ms : float; speedup : float }
+
+let time_once index formulas jobs =
+  let t0 = Fcv_util.Timer.now () in
+  let results = Core.Checker.check_all ~jobs index formulas in
+  let ms = (Fcv_util.Timer.now () -. t0) *. 1000. in
+  let violated =
+    List.length
+      (List.filter (fun r -> r.Core.Checker.outcome = Core.Checker.Violated) results)
+  in
+  (ms, violated)
+
+let run_workload name make =
+  Printf.printf "\n== %s ==\n%!" name;
+  let db, sources = make () in
+  let formulas = List.map Core.Fol_parser.of_string sources in
+  let index = Core.Index.create ~max_nodes:1_000_000 db in
+  Core.Checker.ensure_indices index formulas;
+  let baseline_violated = ref None in
+  let series =
+    List.map
+      (fun jobs ->
+        let runs = List.init repeats (fun _ -> time_once index formulas jobs) in
+        let times = List.map fst runs in
+        let violated = snd (List.hd runs) in
+        (match !baseline_violated with
+        | None -> baseline_violated := Some violated
+        | Some v ->
+          if v <> violated then
+            failwith
+              (Printf.sprintf "%s: j=%d found %d violations, j=1 found %d" name jobs
+                 violated v));
+        let best = List.fold_left min infinity times in
+        let mean = List.fold_left ( +. ) 0. times /. float_of_int repeats in
+        (jobs, best, mean, violated))
+      jobs_list
+  in
+  let t1 = match series with (_, best, _, _) :: _ -> best | [] -> assert false in
+  let points =
+    List.map
+      (fun (jobs, best, mean, _) ->
+        let speedup = t1 /. best in
+        Printf.printf "  j=%-2d best %8.2f ms  mean %8.2f ms  speedup %.2fx\n%!" jobs best
+          mean speedup;
+        { jobs; best_ms = best; mean_ms = mean; speedup })
+      series
+  in
+  let violated = Option.get !baseline_violated in
+  Printf.printf "  violated %d/%d (identical at every j)\n%!" violated
+    (List.length formulas);
+  (name, List.length formulas, violated, points)
+
+(* -- output ------------------------------------------------------------------ *)
+
+let json_of_point p =
+  T.Obj
+    [
+      ("jobs", T.Int p.jobs);
+      ("best_ms", T.Float p.best_ms);
+      ("mean_ms", T.Float p.mean_ms);
+      ("speedup", T.Float p.speedup);
+    ]
+
+let json_of_workload (name, n, violated, points) =
+  T.Obj
+    [
+      ("name", T.String name);
+      ("constraints", T.Int n);
+      ("violated", T.Int violated);
+      ("series", T.List (List.map json_of_point points));
+    ]
+
+let () =
+  let out = if Array.length Sys.argv > 1 then Sys.argv.(1) else "BENCH_parallel.json" in
+  let cores = Domain.recommended_domain_count () in
+  Printf.printf "parallel validation scaling — %d core%s available, j ∈ {%s}\n" cores
+    (if cores = 1 then "" else "s")
+    (String.concat ", " (List.map string_of_int jobs_list));
+  if cores = 1 then
+    print_endline "(single core: expect no speedup; the gate only pins verdicts)";
+  let uni = run_workload "university" university in
+  let ret = run_workload "retail" retail in
+  let workloads = [ uni; ret ] in
+  let doc =
+    T.Obj
+      [
+        ("bench", T.String "parallel");
+        ( "env",
+          T.Obj [ ("cores", T.Int cores); ("ocaml", T.String Sys.ocaml_version) ] );
+        ("repeats", T.Int repeats);
+        ("workloads", T.List (List.map json_of_workload workloads));
+      ]
+  in
+  let oc = open_out out in
+  output_string oc (T.Json.to_string doc);
+  output_string oc "\n";
+  close_out oc;
+  Printf.printf "\nwrote %s\n" out

@@ -2,6 +2,7 @@
 
    Subcommands:
      fcv check     load CSV tables, build logical indices, validate constraints
+     fcv bench     time one validation batch at a given -j parallelism
      fcv index     build an index and report its size / ordering / build time
      fcv orderings compare the variable-ordering strategies on one table
      fcv sql       run a SQL query against the loaded tables
@@ -54,6 +55,14 @@ let strategy_arg =
 let max_nodes_arg =
   let doc = "BDD node budget; past it the checker falls back to SQL (0 = unlimited)." in
   Arg.(value & opt int 1_000_000 & info [ "max-nodes" ] ~docv:"N" ~doc)
+
+let jobs_arg =
+  let doc =
+    "Worker domains for parallel validation (1 = sequential).  Each worker checks \
+     against a private replica of the logical indices, so verdicts are identical \
+     to a sequential run."
+  in
+  Arg.(value & opt int 1 & info [ "j"; "jobs" ] ~docv:"N" ~doc)
 
 let telemetry_arg =
   let doc =
@@ -137,13 +146,37 @@ let constraints_arg =
 
 (* Check every constraint against [index], printing one verdict line
    each (shared by [fcv check] and [fcv stats]); returns the number
-   violated. *)
-let run_checks ?(witnesses = 0) index constraints =
+   violated.  [jobs > 1] fans the checks out over worker domains
+   holding index replicas; per-constraint errors are captured in the
+   workers and reported in order, exactly like the sequential path.
+   Witness enumeration always runs on the master index afterwards. *)
+let run_checks ?(witnesses = 0) ?(jobs = 1) index constraints =
+  let checked idx c =
+    match Core.Checker.check idx c with
+    | r -> Ok r
+    | exception (Core.Typing.Type_error msg | Core.Compile.Unsupported msg) -> Error msg
+  in
+  let results =
+    if jobs <= 1 || List.length constraints <= 1 then
+      List.map (fun (_, c) -> checked index c) constraints
+    else begin
+      let pool =
+        Fcv_util.Pool.create ~name:"check" ~jobs:(min jobs (List.length constraints)) ()
+      in
+      let replica = Core.Replica.create index in
+      Fun.protect
+        ~finally:(fun () -> Fcv_util.Pool.shutdown pool)
+        (fun () ->
+          Core.Replica.prepare replica;
+          Fcv_util.Pool.run_list pool
+            (List.map (fun (_, c) () -> checked (Core.Replica.get replica) c) constraints))
+    end
+  in
   let violated = ref 0 in
-  List.iter
-    (fun (src, c) ->
-      match Core.Checker.check index c with
-      | r ->
+  List.iter2
+    (fun (src, c) result ->
+      match result with
+      | Ok r ->
         let verdict =
           match r.Core.Checker.outcome with
           | Core.Checker.Satisfied -> "SATISFIED"
@@ -166,9 +199,8 @@ let run_checks ?(witnesses = 0) index constraints =
               ws
           | None -> print_endline "    (no finite witnesses)"
         end
-      | exception (Core.Typing.Type_error msg | Core.Compile.Unsupported msg) ->
-        Printf.printf "[ERROR    ] %s: %s\n" src msg)
-    constraints;
+      | Error msg -> Printf.printf "[ERROR    ] %s: %s\n" src msg)
+    constraints results;
   !violated
 
 let check_cmd =
@@ -184,7 +216,8 @@ let check_cmd =
     let doc = "Restore logical indices from $(docv) instead of re-encoding." in
     Arg.(value & opt (some string) None & info [ "load-index" ] ~docv:"FILE" ~doc)
   in
-  let run data constraints_file strategy max_nodes witnesses save_index load_index telemetry =
+  let run data constraints_file strategy max_nodes witnesses save_index load_index jobs
+      telemetry =
     let violated =
       with_telemetry telemetry @@ fun () ->
       let db, _ = load_dir data in
@@ -211,7 +244,7 @@ let check_cmd =
         (if load_index = None then "built" else "loaded")
         (List.length (Core.Index.entries index))
         ((Fcv_util.Timer.now () -. t0) *. 1000.);
-      let violated = run_checks ~witnesses index constraints in
+      let violated = run_checks ~witnesses ~jobs index constraints in
       Printf.printf "\n%d/%d constraints violated\n" violated (List.length constraints);
       violated
     in
@@ -222,7 +255,7 @@ let check_cmd =
     (Cmd.info "check" ~doc)
     Term.(
       const run $ data_arg $ constraints_arg $ strategy_arg $ max_nodes_arg
-      $ witnesses_arg $ save_index_arg $ load_index_arg $ telemetry_arg)
+      $ witnesses_arg $ save_index_arg $ load_index_arg $ jobs_arg $ telemetry_arg)
 
 (* -- fcv index ----------------------------------------------------------------- *)
 
@@ -557,7 +590,7 @@ let serve_cmd =
     Arg.(value & opt float 0. & info [ "idle-timeout" ] ~docv:"SECONDS" ~doc)
   in
   let run data sock state constraints_file strategy max_nodes fsync_every snapshot_every
-      idle_timeout telemetry =
+      idle_timeout jobs telemetry =
     with_telemetry telemetry @@ fun () ->
     let module S = Fcv_server.Server in
     let strategy = strategy_of_string strategy in
@@ -585,6 +618,7 @@ let serve_cmd =
         fsync_every;
         snapshot_every;
         idle_timeout;
+        jobs;
       }
     in
     let server = S.create ~unregistered config monitor in
@@ -624,7 +658,8 @@ let serve_cmd =
     (Cmd.info "serve" ~doc)
     Term.(
       const run $ data_arg $ sock_arg $ state_arg $ constraints_opt_arg $ strategy_arg
-      $ max_nodes_arg $ fsync_arg $ snapshot_every_arg $ idle_arg $ telemetry_arg)
+      $ max_nodes_arg $ fsync_arg $ snapshot_every_arg $ idle_arg $ jobs_arg
+      $ telemetry_arg)
 
 (* -- fcv client ----------------------------------------------------------------------- *)
 
@@ -707,6 +742,48 @@ let client_cmd =
   let doc = "talk to a running fcv serve daemon (line-delimited JSON protocol)" in
   Cmd.v (Cmd.info "client" ~doc) Term.(const run $ sock_arg $ cmd_arg $ arg_arg)
 
+(* -- fcv bench ------------------------------------------------------------------------ *)
+
+let bench_cmd =
+  let repeat_arg =
+    let doc = "Time the batch $(docv) times and report the best run." in
+    Arg.(value & opt int 3 & info [ "r"; "repeat" ] ~docv:"R" ~doc)
+  in
+  let run data constraints_file strategy max_nodes jobs repeat =
+    let db, _ = load_dir data in
+    let constraints = read_constraints constraints_file in
+    let formulas = List.map snd constraints in
+    let index = Core.Index.create ~max_nodes db in
+    Core.Checker.ensure_indices ~strategy:(strategy_of_string strategy) index formulas;
+    let time () =
+      let t0 = Fcv_util.Timer.now () in
+      let results = Core.Checker.check_all ~jobs index formulas in
+      let ms = (Fcv_util.Timer.now () -. t0) *. 1000. in
+      let violated =
+        List.length
+          (List.filter (fun r -> r.Core.Checker.outcome = Core.Checker.Violated) results)
+      in
+      (ms, violated)
+    in
+    let runs = List.init (max 1 repeat) (fun _ -> time ()) in
+    let times = List.map fst runs in
+    let violated = snd (List.hd runs) in
+    let best = List.fold_left min infinity times in
+    let mean = List.fold_left ( +. ) 0. times /. float_of_int (List.length times) in
+    Printf.printf
+      "jobs=%d constraints=%d violated=%d runs=%d best_ms=%.2f mean_ms=%.2f\n" jobs
+      (List.length formulas) violated (List.length runs) best mean
+  in
+  let doc =
+    "time one parallel validation batch (all constraints, -j worker domains); \
+     see bench/parallel.ml for the full j-scaling sweep"
+  in
+  Cmd.v
+    (Cmd.info "bench" ~doc)
+    Term.(
+      const run $ data_arg $ constraints_arg $ strategy_arg $ max_nodes_arg $ jobs_arg
+      $ repeat_arg)
+
 (* -- fcv gen -------------------------------------------------------------------------- *)
 
 let gen_cmd =
@@ -773,6 +850,7 @@ let () =
          (Cmd.group info
           [
             check_cmd;
+            bench_cmd;
             monitor_cmd;
             serve_cmd;
             client_cmd;

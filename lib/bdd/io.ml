@@ -29,7 +29,7 @@ let version = 1
     into a manager that allocates only the live blocks.  [rename]
     must be strictly increasing on the variables of each root's
     subgraph or the ordering invariant breaks on load. *)
-let save ?(rename = Fun.id) ?nvars m ~roots oc =
+let save_gen ?(rename = Fun.id) ?nvars m ~roots put =
   (* assign file ids in children-first order *)
   let file_id = Hashtbl.create 1024 in
   Hashtbl.replace file_id M.zero 0;
@@ -47,29 +47,41 @@ let save ?(rename = Fun.id) ?nvars m ~roots oc =
   in
   List.iter visit roots;
   let nodes = List.rev !order in
-  Printf.fprintf oc "%s %d\n" magic version;
-  Printf.fprintf oc "nvars %d\n" (Option.value nvars ~default:(M.nvars m));
-  Printf.fprintf oc "nodes %d\n" (List.length nodes);
+  let pr fmt = Printf.ksprintf put fmt in
+  pr "%s %d\n" magic version;
+  pr "nvars %d\n" (Option.value nvars ~default:(M.nvars m));
+  pr "nodes %d\n" (List.length nodes);
   List.iter
     (fun id ->
-      Printf.fprintf oc "%d %d %d\n"
+      pr "%d %d %d\n"
         (rename (M.var m id))
         (Hashtbl.find file_id (M.low m id))
         (Hashtbl.find file_id (M.high m id)))
     nodes;
-  output_string oc "roots";
-  List.iter (fun r -> Printf.fprintf oc " %d" (Hashtbl.find file_id r)) roots;
-  output_char oc '\n'
+  put "roots";
+  List.iter (fun r -> pr " %d" (Hashtbl.find file_id r)) roots;
+  put "\n"
+
+let save ?rename ?nvars m ~roots oc =
+  save_gen ?rename ?nvars m ~roots (output_string oc)
+
+let save_string ?rename ?nvars m ~roots =
+  let buf = Buffer.create 4096 in
+  save_gen ?rename ?nvars m ~roots (Buffer.add_string buf);
+  Buffer.contents buf
 
 exception Format_error of string
 
 let fail fmt = Printf.ksprintf (fun s -> raise (Format_error s)) fmt
 
-(** Load BDDs saved by {!save} into [m]; the target manager must
+(** Load BDDs saved by {!save} into [m] from [next_line] (a pull
+    source yielding [None] at end of input); the target manager must
     already have at least as many variables (with the same intended
     order).  Returns the roots, renumbered into [m]. *)
-let load m ic =
-  let line () = try input_line ic with End_of_file -> fail "unexpected end of file" in
+let load_lines m next_line =
+  let line () =
+    match next_line () with Some l -> l | None -> fail "unexpected end of file"
+  in
   let words s = String.split_on_char ' ' (String.trim s) |> List.filter (( <> ) "") in
   (match words (line ()) with
   | [ w; v ] when w = magic ->
@@ -101,6 +113,9 @@ let load m ic =
   match words (line ()) with
   | "roots" :: rs -> List.map (fun r -> local.(int_of_string r)) rs
   | _ -> fail "expected roots"
+
+let load m ic =
+  load_lines m (fun () -> try Some (input_line ic) with End_of_file -> None)
 
 let save_file m ~roots path =
   let oc = open_out path in

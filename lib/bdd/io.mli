@@ -11,10 +11,18 @@ val save :
     reference.  [rename] must be strictly increasing on each root's
     own variables. *)
 
+val save_string : ?rename:(int -> int) -> ?nvars:int -> Manager.t -> roots:int list -> string
+(** {!save} into an in-memory string — the replica-hydration path of
+    parallel validation serialises once and lets every worker load
+    from the same bytes. *)
+
 val load : Manager.t -> in_channel -> int list
 (** Load into a manager with at least as many variables (same intended
     order); returns the renumbered roots.  Hash-conses against
     existing nodes.  @raise Format_error *)
+
+val load_lines : Manager.t -> (unit -> string option) -> int list
+(** {!load} from a pull source of lines ([None] = end of input). *)
 
 val save_file : Manager.t -> roots:int list -> string -> unit
 val load_file : Manager.t -> string -> int list

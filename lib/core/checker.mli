@@ -52,7 +52,23 @@ val check : ?pipeline:pipeline -> Index.t -> Formula.t -> result
     @raise Invalid_argument on open formulas.
     @raise Typing.Type_error on ill-typed constraints. *)
 
-val check_all : ?pipeline:pipeline -> Index.t -> Formula.t list -> result list
+val check_all :
+  ?pipeline:pipeline -> ?jobs:int -> Index.t -> Formula.t list -> result list
+(** Check a batch, in order.  [jobs > 1] (default 1) fans out over a
+    transient pool of worker domains, each with a private replica of
+    [index] ({!Replica}); verdicts are identical to the sequential
+    run.  Singleton and empty batches always run sequentially. *)
+
+val check_all_pooled :
+  ?pipeline:pipeline ->
+  pool:Fcv_util.Pool.t ->
+  Replica.t ->
+  Formula.t list ->
+  result list
+(** [check_all] against a caller-owned pool and replica set — the
+    long-running form (server, monitor) that amortises worker spawn
+    and replica hydration across batches.  Every mentioned relation
+    must already be indexed in the replica master. *)
 
 val ensure_indices : ?strategy:Ordering.strategy -> Index.t -> Formula.t list -> unit
 (** Build missing full-attribute indices for every mentioned relation

@@ -18,7 +18,7 @@ let fail fmt = Printf.ksprintf (fun s -> raise (Format_error s)) fmt
 
 let magic = "fcv-index 1"
 
-let save index oc =
+let save_gen index put =
   let entries = List.rev (Index.entries index) in
   (* Compact the variable numbering: the live manager also carries
      scratch blocks and the dead blocks of rebuilt entries, but [load]
@@ -44,8 +44,9 @@ let save index oc =
     | Some v' -> v'
     | None -> fail "index BDD references variable %d outside its entry blocks" v
   in
-  Printf.fprintf oc "%s\n" magic;
-  Printf.fprintf oc "entries %d\n" (List.length entries);
+  let pr fmt = Printf.ksprintf put fmt in
+  pr "%s\n" magic;
+  pr "entries %d\n" (List.length entries);
   List.iter
     (fun e ->
       let table = e.Index.table in
@@ -57,25 +58,35 @@ let save index oc =
       let dom_sizes =
         Array.to_list e.Index.blocks |> List.map (fun b -> string_of_int b.Fd.dom_size)
       in
-      Printf.fprintf oc "entry %s\n" (R.Table.name table);
-      Printf.fprintf oc "attrs %s\n" (String.concat " " attr_names);
-      Printf.fprintf oc "order %s\n"
+      pr "entry %s\n" (R.Table.name table);
+      pr "attrs %s\n" (String.concat " " attr_names);
+      pr "order %s\n"
         (String.concat " " (Array.to_list e.Index.order |> List.map string_of_int));
-      Printf.fprintf oc "domains %s\n" (String.concat " " dom_sizes);
+      pr "domains %s\n" (String.concat " " dom_sizes);
       (* the maintenance multiset *)
-      Printf.fprintf oc "counts %d\n" (Hashtbl.length e.Index.counts);
-      Hashtbl.iter (fun k c -> Printf.fprintf oc "%d %d\n" k c) e.Index.counts)
+      pr "counts %d\n" (Hashtbl.length e.Index.counts);
+      Hashtbl.iter (fun k c -> pr "%d %d\n" k c) e.Index.counts)
     entries;
-  Fcv_bdd.Io.save ~rename ~nvars:!next_var (Index.mgr index)
-    ~roots:(List.map (fun e -> e.Index.root) entries)
-    oc
+  put
+    (Fcv_bdd.Io.save_string ~rename ~nvars:!next_var (Index.mgr index)
+       ~roots:(List.map (fun e -> e.Index.root) entries))
 
-(** Rebuild an index store from [ic] against [db].  Blocks are
-    re-allocated in the same level order, so roots load unchanged.
+let save index oc = save_gen index (output_string oc)
+
+let save_string index =
+  let buf = Buffer.create 4096 in
+  save_gen index (Buffer.add_string buf);
+  Buffer.contents buf
+
+(** Rebuild an index store against [db] from [next_line] (a pull
+    source of lines; [None] = end of input).  Blocks are re-allocated
+    in the same level order, so roots load unchanged.
     @raise Format_error on malformed input or when a table's current
     dictionary sizes disagree with the saved ones. *)
-let load db ic =
-  let line () = try input_line ic with End_of_file -> fail "unexpected end of file" in
+let load_lines db next_line =
+  let line () =
+    match next_line () with Some l -> l | None -> fail "unexpected end of file"
+  in
   let words s = String.split_on_char ' ' (String.trim s) |> List.filter (( <> ) "") in
   if String.trim (line ()) <> magic then fail "bad magic";
   let count =
@@ -146,7 +157,7 @@ let load db ic =
         let blocks = Array.map (function Some b -> b | None -> fail "bad order") slots in
         (table, attrs, order, blocks, counts))
   in
-  let roots = Fcv_bdd.Io.load mgr ic in
+  let roots = Fcv_bdd.Io.load_lines mgr next_line in
   if List.length roots <> count then fail "root count mismatch";
   List.iter2
     (fun (table, attrs, order, blocks, counts) root ->
@@ -165,6 +176,25 @@ let load db ic =
       index.Index.entries <- entry :: index.Index.entries)
     metas roots;
   index
+
+let load db ic =
+  load_lines db (fun () -> try Some (input_line ic) with End_of_file -> None)
+
+(* Split on '\n' lazily: replica hydration parses the same snapshot
+   string once per worker, so avoid materialising a line list. *)
+let load_string db s =
+  let pos = ref 0 in
+  let n = String.length s in
+  let next_line () =
+    if !pos >= n then None
+    else begin
+      let stop = match String.index_from_opt s !pos '\n' with Some i -> i | None -> n in
+      let l = String.sub s !pos (stop - !pos) in
+      pos := stop + 1;
+      Some l
+    end
+  in
+  load_lines db next_line
 
 let save_file index path =
   let oc = open_out path in

@@ -9,8 +9,16 @@ exception Format_error of string
 
 val save : Index.t -> out_channel -> unit
 
+val save_string : Index.t -> string
+(** {!save} into an in-memory snapshot string — what parallel
+    validation hydrates per-worker index replicas from. *)
+
 val load : Fcv_relation.Database.t -> in_channel -> Index.t
 (** @raise Format_error on malformed input or a shrunken domain. *)
+
+val load_string : Fcv_relation.Database.t -> string -> Index.t
+(** {!load} from a {!save_string} snapshot.  The returned store shares
+    [db] (tables, dictionaries) but owns a fresh manager. *)
 
 val save_file : Index.t -> string -> unit
 val load_file : Fcv_relation.Database.t -> string -> Index.t

@@ -26,13 +26,44 @@ type t = {
   mutable constraints : registered list;
   mutable next_id : int;
   dirty : (string, unit) Hashtbl.t;  (** tables updated since the last validation *)
+  mutable par : (Fcv_util.Pool.t * Replica.t) option;
+      (** worker pool + replica set when [jobs > 1]; the pool outlives
+          validations so workers and hydrated replicas are reused *)
 }
 
 let create ?(pipeline = Checker.default_pipeline) index =
-  { index; pipeline; constraints = []; next_id = 0; dirty = Hashtbl.create 8 }
+  {
+    index;
+    pipeline;
+    constraints = [];
+    next_id = 0;
+    dirty = Hashtbl.create 8;
+    par = None;
+  }
 
 let index t = t.index
 let constraints t = t.constraints
+let jobs t = match t.par with Some (p, _) -> Fcv_util.Pool.size p | None -> 1
+
+(** Set the validation parallelism.  [jobs <= 1] (the initial state)
+    validates on the calling domain; larger values keep a worker pool
+    and per-worker index replicas alive across validations. *)
+let set_jobs t n =
+  let n = max 1 n in
+  if n <> jobs t then begin
+    (match t.par with Some (p, _) -> Fcv_util.Pool.shutdown p | None -> ());
+    t.par <-
+      (if n = 1 then None
+       else Some (Fcv_util.Pool.create ~name:"monitor" ~jobs:n (), Replica.create t.index))
+  end
+
+(** Release the worker pool (if any); the monitor stays usable
+    sequentially.  Call before discarding a parallel monitor so worker
+    domains are joined. *)
+let stop t = set_jobs t 1
+
+let invalidate_replicas t =
+  match t.par with Some (_, r) -> Replica.invalidate r | None -> ()
 
 (** Register a constraint (given as concrete syntax); builds any
     missing indices.  Returns its id — the caller may pin one (WAL
@@ -69,6 +100,8 @@ let add ?id t source =
     }
   in
   t.constraints <- t.constraints @ [ reg ];
+  (* ensure_indices may have built new entries *)
+  invalidate_replicas t;
   reg
 
 let remove t id = t.constraints <- List.filter (fun r -> r.id <> id) t.constraints
@@ -78,13 +111,17 @@ let remove t id = t.constraints <- List.filter (fun r -> r.id <> id) t.constrain
 let insert t ~table_name row =
   Index.insert t.index ~table_name row;
   Hashtbl.replace t.dirty table_name ();
+  invalidate_replicas t;
   if T.enabled () then T.incr (T.counter "monitor.inserts")
 
 (** Stream one row deletion; marks the table dirty if a row was
     removed. *)
 let delete t ~table_name row =
   let removed = Index.delete t.index ~table_name row in
-  if removed then Hashtbl.replace t.dirty table_name ();
+  if removed then begin
+    Hashtbl.replace t.dirty table_name ();
+    invalidate_replicas t
+  end;
   if T.enabled () then T.incr (T.counter "monitor.deletes");
   removed
 
@@ -101,34 +138,54 @@ type report = {
     Clears the dirty set. *)
 let validate t =
   T.with_span "monitor.validate" @@ fun () ->
+  let needs_check reg =
+    reg.last_outcome = None || List.exists (Hashtbl.mem t.dirty) reg.tables
+  in
+  (* registered-record bookkeeping happens on the calling domain only:
+     in the parallel path workers return bare Checker.results and the
+     mutations below run once the whole batch is in *)
+  let fresh_report reg r =
+    reg.last_outcome <- Some r.Checker.outcome;
+    reg.checks_run <- reg.checks_run + 1;
+    reg.total_check_ms <- reg.total_check_ms +. r.Checker.elapsed_ms;
+    if T.enabled () then T.incr (T.counter "monitor.checks_run");
+    {
+      constraint_ = reg;
+      outcome = r.Checker.outcome;
+      fresh = true;
+      elapsed_ms = r.Checker.elapsed_ms;
+    }
+  in
+  let cached_report reg =
+    reg.checks_skipped <- reg.checks_skipped + 1;
+    if T.enabled () then T.incr (T.counter "monitor.checks_skipped");
+    match reg.last_outcome with
+    | Some outcome -> { constraint_ = reg; outcome; fresh = false; elapsed_ms = 0. }
+    | None -> assert false
+  in
+  let stale = List.filter needs_check t.constraints in
   let reports =
-    List.map
-      (fun reg ->
-        let needs_check =
-          reg.last_outcome = None
-          || List.exists (Hashtbl.mem t.dirty) reg.tables
-        in
-        if needs_check then begin
-          let r = Checker.check ~pipeline:t.pipeline t.index reg.formula in
-          reg.last_outcome <- Some r.Checker.outcome;
-          reg.checks_run <- reg.checks_run + 1;
-          reg.total_check_ms <- reg.total_check_ms +. r.Checker.elapsed_ms;
-          if T.enabled () then T.incr (T.counter "monitor.checks_run");
-          {
-            constraint_ = reg;
-            outcome = r.Checker.outcome;
-            fresh = true;
-            elapsed_ms = r.Checker.elapsed_ms;
-          }
-        end
-        else begin
-          reg.checks_skipped <- reg.checks_skipped + 1;
-          if T.enabled () then T.incr (T.counter "monitor.checks_skipped");
-          match reg.last_outcome with
-          | Some outcome -> { constraint_ = reg; outcome; fresh = false; elapsed_ms = 0. }
-          | None -> assert false
-        end)
-      t.constraints
+    match t.par with
+    | Some (pool, replica) when List.length stale > 1 ->
+      let results =
+        Checker.check_all_pooled ~pipeline:t.pipeline ~pool replica
+          (List.map (fun reg -> reg.formula) stale)
+      in
+      let fresh = Hashtbl.create (List.length stale) in
+      List.iter2 (fun reg r -> Hashtbl.replace fresh reg.id r) stale results;
+      List.map
+        (fun reg ->
+          match Hashtbl.find_opt fresh reg.id with
+          | Some r -> fresh_report reg r
+          | None -> cached_report reg)
+        t.constraints
+    | _ ->
+      List.map
+        (fun reg ->
+          if needs_check reg then
+            fresh_report reg (Checker.check ~pipeline:t.pipeline t.index reg.formula)
+          else cached_report reg)
+        t.constraints
   in
   Hashtbl.reset t.dirty;
   reports

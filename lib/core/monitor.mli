@@ -20,6 +20,18 @@ val create : ?pipeline:Checker.pipeline -> Index.t -> t
 
 val index : t -> Index.t
 
+val jobs : t -> int
+(** Current validation parallelism (1 = sequential, the default). *)
+
+val set_jobs : t -> int -> unit
+(** Validate with [n] worker domains, each holding a private replica
+    of the index store; replicas refresh lazily after updates.  Values
+    [<= 1] (and {!stop}) release the pool and validate on the calling
+    domain.  Verdicts are identical either way. *)
+
+val stop : t -> unit
+(** Join any worker domains; the monitor stays usable sequentially. *)
+
 val constraints : t -> registered list
 (** The registered constraints, oldest first. *)
 

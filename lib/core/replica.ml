@@ -1,0 +1,78 @@
+(** Per-worker replicas of the logical index store (see the interface
+    for the protocol).  The moving parts:
+
+    - [epoch] counts master mutations ({!invalidate} bumps it).
+    - [snapshot] caches the {!Index_io.save_string} bytes for one
+      epoch; {!prepare} refreshes it on the main domain so workers
+      never serialise (the master manager is not theirs to walk).
+    - Each domain caches its hydrated [(epoch, index)] pair in
+      domain-local storage; {!get} reuses it while the epoch stands.
+
+    Memory-model note: workers read [epoch] through an [Atomic] but
+    [snapshot] is a plain mutable field.  That is sound because every
+    fan-out goes prepare → submit → worker-runs-task, and the pool's
+    queue mutex orders the snapshot write before the worker's read;
+    the atomic epoch only decides {e staleness}, never publication. *)
+
+module M = Fcv_bdd.Manager
+module T = Fcv_util.Telemetry
+
+type t = {
+  master : Index.t;
+  epoch : int Atomic.t;
+  mutable snapshot : (int * string) option;  (** (epoch, bytes) — main domain *)
+  cache : (int * Index.t) option ref Domain.DLS.key;
+      (** this domain's hydrated replica, stamped with its epoch *)
+  hydrations : int Atomic.t;
+}
+
+let create master =
+  {
+    master;
+    epoch = Atomic.make 0;
+    snapshot = None;
+    cache = Domain.DLS.new_key (fun () -> ref None);
+    hydrations = Atomic.make 0;
+  }
+
+let master t = t.master
+let invalidate t = Atomic.incr t.epoch
+let hydrations t = Atomic.get t.hydrations
+
+let prepare t =
+  let e = Atomic.get t.epoch in
+  match t.snapshot with
+  | Some (e', _) when e' = e -> ()
+  | _ ->
+    T.with_span "replica.snapshot" (fun () ->
+        t.snapshot <- Some (e, Index_io.save_string t.master))
+
+let hydrate t e bytes =
+  T.with_span "replica.hydrate" (fun () ->
+      let index = Index_io.load_string t.master.Index.db bytes in
+      (* the replica obeys the same node budget as the master, so a
+         compilation that would fall back sequentially falls back in
+         parallel too — identical verdict methods either way *)
+      M.set_max_nodes (Index.mgr index) (M.max_nodes (Index.mgr t.master));
+      Atomic.incr t.hydrations;
+      T.incr (T.counter "replica.hydrations");
+      (e, index))
+
+let get t =
+  let e = Atomic.get t.epoch in
+  let slot = Domain.DLS.get t.cache in
+  match !slot with
+  | Some (e', index) when e' = e -> index
+  | _ ->
+    let bytes =
+      match t.snapshot with
+      | Some (e', b) when e' = e -> b
+      | Some (e', _) ->
+        invalid_arg
+          (Printf.sprintf
+             "Replica.get: snapshot at epoch %d but master at %d — missing prepare" e' e)
+      | None -> invalid_arg "Replica.get: no snapshot — missing prepare"
+    in
+    let fresh = hydrate t e bytes in
+    slot := Some fresh;
+    snd fresh

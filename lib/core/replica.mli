@@ -1,0 +1,45 @@
+(** Per-worker replicas of the logical index store, for parallel
+    constraint validation.
+
+    {!Fcv_bdd.Manager} is single-threaded by design (hash-consed
+    unique table, apply caches — see DESIGN.md §Parallelism), so
+    worker domains never share the master's manager.  Instead each
+    worker hydrates a private manager + index replica from one
+    {!Index_io.save_string} snapshot of the master (the PR-2
+    variable-renumbering save path), and caches it in domain-local
+    storage under a {e refresh epoch}: replicas are rebuilt only after
+    {!invalidate} marks the master changed, so a burst of validations
+    between updates hydrates each worker once.
+
+    Protocol: the coordinating (main) domain calls {!invalidate} after
+    every master mutation and {!prepare} before fanning tasks out;
+    worker tasks call {!get}.  The snapshot string is published to
+    workers through the pool's queue lock, so [prepare] must
+    happen-before the submits that consume it — which the
+    prepare-then-submit call order gives for free. *)
+
+type t
+
+val create : Index.t -> t
+(** Bind a replica set to [master].  Replicas share the master's
+    database (tables, dictionaries — read-only during validation) but
+    own fresh managers inheriting the master's node budget. *)
+
+val master : t -> Index.t
+
+val invalidate : t -> unit
+(** The master index changed (update, index build/rebuild): stale
+    replicas rebuild on their next {!get}. *)
+
+val prepare : t -> unit
+(** Refresh the cached snapshot bytes if the epoch moved.  Main-domain
+    only; call before submitting tasks that will {!get}. *)
+
+val get : t -> Index.t
+(** The calling domain's replica at the current epoch, hydrating or
+    refreshing it when stale.  Any domain; requires a {!prepare} at
+    the current epoch to have happened-before. *)
+
+val hydrations : t -> int
+(** Total replica (re)builds across all domains — the observable the
+    epoch machinery exists to minimise. *)

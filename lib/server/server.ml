@@ -17,6 +17,7 @@ type config = {
   partial_timeout : float;
   max_line : int;
   max_sessions : int;
+  jobs : int;
 }
 
 let default_config ~addr =
@@ -29,6 +30,7 @@ let default_config ~addr =
     partial_timeout = 10.;
     max_line = 1 lsl 20;
     max_sessions = 64;
+    jobs = 1;
   }
 
 type recovered = {
@@ -64,6 +66,9 @@ let request_drain t = t.draining <- true
 
 let create ?(unregistered = []) config monitor =
   Sys.set_signal Sys.sigpipe Sys.Signal_ignore;
+  (* the select loop stays single-threaded; only the coalesced
+     validate pass inside it fans out (Monitor worker pool) *)
+  Core.Monitor.set_jobs monitor config.jobs;
   let sockaddr = P.sockaddr_of_string config.addr in
   let domain, unix_path =
     match sockaddr with
@@ -220,6 +225,7 @@ let stats_json t =
     ("uptime_ms", T.Float ((Unix.gettimeofday () -. t.started) *. 1000.));
     ("sessions", T.Int (List.length t.sessions));
     ("requests", T.Int t.requests);
+    ("jobs", T.Int (Core.Monitor.jobs t.monitor));
     ("constraints", T.Int (List.length (Core.Monitor.constraints t.monitor)));
     ("indices", T.Int (List.length (Core.Index.entries index)));
     ("bdd_nodes", T.Int (Fcv_bdd.Manager.size (Core.Index.mgr index)));
@@ -452,7 +458,10 @@ let close_all t =
   t.sessions <- [];
   (try Unix.close t.listen_fd with Unix.Unix_error _ -> ());
   Option.iter (fun path -> try Unix.unlink path with Unix.Unix_error _ -> ()) t.unix_path;
-  Option.iter Wal.close t.wal
+  Option.iter Wal.close t.wal;
+  (* join worker domains so the process can exit; harmless under the
+     [kill] crash simulation — domains are not on-disk state *)
+  Core.Monitor.stop t.monitor
 
 let stop t =
   if not t.stopped then begin

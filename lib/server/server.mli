@@ -40,11 +40,15 @@ type config = {
           the request read timeout (0 = never) *)
   max_line : int;  (** max request-line bytes before the session is killed *)
   max_sessions : int;
+  jobs : int;
+      (** worker domains for the coalesced validate pass
+          ({!Core.Monitor.set_jobs}); the event loop itself stays
+          single-threaded.  1 = validate inline. *)
 }
 
 val default_config : addr:string -> config
 (** fsync every record, snapshot every 10k records, 60 s idle timeout,
-    10 s partial-request timeout, 1 MiB lines, 64 sessions. *)
+    10 s partial-request timeout, 1 MiB lines, 64 sessions, 1 job. *)
 
 type t
 

@@ -1,0 +1,140 @@
+(** Fixed-size domain worker pool.  One mutex + condition pair guards
+    the FIFO queue; each future carries its own mutex + condition so
+    awaiting one task never contends with queue traffic.  Workers
+    drain the queue before exiting on shutdown, which is what makes
+    shutdown-with-queued-tasks graceful rather than lossy. *)
+
+type 'a state =
+  | Pending
+  | Done of 'a
+  | Failed of exn * Printexc.raw_backtrace
+
+type 'a future = {
+  f_mutex : Mutex.t;
+  f_cond : Condition.t;
+  mutable state : 'a state;
+}
+
+type job = Job : (unit -> 'a) * 'a future -> job
+
+type t = {
+  name : string;
+  mutable workers : unit Domain.t array;  (** set once, right after spawn *)
+  mutex : Mutex.t;  (** guards [queue], [closing] and [joined] *)
+  nonempty : Condition.t;
+  queue : job Queue.t;
+  mutable closing : bool;
+  mutable joined : bool;
+}
+
+let size t = Array.length t.workers
+
+let fulfil fut v =
+  Mutex.lock fut.f_mutex;
+  fut.state <- v;
+  Condition.broadcast fut.f_cond;
+  Mutex.unlock fut.f_mutex
+
+let run_job (Job (f, fut)) =
+  let result =
+    match Telemetry.with_span "pool.task" f with
+    | v ->
+      if Telemetry.enabled () then Telemetry.incr (Telemetry.counter "pool.tasks.done");
+      Done v
+    | exception e ->
+      let bt = Printexc.get_raw_backtrace () in
+      if Telemetry.enabled () then Telemetry.incr (Telemetry.counter "pool.tasks.failed");
+      Failed (e, bt)
+  in
+  fulfil fut result
+
+(* Worker loop: wait for work, run it outside the lock, exit only once
+   the pool is closing AND the queue is empty (graceful drain). *)
+let worker t () =
+  let rec loop () =
+    Mutex.lock t.mutex;
+    while Queue.is_empty t.queue && not t.closing do
+      Condition.wait t.nonempty t.mutex
+    done;
+    if Queue.is_empty t.queue then Mutex.unlock t.mutex
+    else begin
+      let job = Queue.pop t.queue in
+      Mutex.unlock t.mutex;
+      run_job job;
+      loop ()
+    end
+  in
+  loop ()
+
+let create ?(name = "pool") ~jobs () =
+  if jobs < 1 || jobs > 128 then
+    invalid_arg (Printf.sprintf "Pool.create: jobs must be in [1, 128] (got %d)" jobs);
+  let t =
+    {
+      name;
+      workers = [||];
+      mutex = Mutex.create ();
+      nonempty = Condition.create ();
+      queue = Queue.create ();
+      closing = false;
+      joined = false;
+    }
+  in
+  t.workers <- Array.init jobs (fun _ -> Domain.spawn (worker t));
+  if Telemetry.enabled () then
+    Telemetry.event "pool.create"
+      [ ("name", Telemetry.String name); ("jobs", Telemetry.Int jobs) ];
+  t
+
+let submit t f =
+  let fut = { f_mutex = Mutex.create (); f_cond = Condition.create (); state = Pending } in
+  Mutex.lock t.mutex;
+  if t.closing then begin
+    Mutex.unlock t.mutex;
+    invalid_arg (Printf.sprintf "Pool.submit: %s is shut down" t.name)
+  end;
+  Queue.push (Job (f, fut)) t.queue;
+  if Telemetry.enabled () then
+    Telemetry.gauge_set (Telemetry.gauge "pool.queue_depth") (Queue.length t.queue);
+  Condition.signal t.nonempty;
+  Mutex.unlock t.mutex;
+  fut
+
+let await fut =
+  Mutex.lock fut.f_mutex;
+  while (match fut.state with Pending -> true | Done _ | Failed _ -> false) do
+    Condition.wait fut.f_cond fut.f_mutex
+  done;
+  let state = fut.state in
+  Mutex.unlock fut.f_mutex;
+  match state with
+  | Done v -> v
+  | Failed (e, bt) -> Printexc.raise_with_backtrace e bt
+  | Pending -> assert false
+
+let peek fut =
+  Mutex.lock fut.f_mutex;
+  let state = fut.state in
+  Mutex.unlock fut.f_mutex;
+  match state with Done v -> Some v | Pending | Failed _ -> None
+
+let run_list t fs =
+  let futures = List.map (submit t) fs in
+  (* settle every future before re-raising, so a failure does not
+     leave tasks running against state the caller tears down next *)
+  let settled =
+    List.map
+      (fun fut -> match await fut with v -> Ok v | exception e -> Error e)
+      futures
+  in
+  List.map (function Ok v -> v | Error e -> raise e) settled
+
+let shutdown t =
+  Mutex.lock t.mutex;
+  t.closing <- true;
+  Condition.broadcast t.nonempty;
+  let do_join = not t.joined in
+  t.joined <- true;
+  (* join outside the lock: an exiting worker needs the mutex *)
+  Mutex.unlock t.mutex;
+  if do_join then Array.iter Domain.join t.workers

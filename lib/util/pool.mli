@@ -1,0 +1,50 @@
+(** A fixed-size OCaml 5 domain worker pool with a FIFO work queue,
+    futures and graceful shutdown.
+
+    The pool is the substrate of parallel constraint validation: the
+    checker partitions a batch of constraints across workers, each of
+    which owns a private BDD manager + index replica (managers are
+    single-threaded by design — see DESIGN.md §Parallelism).  The pool
+    itself is workload-agnostic: it runs closures.
+
+    Thread-safety: every operation may be called from any domain.
+    Tasks run on worker domains; a task's exception is captured with
+    its backtrace and re-raised by {!await} in the submitting domain.
+    Each task runs under a telemetry span ["pool.task"] and bumps the
+    ["pool.tasks"] counter, so instrumented runs can see queue
+    pressure and per-task latency. *)
+
+type t
+
+type 'a future
+
+val create : ?name:string -> jobs:int -> unit -> t
+(** Spawn [jobs] worker domains ([1 <= jobs <= 128]).  [name] labels
+    telemetry.  @raise Invalid_argument on a size out of range. *)
+
+val size : t -> int
+(** The number of worker domains. *)
+
+val submit : t -> (unit -> 'a) -> 'a future
+(** Enqueue a task.  Tasks start in FIFO order (completion order is up
+    to the scheduler).  @raise Invalid_argument after {!shutdown}. *)
+
+val await : 'a future -> 'a
+(** Block until the task finished; returns its value or re-raises its
+    exception (with the worker-side backtrace attached). *)
+
+val peek : 'a future -> 'a option
+(** [Some v] if the task already finished with [v]; [None] while
+    pending.  Does not re-raise — a failed task stays [None] (use
+    {!await} to observe the exception). *)
+
+val run_list : t -> (unit -> 'a) list -> 'a list
+(** Submit every thunk, then await them all; results keep the input
+    order.  If any task raised, the first (in input order) failure is
+    re-raised — after every task has finished, so no task is left
+    running with state the caller is about to tear down. *)
+
+val shutdown : t -> unit
+(** Graceful shutdown: already-queued tasks are drained and completed,
+    further {!submit}s are refused, and every worker domain is joined.
+    Idempotent; safe to call with tasks still queued. *)

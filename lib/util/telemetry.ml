@@ -252,6 +252,23 @@ type histogram = {
 
 let on = ref false
 
+(* One global lock makes the module domain-safe: worker domains of the
+   validation pool record spans/counters concurrently with the main
+   domain.  The disabled fast path (a load of [on]) stays lock-free;
+   recording under the lock is microseconds, far below the
+   milliseconds-scale work it instruments. *)
+let lock = Mutex.create ()
+
+let locked f =
+  Mutex.lock lock;
+  match f () with
+  | v ->
+    Mutex.unlock lock;
+    v
+  | exception e ->
+    Mutex.unlock lock;
+    raise e
+
 let counters : (string, counter) Hashtbl.t = Hashtbl.create 64
 let gauges : (string, gauge) Hashtbl.t = Hashtbl.create 16
 let histograms : (string, histogram) Hashtbl.t = Hashtbl.create 16
@@ -262,11 +279,16 @@ let event_count = ref 0
 let dropped = ref 0
 let seq = ref 0
 let epoch = ref 0.
-let span_stack : string list ref = ref []
+
+(* Span nesting is per domain: concurrent pool tasks each get their
+   own path, instead of interleaving into one global stack. *)
+let span_stack : string list ref Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> ref [])
 
 let enabled () = !on
 
 let reset () =
+  locked @@ fun () ->
   Hashtbl.iter (fun _ c -> c.count <- 0) counters;
   Hashtbl.iter
     (fun _ g ->
@@ -285,7 +307,7 @@ let reset () =
   event_count := 0;
   dropped := 0;
   seq := 0;
-  span_stack := [];
+  Domain.DLS.get span_stack := [];
   epoch := Unix.gettimeofday ()
 
 let enable () =
@@ -297,6 +319,7 @@ let disable () = on := false
 (* -- instruments ----------------------------------------------------------- *)
 
 let counter name =
+  locked @@ fun () ->
   match Hashtbl.find_opt counters name with
   | Some c -> c
   | None ->
@@ -304,11 +327,12 @@ let counter name =
     Hashtbl.replace counters name c;
     c
 
-let incr ?(by = 1) c = if !on then c.count <- c.count + by
+let incr ?(by = 1) c = if !on then locked (fun () -> c.count <- c.count + by)
 
 let counter_value c = c.count
 
 let gauge name =
+  locked @@ fun () ->
   match Hashtbl.find_opt gauges name with
   | Some g -> g
   | None ->
@@ -317,15 +341,16 @@ let gauge name =
     g
 
 let gauge_set g v =
-  if !on then begin
-    g.value <- v;
-    if v > g.peak then g.peak <- v
-  end
+  if !on then
+    locked (fun () ->
+        g.value <- v;
+        if v > g.peak then g.peak <- v)
 
 let gauge_value g = g.value
 let gauge_peak g = g.peak
 
 let histogram name =
+  locked @@ fun () ->
   match Hashtbl.find_opt histograms name with
   | Some h -> h
   | None ->
@@ -351,13 +376,13 @@ let bucket_of v =
 let bucket_lo i = Float.pow 2. (float_of_int (i - hist_offset))
 
 let observe h v =
-  if !on then begin
-    h.buckets.(bucket_of v) <- h.buckets.(bucket_of v) + 1;
-    h.n <- h.n + 1;
-    h.sum <- h.sum +. v;
-    if v < h.mn then h.mn <- v;
-    if v > h.mx then h.mx <- v
-  end
+  if !on then
+    locked (fun () ->
+        h.buckets.(bucket_of v) <- h.buckets.(bucket_of v) + 1;
+        h.n <- h.n + 1;
+        h.sum <- h.sum +. v;
+        if v < h.mn then h.mn <- v;
+        if v > h.mx then h.mx <- v)
 
 let histogram_count h = h.n
 let histogram_sum h = h.sum
@@ -372,21 +397,21 @@ let histogram_buckets h =
 (* -- events and spans ------------------------------------------------------- *)
 
 let record kind fields =
-  if !on then begin
-    if !event_count >= max_events then Stdlib.incr dropped
-    else begin
-      Stdlib.incr seq;
-      Stdlib.incr event_count;
-      let ev =
-        Obj
-          (("seq", Int !seq)
-          :: ("t_ms", Float ((Unix.gettimeofday () -. !epoch) *. 1000.))
-          :: ("kind", String kind)
-          :: fields)
-      in
-      event_log := ev :: !event_log
-    end
-  end
+  if !on then
+    locked (fun () ->
+        if !event_count >= max_events then Stdlib.incr dropped
+        else begin
+          Stdlib.incr seq;
+          Stdlib.incr event_count;
+          let ev =
+            Obj
+              (("seq", Int !seq)
+              :: ("t_ms", Float ((Unix.gettimeofday () -. !epoch) *. 1000.))
+              :: ("kind", String kind)
+              :: fields)
+          in
+          event_log := ev :: !event_log
+        end)
 
 let event kind fields = record kind fields
 
@@ -394,18 +419,19 @@ let with_span name f =
   if not !on then f ()
   else begin
     let t0 = Unix.gettimeofday () in
-    span_stack := name :: !span_stack;
+    let stack = Domain.DLS.get span_stack in
+    stack := name :: !stack;
     Fun.protect
       ~finally:(fun () ->
-        let path = String.concat "/" (List.rev !span_stack) in
-        span_stack := (match !span_stack with [] -> [] | _ :: tl -> tl);
+        let path = String.concat "/" (List.rev !stack) in
+        stack := (match !stack with [] -> [] | _ :: tl -> tl);
         let ms = (Unix.gettimeofday () -. t0) *. 1000. in
         observe (histogram ("span." ^ name)) ms;
         record "span" [ ("name", String name); ("path", String path); ("ms", Float ms) ])
       f
   end
 
-let events () = List.rev !event_log
+let events () = locked (fun () -> List.rev !event_log)
 let dropped_events () = !dropped
 
 (* -- export ----------------------------------------------------------------- *)
@@ -416,6 +442,7 @@ let sorted_by_name to_pair tbl =
   |> List.sort (fun (a, _) (b, _) -> compare a b)
 
 let summary_lines () =
+  locked @@ fun () ->
   let cs =
     sorted_by_name (fun c -> (c.c_name, c)) counters
     |> List.filter_map (fun (name, c) ->
@@ -480,6 +507,7 @@ let write_jsonl path =
   Fun.protect ~finally:(fun () -> close_out oc) (fun () -> output_string oc (jsonl ()))
 
 let print_summary oc =
+  locked @@ fun () ->
   let p fmt = Printf.fprintf oc fmt in
   let counters_l =
     sorted_by_name (fun c -> (c.c_name, c)) counters

@@ -12,8 +12,10 @@
     Telemetry is {b disabled by default} and every recording entry
     point is a no-op fast path behind a single boolean load, so
     instrumented hot code pays (almost) nothing when it is off.  All
-    state is global to the process (the repo's managers and checkers
-    are single-threaded); {!reset} clears it between measurements. *)
+    state is global to the process and guarded by one internal lock,
+    so worker domains of the validation {!Pool} can record
+    concurrently with the main domain; span nesting is tracked per
+    domain.  {!reset} clears everything between measurements. *)
 
 (** {1 JSON} *)
 

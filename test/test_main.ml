@@ -25,10 +25,11 @@ module _ = Test_checker
 module _ = Test_telemetry
 module _ = Test_differential
 module _ = Test_server
+module _ = Test_parallel
 
 let () =
   let suites = Registry.all () in
-  if List.length suites < 18 then
+  if List.length suites < 19 then
     failwith
       (Printf.sprintf "Test_main: only %d suites registered — a test module was \
                        linked without calling Registry.register"

@@ -1,0 +1,255 @@
+(** Parallel validation: the domain pool ({!Fcv_util.Pool}), the
+    per-worker index replicas ({!Core.Replica}), and the property that
+    parallel {!Core.Checker.check_all} verdicts are identical to the
+    sequential run — deterministic unit tests plus a QCheck
+    differential over random constraint batches.
+
+    Determinism: QCheck honours [QCHECK_SEED]; bench/ci.sh pins it. *)
+
+module Pool = Fcv_util.Pool
+module C = Core.Checker
+module F = Core.Formula
+
+let with_pool ~jobs f =
+  let pool = Pool.create ~name:"test" ~jobs () in
+  Fun.protect ~finally:(fun () -> Pool.shutdown pool) (fun () -> f pool)
+
+(* -- pool ------------------------------------------------------------------- *)
+
+(* Results keep submission order however the scheduler interleaves the
+   tasks: later tasks finish first (earlier ones sleep longest). *)
+let test_order_independence () =
+  with_pool ~jobs:4 @@ fun pool ->
+  let results =
+    Pool.run_list pool
+      (List.init 16 (fun i () ->
+           Unix.sleepf (float_of_int (16 - i) /. 2_000.);
+           i * i))
+  in
+  Alcotest.(check (list int)) "input order" (List.init 16 (fun i -> i * i)) results
+
+exception Boom of int
+
+let test_exception_propagation () =
+  with_pool ~jobs:2 @@ fun pool ->
+  let ok = Pool.submit pool (fun () -> 1) in
+  let bad = Pool.submit pool (fun () -> raise (Boom 7)) in
+  Alcotest.(check int) "healthy task unaffected" 1 (Pool.await ok);
+  (match Pool.await bad with
+  | _ -> Alcotest.fail "await should re-raise the worker exception"
+  | exception Boom 7 -> ());
+  Alcotest.(check bool) "peek never raises" true (Pool.peek bad = None);
+  (* run_list: first failure in INPUT order wins, after all settle *)
+  let witness = Atomic.make 0 in
+  (match
+     Pool.run_list pool
+       [
+         (fun () -> Atomic.incr witness);
+         (fun () -> raise (Boom 1));
+         (fun () -> raise (Boom 2));
+         (fun () -> Atomic.incr witness);
+       ]
+   with
+  | _ -> Alcotest.fail "run_list should re-raise"
+  | exception Boom n ->
+    Alcotest.(check int) "first failure in input order" 1 n;
+    Alcotest.(check int) "all tasks settled before the raise" 2 (Atomic.get witness))
+
+(* Shutdown drains tasks still queued at the time of the call. *)
+let test_shutdown_drains_queue () =
+  let pool = Pool.create ~jobs:1 () in
+  let gate = Pool.submit pool (fun () -> Unix.sleepf 0.05) in
+  (* with one worker busy on [gate], these are certainly still queued *)
+  let queued = List.init 8 (fun i -> Pool.submit pool (fun () -> i + 100)) in
+  Pool.shutdown pool;
+  Pool.await gate;
+  List.iteri
+    (fun i fut -> Alcotest.(check int) "queued task completed" (i + 100) (Pool.await fut))
+    queued;
+  (match Pool.submit pool (fun () -> 0) with
+  | _ -> Alcotest.fail "submit after shutdown should be refused"
+  | exception Invalid_argument _ -> ());
+  (* idempotent *)
+  Pool.shutdown pool
+
+let test_pool_size_bounds () =
+  Alcotest.(check int) "size" 3 (with_pool ~jobs:3 Pool.size);
+  (match Pool.create ~jobs:0 () with
+  | _ -> Alcotest.fail "jobs=0 should be refused"
+  | exception Invalid_argument _ -> ());
+  match Pool.create ~jobs:1000 () with
+  | _ -> Alcotest.fail "jobs=1000 should be refused"
+  | exception Invalid_argument _ -> ()
+
+(* -- replicas --------------------------------------------------------------- *)
+
+let small_index () =
+  let db = Gen.random_db 7 in
+  let index = Core.Index.create db in
+  List.iter
+    (fun table_name ->
+      ignore (Core.Index.add index ~table_name ~strategy:Core.Ordering.Prob_converge ()))
+    [ "r"; "s"; "t" ];
+  index
+
+(* The epoch machinery: replicas hydrate once per epoch per domain and
+   are reused until an invalidation.  Exercised on the calling domain —
+   DLS works there too, and it keeps the counts deterministic. *)
+let test_replica_epoch_reuse () =
+  let index = small_index () in
+  let replica = Core.Replica.create index in
+  Alcotest.(check int) "no hydration yet" 0 (Core.Replica.hydrations replica);
+  Core.Replica.prepare replica;
+  let r1 = Core.Replica.get replica in
+  let r2 = Core.Replica.get replica in
+  Alcotest.(check bool) "same epoch reuses the replica" true (r1 == r2);
+  Alcotest.(check int) "one hydration" 1 (Core.Replica.hydrations replica);
+  Core.Replica.invalidate replica;
+  Core.Replica.prepare replica;
+  let r3 = Core.Replica.get replica in
+  Alcotest.(check bool) "invalidation forces a rebuild" true (r3 != r1);
+  Alcotest.(check int) "two hydrations" 2 (Core.Replica.hydrations replica);
+  (* replicas share the database but never the manager *)
+  Alcotest.(check bool) "shared db" true (r3.Core.Index.db == index.Core.Index.db);
+  Alcotest.(check bool) "private manager" true
+    (Core.Index.mgr r3 != Core.Index.mgr index)
+
+let test_replica_get_requires_prepare () =
+  let replica = Core.Replica.create (small_index ()) in
+  match Core.Replica.get replica with
+  | _ -> Alcotest.fail "get without prepare should be refused"
+  | exception Invalid_argument _ -> ()
+
+(* A replica answers checks exactly like its master. *)
+let test_replica_checks_agree () =
+  let index = small_index () in
+  let f =
+    Gen.close
+      (F.Forall
+         ( [ "x1_1"; "x2_1" ],
+           F.Implies
+             ( F.Atom ("r", [ F.Var "x1_1"; F.Var "x2_1" ]),
+               F.Exists ([ "x3_1" ], F.Atom ("s", [ F.Var "x2_1"; F.Var "x3_1" ])) ) ))
+  in
+  let replica = Core.Replica.create index in
+  Core.Replica.prepare replica;
+  let on_master = C.check index f and on_replica = C.check (Core.Replica.get replica) f in
+  Alcotest.(check bool) "same outcome" true (on_master.C.outcome = on_replica.C.outcome);
+  Alcotest.(check bool) "same method" true
+    (on_master.C.method_used = on_replica.C.method_used)
+
+(* -- parallel check_all ----------------------------------------------------- *)
+
+let verdicts results =
+  List.map (fun r -> (r.C.outcome, r.C.method_used)) results
+
+(* jobs=1 must not even touch the pool machinery: same code path as
+   the plain sequential map. *)
+let test_jobs1_equivalence () =
+  let index = small_index () in
+  let fs =
+    List.map Gen.close
+      [ F.Exists ([ "x1_1" ], F.Atom ("t", [ F.Var "x1_1" ])); F.True; F.Not F.True ]
+  in
+  Alcotest.(check bool) "jobs=1 = sequential" true
+    (verdicts (C.check_all index fs) = verdicts (C.check_all ~jobs:1 index fs))
+
+let test_check_all_parallel_matches_sequential () =
+  let rng = Fcv_util.Rng.create 11 in
+  let db, _, _, _ =
+    Fcv_datagen.University.generate rng
+      { Fcv_datagen.University.default with students = 120; courses = 20; violators = 3 }
+  in
+  let sources =
+    [
+      "forall s, c . takes(s, c) -> (exists a . course(c, a))";
+      "forall s, c . takes(s, c) -> (exists d, k . student(s, d, k))";
+      "forall s, k . student(s, 0, k) -> (exists c . takes(s, c) and course(c, 0))";
+      "forall s, d1, k1, d2, k2 . student(s, d1, k1) and student(s, d2, k2) -> d1 = d2";
+      "forall c, a1, a2 . course(c, a1) and course(c, a2) -> a1 = a2";
+      "forall s, k . student(s, 1, k) -> (exists c . takes(s, c) and course(c, 1))";
+    ]
+  in
+  let fs = List.map Core.Fol_parser.of_string sources in
+  let index = Core.Index.create db in
+  C.ensure_indices index fs;
+  let sequential = verdicts (C.check_all index fs) in
+  Alcotest.(check bool) "jobs=4 matches" true
+    (sequential = verdicts (C.check_all ~jobs:4 index fs));
+  (* more workers than constraints: the pool is clamped, not starved *)
+  Alcotest.(check bool) "jobs=16 matches" true
+    (sequential = verdicts (C.check_all ~jobs:16 index fs))
+
+(* The monitor end of the wiring: parallel validation returns the same
+   reports, replicas survive update + invalidate cycles, and stop()
+   releases the workers. *)
+let test_monitor_parallel_validate () =
+  let run jobs =
+    let db = Gen.random_db 23 in
+    let monitor = Core.Monitor.create (Core.Index.create db) in
+    Core.Monitor.set_jobs monitor jobs;
+    let outcomes () =
+      List.map
+        (fun rep -> (rep.Core.Monitor.outcome, rep.Core.Monitor.fresh))
+        (Core.Monitor.validate monitor)
+    in
+    ignore (Core.Monitor.add monitor "forall b . t(0) -> (exists c . s(b, c))");
+    ignore (Core.Monitor.add monitor "forall a, b . r(a, b) -> (exists c . s(b, c))");
+    ignore (Core.Monitor.add monitor "forall a . t(a) -> (exists b . r(a, b))");
+    let first = outcomes () in
+    (* cached pass, then dirty one table and revalidate *)
+    let cached = outcomes () in
+    Core.Monitor.insert monitor ~table_name:"t" [| 0 |];
+    let after_insert = outcomes () in
+    ignore (Core.Monitor.delete monitor ~table_name:"t" [| 0 |]);
+    let after_delete = outcomes () in
+    Core.Monitor.stop monitor;
+    (first, cached, after_insert, after_delete)
+  in
+  Alcotest.(check bool) "sequential = parallel monitor" true (run 1 = run 3)
+
+let prop_parallel_differential =
+  QCheck.Test.make ~count:100
+    ~name:"parallel check_all verdicts = sequential (100 random batches)"
+    (QCheck.pair
+       (QCheck.triple Gen.formula_arbitrary Gen.formula_arbitrary Gen.formula_arbitrary)
+       (QCheck.int_range 0 1_000))
+    (fun ((f1, f2, f3), seed) ->
+      let db = Gen.random_db seed in
+      let well_typed f =
+        let f = Gen.close f in
+        match Core.Typing.infer db f with
+        | _ -> Some f
+        | exception Core.Typing.Type_error _ -> None
+      in
+      (* duplicates included on purpose: identical constraints must
+         yield identical verdicts wherever they land *)
+      let fs = List.filter_map well_typed [ f1; f2; f3; f1 ] in
+      let index = Core.Index.create db in
+      C.ensure_indices index fs;
+      verdicts (C.check_all index fs) = verdicts (C.check_all ~jobs:3 index fs))
+
+let () =
+  Registry.register "parallel"
+    [
+      Alcotest.test_case "pool: results keep submission order" `Quick
+        test_order_independence;
+      Alcotest.test_case "pool: worker exceptions propagate" `Quick
+        test_exception_propagation;
+      Alcotest.test_case "pool: shutdown drains queued tasks" `Quick
+        test_shutdown_drains_queue;
+      Alcotest.test_case "pool: size bounds" `Quick test_pool_size_bounds;
+      Alcotest.test_case "replica: epoch reuse and invalidation" `Quick
+        test_replica_epoch_reuse;
+      Alcotest.test_case "replica: get without prepare is refused" `Quick
+        test_replica_get_requires_prepare;
+      Alcotest.test_case "replica: checks agree with master" `Quick
+        test_replica_checks_agree;
+      Alcotest.test_case "check_all: jobs=1 equals sequential" `Quick
+        test_jobs1_equivalence;
+      Alcotest.test_case "check_all: parallel matches sequential" `Quick
+        test_check_all_parallel_matches_sequential;
+      Alcotest.test_case "monitor: parallel validate matches sequential" `Quick
+        test_monitor_parallel_validate;
+      QCheck_alcotest.to_alcotest prop_parallel_differential;
+    ]
