@@ -1,7 +1,8 @@
 #!/bin/sh
 # CI gate: format check, full build, the test suite with a pinned
-# QCheck seed, a daemon smoke test, the parallel-validation scaling
-# benchmark, and the perf-regression gate against bench/baseline.json.
+# QCheck seed, a daemon smoke test, a 200-schedule fault-injection
+# sweep (fcv sim), the parallel-validation scaling benchmark, and the
+# perf-regression gate against bench/baseline.json.
 #
 # FCV_CI=1 hardens the gate for CI runners: a missing ocamlformat and
 # a perf regression become failures instead of skips/warnings.  On
@@ -109,6 +110,16 @@ wait "$SERVE_PID"
 SERVE_PID=""
 SMOKE_DONE=1
 echo "daemon smoke test passed"
+
+echo "== fault-injection sim (200 schedules, fixed seed; fatal under FCV_CI=1)"
+if "$FCV" sim --seed 1 --schedules 200; then
+  :
+elif [ "$FCV_CI" = "1" ]; then
+  echo "FAIL: fcv sim found a durability violation (repro line above)" >&2
+  exit 1
+else
+  echo "WARNING: fcv sim found a durability violation (fatal under FCV_CI=1)" >&2
+fi
 
 echo "== parallel-validation scaling benchmark"
 dune exec bench/parallel.exe

@@ -838,6 +838,69 @@ let gen_cmd =
   let doc = "generate synthetic datasets as CSV" in
   Cmd.v (Cmd.info "gen" ~doc) Term.(const run $ kind_arg $ out_arg $ rows_arg $ seed_arg)
 
+let sim_cmd =
+  let seed_arg =
+    let doc = "Master seed (sweep mode: schedule $(i,i) derives its own seed from it; \
+               with $(b,--fault) it is the workload seed itself)." in
+    Arg.(value & opt int 1 & info [ "seed" ] ~docv:"SEED" ~doc)
+  in
+  let schedules_arg =
+    let doc = "Number of seeded workload schedules to sweep; every schedule is crashed \
+               at every reachable fault point." in
+    Arg.(value & opt int 50 & info [ "schedules" ] ~docv:"N" ~doc)
+  in
+  let ops_arg =
+    let doc = "Override every workload's operation count (counterexample replay uses \
+               this to pin the shrunk length)." in
+    Arg.(value & opt (some int) None & info [ "ops" ] ~docv:"N" ~doc)
+  in
+  let fault_arg =
+    let doc = "Replay mode: run only this fault point of the workload seeded by \
+               $(b,--seed) (-1 = the fault-free clean-restart check)." in
+    Arg.(value & opt (some int) None & info [ "fault" ] ~docv:"K" ~doc)
+  in
+  let inject_arg =
+    let doc = "Plant a known durability bug (log-before-apply | skip-fsync | \
+               skip-rotate) to demonstrate the harness catches it." in
+    Arg.(value & opt (some string) None & info [ "inject" ] ~docv:"BUG" ~doc)
+  in
+  let failures_arg =
+    let doc = "Stop after this many shrunk counterexamples." in
+    Arg.(value & opt int 1 & info [ "max-failures" ] ~docv:"N" ~doc)
+  in
+  let run seed schedules ops fault inject max_failures =
+    let inject =
+      Option.map
+        (fun s ->
+          match Fcv_sim.Sim.inject_of_string s with Ok i -> i | Error msg -> failwith msg)
+        inject
+    in
+    let t0 = Unix.gettimeofday () in
+    let r =
+      Fcv_sim.Sim.run ?inject ?ops ?fault ~max_failures
+        ~progress:(fun msg -> Printf.eprintf "fcv sim: %s\n%!" msg)
+        ~seed ~schedules ()
+    in
+    Printf.printf "schedules %d  crash runs %d  failures %d  (%.1fs)\n" r.Fcv_sim.Sim.schedules_run
+      r.Fcv_sim.Sim.crash_runs
+      (List.length r.Fcv_sim.Sim.failures)
+      (Unix.gettimeofday () -. t0);
+    List.iter
+      (fun cx ->
+        Printf.printf "FAIL seed=%d ops=%d fault=%d: %s\n  repro: %s\n" cx.Fcv_sim.Sim.cx_seed
+          cx.Fcv_sim.Sim.cx_ops cx.Fcv_sim.Sim.cx_fault cx.Fcv_sim.Sim.cx_reason
+          cx.Fcv_sim.Sim.cx_repro)
+      r.Fcv_sim.Sim.failures;
+    if r.Fcv_sim.Sim.failures <> [] then exit 1
+  in
+  let doc =
+    "deterministic fault-injection simulation of the constraint service's durability \
+     (crash at every file-system effect point, recover, check invariants)"
+  in
+  Cmd.v
+    (Cmd.info "sim" ~doc)
+    Term.(const run $ seed_arg $ schedules_arg $ ops_arg $ fault_arg $ inject_arg $ failures_arg)
+
 let () =
   let doc = "fast identification of relational constraint violations (ICDE'07 reproduction)" in
   let info = Cmd.info "fcv" ~version:"1.0.0" ~doc in
@@ -854,6 +917,7 @@ let () =
             monitor_cmd;
             serve_cmd;
             client_cmd;
+            sim_cmd;
             stats_cmd;
             index_cmd;
             orderings_cmd;

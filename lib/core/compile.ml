@@ -69,6 +69,16 @@ let fresh_block ctx x =
   claim ctx b;
   b
 
+(* An entry's attribute block can serve as [x]'s home only while its
+   frozen capacity still covers [x]'s dictionary: after domain growth
+   the block is too narrow for codes interned since it was built, and
+   its [valid] guard would silently exclude them from quantifiers.
+   (The entry itself stays exact — rows with out-of-capacity codes
+   force an index rebuild — but other entries over the same domain may
+   already be wider.) *)
+let covers_domain ctx x block =
+  block.Fd.dom_size >= R.Dict.size (dict_of ctx x)
+
 (** The home block of [x], allocating a scratch block if [x] has not
     occurred in any atom yet. *)
 let home ctx x =
@@ -151,9 +161,10 @@ let compile_atom ctx rel terms =
               if home_block.Fd.levels <> block.Fd.levels then
                 renames := (block, home_block) :: !renames
             | None ->
-              if is_claimed ctx block then begin
+              if is_claimed ctx block || not (covers_domain ctx x block) then begin
                 (* the entry's own block already hosts another
-                   variable: divert to a fresh scratch block *)
+                   variable, or is too narrow for the grown domain:
+                   divert to a fresh scratch block *)
                 let scratch = fresh_block ctx x in
                 Hashtbl.replace ctx.vars x scratch;
                 renames := (block, scratch) :: !renames
@@ -168,14 +179,23 @@ let compile_atom ctx rel terms =
       List.concat_map (fun b -> Array.to_list b.Fd.levels) !to_quantify
     in
     if levels <> [] then bdd := O.exists m levels !bdd;
-    (* simultaneous rename of remaining occurrences onto home blocks *)
-    let pairs =
-      List.concat_map
-        (fun (src, dst) ->
-          List.init (Fd.width src) (fun i -> (src.Fd.levels.(i), dst.Fd.levels.(i))))
-        !renames
+    (* simultaneous rename of remaining occurrences onto home blocks.
+       Homes are at least as wide as any occurrence (see
+       {!covers_domain}), so bits pair up by position and the home's
+       extra high bits — unconstrained after the rename — are clamped
+       to 0 to keep codes exact. *)
+    let pairs, high =
+      List.fold_left
+        (fun (pairs, high) (src, dst) ->
+          let ws = Fd.width src and wd = Fd.width dst in
+          ( List.init ws (fun j -> (Fd.level_of_bit src j, Fd.level_of_bit dst j))
+            @ pairs,
+            List.init (wd - ws) (fun j -> (Fd.level_of_bit dst (ws + j), false))
+            @ high ))
+        ([], []) !renames
     in
-    if pairs <> [] then bdd := O.replace m !bdd pairs
+    if pairs <> [] then bdd := O.replace m !bdd pairs;
+    if high <> [] then bdd := O.band m !bdd (Fd.cube m high)
   end;
   !bdd
 
@@ -236,7 +256,7 @@ let plan_homes ctx f =
             when (not (Hashtbl.mem ctx.vars x))
                  && Array.exists (( = ) pos) entry.Index.attrs ->
             let block = entry.Index.blocks.(slot_of_pos pos) in
-            if not (is_claimed ctx block) then begin
+            if (not (is_claimed ctx block)) && covers_domain ctx x block then begin
               claim ctx block;
               Hashtbl.replace ctx.vars x block
             end
@@ -355,7 +375,9 @@ let join_rename m f g pairs =
     let level_pairs =
       List.concat_map
         (fun (b1, b2) ->
-          List.init (Fd.width b2) (fun i -> (b2.Fd.levels.(i), b1.Fd.levels.(i))))
+          List.init
+            (min (Fd.width b1) (Fd.width b2))
+            (fun j -> (Fd.level_of_bit b2 j, Fd.level_of_bit b1 j)))
         pairs
     in
     O.replace m g level_pairs

@@ -195,3 +195,11 @@ let violated t =
   List.filter_map
     (fun r -> if r.outcome = Checker.Violated then Some r.constraint_ else None)
     (validate t)
+
+(** The extensional verdict set: (id, outcome) sorted by id.  This is
+    the oracle view the differential and fault-injection harnesses
+    compare — identical across sequential / parallel validation and
+    across crash recovery. *)
+let verdicts t =
+  List.sort compare
+    (List.map (fun r -> (r.constraint_.id, r.outcome)) (validate t))

@@ -58,3 +58,8 @@ val validate : t -> report list
     clear the dirty set. *)
 
 val violated : t -> registered list
+
+val verdicts : t -> (int * Checker.outcome) list
+(** Validate and return just [(id, outcome)] pairs sorted by id — the
+    extensional verdict set the differential and fault-injection
+    harnesses compare across configurations and crash recoveries. *)

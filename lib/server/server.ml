@@ -2,11 +2,111 @@
     multiplexing client sessions over one {!Core.Monitor}, coalescing
     update bursts into one dirty-set pass per validation, journaling
     mutations to the WAL before responding, and snapshotting through
-    {!State}.  See server.mli for the design summary. *)
+    {!State}.  See server.mli for the design summary.
+
+    The durable core — apply a mutation, journal it, rotate snapshots
+    — lives in {!Mutator} / {!snapshot_rotate} so the fault-injection
+    simulator drives the exact code paths the daemon runs, without the
+    sockets. *)
 
 module R = Fcv_relation
 module T = Fcv_util.Telemetry
 module P = Protocol
+
+(* -- the durable mutation engine ------------------------------------------- *)
+
+module Mutator = struct
+  type t = {
+    monitor : Core.Monitor.t;
+    mutable unregistered : string list;
+        (** tombstones: sources explicitly unregistered, persisted in
+            snapshots so startup files don't resurrect them *)
+    mutable log : P.request -> unit;
+        (** journal an {e acknowledged} mutation (the WAL append +
+            fsync); set by whoever owns the WAL handle *)
+  }
+
+  let create ?(unregistered = []) ?(log = fun _ -> ()) monitor = { monitor; unregistered; log }
+  let monitor t = t.monitor
+  let unregistered t = t.unregistered
+  let set_log t log = t.log <- log
+
+  (* Apply + journal one registration.  Re-registering digs up a
+     tombstone.  Raises the {!Core.Monitor.add} errors on a bad
+     constraint (callers that want a response code use [apply]). *)
+  let register ?id t source =
+    let reg = Core.Monitor.add ?id t.monitor source in
+    t.unregistered <- List.filter (( <> ) source) t.unregistered;
+    t.log (P.Register { source; id = Some reg.Core.Monitor.id });
+    reg
+
+  (* Answer one mutating request: apply first, journal only on
+     success, so a failed mutation (the client gets an error) can
+     never be replayed by recovery.  Non-mutating requests are [Ok []]
+     — they carry no durable effect. *)
+  let apply t req : ((string * T.json) list, P.error_code * string) result =
+    let db = (Core.Monitor.index t.monitor).Core.Index.db in
+    match req with
+    | P.Register { source; id } -> (
+      match register ?id t source with
+      | reg -> Ok [ ("constraint", T.Int reg.Core.Monitor.id) ]
+      | exception
+          ( Core.Fol_parser.Error msg
+          | Core.Typing.Type_error msg
+          | Core.Compile.Unsupported msg
+          | Invalid_argument msg ) ->
+        Error (P.Constraint_error, msg))
+    | P.Unregister c -> (
+      match
+        List.find_opt (fun r -> r.Core.Monitor.id = c) (Core.Monitor.constraints t.monitor)
+      with
+      | Some r ->
+        Core.Monitor.remove t.monitor c;
+        let source = r.Core.Monitor.source in
+        if not (List.mem source t.unregistered) then t.unregistered <- source :: t.unregistered;
+        t.log req;
+        Ok []
+      | None -> Error (P.Bad_request, Printf.sprintf "no constraint %d" c))
+    | P.Insert (table, row) -> (
+      match P.code_row ~intern:true db ~table row with
+      | P.Coded coded ->
+        Core.Monitor.insert t.monitor ~table_name:table coded;
+        t.log req;
+        Ok []
+      | P.Unknown_value _ -> assert false (* intern never yields this *)
+      | exception P.Malformed msg -> Error (P.Bad_request, msg)
+      | exception Invalid_argument msg -> Error (P.Unknown_table, msg))
+    | P.Delete (table, row) -> (
+      match P.code_row ~intern:true db ~table row with
+      | P.Coded coded ->
+        let removed = Core.Monitor.delete t.monitor ~table_name:table coded in
+        t.log req;
+        Ok [ ("removed", T.Bool removed) ]
+      | P.Unknown_value _ -> assert false
+      | exception P.Malformed msg -> Error (P.Bad_request, msg)
+      | exception Invalid_argument msg -> Error (P.Unknown_table, msg))
+    | P.Validate | P.Stats | P.Snapshot | P.Ping | P.Shutdown -> Ok []
+end
+
+(* Cut a snapshot generation and rotate to its fresh WAL.  The new
+   generation's empty WAL is created (durably) before the CURRENT
+   rename commits the snapshot, so snapshot and log switch as one: a
+   crash on either side of the rename leaves a generation whose WAL
+   holds exactly the records the snapshot does not cover. *)
+let snapshot_rotate ~dir ~fsync_every mut wal =
+  let gen =
+    State.save ~dir
+      ~unregistered:(Mutator.unregistered mut)
+      ~prepare_wal:(fun ~gen -> Vfs.write_file (State.wal_path ~dir ~gen) "")
+      (Mutator.monitor mut)
+  in
+  match wal with
+  | None -> (gen, None)
+  | Some wal ->
+    Wal.close wal;
+    (gen, Some (Wal.open_ ~fsync_every (State.wal_path ~dir ~gen)))
+
+(* -- daemon ---------------------------------------------------------------- *)
 
 type config = {
   addr : string;
@@ -42,14 +142,11 @@ type recovered = {
 
 type t = {
   config : config;
-  monitor : Core.Monitor.t;
+  mut : Mutator.t;
   listen_fd : Unix.file_descr;
   unix_path : string option;  (** to unlink on close *)
   mutable wal : Wal.t option;  (** rotates with the snapshot generation *)
   mutable wal_since_snapshot : int;
-  mutable unregistered : string list;
-      (** tombstones: sources explicitly unregistered, persisted in
-          snapshots so startup files don't resurrect them *)
   mutable sessions : Session.t list;  (** arrival order *)
   mutable next_session : int;
   mutable requests : int;
@@ -60,7 +157,7 @@ type t = {
   readbuf : Bytes.t;
 }
 
-let monitor t = t.monitor
+let monitor t = Mutator.monitor t.mut
 let draining t = t.draining
 let request_drain t = t.draining <- true
 
@@ -85,28 +182,36 @@ let create ?(unregistered = []) config monitor =
   let wal =
     Option.map
       (fun dir ->
-        if not (Sys.file_exists dir) then Sys.mkdir dir 0o755;
+        if not (Vfs.file_exists dir) then Vfs.mkdir dir 0o755;
         Wal.open_ ~fsync_every:config.fsync_every
           (State.wal_path ~dir ~gen:(State.current_gen ~dir)))
       config.state_dir
   in
-  {
-    config;
-    monitor;
-    listen_fd;
-    unix_path;
-    wal;
-    wal_since_snapshot = 0;
-    unregistered;
-    sessions = [];
-    next_session = 0;
-    requests = 0;
-    draining = false;
-    stopped = false;
-    kill_requested = false;
-    started = Unix.gettimeofday ();
-    readbuf = Bytes.create 65536;
-  }
+  let t =
+    {
+      config;
+      mut = Mutator.create ~unregistered monitor;
+      listen_fd;
+      unix_path;
+      wal;
+      wal_since_snapshot = 0;
+      sessions = [];
+      next_session = 0;
+      requests = 0;
+      draining = false;
+      stopped = false;
+      kill_requested = false;
+      started = Unix.gettimeofday ();
+      readbuf = Bytes.create 65536;
+    }
+  in
+  Mutator.set_log t.mut (fun req ->
+      match t.wal with
+      | None -> ()
+      | Some wal ->
+        Wal.append wal req;
+        t.wal_since_snapshot <- t.wal_since_snapshot + 1);
+  t
 
 (* -- replay semantics (shared with recovery and the crash tests) ----------- *)
 
@@ -160,41 +265,13 @@ let recover ?(max_nodes = 0) ~state_dir ~load_base () =
 
 (* -- durability ------------------------------------------------------------ *)
 
-let log_wal t req =
-  match t.wal with
-  | None -> ()
-  | Some wal ->
-    Wal.append wal req;
-    t.wal_since_snapshot <- t.wal_since_snapshot + 1
-
 let snapshot t =
   match t.config.state_dir with
   | None -> ()
   | Some dir ->
     T.with_span "server.snapshot" @@ fun () ->
-    (* The new generation's empty WAL is created (durably) before the
-       CURRENT rename commits the snapshot, so snapshot and log switch
-       as one: a crash on either side of the rename leaves a
-       generation whose WAL holds exactly the records the snapshot
-       does not cover. *)
-    let gen =
-      State.save ~dir ~unregistered:t.unregistered
-        ~prepare_wal:(fun ~gen ->
-          let fd =
-            Unix.openfile (State.wal_path ~dir ~gen)
-              [ Unix.O_WRONLY; Unix.O_CREAT; Unix.O_TRUNC ]
-              0o644
-          in
-          Unix.fsync fd;
-          Unix.close fd)
-        t.monitor
-    in
-    Option.iter
-      (fun wal ->
-        Wal.close wal;
-        t.wal <-
-          Some (Wal.open_ ~fsync_every:t.config.fsync_every (State.wal_path ~dir ~gen)))
-      t.wal;
+    let _gen, wal = snapshot_rotate ~dir ~fsync_every:t.config.fsync_every t.mut t.wal in
+    t.wal <- wal;
     t.wal_since_snapshot <- 0
 
 (* -- request handling ------------------------------------------------------ *)
@@ -214,7 +291,7 @@ let json_of_report rep =
     ]
 
 let stats_json t =
-  let index = Core.Monitor.index t.monitor in
+  let index = Core.Monitor.index (monitor t) in
   let db = index.Core.Index.db in
   let tables =
     List.map
@@ -225,8 +302,8 @@ let stats_json t =
     ("uptime_ms", T.Float ((Unix.gettimeofday () -. t.started) *. 1000.));
     ("sessions", T.Int (List.length t.sessions));
     ("requests", T.Int t.requests);
-    ("jobs", T.Int (Core.Monitor.jobs t.monitor));
-    ("constraints", T.Int (List.length (Core.Monitor.constraints t.monitor)));
+    ("jobs", T.Int (Core.Monitor.jobs (monitor t)));
+    ("constraints", T.Int (List.length (Core.Monitor.constraints (monitor t))));
     ("indices", T.Int (List.length (Core.Index.entries index)));
     ("bdd_nodes", T.Int (Fcv_bdd.Manager.size (Core.Index.mgr index)));
     ("tables", T.Obj tables);
@@ -238,67 +315,22 @@ let stats_json t =
         ] );
   ]
 
-(* Apply + journal one registration — the durability path shared by
-   client [register] requests and [--constraints] startup files, so
-   both get WAL-pinned ids.  Re-registering digs up a tombstone. *)
-let register ?id t source =
-  let reg = Core.Monitor.add ?id t.monitor source in
-  t.unregistered <- List.filter (( <> ) source) t.unregistered;
-  log_wal t (P.Register { source; id = Some reg.Core.Monitor.id });
-  reg
+let register ?id t source = Mutator.register ?id t.mut source
 
-(* Answer one non-validate request.  Mutations are applied first and
-   journaled only on success, so a failed mutation (the client gets an
-   error) can never be replayed by recovery.  Any escaping exception
-   becomes an [internal] error response — a bad request must not kill
-   the loop. *)
+(* Answer one non-validate request.  Mutations go through
+   {!Mutator.apply} (apply first, journal only on success).  Any
+   escaping exception becomes an [internal] error response — a bad
+   request must not kill the loop. *)
 let handle t session rid req =
-  let db = (Core.Monitor.index t.monitor).Core.Index.db in
   let t0 = Fcv_util.Timer.now () in
   let reply line = Session.send session line in
   (try
      match req with
      | P.Ping -> reply (P.ok_line ?id:rid [ ("pong", T.Bool true) ])
-     | P.Register { source; id = pinned } -> (
-       match register ?id:pinned t source with
-       | reg -> reply (P.ok_line ?id:rid [ ("constraint", T.Int reg.Core.Monitor.id) ])
-       | exception
-           ( Core.Fol_parser.Error msg
-           | Core.Typing.Type_error msg
-           | Core.Compile.Unsupported msg
-           | Invalid_argument msg ) ->
-         reply (P.error_line ?id:rid P.Constraint_error msg))
-     | P.Unregister c -> (
-       match
-         List.find_opt (fun r -> r.Core.Monitor.id = c) (Core.Monitor.constraints t.monitor)
-       with
-       | Some r ->
-         Core.Monitor.remove t.monitor c;
-         let source = r.Core.Monitor.source in
-         if not (List.mem source t.unregistered) then
-           t.unregistered <- source :: t.unregistered;
-         log_wal t req;
-         reply (P.ok_line ?id:rid [])
-       | None ->
-         reply (P.error_line ?id:rid P.Bad_request (Printf.sprintf "no constraint %d" c)))
-     | P.Insert (table, row) -> (
-       match P.code_row ~intern:true db ~table row with
-       | P.Coded coded ->
-         Core.Monitor.insert t.monitor ~table_name:table coded;
-         log_wal t req;
-         reply (P.ok_line ?id:rid [])
-       | P.Unknown_value _ -> assert false
-       | exception P.Malformed msg -> reply (P.error_line ?id:rid P.Bad_request msg)
-       | exception Invalid_argument msg -> reply (P.error_line ?id:rid P.Unknown_table msg))
-     | P.Delete (table, row) -> (
-       match P.code_row ~intern:true db ~table row with
-       | P.Coded coded ->
-         let removed = Core.Monitor.delete t.monitor ~table_name:table coded in
-         log_wal t req;
-         reply (P.ok_line ?id:rid [ ("removed", T.Bool removed) ])
-       | P.Unknown_value _ -> assert false
-       | exception P.Malformed msg -> reply (P.error_line ?id:rid P.Bad_request msg)
-       | exception Invalid_argument msg -> reply (P.error_line ?id:rid P.Unknown_table msg))
+     | P.Register _ | P.Unregister _ | P.Insert _ | P.Delete _ -> (
+       match Mutator.apply t.mut req with
+       | Ok fields -> reply (P.ok_line ?id:rid fields)
+       | Error (code, msg) -> reply (P.error_line ?id:rid code msg))
      | P.Stats -> reply (P.ok_line ?id:rid (stats_json t))
      | P.Snapshot ->
        snapshot t;
@@ -350,7 +382,7 @@ let process t =
     if !validators <> [] then begin
       let t0 = Fcv_util.Timer.now () in
       let result =
-        match Core.Monitor.validate t.monitor with
+        match Core.Monitor.validate (monitor t) with
         | reports ->
           let violated =
             List.length
@@ -461,7 +493,7 @@ let close_all t =
   Option.iter Wal.close t.wal;
   (* join worker domains so the process can exit; harmless under the
      [kill] crash simulation — domains are not on-disk state *)
-  Core.Monitor.stop t.monitor
+  Core.Monitor.stop (monitor t)
 
 let stop t =
   if not t.stopped then begin

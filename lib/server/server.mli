@@ -25,7 +25,50 @@
 
     The loop is exposed as {!poll} (one round) so tests can drive
     server and clients deterministically from a single thread; {!run}
-    is the daemon entry point. *)
+    is the daemon entry point.
+
+    The durable core is factored out of the event loop: {!Mutator} is
+    the apply-then-journal engine behind every mutating request, and
+    {!snapshot_rotate} the atomic snapshot + WAL-rotation sequence —
+    the fault-injection simulator ([lib/sim]) drives these directly,
+    so its crash points exercise the daemon's real durability code. *)
+
+(** The apply-then-journal engine: applies a mutating request to the
+    monitor and journals it (through a caller-supplied [log] callback)
+    {e only on success}, so a mutation the client saw fail can never
+    be replayed by recovery.  Tracks unregister tombstones. *)
+module Mutator : sig
+  type t
+
+  val create : ?unregistered:string list -> ?log:(Protocol.request -> unit) -> Core.Monitor.t -> t
+  (** [log] journals an acknowledged mutation (default: none); set it
+      later with {!set_log} when the WAL outlives this value. *)
+
+  val monitor : t -> Core.Monitor.t
+
+  val unregistered : t -> string list
+  (** Current tombstones (for snapshotting). *)
+
+  val set_log : t -> (Protocol.request -> unit) -> unit
+
+  val register : ?id:int -> t -> string -> Core.Monitor.registered
+  (** Apply + journal one registration (with the pinned id), clearing
+      the source's tombstone.
+      @raise the {!Core.Monitor.add} errors on a bad constraint. *)
+
+  val apply : t -> Protocol.request -> ((string * Fcv_util.Telemetry.json) list, Protocol.error_code * string) result
+  (** Answer one mutating request with the response fields a client
+      would see, or the error code + message.  Non-mutating requests
+      return [Ok []] and journal nothing. *)
+end
+
+val snapshot_rotate :
+  dir:string -> fsync_every:int -> Mutator.t -> Wal.t option -> int * Wal.t option
+(** Cut a snapshot generation from the mutator's monitor + tombstones
+    and rotate to the new generation's fresh (empty, durably created)
+    WAL, returning the new generation number and WAL handle.  The
+    empty WAL is created {e before} the [CURRENT] rename, so snapshot
+    and log switch atomically together. *)
 
 type config = {
   addr : string;  (** Unix socket path or "host:port" ({!Protocol.sockaddr_of_string}) *)

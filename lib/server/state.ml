@@ -7,7 +7,12 @@
     values in code order) — the packed keys inside the index
     maintenance multisets and the saved BDDs are only meaningful under
     the exact same code assignment, so re-interning from CSV would
-    corrupt recovered indices. *)
+    corrupt recovered indices.
+
+    Every file effect goes through {!Vfs}: snapshot files are rendered
+    in memory and committed with one durable write each, so the
+    fault-injection simulator sees (and can crash at) exactly the
+    write / fsync / rename points the real commit sequence has. *)
 
 module R = Fcv_relation
 
@@ -38,34 +43,35 @@ let value_of_line line =
 
 (* -- database dump --------------------------------------------------------- *)
 
-let save_db db oc =
-  Printf.fprintf oc "%s\n" db_magic;
+let save_db db buf =
+  Printf.bprintf buf "%s\n" db_magic;
   let domains = R.Database.domain_names db in
-  Printf.fprintf oc "domains\t%d\n" (List.length domains);
+  Printf.bprintf buf "domains\t%d\n" (List.length domains);
   List.iter
     (fun name ->
       let dict = R.Database.domain db name in
-      Printf.fprintf oc "domain\t%s\t%d\n" (esc name) (R.Dict.size dict);
-      List.iter (fun v -> output_string oc (value_to_line v ^ "\n")) (R.Dict.to_list dict))
+      Printf.bprintf buf "domain\t%s\t%d\n" (esc name) (R.Dict.size dict);
+      List.iter (fun v -> Buffer.add_string buf (value_to_line v ^ "\n")) (R.Dict.to_list dict))
     domains;
   let tables = R.Database.table_names db in
-  Printf.fprintf oc "tables\t%d\n" (List.length tables);
+  Printf.bprintf buf "tables\t%d\n" (List.length tables);
   List.iter
     (fun name ->
       let t = R.Database.table db name in
       let schema = R.Table.schema t in
-      Printf.fprintf oc "table\t%s\t%d\t%d\n" (esc name) (R.Table.arity t)
+      Printf.bprintf buf "table\t%s\t%d\t%d\n" (esc name) (R.Table.arity t)
         (R.Table.cardinality t);
       Array.iter
-        (fun a -> Printf.fprintf oc "attr\t%s\t%s\n" (esc a.R.Schema.name) (esc a.R.Schema.domain))
+        (fun a -> Printf.bprintf buf "attr\t%s\t%s\n" (esc a.R.Schema.name) (esc a.R.Schema.domain))
         schema;
       R.Table.iter t (fun row ->
-          output_string oc
+          Buffer.add_string buf
             (String.concat " " (Array.to_list (Array.map string_of_int row)) ^ "\n")))
     tables
 
-let load_db ic =
-  let line () = try input_line ic with End_of_file -> fail "unexpected end of file" in
+let load_db contents =
+  let rd = Vfs.reader_of_string contents in
+  let line () = try Vfs.read_line rd with End_of_file -> fail "unexpected end of file" in
   let fields s = String.split_on_char '\t' s in
   if String.trim (line ()) <> db_magic then fail "bad db magic";
   let db = R.Database.create () in
@@ -128,20 +134,17 @@ let gen_file dir gen ext = Filename.concat dir (Printf.sprintf "snap-%d.%s" gen 
 
 let read_current dir =
   let path = current_path dir in
-  if not (Sys.file_exists path) then None
+  if not (Vfs.file_exists path) then None
   else begin
-    let ic = open_in path in
-    Fun.protect
-      ~finally:(fun () -> close_in ic)
-      (fun () ->
-        match String.split_on_char ' ' (String.trim (input_line ic)) with
-        | [ "gen"; n ] -> ( try Some (int_of_string n) with _ -> fail "bad CURRENT")
-        | _ -> fail "bad CURRENT"
-        | exception End_of_file -> fail "empty CURRENT")
+    let rd = Vfs.reader_of_string (Vfs.read_file path) in
+    match String.split_on_char ' ' (String.trim (Vfs.read_line rd)) with
+    | [ "gen"; n ] -> ( try Some (int_of_string n) with _ -> fail "bad CURRENT")
+    | _ -> fail "bad CURRENT"
+    | exception End_of_file -> fail "empty CURRENT"
   end
 
 let current_gen ~dir =
-  if not (Sys.file_exists dir) then 0 else Option.value ~default:0 (read_current dir)
+  if not (Vfs.file_exists dir) then 0 else Option.value ~default:0 (read_current dir)
 
 (* Drop every snapshot / WAL file that does not belong to [keep]: the
    previous generation once the new one is committed, plus any orphans
@@ -157,34 +160,31 @@ let sweep_stale dir ~keep =
           | Some g -> g <> keep
           | None -> false)
       in
-      if stale then try Sys.remove (Filename.concat dir name) with Sys_error _ -> ())
-    (Sys.readdir dir)
+      if stale then try Vfs.remove (Filename.concat dir name) with Sys_error _ -> ())
+    (Vfs.readdir dir)
 
-(* Write [f]'s output to [path] durably (flush + fsync before close). *)
+(* Render [f]'s output in memory, then commit it to [path] durably
+   (write + fsync as one {!Vfs.write_file} effect pair). *)
 let write_file path f =
-  let oc = open_out path in
-  Fun.protect
-    ~finally:(fun () -> close_out oc)
-    (fun () ->
-      f oc;
-      flush oc;
-      Unix.fsync (Unix.descr_of_out_channel oc))
+  let buf = Buffer.create 4096 in
+  f buf;
+  Vfs.write_file path (Buffer.contents buf)
 
 let save ?(unregistered = []) ?prepare_wal ~dir monitor =
-  if not (Sys.file_exists dir) then Sys.mkdir dir 0o755;
+  if not (Vfs.file_exists dir) then Vfs.mkdir dir 0o755;
   let gen = 1 + current_gen ~dir in
   let index = Core.Monitor.index monitor in
-  write_file (gen_file dir gen "db") (fun oc -> save_db index.Core.Index.db oc);
-  write_file (gen_file dir gen "idx") (fun oc -> Core.Index_io.save index oc);
-  write_file (gen_file dir gen "cons") (fun oc ->
+  write_file (gen_file dir gen "db") (fun buf -> save_db index.Core.Index.db buf);
+  Vfs.write_file (gen_file dir gen "idx") (Core.Index_io.save_string index);
+  write_file (gen_file dir gen "cons") (fun buf ->
       let cons = Core.Monitor.constraints monitor in
-      Printf.fprintf oc "%s\n" cons_magic;
-      Printf.fprintf oc "constraints\t%d\n" (List.length cons);
+      Printf.bprintf buf "%s\n" cons_magic;
+      Printf.bprintf buf "constraints\t%d\n" (List.length cons);
       List.iter
-        (fun r -> Printf.fprintf oc "%d\t%s\n" r.Core.Monitor.id (esc r.Core.Monitor.source))
+        (fun r -> Printf.bprintf buf "%d\t%s\n" r.Core.Monitor.id (esc r.Core.Monitor.source))
         cons;
-      Printf.fprintf oc "unregistered\t%d\n" (List.length unregistered);
-      List.iter (fun src -> Printf.fprintf oc "%s\n" (esc src)) unregistered);
+      Printf.bprintf buf "unregistered\t%d\n" (List.length unregistered);
+      List.iter (fun src -> Printf.bprintf buf "%s\n" (esc src)) unregistered);
   (* The WAL belongs to the generation: give the caller a chance to
      create the new generation's (empty) log durably BEFORE the
      CURRENT rename, so that whichever generation a crash leaves
@@ -193,8 +193,8 @@ let save ?(unregistered = []) ?prepare_wal ~dir monitor =
   Option.iter (fun f -> f ~gen) prepare_wal;
   (* switch generations atomically, then drop everything older *)
   let tmp = current_path dir ^ ".tmp" in
-  write_file tmp (fun oc -> Printf.fprintf oc "gen %d\n" gen);
-  Sys.rename tmp (current_path dir);
+  write_file tmp (fun buf -> Printf.bprintf buf "gen %d\n" gen);
+  Vfs.rename tmp (current_path dir);
   sweep_stale dir ~keep:gen;
   if Fcv_util.Telemetry.enabled () then
     Fcv_util.Telemetry.incr (Fcv_util.Telemetry.counter "server.snapshots");
@@ -204,44 +204,38 @@ let load ~dir ~max_nodes =
   match read_current dir with
   | None -> None
   | Some gen ->
-    let db =
-      let ic = open_in (gen_file dir gen "db") in
-      Fun.protect ~finally:(fun () -> close_in ic) (fun () -> load_db ic)
-    in
+    let db = load_db (Vfs.read_file (gen_file dir gen "db")) in
     let index =
-      try Core.Index_io.load_file db (gen_file dir gen "idx")
+      try Core.Index_io.load_string db (Vfs.read_file (gen_file dir gen "idx"))
       with Core.Index_io.Format_error msg -> fail "index snapshot: %s" msg
     in
     Fcv_bdd.Manager.set_max_nodes (Core.Index.mgr index) max_nodes;
     let monitor = Core.Monitor.create index in
-    let ic = open_in (gen_file dir gen "cons") in
+    let rd = Vfs.reader_of_string (Vfs.read_file (gen_file dir gen "cons")) in
     let unregistered =
-      Fun.protect
-        ~finally:(fun () -> close_in ic)
-        (fun () ->
-          let line () = try input_line ic with End_of_file -> fail "unexpected end of file" in
-          if String.trim (line ()) <> cons_magic then fail "bad constraints magic";
-          let n =
-            match String.split_on_char '\t' (line ()) with
-            | [ "constraints"; n ] -> ( try int_of_string n with _ -> fail "bad count")
-            | _ -> fail "expected constraints"
-          in
-          for _ = 1 to n do
-            match String.split_on_char '\t' (line ()) with
-            | [ id; source ] ->
-              let id = try int_of_string id with _ -> fail "bad constraint id" in
-              ignore (Core.Monitor.add ~id monitor (unesc source))
-            | _ -> fail "bad constraint line"
-          done;
-          (* unregister tombstones: sources explicitly removed, so a
-             restart must not resurrect them from --constraints *)
-          match input_line ic with
-          | exception End_of_file -> []
-          | tomb -> (
-            match String.split_on_char '\t' tomb with
-            | [ "unregistered"; n ] ->
-              let n = try int_of_string n with _ -> fail "bad tombstone count" in
-              List.init n (fun _ -> unesc (line ()))
-            | _ -> fail "expected unregistered"))
+      let line () = try Vfs.read_line rd with End_of_file -> fail "unexpected end of file" in
+      if String.trim (line ()) <> cons_magic then fail "bad constraints magic";
+      let n =
+        match String.split_on_char '\t' (line ()) with
+        | [ "constraints"; n ] -> ( try int_of_string n with _ -> fail "bad count")
+        | _ -> fail "expected constraints"
+      in
+      for _ = 1 to n do
+        match String.split_on_char '\t' (line ()) with
+        | [ id; source ] ->
+          let id = try int_of_string id with _ -> fail "bad constraint id" in
+          ignore (Core.Monitor.add ~id monitor (unesc source))
+        | _ -> fail "bad constraint line"
+      done;
+      (* unregister tombstones: sources explicitly removed, so a
+         restart must not resurrect them from --constraints *)
+      match Vfs.read_line rd with
+      | exception End_of_file -> []
+      | tomb -> (
+        match String.split_on_char '\t' tomb with
+        | [ "unregistered"; n ] ->
+          let n = try int_of_string n with _ -> fail "bad tombstone count" in
+          List.init n (fun _ -> unesc (line ()))
+        | _ -> fail "expected unregistered")
     in
     Some (monitor, unregistered)

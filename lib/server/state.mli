@@ -16,14 +16,19 @@
     snap-N.idx     Index_io snapshot
     snap-N.cons    registered constraints (id, source) + tombstones
     wal-N.log      update log since generation N (managed by Server)
-    v} *)
+    v}
+
+    All file effects go through {!Vfs}, so the fault-injection
+    simulator can crash a save at any point of the commit sequence. *)
 
 exception Format_error of string
 
-val save_db : Fcv_relation.Database.t -> out_channel -> unit
+val save_db : Fcv_relation.Database.t -> Buffer.t -> unit
+(** Render the dump into [buf] (the caller commits it durably). *)
 
-val load_db : in_channel -> Fcv_relation.Database.t
-(** @raise Format_error on malformed input. *)
+val load_db : string -> Fcv_relation.Database.t
+(** Parse a dump from its full contents.
+    @raise Format_error on malformed input. *)
 
 val wal_path : dir:string -> gen:int -> string
 (** The WAL covering updates since generation [gen] ([gen = 0] before

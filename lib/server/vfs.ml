@@ -1,0 +1,114 @@
+(** File-system effect layer: one dispatch table for every durable
+    effect, so the fault-injection simulator can substitute an
+    instrumented in-memory file system.  See vfs.mli. *)
+
+type handle = {
+  h_append : string -> unit;
+  h_fsync : unit -> unit;
+  h_close : unit -> unit;
+}
+
+type backend = {
+  b_file_exists : string -> bool;
+  b_mkdir : string -> int -> unit;
+  b_readdir : string -> string array;
+  b_remove : string -> unit;
+  b_rename : string -> string -> unit;
+  b_read_file : string -> string;
+  b_write_file : string -> string -> unit;
+  b_truncate : string -> int -> unit;
+  b_file_size : string -> int;
+  b_open_append : string -> handle;
+  b_append : handle -> string -> unit;
+  b_fsync : handle -> unit;
+  b_close : handle -> unit;
+}
+
+let make_handle ~append ~fsync ~close = { h_append = append; h_fsync = fsync; h_close = close }
+
+(* -- the real file system --------------------------------------------------- *)
+
+(* Write the whole string, handling short writes. *)
+let write_all fd s =
+  let b = Bytes.unsafe_of_string s in
+  let n = Bytes.length b in
+  let off = ref 0 in
+  while !off < n do
+    off := !off + Unix.write fd b !off (n - !off)
+  done
+
+let real =
+  {
+    b_file_exists = Sys.file_exists;
+    b_mkdir = (fun path perm -> Sys.mkdir path perm);
+    b_readdir = Sys.readdir;
+    b_remove = Sys.remove;
+    b_rename = Sys.rename;
+    b_read_file = (fun path -> In_channel.with_open_bin path In_channel.input_all);
+    b_write_file =
+      (fun path contents ->
+        let oc = open_out_bin path in
+        Fun.protect
+          ~finally:(fun () -> close_out oc)
+          (fun () ->
+            output_string oc contents;
+            flush oc;
+            Unix.fsync (Unix.descr_of_out_channel oc)));
+    b_truncate = Unix.truncate;
+    b_file_size = (fun path -> (Unix.stat path).Unix.st_size);
+    b_open_append =
+      (fun path ->
+        let fd = Unix.openfile path [ Unix.O_WRONLY; Unix.O_CREAT; Unix.O_APPEND ] 0o644 in
+        make_handle
+          ~append:(fun s -> write_all fd s)
+          ~fsync:(fun () -> Unix.fsync fd)
+          ~close:(fun () -> Unix.close fd));
+    b_append = (fun h s -> h.h_append s);
+    b_fsync = (fun h -> h.h_fsync ());
+    b_close = (fun h -> h.h_close ());
+  }
+
+(* -- dispatch --------------------------------------------------------------- *)
+
+let backend = ref real
+
+let set_backend b = backend := b
+let current_backend () = !backend
+
+let with_backend b f =
+  let saved = !backend in
+  backend := b;
+  Fun.protect ~finally:(fun () -> backend := saved) f
+
+let file_exists path = !backend.b_file_exists path
+let mkdir path perm = !backend.b_mkdir path perm
+let readdir path = !backend.b_readdir path
+let remove path = !backend.b_remove path
+let rename src dst = !backend.b_rename src dst
+let read_file path = !backend.b_read_file path
+let write_file path contents = !backend.b_write_file path contents
+let truncate path len = !backend.b_truncate path len
+let file_size path = !backend.b_file_size path
+let open_append path = !backend.b_open_append path
+let append h s = !backend.b_append h s
+let fsync h = !backend.b_fsync h
+let close h = !backend.b_close h
+
+(* -- line reader ------------------------------------------------------------ *)
+
+type reader = { src : string; mutable pos : int }
+
+let reader_of_string src = { src; pos = 0 }
+
+let read_line r =
+  let n = String.length r.src in
+  if r.pos >= n then raise End_of_file;
+  match String.index_from_opt r.src r.pos '\n' with
+  | Some i ->
+    let line = String.sub r.src r.pos (i - r.pos) in
+    r.pos <- i + 1;
+    line
+  | None ->
+    let line = String.sub r.src r.pos (n - r.pos) in
+    r.pos <- n;
+    line

@@ -1,0 +1,74 @@
+(** The constraint service's file-system effect layer.  Every durable
+    effect the server performs — WAL appends and fsyncs, snapshot
+    writes, the [CURRENT] rename, torn-tail truncation, generation
+    sweeps — goes through this one dispatch table, so a test harness
+    can swap the real file system for an instrumented one (the
+    fault-injection simulator in [lib/sim] installs an in-memory
+    backend that can short-write, drop, reorder or crash at any effect
+    point).  The default backend is the real file system. *)
+
+type handle
+(** An open append-only file (the WAL). *)
+
+type backend = {
+  b_file_exists : string -> bool;
+  b_mkdir : string -> int -> unit;
+  b_readdir : string -> string array;
+  b_remove : string -> unit;
+  b_rename : string -> string -> unit;
+  b_read_file : string -> string;
+      (** whole contents. @raise Sys_error when absent. *)
+  b_write_file : string -> string -> unit;
+      (** create/truncate, write everything, flush, fsync — the
+          durable whole-file write used for snapshot files. *)
+  b_truncate : string -> int -> unit;
+  b_file_size : string -> int;
+  b_open_append : string -> handle;  (** create if missing, append-only *)
+  b_append : handle -> string -> unit;  (** write the whole string *)
+  b_fsync : handle -> unit;
+  b_close : handle -> unit;
+}
+
+val real : backend
+(** The real file system (Unix). *)
+
+val set_backend : backend -> unit
+(** Install a backend; affects every subsequent effect process-wide.
+    Tests must restore {!real} (or the previous backend) when done —
+    see {!with_backend}. *)
+
+val current_backend : unit -> backend
+
+val with_backend : backend -> (unit -> 'a) -> 'a
+(** Run with [backend] installed, restoring the previous one on exit
+    (including exceptional exit). *)
+
+val make_handle : append:(string -> unit) -> fsync:(unit -> unit) -> close:(unit -> unit) -> handle
+(** Build a handle for a custom backend. *)
+
+(** {1 Effect entry points} — each dispatches through the installed
+    backend. *)
+
+val file_exists : string -> bool
+val mkdir : string -> int -> unit
+val readdir : string -> string array
+val remove : string -> unit
+val rename : string -> string -> unit
+val read_file : string -> string
+val write_file : string -> string -> unit
+val truncate : string -> int -> unit
+val file_size : string -> int
+val open_append : string -> handle
+val append : handle -> string -> unit
+val fsync : handle -> unit
+val close : handle -> unit
+
+(** {1 Line reading} — a tiny in-memory reader so snapshot loaders can
+    parse {!read_file} contents with [input_line] semantics. *)
+
+type reader
+
+val reader_of_string : string -> reader
+
+val read_line : reader -> string
+(** Next line (without its ['\n']).  @raise End_of_file at the end. *)

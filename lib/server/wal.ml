@@ -1,13 +1,16 @@
 (** Write-ahead log: one {!Protocol} request line per record, appended
     once the mutation has been applied, fsync'd per policy before the
     response is sent.  Replay tolerates a torn tail (crash mid-append)
-    and truncates it so the log stays appendable. *)
+    and truncates it so the log stays appendable.
+
+    Every file effect goes through {!Vfs}, so the fault-injection
+    simulator can crash, short-write or drop any append or fsync. *)
 
 module T = Fcv_util.Telemetry
 
 type t = {
   path : string;
-  mutable fd : Unix.file_descr;
+  handle : Vfs.handle;
   buf : Buffer.t;  (** scratch for one record *)
   fsync_every : int;
   mutable appended : int;
@@ -15,20 +18,17 @@ type t = {
 }
 
 let open_ ?(fsync_every = 1) path =
-  let fd = Unix.openfile path [ Unix.O_WRONLY; Unix.O_CREAT; Unix.O_APPEND ] 0o644 in
-  { path; fd; buf = Buffer.create 256; fsync_every; appended = 0; unsynced = 0 }
-
-(* Write the whole string, handling short writes. *)
-let write_all fd s =
-  let b = Bytes.unsafe_of_string s in
-  let n = Bytes.length b in
-  let off = ref 0 in
-  while !off < n do
-    off := !off + Unix.write fd b !off (n - !off)
-  done
+  {
+    path;
+    handle = Vfs.open_append path;
+    buf = Buffer.create 256;
+    fsync_every;
+    appended = 0;
+    unsynced = 0;
+  }
 
 let sync t =
-  Unix.fsync t.fd;
+  Vfs.fsync t.handle;
   t.unsynced <- 0;
   if T.enabled () then T.incr (T.counter "server.wal.fsyncs")
 
@@ -36,60 +36,55 @@ let append t req =
   Buffer.clear t.buf;
   Buffer.add_string t.buf (Protocol.request_to_line req);
   Buffer.add_char t.buf '\n';
-  write_all t.fd (Buffer.contents t.buf);
+  Vfs.append t.handle (Buffer.contents t.buf);
   t.appended <- t.appended + 1;
   t.unsynced <- t.unsynced + 1;
   if T.enabled () then T.incr (T.counter "server.wal.appends");
   if t.fsync_every > 0 && t.unsynced >= t.fsync_every then sync t
 
 let appended t = t.appended
+let unsynced t = t.unsynced
 
-let close t = Unix.close t.fd
+let close t = Vfs.close t.handle
 
 let replay path ~f =
-  if not (Sys.file_exists path) then 0
+  if not (Vfs.file_exists path) then 0
   else begin
-    let replayed, good_end =
-      let ic = open_in_bin path in
-      Fun.protect
-        ~finally:(fun () -> close_in ic)
-        (fun () ->
-          let replayed = ref 0 in
-          let good_end = ref 0 in
-          (try
-             let stop = ref false in
-             let start = ref 0 in
-             while not !stop do
-               let line = input_line ic in
-               let fin = pos_in ic in
-               (* a record only counts once its '\n' is on disk: a
-                  complete-looking final line without one was never
-                  fully written, hence never acknowledged *)
-               let terminated = fin - !start > String.length line in
-               start := fin;
-               if not terminated then stop := true
-               else if String.trim line = "" then good_end := fin
-               else (
-                 match Protocol.parse_request line with
-                 | Ok (_, req) ->
-                   f req;
-                   incr replayed;
-                   good_end := fin
-                 | Error _ ->
-                   (* torn tail from a crash mid-append: everything
-                      after the first bad line is unusable *)
-                   stop := true)
-             done
-           with End_of_file -> ());
-          (!replayed, !good_end))
-    in
+    let log = Vfs.read_file path in
+    let size = String.length log in
+    let replayed = ref 0 in
+    let good_end = ref 0 in
+    let stop = ref false in
+    let pos = ref 0 in
+    while (not !stop) && !pos < size do
+      match String.index_from_opt log !pos '\n' with
+      | None ->
+        (* a record only counts once its '\n' is on disk: a
+           complete-looking final line without one was never fully
+           written, hence never acknowledged *)
+        stop := true
+      | Some nl ->
+        let line = String.sub log !pos (nl - !pos) in
+        pos := nl + 1;
+        if String.trim line = "" then good_end := !pos
+        else (
+          match Protocol.parse_request line with
+          | Ok (_, req) ->
+            f req;
+            incr replayed;
+            good_end := !pos
+          | Error _ ->
+            (* torn tail from a crash mid-append: everything after the
+               first bad line is unusable *)
+            stop := true)
+    done;
     (* Cut the torn tail off, so appends through a subsequently opened
-       handle (O_APPEND) extend the valid prefix instead of landing
+       handle (append mode) extend the valid prefix instead of landing
        after — or concatenated onto — an unparseable partial record,
        which would make them invisible to the next recovery. *)
-    if good_end < (Unix.stat path).Unix.st_size then begin
-      Unix.truncate path good_end;
+    if !good_end < size then begin
+      Vfs.truncate path !good_end;
       if T.enabled () then T.incr (T.counter "server.wal.truncated_tails")
     end;
-    replayed
+    !replayed
   end

@@ -32,6 +32,11 @@ val sync : t -> unit
 val appended : t -> int
 (** Records appended through this handle since {!open_}. *)
 
+val unsynced : t -> int
+(** Records appended since the last fsync — what a crash could
+    legitimately lose under a relaxed [fsync_every] policy (the
+    fault-injection sim uses this to bound its durability oracle). *)
+
 val close : t -> unit
 
 val replay : string -> f:(Protocol.request -> unit) -> int

@@ -1,0 +1,251 @@
+(** Deterministic fault-injecting in-memory file system.  See
+    fault.mli for the disk model; the invariant-relevant choices:
+
+    - appends and fsyncs are the WAL's effect points; an append goes
+      to the pending (cache) list, an fsync commits the whole list;
+    - at a crash, every pending append is kept / dropped / cut to a
+      seeded prefix; bytes lost {e before} surviving bytes become
+      ['\000'] holes (reorder-visible damage);
+    - whole-file writes are durable on return (they model write +
+      fsync); crashing at one leaves old / prefix-of-new / new;
+    - renames are atomic (old or new binding), truncate / remove /
+      mkdir happen durably or not at all. *)
+
+module Vfs = Fcv_server.Vfs
+module Rng = Fcv_util.Rng
+
+exception Crash
+
+type file = {
+  mutable durable : string;
+  mutable pending : string list;  (** un-fsync'd appends, newest first *)
+}
+
+type t = {
+  rng : Rng.t;
+  crash_at : int;  (** effect index to crash at; -1 = never *)
+  mutable effects : int;
+  mutable crashed : bool;  (** the scheduled crash has fired *)
+  mutable down : bool;  (** crashed and not yet restarted *)
+  mutable gen : int;  (** restart counter; stale handles die *)
+  files : (string, file) Hashtbl.t;
+  dirs : (string, unit) Hashtbl.t;
+}
+
+let create ?(crash_at = -1) ~seed () =
+  {
+    rng = Rng.create seed;
+    crash_at;
+    effects = 0;
+    crashed = false;
+    down = false;
+    gen = 0;
+    files = Hashtbl.create 16;
+    dirs = Hashtbl.create 4;
+  }
+
+let effects t = t.effects
+let crashed t = t.crashed
+
+let visible f = String.concat "" (f.durable :: List.rev f.pending)
+
+let find t path = Hashtbl.find_opt t.files path
+
+let get t path =
+  match find t path with
+  | Some f -> f
+  | None -> raise (Sys_error (path ^ ": No such file or directory"))
+
+let get_or_create t path =
+  match find t path with
+  | Some f -> f
+  | None ->
+    let f = { durable = ""; pending = [] } in
+    Hashtbl.replace t.files path f;
+    f
+
+let commit f =
+  f.durable <- visible f;
+  f.pending <- []
+
+(* Resolve one file's pending appends the way a power cut would: each
+   append survives whole, partially, or not at all; bytes lost before
+   surviving bytes leave '\000' holes at their real offsets, and
+   everything after the last surviving byte is simply gone. *)
+let crash_commit_file rng f =
+  let apps = Array.of_list (List.rev f.pending) in
+  let fates =
+    Array.map
+      (fun s ->
+        match Rng.int rng 4 with
+        | 0 -> `Drop
+        | 1 -> `Prefix (Rng.int rng (String.length s + 1))
+        | _ -> `Keep)
+      apps
+  in
+  let extent = ref (-1) in
+  Array.iteri
+    (fun i fate ->
+      match fate with `Keep | `Prefix _ when fate <> `Prefix 0 -> extent := i | _ -> ())
+    fates;
+  let buf = Buffer.create (String.length f.durable + 64) in
+  Buffer.add_string buf f.durable;
+  for i = 0 to !extent do
+    let s = apps.(i) in
+    match fates.(i) with
+    | `Keep -> Buffer.add_string buf s
+    | `Drop -> Buffer.add_string buf (String.make (String.length s) '\000')
+    | `Prefix p ->
+      Buffer.add_string buf (String.sub s 0 p);
+      if i < !extent then Buffer.add_string buf (String.make (String.length s - p) '\000')
+  done;
+  f.durable <- Buffer.contents buf;
+  f.pending <- []
+
+(* Path order, not hash order, so a replayed (seed, fault) pair makes
+   identical draws. *)
+let sorted_files t =
+  List.sort compare (Hashtbl.fold (fun k v acc -> (k, v) :: acc) t.files [])
+
+let crash_commit t = List.iter (fun (_, f) -> crash_commit_file t.rng f) (sorted_files t)
+
+(* One numbered fault point.  Returns [`Crash] when this is the
+   scheduled point: the caller commits its seeded crash damage, then
+   calls {!go_down}. *)
+let point t =
+  if t.down then raise Crash;
+  let i = t.effects in
+  t.effects <- t.effects + 1;
+  if i = t.crash_at then `Crash else `Go
+
+let go_down t =
+  t.crashed <- true;
+  t.down <- true;
+  raise Crash
+
+let restart t =
+  if not t.down then List.iter (fun (_, f) -> commit f) (sorted_files t)
+  else t.down <- false;
+  t.gen <- t.gen + 1
+
+let check_gen t g = if g <> t.gen || t.down then raise Crash
+
+(* -- the backend ----------------------------------------------------------- *)
+
+let backend t =
+  let append_ file s =
+    match point t with
+    | `Go -> file.pending <- s :: file.pending
+    | `Crash ->
+      file.pending <- s :: file.pending;
+      crash_commit t;
+      go_down t
+  in
+  let fsync_ file =
+    match point t with
+    | `Go -> commit file
+    | `Crash ->
+      crash_commit t;
+      go_down t
+  in
+  {
+    Vfs.b_file_exists =
+      (fun path -> Hashtbl.mem t.files path || Hashtbl.mem t.dirs path);
+    b_mkdir =
+      (fun path _perm ->
+        match point t with
+        | `Go ->
+          if Hashtbl.mem t.dirs path then raise (Sys_error (path ^ ": File exists"));
+          Hashtbl.replace t.dirs path ()
+        | `Crash ->
+          crash_commit t;
+          go_down t);
+    b_readdir =
+      (fun dir ->
+        let under path = Filename.dirname path = dir in
+        let entries =
+          Hashtbl.fold (fun p _ acc -> if under p then Filename.basename p :: acc else acc)
+            t.files []
+        in
+        let entries =
+          Hashtbl.fold (fun p _ acc -> if under p then Filename.basename p :: acc else acc)
+            t.dirs entries
+        in
+        Array.of_list (List.sort compare entries));
+    b_remove =
+      (fun path ->
+        match point t with
+        | `Go ->
+          if not (Hashtbl.mem t.files path) then
+            raise (Sys_error (path ^ ": No such file or directory"));
+          Hashtbl.remove t.files path
+        | `Crash ->
+          crash_commit t;
+          go_down t);
+    b_rename =
+      (fun src dst ->
+        match point t with
+        | `Go ->
+          let f = get t src in
+          commit f;
+          Hashtbl.remove t.files src;
+          Hashtbl.replace t.files dst f
+        | `Crash ->
+          (* atomic: the new binding either made it to disk or not *)
+          if Rng.bool t.rng then begin
+            let f = get t src in
+            commit f;
+            Hashtbl.remove t.files src;
+            Hashtbl.replace t.files dst f
+          end;
+          crash_commit t;
+          go_down t);
+    b_read_file = (fun path -> visible (get t path));
+    b_write_file =
+      (fun path contents ->
+        match point t with
+        | `Go ->
+          let f = get_or_create t path in
+          f.durable <- contents;
+          f.pending <- []
+        | `Crash ->
+          (* the durable write was interrupted: old contents, a prefix
+             of the new, or the full new file *)
+          let f = get_or_create t path in
+          (match Rng.int t.rng 3 with
+          | 0 -> ()
+          | 1 ->
+            f.durable <- String.sub contents 0 (Rng.int t.rng (String.length contents + 1));
+            f.pending <- []
+          | _ ->
+            f.durable <- contents;
+            f.pending <- []);
+          crash_commit t;
+          go_down t);
+    b_truncate =
+      (fun path len ->
+        match point t with
+        | `Go ->
+          let f = get t path in
+          commit f;
+          f.durable <- String.sub f.durable 0 (min len (String.length f.durable))
+        | `Crash ->
+          crash_commit t;
+          go_down t);
+    b_file_size = (fun path -> String.length (visible (get t path)));
+    b_open_append =
+      (fun path ->
+        let g = t.gen in
+        let file = get_or_create t path in
+        Vfs.make_handle
+          ~append:(fun s ->
+            check_gen t g;
+            append_ file s)
+          ~fsync:(fun () ->
+            check_gen t g;
+            fsync_ file)
+          ~close:(fun () -> ()));
+    b_append = (fun h s -> Vfs.real.Vfs.b_append h s);
+    b_fsync = (fun h -> Vfs.real.Vfs.b_fsync h);
+    b_close = (fun h -> Vfs.real.Vfs.b_close h);
+  }

@@ -1,0 +1,48 @@
+(** A deterministic, instrumented in-memory file system behind
+    {!Fcv_server.Vfs}: every durable effect the server performs
+    (append, fsync, whole-file write, rename, truncate, remove, mkdir)
+    passes a numbered {e fault point}, and one scheduled point can
+    {e crash} the run — raising {!Crash} after committing a seeded
+    approximation of what a real power cut leaves on disk.
+
+    The disk model separates {e durable} contents (survive a crash)
+    from {e pending} operations (in the OS cache: appends and
+    truncates not yet fsync'd).  Reads see durable + pending, as a
+    running process would.  At a crash, each pending operation is kept,
+    dropped, or prefix-truncated by a seeded draw; a dropped append
+    followed by a kept one leaves a ['\000'] hole — the
+    reorder-visible damage real disks produce when later blocks hit
+    the platter first.  Whole-file writes ({!Fcv_server.Vfs.write_file},
+    the snapshot commit primitive) are durable once they return; a
+    crash {e at} that point leaves the old contents, a prefix of the
+    new, or the full new file.  Renames are atomic: a crash at a
+    rename point leaves either the old or the new binding, never a
+    mix.
+
+    Everything is driven by one {!Fcv_util.Rng} seed, so
+    [(seed, fault point)] replays a crash exactly. *)
+
+exception Crash
+
+type t
+
+val create : ?crash_at:int -> seed:int -> unit -> t
+(** A fresh empty file system.  [crash_at] is the fault point (0-based
+    effect index) at which to crash; omit it for a fault-free run
+    (used to count a workload's reachable fault points). *)
+
+val backend : t -> Fcv_server.Vfs.backend
+(** Install with {!Fcv_server.Vfs.with_backend}. *)
+
+val effects : t -> int
+(** Fault points passed so far — after a fault-free run, the number of
+    reachable crash points of that workload. *)
+
+val crashed : t -> bool
+
+val restart : t -> unit
+(** Simulate process restart after {!Crash}: pending state is resolved
+    (already done at crash time), open handles die, and the durable
+    contents become what reads now see.  Calling it on an un-crashed
+    file system just discards pending state after an fsync-everything
+    barrier (all pending committed — as a clean shutdown would). *)

@@ -1,0 +1,398 @@
+(** The fault-injection driver.  See sim.mli for the invariant; the
+    accounting that makes it checkable:
+
+    - [total]  = mutations acknowledged (applied + journaled),
+    - [synced] = mutations known durable: covered by the last snapshot
+      or fsync'd in the WAL,
+    - at most one mutation is {e in flight} (its WAL append started
+      but not acknowledged) when a crash hits.
+
+    Recovery must then reproduce the oracle state after [k] mutations
+    for exactly one [k] in [[synced, total + in-flight]].  The digest
+    is extensional (database dump + registry + tombstones + verdicts),
+    so BDD node numbering differences between a recovered index and
+    the oracle's never matter. *)
+
+module R = Fcv_relation
+module Rng = Fcv_util.Rng
+module P = Fcv_server.Protocol
+module S = Fcv_server.Server
+module Vfs = Fcv_server.Vfs
+module Wal = Fcv_server.Wal
+module State = Fcv_server.State
+module U = Fcv_datagen.University
+
+type inject = Log_before_apply | Skip_fsync | Skip_rotate
+
+let inject_to_string = function
+  | Log_before_apply -> "log-before-apply"
+  | Skip_fsync -> "skip-fsync"
+  | Skip_rotate -> "skip-rotate"
+
+let inject_of_string = function
+  | "log-before-apply" -> Ok Log_before_apply
+  | "skip-fsync" -> Ok Skip_fsync
+  | "skip-rotate" -> Ok Skip_rotate
+  | s -> Error (Printf.sprintf "unknown injection %S (log-before-apply|skip-fsync|skip-rotate)" s)
+
+type counterexample = {
+  cx_seed : int;
+  cx_ops : int;
+  cx_fault : int;
+  cx_inject : inject option;
+  cx_reason : string;
+  cx_repro : string;
+}
+
+type result = {
+  schedules_run : int;
+  crash_runs : int;
+  failures : counterexample list;
+}
+
+(* -- workload generation --------------------------------------------------- *)
+
+type workload = {
+  seed : int;
+  n_ops : int;
+  fsync_every : int;
+  load_base : unit -> R.Database.t;
+  ops : P.request list;
+  snapshot_at : int list;  (** cut a snapshot before these op indices *)
+}
+
+let univ_cfg = { U.default with U.students = 12; courses = 6; takes_per_student = 2 }
+
+let retail_cfg =
+  {
+    Fcv_datagen.Retail.default with
+    Fcv_datagen.Retail.customers = 25;
+    products = 10;
+    orders = 40;
+    shipment_rate = 0.8;
+  }
+
+let univ_sources =
+  [
+    "forall s . student(s, 0, _) -> (exists c . course(c, 0) and takes(s, c))";
+    "forall s, c . takes(s, c) -> (exists a . course(c, a))";
+  ]
+
+let retail_sources =
+  List.filteri (fun i _ -> i < 3) (List.map snd Fcv_datagen.Retail.audit_constraints)
+
+(* Constraint sources the server must REJECT (and must therefore never
+   journal): a parse error and an unknown table. *)
+let bad_sources = [ "forall s . student(s,"; "forall z . nosuchtable(z, z)" ]
+
+let row_to_cells tbl row =
+  Array.to_list
+    (Array.mapi (fun j code -> R.Value.to_string (R.Dict.value (R.Table.dict tbl j) code)) row)
+
+(* [ops] truncates the drawn length but never changes the draw stream,
+   so a shrunk workload is a prefix of the original. *)
+let gen_workload ?ops ?fsync_every ~seed () =
+  let rng = Rng.create seed in
+  let drawn = 8 + Rng.int rng 17 in
+  let n_ops = Option.value ops ~default:drawn in
+  let drawn_fsync = Rng.choose rng [| 1; 1; 1; 3 |] in
+  let fsync_every = Option.value fsync_every ~default:drawn_fsync in
+  let base_seed = Rng.int rng 1_000_000 in
+  let university = Rng.bool rng in
+  let load_base =
+    if university then fun () ->
+      let db, _, _, _ = U.generate (Rng.create base_seed) univ_cfg in
+      db
+    else fun () -> (Fcv_datagen.Retail.generate (Rng.create base_seed) retail_cfg).Fcv_datagen.Retail.db
+  in
+  let sources = if university then univ_sources else retail_sources in
+  let db = load_base () in
+  let tables =
+    Array.of_list (List.map (fun n -> R.Database.table db n) (R.Database.table_names db))
+  in
+  let base_rows =
+    Array.map
+      (fun tbl ->
+        let acc = ref [] in
+        R.Table.iter tbl (fun row -> acc := Array.copy row :: !acc);
+        Array.of_list (List.rev !acc))
+      tables
+  in
+  let random_cells tbl =
+    List.init (R.Table.arity tbl) (fun j ->
+        let dict = R.Table.dict tbl j in
+        let sz = R.Dict.size dict in
+        if Rng.bernoulli rng 0.85 then R.Value.to_string (R.Dict.value dict (Rng.int rng sz))
+        else string_of_int (sz + Rng.int rng 4))
+  in
+  let registers = List.map (fun s -> P.Register { source = s; id = None }) sources in
+  let snapshot_at = ref [] in
+  let ops =
+    List.init (max 0 (n_ops - List.length registers)) (fun i ->
+        let i = i + List.length registers in
+        if Rng.bernoulli rng 0.08 then snapshot_at := i :: !snapshot_at;
+        let ti = Rng.int rng (Array.length tables) in
+        let tbl = tables.(ti) in
+        let tname = List.nth (R.Database.table_names db) ti in
+        match Rng.int rng 100 with
+        | r when r < 55 -> P.Insert (tname, random_cells tbl)
+        | r when r < 75 ->
+          let rows = base_rows.(ti) in
+          if Array.length rows = 0 then P.Insert (tname, random_cells tbl)
+          else P.Delete (tname, row_to_cells tbl rows.(Rng.int rng (Array.length rows)))
+        | r when r < 83 ->
+          (* a register: usually valid (sometimes a duplicate source —
+             legal), sometimes one the server must reject *)
+          let pool = if Rng.bernoulli rng 0.3 then bad_sources else sources in
+          P.Register { source = List.nth pool (Rng.int rng (List.length pool)); id = None }
+        | r when r < 90 -> P.Unregister (Rng.int rng 8)
+        | r when r < 95 -> P.Insert ("nonesuch", [ "1" ])  (* unknown table: rejected *)
+        | _ -> P.Insert (tname, "0" :: random_cells tbl) (* wrong arity: rejected *))
+  in
+  (* truncate to exactly [n_ops] — a shrunk workload is a strict
+     prefix, even below the register preamble *)
+  let ops = List.filteri (fun i _ -> i < n_ops) (registers @ ops) in
+  { seed; n_ops; fsync_every; load_base; ops; snapshot_at = List.rev !snapshot_at }
+
+(* -- the oracle ------------------------------------------------------------ *)
+
+(* Extensional state digest: database dump (dictionaries in code
+   order + coded rows), constraint registry, tombstones, verdicts. *)
+let digest mut =
+  let monitor = S.Mutator.monitor mut in
+  let buf = Buffer.create 4096 in
+  State.save_db (Core.Monitor.index monitor).Core.Index.db buf;
+  List.iter
+    (fun r -> Printf.bprintf buf "c\t%d\t%s\n" r.Core.Monitor.id r.Core.Monitor.source)
+    (Core.Monitor.constraints monitor);
+  List.iter
+    (fun s -> Printf.bprintf buf "u\t%s\n" s)
+    (List.sort compare (S.Mutator.unregistered mut));
+  List.iter
+    (fun (id, o) -> Printf.bprintf buf "v\t%d\t%b\n" id (o = Core.Checker.Violated))
+    (Core.Monitor.verdicts monitor);
+  Digest.to_hex (Digest.string (Buffer.contents buf))
+
+(* [digests.(k)] = state after the first [k] acknowledged mutations of
+   a never-crashed run (rejected requests don't count — they are not
+   journaled, and the workload proves they leave no durable trace). *)
+let oracle w =
+  let mut =
+    S.Mutator.create (Core.Monitor.create (Core.Index.create ~max_nodes:0 (w.load_base ())))
+  in
+  let digests = ref [ digest mut ] in
+  List.iter
+    (fun req ->
+      match S.Mutator.apply mut req with
+      | Ok _ when P.logged req -> digests := digest mut :: !digests
+      | Ok _ | Error _ -> ())
+    w.ops;
+  (Array.of_list (List.rev !digests), mut)
+
+(* -- driving the durable core under faults --------------------------------- *)
+
+let dir = "sim-state"
+
+(* Run the workload against the server's durable core (Mutator + WAL +
+   snapshot rotation) on whatever Vfs backend is installed, keeping
+   the acknowledged / durable / in-flight counters the invariant needs.
+   Raises [Fault.Crash] when the backend's scheduled crash fires. *)
+let drive w ~inject ~total ~synced ~inflight =
+  if not (Vfs.file_exists dir) then Vfs.mkdir dir 0o755;
+  let r = S.recover ~state_dir:dir ~load_base:w.load_base () in
+  let fsync_every = if inject = Some Skip_fsync then 0 else w.fsync_every in
+  let wal =
+    ref (Wal.open_ ~fsync_every (State.wal_path ~dir ~gen:(State.current_gen ~dir)))
+  in
+  let mut = S.Mutator.create ~unregistered:r.S.unregistered r.S.monitor in
+  if inject <> Some Log_before_apply then
+    S.Mutator.set_log mut (fun req ->
+        inflight := true;
+        Wal.append !wal req;
+        inflight := false);
+  List.iteri
+    (fun i req ->
+      if List.mem i w.snapshot_at then begin
+        (match inject with
+        | Some Skip_rotate ->
+          (* the bug: snapshot without the atomic WAL rotation — the
+             old handle keeps journaling into a swept-away file *)
+          ignore
+            (State.save ~dir ~unregistered:(S.Mutator.unregistered mut) (S.Mutator.monitor mut))
+        | _ ->
+          let _gen, nw = S.snapshot_rotate ~dir ~fsync_every mut (Some !wal) in
+          wal := Option.get nw);
+        synced := !total
+      end;
+      if inject = Some Log_before_apply && P.logged req then Wal.append !wal req;
+      match S.Mutator.apply mut req with
+      | Ok _ when P.logged req ->
+        incr total;
+        synced := (if inject = Some Skip_fsync then !total else !total - Wal.unsynced !wal)
+      | Ok _ | Error _ -> ())
+    w.ops;
+  mut
+
+(* One run at one fault point ([crash_at = -1]: fault-free, then a
+   clean restart).  Returns [Ok ()] or [Error reason]. *)
+let check_run w ~inject ~digests ~crash_at =
+  let fs = Fault.create ~crash_at ~seed:(Rng.derive w.seed (crash_at + 1)) () in
+  let total = ref 0 and synced = ref 0 and inflight = ref false in
+  Vfs.with_backend (Fault.backend fs) @@ fun () ->
+  let live =
+    try
+      let mut = drive w ~inject ~total ~synced ~inflight in
+      Some mut
+    with Fault.Crash -> None
+  in
+  Fault.restart fs;
+  match S.recover ~state_dir:dir ~load_base:w.load_base () with
+  | exception e -> Error (Printf.sprintf "recovery failed: %s" (Printexc.to_string e))
+  | r -> (
+    let mut = S.Mutator.create ~unregistered:r.S.unregistered r.S.monitor in
+    let d = try Ok (digest mut) with e -> Error e in
+    match d with
+    | Error e -> Error (Printf.sprintf "recovered state unusable: %s" (Printexc.to_string e))
+    | Ok d ->
+      let n = Array.length digests - 1 in
+      let lo, hi =
+        if live <> None then (!total, !total) (* clean restart: nothing may be lost *)
+        else (!synced, min n (!total + if !inflight then 1 else 0))
+      in
+      let matches = ref [] in
+      Array.iteri (fun k dk -> if dk = d then matches := k :: !matches) digests;
+      if List.exists (fun k -> k >= lo && k <= hi) !matches then Ok ()
+      else
+        Error
+          (match !matches with
+          | [] ->
+            Printf.sprintf
+              "recovered state matches no oracle state (window [%d, %d] of %d, replayed %d)"
+              lo hi n r.S.replayed
+          | ks ->
+            Printf.sprintf
+              "recovered state is oracle state %s, outside the durable window [%d, %d]"
+              (String.concat "/" (List.map string_of_int (List.rev ks)))
+              lo hi))
+
+(* Sequential and parallel validation must agree on a recovered-shape
+   monitor (replica epochs re-hydrate to parity). *)
+let parallel_parity mut =
+  let m = S.Mutator.monitor mut in
+  let vs = Core.Monitor.verdicts m in
+  Core.Monitor.set_jobs m 2;
+  let vp = Core.Monitor.verdicts m in
+  Core.Monitor.stop m;
+  if vs = vp then Ok ()
+  else Error "sequential and parallel validation disagree on the final state"
+
+(* -- schedules, shrinking, reporting --------------------------------------- *)
+
+let repro ~seed ~ops ~fault ~inject =
+  Printf.sprintf "fcv sim --seed %d --ops %d --fault=%d%s" seed ops fault
+    (match inject with None -> "" | Some i -> " --inject " ^ inject_to_string i)
+
+(* Exercise one workload at every reachable fault point; [Some
+   (fault, reason)] on the first violation.  Also counts runs. *)
+let sweep w ~inject ~runs ~only_fault =
+  match oracle w with
+  | exception e -> Some (-1, "oracle run failed: " ^ Printexc.to_string e)
+  | digests, omut -> (
+    let clean () =
+      incr runs;
+      match check_run w ~inject ~digests ~crash_at:(-1) with
+      | Ok () -> None
+      | Error reason -> Some (-1, reason)
+    in
+    match only_fault with
+    | Some (-1) -> clean ()
+    | Some k ->
+      incr runs;
+      (match check_run w ~inject ~digests ~crash_at:k with
+      | Ok () -> None
+      | Error reason -> Some (k, reason))
+    | None -> (
+      match parallel_parity omut with
+      | Error reason -> Some (-1, reason)
+      | Ok () -> (
+        match clean () with
+        | Some _ as fail -> fail
+        | None ->
+          (* count the workload's reachable fault points with a
+             fault-free instrumented run, then crash at each *)
+          let fs = Fault.create ~seed:(Rng.derive w.seed 0) () in
+          let total = ref 0 and synced = ref 0 and inflight = ref false in
+          Vfs.with_backend (Fault.backend fs) (fun () ->
+              ignore (drive w ~inject ~total ~synced ~inflight));
+          let n_faults = Fault.effects fs in
+          let rec go k =
+            if k >= n_faults then None
+            else begin
+              incr runs;
+              match check_run w ~inject ~digests ~crash_at:k with
+              | Ok () -> go (k + 1)
+              | Error reason -> Some (k, reason)
+            end
+          in
+          go 0)))
+
+(* Minimal replayable counterexample: the shortest prefix of the
+   workload's op stream that still fails somewhere, and its earliest
+   failing fault point. *)
+let shrink ~seed ~inject ~fsync_every ~runs ~full_ops ~first =
+  let rec try_n n =
+    if n > full_ops then first
+    else
+      let w = gen_workload ~ops:n ?fsync_every ~seed () in
+      match sweep w ~inject ~runs ~only_fault:None with
+      | Some (fault, reason) -> (n, fault, reason)
+      | None -> try_n (n + 1)
+  in
+  try_n 1
+
+let run ?inject ?ops ?fault ?(max_failures = 1) ?(progress = fun _ -> ()) ~seed ~schedules () =
+  let runs = ref 0 in
+  let failures = ref [] in
+  let fail ~wseed ~n_ops ~fault ~reason =
+    failures :=
+      {
+        cx_seed = wseed;
+        cx_ops = n_ops;
+        cx_fault = fault;
+        cx_inject = inject;
+        cx_reason = reason;
+        cx_repro = repro ~seed:wseed ~ops:n_ops ~fault ~inject;
+      }
+      :: !failures
+  in
+  let schedules_run = ref 0 in
+  (match fault with
+  | Some k ->
+    (* replay mode: [seed] IS the workload seed *)
+    let w = gen_workload ?ops ~seed () in
+    incr schedules_run;
+    (match sweep w ~inject ~runs ~only_fault:(Some k) with
+    | None -> ()
+    | Some (f, reason) -> fail ~wseed:seed ~n_ops:w.n_ops ~fault:f ~reason)
+  | None ->
+    let s = ref 0 in
+    while !s < schedules && List.length !failures < max_failures do
+      let wseed = Rng.derive seed !s in
+      let w = gen_workload ?ops ~seed:wseed () in
+      incr schedules_run;
+      (match sweep w ~inject ~runs ~only_fault:None with
+      | None -> ()
+      | Some (first_fault, first_reason) ->
+        progress
+          (Printf.sprintf "schedule %d (seed %d): violation at fault %d — shrinking" !s wseed
+             first_fault);
+        let n_ops, f, reason =
+          shrink ~seed:wseed ~inject ~fsync_every:None ~runs ~full_ops:w.n_ops
+            ~first:(w.n_ops, first_fault, first_reason)
+        in
+        fail ~wseed ~n_ops ~fault:f ~reason);
+      if (!s + 1) mod 25 = 0 then
+        progress (Printf.sprintf "%d/%d schedules, %d crash runs" (!s + 1) schedules !runs);
+      incr s
+    done);
+  { schedules_run = !schedules_run; crash_runs = !runs; failures = List.rev !failures }

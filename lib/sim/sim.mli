@@ -1,0 +1,72 @@
+(** Deterministic fault-injection simulator for the constraint
+    service's durability machinery.
+
+    One {e schedule} is: generate a seeded workload (constraint
+    registrations, inserts, deletes, unregisters, rejected requests,
+    snapshot points over a university or retail base), run it through
+    the server's real durable core ({!Fcv_server.Server.Mutator} +
+    WAL + {!Fcv_server.Server.snapshot_rotate}) against the
+    {!Fault} in-memory file system, and
+
+    - record an {e oracle}: the state digest (extensional database +
+      constraint registry + tombstones + verdicts) after every
+      acknowledged mutation of a never-crashed run, plus a
+      sequential-vs-parallel validation parity check;
+    - run once fault-free and once per reachable fault point, crashing
+      there, restarting, recovering, and checking the {e durability
+      invariant}: the recovered digest equals the oracle digest after
+      [k] acknowledged mutations for some [k] in [[synced, acked +
+      in-flight]] — acknowledged-and-fsynced mutations survive,
+      unacknowledged ones are atomically absent, and recovery itself
+      never errors;
+    - on a violation, shrink: the shortest workload prefix and
+      earliest fault point that still fail, reported as a one-line
+      replayable [fcv sim] command.
+
+    [inject] plants a known durability bug to prove the harness
+    catches it (each yields a shrunk counterexample):
+    - [Log_before_apply]: journal before applying — rejected requests
+      reach the WAL and recovery diverges or fails;
+    - [Skip_fsync]: acknowledge without fsync — a crash loses
+      acknowledged mutations;
+    - [Skip_rotate]: cut snapshots without the atomic WAL rotation —
+      mutations after a snapshot vanish on restart. *)
+
+type inject = Log_before_apply | Skip_fsync | Skip_rotate
+
+val inject_to_string : inject -> string
+val inject_of_string : string -> (inject, string) result
+
+type counterexample = {
+  cx_seed : int;  (** workload (schedule) seed *)
+  cx_ops : int;  (** shrunk workload length *)
+  cx_fault : int;  (** fault point; -1 = fails without a crash *)
+  cx_inject : inject option;
+  cx_reason : string;
+  cx_repro : string;  (** one-line replay command *)
+}
+
+type result = {
+  schedules_run : int;
+  crash_runs : int;  (** total fault points exercised *)
+  failures : counterexample list;
+}
+
+val run :
+  ?inject:inject ->
+  ?ops:int ->
+  ?fault:int ->
+  ?max_failures:int ->
+  ?progress:(string -> unit) ->
+  seed:int ->
+  schedules:int ->
+  unit ->
+  result
+(** Sweep [schedules] schedules; schedule [i]'s workload seed is
+    [Fcv_util.Rng.derive seed i], so any schedule replays in
+    isolation.  [ops] overrides every workload's length.  With
+    [fault], replay mode: [seed] is used directly as the workload seed
+    and only that fault point runs ([fault = -1] = the fault-free
+    clean-restart check) — the shape a counterexample's repro line
+    uses.  Stops after [max_failures] (default 1) shrunk
+    counterexamples. *)

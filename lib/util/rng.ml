@@ -81,3 +81,13 @@ let zipf t ~s bound =
       if acc >= target then r else find (r + 1) acc
   in
   find 0 0.
+
+(** [derive seed i] is a reproducible child seed: schedule [i] of a
+    run seeded with [seed] gets its own independent stream, and the
+    pair is enough to replay that schedule in isolation. *)
+let derive seed i =
+  let t =
+    { state = Int64.logxor (Int64.of_int seed)
+        (Int64.mul (Int64.of_int (i + 1)) 0x9E3779B97F4A7C15L) }
+  in
+  Int64.to_int (Int64.shift_right_logical (next_int64 t) 2)

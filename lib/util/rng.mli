@@ -27,3 +27,8 @@ val choose : t -> 'a array -> 'a
 
 val zipf : t -> s:float -> int -> int
 (** Skewed integer in [0, bound): rank r has weight 1/(r+1)^s. *)
+
+val derive : int -> int -> int
+(** [derive seed i]: a reproducible non-negative child seed for the
+    [i]-th schedule of a run seeded with [seed] — replaying [derive
+    seed i] alone reproduces schedule [i]. *)

@@ -159,6 +159,29 @@ let rec formula_shrink f =
 let formula_arbitrary =
   QCheck.make formula_gen ~print:(fun f -> F.to_string f) ~shrink:formula_shrink
 
+(** Alcotest case for a QCheck test under a {e pinned} RNG seed:
+    [QCHECK_SEED] (default 20070415, the one bench/ci.sh exports)
+    drives generation, so every run — local or CI — explores the same
+    cases, and a failure prints the exact [QCHECK_SEED=...] that
+    replays it. *)
+let qcheck_seed =
+  lazy
+    (match Sys.getenv_opt "QCHECK_SEED" with
+    | Some s -> ( try int_of_string s with _ -> 20070415)
+    | None -> 20070415)
+
+let qcheck_case test =
+  match test with
+  | QCheck2.Test.Test cell ->
+    let name = QCheck.Test.get_name cell in
+    Alcotest.test_case name `Slow (fun () ->
+        let seed = Lazy.force qcheck_seed in
+        let rand = Random.State.make [| seed |] in
+        try QCheck.Test.check_cell_exn ~rand cell
+        with e ->
+          Printf.eprintf "\n  failing seed: replay with QCHECK_SEED=%d\n%!" seed;
+          raise e)
+
 (** Quantify away any remaining free variables so the formula is
     closed (the generator only uses bound variables in atoms, so the
     result is already closed; this is a safety net). *)

@@ -5,7 +5,9 @@
     constraints over random small databases.  Failures shrink to a
     minimal counterexample formula via {!Gen.formula_shrink}.
 
-    Determinism: QCheck honours [QCHECK_SEED]; bench/ci.sh pins it. *)
+    Determinism: {!Gen.qcheck_case} pins the QCheck seed ([QCHECK_SEED]
+    overrides, default = the one bench/ci.sh exports) and prints the
+    failing seed on a counterexample. *)
 
 module F = Core.Formula
 module C = Core.Checker
@@ -76,7 +78,7 @@ let prop_fallback_bookkeeping =
         | C.Sql | C.Naive -> r.C.bdd_overhead_ms >= 0.))
 
 let suite =
-  List.map QCheck_alcotest.to_alcotest
+  List.map Gen.qcheck_case
     [ prop_three_way_agreement; prop_agreement_under_budget; prop_fallback_bookkeeping ]
 
 let () = Registry.register "differential" suite

@@ -266,15 +266,11 @@ let test_index_parity_after_stream () =
   check "stream produced a violation" true
     (List.exists (fun (_, o) -> o = Core.Checker.Violated) expected);
   (* save, then reload against a FRESH database handle *)
-  let db_path = Filename.temp_file "fcv" ".dbdump" in
+  let db_buf = Buffer.create 4096 in
   let idx_path = Filename.temp_file "fcv" ".idx" in
-  let oc = open_out db_path in
-  Fcv_server.State.save_db db oc;
-  close_out oc;
+  Fcv_server.State.save_db db db_buf;
   Core.Index_io.save_file index idx_path;
-  let ic = open_in db_path in
-  let db' = Fcv_server.State.load_db ic in
-  close_in ic;
+  let db' = Fcv_server.State.load_db (Buffer.contents db_buf) in
   let index' = Core.Index_io.load_file db' idx_path in
   let mon' = Core.Monitor.create index' in
   List.iter (fun s -> ignore (Core.Monitor.add mon' s)) sources;
@@ -285,7 +281,6 @@ let test_index_parity_after_stream () =
   ignore (Core.Monitor.delete mon ~table_name:"course" [| 4; 4 |]);
   ignore (Core.Monitor.delete mon' ~table_name:"course" [| 4; 4 |]);
   check "parity after further updates" true (outcomes mon' = outcomes mon);
-  Sys.remove db_path;
   Sys.remove idx_path
 
 let suite =

@@ -26,10 +26,13 @@ module _ = Test_telemetry
 module _ = Test_differential
 module _ = Test_server
 module _ = Test_parallel
+module _ = Test_encode_prop
+module _ = Test_metamorphic
+module _ = Test_sim
 
 let () =
   let suites = Registry.all () in
-  if List.length suites < 19 then
+  if List.length suites < 22 then
     failwith
       (Printf.sprintf "Test_main: only %d suites registered — a test module was \
                        linked without calling Registry.register"

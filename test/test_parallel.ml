@@ -4,7 +4,9 @@
     sequential run — deterministic unit tests plus a QCheck
     differential over random constraint batches.
 
-    Determinism: QCheck honours [QCHECK_SEED]; bench/ci.sh pins it. *)
+    Determinism: {!Gen.qcheck_case} pins the QCheck seed ([QCHECK_SEED]
+    overrides, default = the one bench/ci.sh exports) and prints the
+    failing seed on a counterexample. *)
 
 module Pool = Fcv_util.Pool
 module C = Core.Checker
@@ -251,5 +253,5 @@ let () =
         test_check_all_parallel_matches_sequential;
       Alcotest.test_case "monitor: parallel validate matches sequential" `Quick
         test_monitor_parallel_validate;
-      QCheck_alcotest.to_alcotest prop_parallel_differential;
+      Gen.qcheck_case prop_parallel_differential;
     ]

@@ -218,14 +218,9 @@ let test_db_dump_roundtrip () =
   let dict = R.Database.domain db "course_id" in
   ignore (R.Dict.intern dict (R.Value.Int 999));
   ignore (R.Dict.intern dict (R.Value.Str "weird\tvalue\nnewline"));
-  let path = Filename.temp_file "fcv" ".dbdump" in
-  let oc = open_out path in
-  St.save_db db oc;
-  close_out oc;
-  let ic = open_in path in
-  let db' = St.load_db ic in
-  close_in ic;
-  Sys.remove path;
+  let buf = Buffer.create 4096 in
+  St.save_db db buf;
+  let db' = St.load_db (Buffer.contents buf) in
   check "same domains" true (R.Database.domain_names db' = R.Database.domain_names db);
   List.iter
     (fun name ->
