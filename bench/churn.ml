@@ -1,0 +1,206 @@
+(* Memory-lifecycle churn benchmark for the long-running serving path.
+
+     dune exec bench/churn.exe [-- OUT.json]
+
+   Streams seeded insert/delete churn (with occasional fresh-value
+   interning, which forces entry rebuilds and abandons level space)
+   through a monitored index for a fixed number of validation cycles
+   per workload, with the automatic GC policy enabled — exactly the
+   regime `fcv serve` lives in.  Writes BENCH_churn.json with
+   per-cycle lifecycle gauges and a summary.
+
+   The gate (exit 1, fatal under FCV_CI=1 via bench/ci.sh):
+   - after every forced compaction the store must hold at most 2× the
+     reachable size of the live roots;
+   - peak node count must stay under an absolute per-workload bound
+     (a leak — dead entries surviving unregister, unbounded op
+     caches, never-recycled levels — blows through it);
+   - levels in use must stay under the 511 packing ceiling. *)
+
+module R = Fcv_relation
+module M = Fcv_bdd.Manager
+module T = Fcv_util.Telemetry
+
+let cycles = 15
+let ops_per_cycle = 300
+
+(* Generous absolute ceiling on peak nodes: an order of magnitude
+   above what a healthy run peaks at, far below what churn without
+   reclamation accumulates. *)
+let peak_bound = 2_000_000
+
+let university_constraints =
+  [
+    "forall s, c . takes(s, c) -> (exists a . course(c, a))";
+    "forall s, c . takes(s, c) -> (exists d, k . student(s, d, k))";
+    "forall s, d1, k1, d2, k2 . student(s, d1, k1) and student(s, d2, k2) -> d1 = d2";
+    "forall c, a1, a2 . course(c, a1) and course(c, a2) -> a1 = a2";
+  ]
+
+let university () =
+  let rng = Fcv_util.Rng.create 42 in
+  let db, _, _, _ =
+    Fcv_datagen.University.generate rng
+      { Fcv_datagen.University.default with students = 1_000; courses = 120 }
+  in
+  (db, university_constraints)
+
+let retail () =
+  let rng = Fcv_util.Rng.create 42 in
+  let gen =
+    Fcv_datagen.Retail.generate rng
+      { Fcv_datagen.Retail.default with customers = 800; products = 200; orders = 3_000 }
+  in
+  (gen.Fcv_datagen.Retail.db, List.map snd Fcv_datagen.Retail.audit_constraints)
+
+(* One mutation: delete a random row, or insert a perturbed clone of
+   one (sometimes with a freshly interned value, forcing a rebuild). *)
+let churn_step rng mon db fresh =
+  let tables = R.Database.table_names db in
+  let tbl = List.nth tables (Fcv_util.Rng.int rng (List.length tables)) in
+  let t = R.Database.table db tbl in
+  let n = R.Table.cardinality t in
+  if n = 0 then ()
+  else if Fcv_util.Rng.bernoulli rng 0.4 then
+    ignore
+      (Core.Monitor.delete mon ~table_name:tbl
+         (Array.copy (R.Table.row t (Fcv_util.Rng.int rng n))))
+  else begin
+    let row = Array.copy (R.Table.row t (Fcv_util.Rng.int rng n)) in
+    let j = Fcv_util.Rng.int rng (Array.length row) in
+    if Fcv_util.Rng.bernoulli rng 0.05 then begin
+      incr fresh;
+      row.(j) <-
+        R.Dict.intern (R.Table.dict t j)
+          (R.Value.of_string (Printf.sprintf "churn!%d" !fresh))
+    end
+    else row.(j) <- (R.Table.row t (Fcv_util.Rng.int rng n)).(j);
+    Core.Monitor.insert mon ~table_name:tbl row
+  end
+
+type cycle_point = {
+  cycle : int;
+  nodes : int;
+  live : int;
+  dead_ratio : float;
+  levels_used : int;
+  gc_runs : int;
+  violated : int;
+  validate_ms : float;
+}
+
+let json_of_point p =
+  T.Obj
+    [
+      ("cycle", T.Int p.cycle);
+      ("nodes", T.Int p.nodes);
+      ("live", T.Int p.live);
+      ("dead_ratio", T.Float p.dead_ratio);
+      ("levels_used", T.Int p.levels_used);
+      ("gc_runs", T.Int p.gc_runs);
+      ("violated", T.Int p.violated);
+      ("validate_ms", T.Float p.validate_ms);
+    ]
+
+let failures = ref []
+
+let require name ok msg =
+  if not ok then failures := Printf.sprintf "%s: %s" name msg :: !failures
+
+let run_workload name make =
+  Printf.printf "\n== %s ==\n%!" name;
+  let db, sources = make () in
+  let rng = Fcv_util.Rng.create 7 in
+  let index = Core.Index.create db in
+  let mon = Core.Monitor.create index in
+  List.iter (fun s -> ignore (Core.Monitor.add mon s)) sources;
+  let fresh = ref 0 in
+  let points = ref [] in
+  for cycle = 1 to cycles do
+    for _ = 1 to ops_per_cycle do
+      churn_step rng mon db fresh
+    done;
+    let t0 = Fcv_util.Timer.now () in
+    let reports = Core.Monitor.validate mon in
+    let validate_ms = (Fcv_util.Timer.now () -. t0) *. 1000. in
+    ignore (Core.Monitor.gc mon);
+    let live = Core.Index.live_nodes index in
+    let nodes = M.size (Core.Index.mgr index) in
+    require name
+      (nodes <= 2 * live)
+      (Printf.sprintf "cycle %d: %d nodes > 2x %d live after GC" cycle nodes live);
+    require name
+      (M.nvars (Core.Index.mgr index) <= M.max_level)
+      (Printf.sprintf "cycle %d: %d levels past the ceiling" cycle
+         (M.nvars (Core.Index.mgr index)));
+    let s = Core.Index.lifecycle_stats index in
+    let violated =
+      List.length
+        (List.filter (fun r -> r.Core.Monitor.outcome = Core.Checker.Violated) reports)
+    in
+    points :=
+      {
+        cycle;
+        nodes;
+        live;
+        dead_ratio = s.Core.Index.dead;
+        levels_used = s.Core.Index.levels_used;
+        gc_runs = s.Core.Index.gc_runs;
+        violated;
+        validate_ms;
+      }
+      :: !points;
+    Printf.printf
+      "  cycle %2d: nodes %7d  live %7d  levels %3d  gc %2d  violated %d  %.1f ms\n%!"
+      cycle nodes live s.Core.Index.levels_used s.Core.Index.gc_runs violated validate_ms
+  done;
+  let s = Core.Index.lifecycle_stats index in
+  require name
+    (s.Core.Index.peak <= peak_bound)
+    (Printf.sprintf "peak %d nodes > bound %d" s.Core.Index.peak peak_bound);
+  require name (s.Core.Index.gc_runs >= cycles) "fewer GC runs than forced compactions";
+  Printf.printf
+    "  peak %d nodes  reclaimed %d nodes over %d GCs (%d level recycles)\n%!"
+    s.Core.Index.peak s.Core.Index.gc_reclaimed s.Core.Index.gc_runs
+    s.Core.Index.level_recycles;
+  Core.Monitor.stop mon;
+  T.Obj
+    [
+      ("name", T.String name);
+      ("constraints", T.Int (List.length sources));
+      ("cycles", T.Int cycles);
+      ("ops_per_cycle", T.Int ops_per_cycle);
+      ("peak_nodes", T.Int s.Core.Index.peak);
+      ("peak_bound", T.Int peak_bound);
+      ("gc_runs", T.Int s.Core.Index.gc_runs);
+      ("gc_reclaimed", T.Int s.Core.Index.gc_reclaimed);
+      ("level_recycles", T.Int s.Core.Index.level_recycles);
+      ("deferred_rebuilds", T.Int s.Core.Index.deferred_rebuilds);
+      ("series", T.List (List.rev_map json_of_point !points));
+    ]
+
+let () =
+  let out = if Array.length Sys.argv > 1 then Sys.argv.(1) else "BENCH_churn.json" in
+  Printf.printf "memory-lifecycle churn — %d cycles x %d ops per workload\n" cycles
+    ops_per_cycle;
+  let uni = run_workload "university" university in
+  let ret = run_workload "retail" retail in
+  let workloads = [ uni; ret ] in
+  let doc =
+    T.Obj
+      [
+        ("bench", T.String "churn");
+        ("workloads", T.List workloads);
+        ("ok", T.Bool (!failures = []));
+      ]
+  in
+  let oc = open_out out in
+  output_string oc (T.Json.to_string doc);
+  output_char oc '\n';
+  close_out oc;
+  Printf.printf "\nwrote %s\n%!" out;
+  match !failures with
+  | [] -> Printf.printf "churn gate passed\n%!"
+  | fs ->
+    List.iter (fun f -> Printf.eprintf "FAIL %s\n%!" f) (List.rev fs);
+    exit 1

@@ -1,13 +1,15 @@
 #!/bin/sh
 # CI gate: format check, full build, the test suite with a pinned
 # QCheck seed, a daemon smoke test, a 200-schedule fault-injection
-# sweep (fcv sim), the parallel-validation scaling benchmark, and the
-# perf-regression gate against bench/baseline.json.
+# sweep (fcv sim), the parallel-validation scaling benchmark, the
+# perf-regression gate against bench/baseline.json, and the
+# memory-lifecycle churn benchmark with its peak-node bound.
 #
-# FCV_CI=1 hardens the gate for CI runners: a missing ocamlformat and
-# a perf regression become failures instead of skips/warnings.  On
-# failure the workspace keeps _ci/ (smoke-test state dir) and
-# BENCH_parallel.json for artifact upload.
+# FCV_CI=1 hardens the gate for CI runners: a missing ocamlformat, a
+# perf regression and a churn memory-bound violation become failures
+# instead of skips/warnings.  On failure the workspace keeps _ci/
+# (smoke-test state dir), BENCH_parallel.json and BENCH_churn.json
+# for artifact upload.
 set -eu
 
 cd "$(dirname "$0")/.."
@@ -123,6 +125,16 @@ fi
 
 echo "== parallel-validation scaling benchmark"
 dune exec bench/parallel.exe
+
+echo "== memory-lifecycle churn benchmark (peak-node bound fatal under FCV_CI=1)"
+if dune exec bench/churn.exe; then
+  :
+elif [ "$FCV_CI" = "1" ]; then
+  echo "FAIL: churn gate violated its memory bounds (see BENCH_churn.json)" >&2
+  exit 1
+else
+  echo "WARNING: churn gate violated its memory bounds (fatal under FCV_CI=1)" >&2
+fi
 
 echo "== perf-regression gate (tolerance 25%, fatal under FCV_CI=1)"
 if dune exec bench/check_regression.exe; then

@@ -110,12 +110,30 @@ let print_manager_stats oc mgr =
   Printf.fprintf oc "    buckets (longest)   %12d (%d)\n" s.M.unique_buckets s.M.unique_max_bucket;
   Printf.fprintf oc "  apply-cache lookups   %12d\n" s.M.op_cache_lookups;
   Printf.fprintf oc "    hit rate            %12.1f%%\n" (100. *. M.cache_hit_rate s);
+  Printf.fprintf oc "  op-cache entries      %12d\n" s.M.op_cache_entries;
+  Printf.fprintf oc "    cap flushes         %12d\n" s.M.op_cache_flushes;
   Printf.fprintf oc "  budget trips          %12d\n" s.M.budget_trips;
   Printf.fprintf oc "  compact reclaimed     %12d\n" s.M.compact_reclaimed;
   let calls = List.filter (fun (_, n) -> n > 0) s.M.op_calls in
   if calls <> [] then
     Printf.fprintf oc "  op calls              %s\n"
       (String.concat ", " (List.map (fun (name, n) -> Printf.sprintf "%s=%d" name n) calls))
+
+(* The memory-lifecycle table: what a long-running store has allocated,
+   what is actually live, and what reclamation has run. *)
+let print_lifecycle_stats oc index =
+  let ls = Core.Index.lifecycle_stats index in
+  Printf.fprintf oc "Memory lifecycle\n";
+  Printf.fprintf oc "  live nodes            %12d\n" ls.Core.Index.live;
+  Printf.fprintf oc "  peak nodes            %12d\n" ls.Core.Index.peak;
+  Printf.fprintf oc "  dead ratio            %12.1f%%\n" (100. *. ls.Core.Index.dead);
+  Printf.fprintf oc "  levels used (live)    %12d (%d)\n" ls.Core.Index.levels_used
+    ls.Core.Index.levels_alive;
+  Printf.fprintf oc "  gc runs               %12d\n" ls.Core.Index.gc_runs;
+  Printf.fprintf oc "  gc reclaimed          %12d\n" ls.Core.Index.gc_reclaimed;
+  Printf.fprintf oc "  level recycles        %12d\n" ls.Core.Index.level_recycles;
+  if ls.Core.Index.deferred_rebuilds > 0 then
+    Printf.fprintf oc "  deferred rebuilds     %12d\n" ls.Core.Index.deferred_rebuilds
 
 (* -- fcv check --------------------------------------------------------------- *)
 
@@ -450,6 +468,8 @@ let stats_cmd =
     Printf.printf "\n%d/%d constraints violated\n\n" violated (List.length constraints);
     print_manager_stats stdout (Core.Index.mgr index);
     print_newline ();
+    print_lifecycle_stats stdout index;
+    print_newline ();
     T.print_summary stdout;
     Option.iter
       (fun path ->
@@ -666,8 +686,8 @@ let serve_cmd =
 let client_cmd =
   let cmd_arg =
     let doc =
-      "One of: ping | stats | validate | snapshot | shutdown | register | unregister | \
-       insert | delete | updates."
+      "One of: ping | stats | validate | compact | snapshot | shutdown | register | \
+       unregister | insert | delete | updates."
     in
     Arg.(required & pos 0 (some string) None & info [] ~docv:"CMD" ~doc)
   in
@@ -711,6 +731,7 @@ let client_cmd =
     match cmd with
     | "ping" -> one P.Ping
     | "stats" -> one P.Stats
+    | "compact" -> one P.Compact
     | "snapshot" -> one P.Snapshot
     | "shutdown" -> one P.Shutdown
     | "register" -> one (P.Register { source = need "a constraint"; id = None })

@@ -21,6 +21,13 @@ exception Node_limit of int
 (** Raised by {!mk} when the node budget is exceeded; carries the
     budget that was exceeded. *)
 
+exception Level_limit of int
+(** Raised by {!new_var} when the 511-level packing ceiling is
+    reached; carries the ceiling.  Long-running index stores recover
+    by recycling abandoned levels (a dense rebuild through
+    [Index_io]); one-shot checks treat it like {!Node_limit} and fall
+    back to SQL/naive processing. *)
+
 (* Slots of the per-manager operation-call counter array; one public
    entry point of {!Ops} each. *)
 let op_slot_names =
@@ -48,10 +55,12 @@ type t = {
   quant_cache : (int, int) Hashtbl.t;  (* packed (sig,f,g) -> id *)
   quant_sigs : (string, int) Hashtbl.t;  (* (op,quant,levels) -> small sig *)
   mutable max_nodes : int;  (* 0 = unlimited *)
+  mutable max_cache : int;  (* per-cache entry cap; 0 = unbounded *)
   mutable mk_hits : int;  (* unique-table hits *)
   mutable mk_misses : int;  (* fresh nodes created *)
   mutable cache_hits : int;
   mutable cache_lookups : int;
+  mutable cache_flushes : int;  (* wholesale cap-triggered cache resets *)
   mutable peak_size : int;  (* largest [size] ever reached *)
   mutable budget_trips : int;  (* times Node_limit was raised *)
   mutable compact_reclaimed : int;  (* nodes dropped by all compactions *)
@@ -69,7 +78,14 @@ let max_id = (1 lsl 27) - 1
 let zero = 0
 let one = 1
 
-let create ?(max_nodes = 0) ~nvars () =
+(* Default per-cache entry cap: a memo table holding a million entries
+   of a long-dead computation is pure ballast on the serving path, so
+   the caches flush wholesale (BuDDy-style) once they reach this size.
+   Rebuilding the memo costs one cold pass; hit rates recover within a
+   check. *)
+let default_max_cache = 1 lsl 20
+
+let create ?(max_nodes = 0) ?(max_cache = default_max_cache) ~nvars () =
   if nvars < 0 || nvars > max_level then invalid_arg "Manager.create: nvars";
   let cap = 1024 in
   let var_ = Array.make cap terminal_level in
@@ -93,10 +109,12 @@ let create ?(max_nodes = 0) ~nvars () =
     quant_cache = Hashtbl.create 1024;
     quant_sigs = Hashtbl.create 16;
     max_nodes;
+    max_cache;
     mk_hits = 0;
     mk_misses = 0;
     cache_hits = 0;
     cache_lookups = 0;
+    cache_flushes = 0;
     peak_size = 2;
     budget_trips = 0;
     compact_reclaimed = 0;
@@ -107,11 +125,14 @@ let nvars t = t.nvars
 let size t = t.size
 let max_nodes t = t.max_nodes
 let set_max_nodes t n = t.max_nodes <- n
+let max_cache t = t.max_cache
+let set_max_cache t n = t.max_cache <- n
 
 (** Allocate a fresh variable at the bottom of the current order and
-    return its level. *)
+    return its level.
+    @raise Level_limit at the 511-level packing ceiling. *)
 let new_var t =
-  if t.nvars >= max_level then failwith "Manager.new_var: too many variables";
+  if t.nvars >= max_level then raise (Level_limit max_level);
   let v = t.nvars in
   t.nvars <- t.nvars + 1;
   v
@@ -196,7 +217,19 @@ let cache_find t op f g =
     Some r
   | None -> None
 
-let cache_add t op f g r = Hashtbl.replace t.apply_cache (cache_key op f g) r
+(* Cap enforcement shared by the three memo tables: once a table
+   reaches [max_cache] entries it is flushed wholesale before the new
+   entry goes in — the BuDDy recipe.  Selective eviction is not worth
+   the bookkeeping: keys are packed ints with no cheap recency order,
+   and a cold re-derivation is one apply pass. *)
+let bounded_add t cache key r =
+  if t.max_cache > 0 && Hashtbl.length cache >= t.max_cache then begin
+    Hashtbl.reset cache;
+    t.cache_flushes <- t.cache_flushes + 1
+  end;
+  Hashtbl.replace cache key r
+
+let cache_add t op f g r = bounded_add t t.apply_cache (cache_key op f g) r
 
 let ite_cache_find t f g h =
   t.cache_lookups <- t.cache_lookups + 1;
@@ -206,7 +239,7 @@ let ite_cache_find t f g h =
     Some r
   | None -> None
 
-let ite_cache_add t f g h r = Hashtbl.replace t.ite_cache (f, g, h) r
+let ite_cache_add t f g h r = bounded_add t t.ite_cache (f, g, h) r
 
 (* Quantification results depend on (binary op, quantifier op, level
    set); interning that triple as a small signature lets every
@@ -241,13 +274,18 @@ let quant_cache_find t sig_ f g =
     Some r
   | None -> None
 
-let quant_cache_add t sig_ f g r = Hashtbl.replace t.quant_cache (quant_cache_key sig_ f g) r
+let quant_cache_add t sig_ f g r = bounded_add t t.quant_cache (quant_cache_key sig_ f g) r
 
 let clear_caches t =
   Hashtbl.reset t.apply_cache;
   Hashtbl.reset t.ite_cache;
   Hashtbl.reset t.quant_cache;
   Hashtbl.reset t.quant_sigs
+
+(** Current total occupancy of the three memo tables (entries, not
+    bytes) — the lifecycle policy's cache-occupancy gauge. *)
+let cache_entries t =
+  Hashtbl.length t.apply_cache + Hashtbl.length t.ite_cache + Hashtbl.length t.quant_cache
 
 (** Count one public {!Ops} entry-point call in slot [i] (one of the
     [op_*] constants). *)
@@ -263,6 +301,8 @@ type stats = {
   unique_max_bucket : int;
   op_cache_hits : int;
   op_cache_lookups : int;
+  op_cache_entries : int;  (* current occupancy across the memo tables *)
+  op_cache_flushes : int;  (* cap-triggered wholesale resets *)
   budget_trips : int;
   compact_reclaimed : int;
   op_calls : (string * int) list;
@@ -280,6 +320,8 @@ let stats t =
     unique_max_bucket = hstats.Hashtbl.max_bucket_length;
     op_cache_hits = t.cache_hits;
     op_cache_lookups = t.cache_lookups;
+    op_cache_entries = cache_entries t;
+    op_cache_flushes = t.cache_flushes;
     budget_trips = t.budget_trips;
     compact_reclaimed = t.compact_reclaimed;
     op_calls = Array.to_list (Array.mapi (fun i n -> (op_slot_names.(i), n)) t.op_calls);

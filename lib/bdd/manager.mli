@@ -18,6 +18,12 @@ type t
 exception Node_limit of int
 (** Raised by {!mk} when the node budget is exceeded. *)
 
+exception Level_limit of int
+(** Raised by {!new_var} at the 511-level packing ceiling.  The
+    serving path recovers by recycling abandoned levels (dense rebuild
+    through [Core.Index_io]); a one-shot check treats it like
+    {!Node_limit} and falls back to SQL/naive processing. *)
+
 val zero : int
 (** The [false] terminal (id 0). *)
 
@@ -27,10 +33,15 @@ val one : int
 val terminal_level : int
 (** Pseudo-level of terminals ([max_int]); deeper than any variable. *)
 
-val create : ?max_nodes:int -> nvars:int -> unit -> t
+val create : ?max_nodes:int -> ?max_cache:int -> nvars:int -> unit -> t
 (** Fresh manager with [nvars] pre-allocated variables (more can be
     added with {!new_var}).  [max_nodes = 0] (default) means no
-    budget. *)
+    budget; [max_cache] caps each operation cache's entry count
+    (default {!default_max_cache}, 0 = unbounded). *)
+
+val max_level : int
+(** Hard level ceiling (511) imposed by node packing; {!new_var}
+    raises {!Level_limit} beyond it. *)
 
 val nvars : t -> int
 val size : t -> int
@@ -39,8 +50,18 @@ val size : t -> int
 val max_nodes : t -> int
 val set_max_nodes : t -> int -> unit
 
+val default_max_cache : int
+(** Default per-cache entry cap (2{^20}). *)
+
+val max_cache : t -> int
+val set_max_cache : t -> int -> unit
+(** Per-cache entry cap; reaching it flushes that cache wholesale
+    (BuDDy-style) so memo tables cannot grow without bound on a
+    long-running serving path.  [0] disables the cap. *)
+
 val new_var : t -> int
-(** Allocate a fresh variable at the bottom of the order. *)
+(** Allocate a fresh variable at the bottom of the order.
+    @raise Level_limit at the packing ceiling (511 levels). *)
 
 val new_vars : t -> int -> int array
 
@@ -80,6 +101,9 @@ val clear_caches : t -> unit
 (** Drop all memoisation (nodes are kept).  Benchmarks call this
     between repetitions so they measure cold operations. *)
 
+val cache_entries : t -> int
+(** Current total occupancy of the operation caches (entries). *)
+
 (** {2 Operation-call accounting} — used by {!Ops}; each public entry
     point counts itself in a per-manager slot so telemetry can report
     apply/quantify/rename call mixes per check. *)
@@ -108,6 +132,8 @@ type stats = {
   unique_max_bucket : int;  (** longest unique-table collision chain *)
   op_cache_hits : int;
   op_cache_lookups : int;
+  op_cache_entries : int;  (** current occupancy across the memo tables *)
+  op_cache_flushes : int;  (** cap-triggered wholesale cache resets *)
   budget_trips : int;  (** times {!Node_limit} was raised *)
   compact_reclaimed : int;  (** nodes reclaimed by all {!compact} runs *)
   op_calls : (string * int) list;  (** public {!Ops} entry-point call counts *)

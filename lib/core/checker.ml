@@ -171,9 +171,9 @@ let check ?(pipeline = default_pipeline) index constraint_ =
                 rewritten = constraint_;
                 check = Rewrite.Check_valid;
               }
-          (* past the node budget, fall through to the generic path,
-             which carries the SQL fallback *)
-          | exception M.Node_limit _ -> None)
+          (* past the node budget (or out of level space), fall through
+             to the generic path, which carries the SQL fallback *)
+          | exception (M.Node_limit _ | M.Level_limit _) -> None)
         | None -> None)
       | None -> None
   in
@@ -204,7 +204,7 @@ let check ?(pipeline = default_pipeline) index constraint_ =
       rewritten;
       check = check_mode;
     }
-  | exception M.Node_limit _ ->
+  | exception (M.Node_limit _ | M.Level_limit _) ->
     let overhead = (Fcv_util.Timer.now () -. t0) *. 1000. in
     let t1 = Fcv_util.Timer.now () in
     let outcome, method_used =

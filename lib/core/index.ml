@@ -28,21 +28,38 @@ type entry = {
 
 type t = {
   db : R.Database.t;
-  mgr : M.t;
+  mutable mgr : M.t;
+      (* mutable so level recycling ({!Lifecycle.recycle}) can swap in
+         a fresh manager with dense level assignment in place *)
   mutable entries : entry list;
   scratch_pool : (int, Fd.block list) Hashtbl.t;
       (* reusable scratch blocks by domain size: constraint compilation
          borrows auxiliary blocks and returns them afterwards, so the
          manager's bounded level space is not consumed by repeated
          checks *)
+  mutable deferred : (string * string list * Ordering.strategy) list;
+      (* entry rebuilds postponed because the manager ran out of
+         levels mid-update; {!Lifecycle.maybe_gc} recycles the level
+         space and re-adds them before the next validation *)
+  mutable gc_runs : int;  (* automatic + manual compactions *)
+  mutable gc_reclaimed : int;  (* nodes reclaimed across all GC runs *)
+  mutable level_recycles : int;  (* dense-rebuild epochs *)
+  mutable peak_nodes : int;
+      (* manager peak carried across level recycles (a fresh manager
+         resets its own peak) *)
 }
 
-let create ?(max_nodes = 0) db =
+let create ?(max_nodes = 0) ?(max_cache = M.default_max_cache) db =
   {
     db;
-    mgr = M.create ~max_nodes ~nvars:0 ();
+    mgr = M.create ~max_nodes ~max_cache ~nvars:0 ();
     entries = [];
     scratch_pool = Hashtbl.create 8;
+    deferred = [];
+    gc_runs = 0;
+    gc_reclaimed = 0;
+    level_recycles = 0;
+    peak_nodes = 2;
   }
 
 (** Borrow an auxiliary block of the given domain size, reusing a
@@ -182,23 +199,44 @@ let update_entry t entry ~insert row =
       else Hashtbl.replace entry.counts key (current - 1)
     end
 
-(** Rebuild one entry from the current base table (same attributes,
-    same strategy), replacing it in the store.  Used when an update
-    falls outside the entry's frozen domain capacity: the new entry's
-    blocks are wide enough for the grown dictionaries.  The old
-    blocks' levels are abandoned (level space only grows; rebuilds are
-    O(log |dom|) per attribute since block widths double). *)
-let rebuild_entry t entry =
-  let table_name = R.Table.name entry.table in
+(* The (table, attrs, strategy) recipe of an entry — what [add] needs
+   to rebuild it from scratch. *)
+let entry_spec entry =
   let schema = R.Table.schema entry.table in
   let attr_names =
     Array.to_list entry.attrs |> List.map (fun p -> schema.(p).R.Schema.name)
   in
+  (R.Table.name entry.table, attr_names, entry.strategy)
+
+(** Rebuild one entry from the current base table (same attributes,
+    same strategy), replacing it in the store.  Used when an update
+    falls outside the entry's frozen domain capacity: the new entry's
+    blocks are wide enough for the grown dictionaries.  The old
+    blocks' levels are abandoned until the next level recycle (rebuilds
+    are O(log |dom|) per attribute since block widths double).  The
+    old entry is removed only once the replacement is built, so a
+    {!Fcv_bdd.Manager.Node_limit} or {!Fcv_bdd.Manager.Level_limit}
+    escaping mid-build leaves the store consistent. *)
+let rebuild_entry t entry =
+  let table_name, attr_names, strategy = entry_spec entry in
+  let rebuilt = add t ~table_name ~attrs:attr_names ~strategy () in
   t.entries <- List.filter (fun e -> e != entry) t.entries;
-  let rebuilt = add t ~table_name ~attrs:attr_names ~strategy:entry.strategy () in
   if Fcv_util.Telemetry.enabled () then
     Fcv_util.Telemetry.incr (Fcv_util.Telemetry.counter "index.rebuilds");
   rebuilt
+
+(* Out of level space mid-update: drop the (now stale) entry and queue
+   its recipe; {!Lifecycle.maybe_gc} recycles the level space and
+   re-adds it before the next validation.  Checks that run before then
+   see no covering entry and fall back accordingly. *)
+let defer_rebuild t entry =
+  t.entries <- List.filter (fun e -> e != entry) t.entries;
+  t.deferred <- entry_spec entry :: t.deferred;
+  if Fcv_util.Telemetry.enabled () then
+    Fcv_util.Telemetry.incr (Fcv_util.Telemetry.counter "index.deferred_rebuilds")
+
+let rebuild_or_defer t entry =
+  try ignore (rebuild_entry t entry) with M.Level_limit _ -> defer_rebuild t entry
 
 (** Insert a full coded row into the base table and every index on
     it.  An entry whose frozen domain capacity the row exceeds (new
@@ -209,9 +247,19 @@ let insert t ~table_name row =
   R.Table.insert_coded table row;
   List.iter
     (fun e ->
-      try update_entry t e ~insert:true row
-      with Needs_rebuild _ -> ignore (rebuild_entry t e))
+      try update_entry t e ~insert:true row with Needs_rebuild _ -> rebuild_or_defer t e)
     (entries_for t table_name)
+
+(** Drop every entry indexed on [table_name] (their nodes become dead,
+    reclaimed by the next {!compact}; their levels are abandoned until
+    the next level recycle).  Returns the number of entries dropped. *)
+let remove_entries_for t table_name =
+  let doomed, kept =
+    List.partition (fun e -> R.Table.name e.table = table_name) t.entries
+  in
+  t.entries <- kept;
+  t.deferred <- List.filter (fun (tbl, _, _) -> tbl <> table_name) t.deferred;
+  List.length doomed
 
 (** Garbage-collect the shared manager: keep exactly the entries'
     current BDDs, dropping the dead intermediates that incremental
@@ -219,10 +267,16 @@ let insert t ~table_name row =
     number of nodes reclaimed. *)
 let compact t =
   let before = M.size t.mgr in
+  t.peak_nodes <- max t.peak_nodes (M.stats t.mgr).M.peak_nodes;
   let entries = t.entries in
   let roots = M.compact t.mgr (List.map (fun e -> e.root) entries) in
   List.iter2 (fun e root -> e.root <- root) entries roots;
-  before - M.size t.mgr
+  let reclaimed = before - M.size t.mgr in
+  t.gc_runs <- t.gc_runs + 1;
+  t.gc_reclaimed <- t.gc_reclaimed + reclaimed;
+  if Fcv_util.Telemetry.enabled () then
+    Fcv_util.Telemetry.incr (Fcv_util.Telemetry.counter "index.gc_runs");
+  reclaimed
 
 (** Delete one occurrence of a full coded row from the base table and
     every index on it; entries that cannot maintain the deletion
@@ -233,7 +287,82 @@ let delete t ~table_name row =
   if removed then
     List.iter
       (fun e ->
-        try update_entry t e ~insert:false row
-        with Needs_rebuild _ -> ignore (rebuild_entry t e))
+        try update_entry t e ~insert:false row with Needs_rebuild _ -> rebuild_or_defer t e)
       (entries_for t table_name);
   removed
+
+(* -- memory accounting ----------------------------------------------------- *)
+
+(** Nodes reachable from the entries' live roots (terminals included)
+    — what {!compact} would keep. *)
+let live_nodes t =
+  if t.entries = [] then 2
+  else M.node_count_shared t.mgr (List.map (fun e -> e.root) t.entries)
+
+(** Fraction of the manager's node store not reachable from any live
+    root — the §4-style occupancy signal the GC policy thresholds. *)
+let dead_ratio t =
+  let size = M.size t.mgr in
+  if size <= 2 then 0.
+  else float_of_int (size - live_nodes t) /. float_of_int size
+
+(** Levels referenced by live structures: entry blocks plus the pooled
+    scratch blocks (reused by future checks, so not abandoned). *)
+let levels_live t =
+  let entry_levels =
+    List.fold_left
+      (fun acc e -> Array.fold_left (fun acc b -> acc + Fd.width b) acc e.blocks)
+      0 t.entries
+  in
+  Hashtbl.fold
+    (fun _ blocks acc -> List.fold_left (fun acc b -> acc + Fd.width b) acc blocks)
+    t.scratch_pool entry_levels
+
+(** Levels allocated in the manager but no longer referenced by any
+    entry or pooled scratch block — dead variable space from entry
+    rebuilds and abandoned allocations.  Only a level recycle (dense
+    rebuild into a fresh manager) reclaims it. *)
+let levels_abandoned t = max 0 (M.nvars t.mgr - levels_live t)
+
+(** Peak node count across the store's lifetime, surviving level
+    recycles (which swap in a fresh manager). *)
+let peak_nodes t = max t.peak_nodes (M.stats t.mgr).M.peak_nodes
+
+type lifecycle_stats = {
+  nodes : int;
+  live : int;
+  peak : int;
+  dead : float;
+  levels_used : int;
+  levels_alive : int;
+  gc_runs : int;
+  gc_reclaimed : int;
+  level_recycles : int;
+  cache_entries : int;
+  deferred_rebuilds : int;
+}
+
+let lifecycle_stats t =
+  {
+    nodes = M.size t.mgr;
+    live = live_nodes t;
+    peak = peak_nodes t;
+    dead = dead_ratio t;
+    levels_used = M.nvars t.mgr;
+    levels_alive = levels_live t;
+    gc_runs = t.gc_runs;
+    gc_reclaimed = t.gc_reclaimed;
+    level_recycles = t.level_recycles;
+    cache_entries = M.cache_entries t.mgr;
+    deferred_rebuilds = List.length t.deferred;
+  }
+
+(** Refresh the memory-lifecycle gauges (dead ratio is reported as a
+    percentage because gauges are integer-valued). *)
+let publish_gauges t =
+  let module T = Fcv_util.Telemetry in
+  if T.enabled () then begin
+    T.gauge_set (T.gauge "bdd.live_nodes") (live_nodes t);
+    T.gauge_set (T.gauge "bdd.dead_ratio") (int_of_float (dead_ratio t *. 100.));
+    T.gauge_set (T.gauge "bdd.levels_used") (M.nvars t.mgr)
+  end

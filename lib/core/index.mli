@@ -17,19 +17,31 @@ type entry = {
 
 type t = {
   db : Fcv_relation.Database.t;
-  mgr : Fcv_bdd.Manager.t;
+  mutable mgr : Fcv_bdd.Manager.t;
+      (** mutable so level recycling ({!Lifecycle.recycle}) can swap in
+          a fresh, densely-numbered manager in place *)
   mutable entries : entry list;
   scratch_pool : (int, Fcv_bdd.Fd.block list) Hashtbl.t;
       (** reusable auxiliary blocks by domain size, so repeated checks
           do not consume the manager's bounded level space *)
+  mutable deferred : (string * string list * Ordering.strategy) list;
+      (** entry rebuilds postponed because the manager ran out of
+          levels mid-update; recycled and re-added before the next
+          validation *)
+  mutable gc_runs : int;
+  mutable gc_reclaimed : int;
+  mutable level_recycles : int;
+  mutable peak_nodes : int;  (** peak carried across level recycles *)
 }
 
 exception Needs_rebuild of string
 (** An update fell outside an index's frozen domain capacity (new
     dictionary codes) or maintenance capability; rebuild the entry. *)
 
-val create : ?max_nodes:int -> Fcv_relation.Database.t -> t
-(** [max_nodes] is the shared node budget (0 = unlimited). *)
+val create : ?max_nodes:int -> ?max_cache:int -> Fcv_relation.Database.t -> t
+(** [max_nodes] is the shared node budget (0 = unlimited);
+    [max_cache] the manager's per-op-cache entry cap (default
+    {!Fcv_bdd.Manager.default_max_cache}). *)
 
 val mgr : t -> Fcv_bdd.Manager.t
 val entries : t -> entry list
@@ -83,10 +95,55 @@ val insert : t -> table_name:string -> int array -> unit
 val delete : t -> table_name:string -> int array -> bool
 (** Delete one occurrence of a row from the base table and every
     index; returns whether a row existed.  Rebuilds entries that
-    cannot maintain the deletion incrementally. *)
+    cannot maintain the deletion incrementally.  An entry that cannot
+    be rebuilt for lack of level space is deferred (see {!t.deferred})
+    rather than raising. *)
+
+val remove_entries_for : t -> string -> int
+(** Drop every entry (and deferred rebuild) indexed on a table,
+    returning how many entries were dropped.  Their nodes become dead
+    — reclaimed by the next {!compact}. *)
 
 val compact : t -> int
 (** Garbage-collect the shared manager down to the entries' live
     BDDs; returns the number of nodes reclaimed.  Call between
     checks, never while holding node ids from an ongoing
     compilation. *)
+
+(** {2 Memory accounting} — the inputs to the {!Lifecycle} GC policy. *)
+
+val live_nodes : t -> int
+(** Nodes reachable from the entries' live roots (terminals included). *)
+
+val dead_ratio : t -> float
+(** Fraction of the manager's nodes unreachable from any live root. *)
+
+val levels_live : t -> int
+(** Levels referenced by entry blocks and pooled scratch blocks. *)
+
+val levels_abandoned : t -> int
+(** Allocated levels no longer referenced — reclaimable only by a
+    level recycle (dense rebuild into a fresh manager). *)
+
+val peak_nodes : t -> int
+(** Lifetime peak node count, surviving level recycles. *)
+
+type lifecycle_stats = {
+  nodes : int;
+  live : int;
+  peak : int;
+  dead : float;
+  levels_used : int;
+  levels_alive : int;
+  gc_runs : int;
+  gc_reclaimed : int;
+  level_recycles : int;
+  cache_entries : int;
+  deferred_rebuilds : int;
+}
+
+val lifecycle_stats : t -> lifecycle_stats
+
+val publish_gauges : t -> unit
+(** Refresh the [bdd.live_nodes] / [bdd.dead_ratio] (percent) /
+    [bdd.levels_used] telemetry gauges; no-op when telemetry is off. *)

@@ -7,6 +7,7 @@
     are re-run. *)
 
 module R = Fcv_relation
+module M = Fcv_bdd.Manager
 module T = Fcv_util.Telemetry
 
 type registered = {
@@ -24,14 +25,19 @@ type t = {
   index : Index.t;
   pipeline : Checker.pipeline;
   mutable constraints : registered list;
+      (** stored {b newest first} so registration is O(1); every
+          external view reverses (see {!constraints}) *)
   mutable next_id : int;
   dirty : (string, unit) Hashtbl.t;  (** tables updated since the last validation *)
   mutable par : (Fcv_util.Pool.t * Replica.t) option;
       (** worker pool + replica set when [jobs > 1]; the pool outlives
           validations so workers and hydrated replicas are reused *)
+  mutable gc_policy : Lifecycle.policy option;
+      (** [None] disables automatic reclamation; on by default *)
 }
 
-let create ?(pipeline = Checker.default_pipeline) index =
+let create ?(pipeline = Checker.default_pipeline) ?(gc = Some Lifecycle.default_policy)
+    index =
   {
     index;
     pipeline;
@@ -39,10 +45,13 @@ let create ?(pipeline = Checker.default_pipeline) index =
     next_id = 0;
     dirty = Hashtbl.create 8;
     par = None;
+    gc_policy = gc;
   }
 
 let index t = t.index
-let constraints t = t.constraints
+let constraints t = List.rev t.constraints
+let set_gc_policy t p = t.gc_policy <- p
+let gc_policy t = t.gc_policy
 let jobs t = match t.par with Some (p, _) -> Fcv_util.Pool.size p | None -> 1
 
 (** Set the validation parallelism.  [jobs <= 1] (the initial state)
@@ -74,7 +83,24 @@ let add ?id t source =
   if not (Formula.is_closed formula) then
     invalid_arg "Monitor.add: constraint must be closed";
   ignore (Typing.infer t.index.Index.db formula);
-  Checker.ensure_indices t.index [ formula ];
+  (* build missing indices transactionally: if the node budget (or
+     level space) trips mid-registration, entries already built for
+     this registration are rolled back so the monitor is unchanged.
+     Out of level space we first recycle (dense rebuild) and retry
+     once — registration is between checks, so renumbering is safe. *)
+  let ensure () =
+    let before = t.index.Index.entries in
+    try Checker.ensure_indices t.index [ formula ]
+    with e ->
+      t.index.Index.entries <-
+        List.filter (fun e -> List.memq e before) t.index.Index.entries;
+      raise e
+  in
+  (try ensure ()
+   with M.Level_limit _ ->
+     ignore (Lifecycle.recycle t.index);
+     invalidate_replicas t;
+     ensure ());
   let id =
     match id with
     | Some i ->
@@ -99,12 +125,55 @@ let add ?id t source =
       total_check_ms = 0.;
     }
   in
-  t.constraints <- t.constraints @ [ reg ];
+  t.constraints <- reg :: t.constraints;
   (* ensure_indices may have built new entries *)
   invalidate_replicas t;
   reg
 
-let remove t id = t.constraints <- List.filter (fun r -> r.id <> id) t.constraints
+(** Unregister a constraint.  Index entries on tables no other
+    registered constraint watches are dropped with it (their nodes
+    become dead and the next GC reclaims them) and replicas are
+    invalidated — a long-running server must not retain the index of
+    every constraint it ever saw. *)
+let remove t id =
+  let doomed, kept = List.partition (fun r -> r.id = id) t.constraints in
+  t.constraints <- kept;
+  if doomed <> [] then begin
+    let still_watched tbl = List.exists (fun r -> List.mem tbl r.tables) kept in
+    List.iter
+      (fun r ->
+        List.iter
+          (fun tbl ->
+            if not (still_watched tbl) then
+              ignore (Index.remove_entries_for t.index tbl))
+          r.tables)
+      doomed;
+    invalidate_replicas t
+  end
+
+(** Run the automatic-reclamation policy once — called between
+    validations, never mid-check.  Bumps replica epochs when node ids
+    were renumbered. *)
+let maybe_gc t =
+  match t.gc_policy with
+  | None -> Lifecycle.no_action
+  | Some policy ->
+    let action = Lifecycle.maybe_gc ~policy t.index in
+    if action.Lifecycle.gc_ran then invalidate_replicas t;
+    action
+
+(** Reclaim memory {e now} (the [compact] protocol op): a level
+    recycle when the policy demands one, otherwise a plain GC.
+    Replicas are always invalidated.  Returns nodes reclaimed. *)
+let gc t =
+  let policy = Option.value ~default:Lifecycle.default_policy t.gc_policy in
+  let reclaimed =
+    if Lifecycle.needs_recycle policy t.index then Lifecycle.recycle t.index
+    else Index.compact t.index
+  in
+  Index.publish_gauges t.index;
+  invalidate_replicas t;
+  reclaimed
 
 (** Stream one row insertion through the base table and indices; marks
     the table dirty. *)
@@ -137,7 +206,11 @@ type report = {
     since its last check; otherwise the cached verdict is returned.
     Clears the dirty set. *)
 let validate t =
+  (* reclamation happens here, strictly before any check compiles
+     against the manager — never mid-check *)
+  ignore (maybe_gc t);
   T.with_span "monitor.validate" @@ fun () ->
+  let regs = constraints t in
   let needs_check reg =
     reg.last_outcome = None || List.exists (Hashtbl.mem t.dirty) reg.tables
   in
@@ -163,7 +236,7 @@ let validate t =
     | Some outcome -> { constraint_ = reg; outcome; fresh = false; elapsed_ms = 0. }
     | None -> assert false
   in
-  let stale = List.filter needs_check t.constraints in
+  let stale = List.filter needs_check regs in
   let reports =
     match t.par with
     | Some (pool, replica) when List.length stale > 1 ->
@@ -178,14 +251,14 @@ let validate t =
           match Hashtbl.find_opt fresh reg.id with
           | Some r -> fresh_report reg r
           | None -> cached_report reg)
-        t.constraints
+        regs
     | _ ->
       List.map
         (fun reg ->
           if needs_check reg then
             fresh_report reg (Checker.check ~pipeline:t.pipeline t.index reg.formula)
           else cached_report reg)
-        t.constraints
+        regs
   in
   Hashtbl.reset t.dirty;
   reports

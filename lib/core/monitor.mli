@@ -16,9 +16,15 @@ type registered = {
 
 type t
 
-val create : ?pipeline:Checker.pipeline -> Index.t -> t
+val create :
+  ?pipeline:Checker.pipeline -> ?gc:Lifecycle.policy option -> Index.t -> t
+(** [gc] is the automatic-reclamation policy run between validations
+    (default {!Lifecycle.default_policy}; [None] disables). *)
 
 val index : t -> Index.t
+
+val gc_policy : t -> Lifecycle.policy option
+val set_gc_policy : t -> Lifecycle.policy option -> unit
 
 val jobs : t -> int
 (** Current validation parallelism (1 = sequential, the default). *)
@@ -42,6 +48,18 @@ val add : ?id:int -> t -> string -> registered
     @raise Fol_parser.Error / Typing.Type_error / Invalid_argument. *)
 
 val remove : t -> int -> unit
+(** Unregister; index entries on tables no remaining constraint
+    watches are dropped too (the next GC reclaims their nodes) and
+    replicas are invalidated. *)
+
+val maybe_gc : t -> Lifecycle.action
+(** Run the automatic-reclamation policy once (also runs at the start
+    of every {!validate}).  Safe only between checks. *)
+
+val gc : t -> int
+(** Reclaim memory now — level recycle if needed, else GC; always
+    invalidates replicas.  Returns nodes reclaimed.  Backs the
+    [compact] protocol op. *)
 
 val insert : t -> table_name:string -> int array -> unit
 val delete : t -> table_name:string -> int array -> bool

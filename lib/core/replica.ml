@@ -54,6 +54,7 @@ let hydrate t e bytes =
          compilation that would fall back sequentially falls back in
          parallel too — identical verdict methods either way *)
       M.set_max_nodes (Index.mgr index) (M.max_nodes (Index.mgr t.master));
+      M.set_max_cache (Index.mgr index) (M.max_cache (Index.mgr t.master));
       Atomic.incr t.hydrations;
       T.incr (T.counter "replica.hydrations");
       (e, index))

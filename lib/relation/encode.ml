@@ -92,7 +92,7 @@ let build mgr table ~order ~blocks =
          layout and keeps intermediate BDDs small. *)
       let leaves = Table.fold table ~init:[] ~f:(fun acc row -> minterm mgr blocks row :: acc) in
       let rec merge = function
-        | [] -> [ M.zero ]
+        | [] -> []
         | [ x ] -> [ x ]
         | x :: y :: rest -> O.bor mgr x y :: merge rest
       in

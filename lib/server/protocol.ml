@@ -23,6 +23,7 @@ type request =
   | Delete of string * string list
   | Validate
   | Stats
+  | Compact
   | Snapshot
   | Ping
   | Shutdown
@@ -34,13 +35,16 @@ let request_name = function
   | Delete _ -> "delete"
   | Validate -> "validate"
   | Stats -> "stats"
+  | Compact -> "compact"
   | Snapshot -> "snapshot"
   | Ping -> "ping"
   | Shutdown -> "shutdown"
 
+(* Compact is deliberately unlogged: GC changes no logical state, and
+   recovery replay would renumber nodes pointlessly. *)
 let logged = function
   | Register _ | Unregister _ | Insert _ | Delete _ -> true
-  | Validate | Stats | Snapshot | Ping | Shutdown -> false
+  | Validate | Stats | Compact | Snapshot | Ping | Shutdown -> false
 
 let request_to_json ?id req =
   let fields =
@@ -51,7 +55,7 @@ let request_to_json ?id req =
     | Unregister c -> [ ("constraint", T.Int c) ]
     | Insert (table, row) | Delete (table, row) ->
       [ ("table", T.String table); ("row", T.List (List.map (fun v -> T.String v) row)) ]
-    | Validate | Stats | Snapshot | Ping | Shutdown -> []
+    | Validate | Stats | Compact | Snapshot | Ping | Shutdown -> []
   in
   let id_field = match id with Some j -> [ ("id", j) ] | None -> [] in
   T.Obj (id_field @ (("op", T.String (request_name req)) :: fields))
@@ -134,6 +138,7 @@ let parse_request line =
         Ok (id, Delete (table, row))
       | "validate" -> Ok (id, Validate)
       | "stats" -> Ok (id, Stats)
+      | "compact" -> Ok (id, Compact)
       | "snapshot" -> Ok (id, Snapshot)
       | "ping" -> Ok (id, Ping)
       | "shutdown" -> Ok (id, Shutdown)

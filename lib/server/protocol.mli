@@ -24,6 +24,9 @@ type request =
   | Delete of string * string list
   | Validate
   | Stats
+  | Compact
+      (** reclaim BDD memory now (GC / level recycle); unlogged — GC
+          changes no logical state *)
   | Snapshot
   | Ping
   | Shutdown

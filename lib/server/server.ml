@@ -85,7 +85,7 @@ module Mutator = struct
       | P.Unknown_value _ -> assert false
       | exception P.Malformed msg -> Error (P.Bad_request, msg)
       | exception Invalid_argument msg -> Error (P.Unknown_table, msg))
-    | P.Validate | P.Stats | P.Snapshot | P.Ping | P.Shutdown -> Ok []
+    | P.Validate | P.Stats | P.Compact | P.Snapshot | P.Ping | P.Shutdown -> Ok []
 end
 
 (* Cut a snapshot generation and rotate to its fresh WAL.  The new
@@ -228,7 +228,7 @@ let apply_logged monitor req =
     match P.code_row ~intern:true db ~table row with
     | P.Coded coded -> ignore (Core.Monitor.delete monitor ~table_name:table coded)
     | P.Unknown_value _ -> assert false)
-  | P.Validate | P.Stats | P.Snapshot | P.Ping | P.Shutdown -> ()
+  | P.Validate | P.Stats | P.Compact | P.Snapshot | P.Ping | P.Shutdown -> ()
 
 let recover ?(max_nodes = 0) ~state_dir ~load_base () =
   let monitor, unregistered, from_snapshot =
@@ -306,6 +306,21 @@ let stats_json t =
     ("constraints", T.Int (List.length (Core.Monitor.constraints (monitor t))));
     ("indices", T.Int (List.length (Core.Index.entries index)));
     ("bdd_nodes", T.Int (Fcv_bdd.Manager.size (Core.Index.mgr index)));
+    ( "memory",
+      let ls = Core.Index.lifecycle_stats index in
+      T.Obj
+        [
+          ("live_nodes", T.Int ls.Core.Index.live);
+          ("peak_nodes", T.Int ls.Core.Index.peak);
+          ("dead_ratio", T.Float ls.Core.Index.dead);
+          ("levels_used", T.Int ls.Core.Index.levels_used);
+          ("levels_live", T.Int ls.Core.Index.levels_alive);
+          ("op_cache_entries", T.Int ls.Core.Index.cache_entries);
+          ("gc_runs", T.Int ls.Core.Index.gc_runs);
+          ("gc_reclaimed", T.Int ls.Core.Index.gc_reclaimed);
+          ("level_recycles", T.Int ls.Core.Index.level_recycles);
+          ("deferred_rebuilds", T.Int ls.Core.Index.deferred_rebuilds);
+        ] );
     ("tables", T.Obj tables);
     ( "wal",
       T.Obj
@@ -332,6 +347,18 @@ let handle t session rid req =
        | Ok fields -> reply (P.ok_line ?id:rid fields)
        | Error (code, msg) -> reply (P.error_line ?id:rid code msg))
      | P.Stats -> reply (P.ok_line ?id:rid (stats_json t))
+     | P.Compact ->
+       (* the select loop is single-threaded and validates are
+          coalesced elsewhere, so no check is in flight here *)
+       let reclaimed = Core.Monitor.gc (monitor t) in
+       let index = Core.Monitor.index (monitor t) in
+       reply
+         (P.ok_line ?id:rid
+            [
+              ("reclaimed", T.Int reclaimed);
+              ("nodes", T.Int (Fcv_bdd.Manager.size (Core.Index.mgr index)));
+              ("gc_runs", T.Int index.Core.Index.gc_runs);
+            ])
      | P.Snapshot ->
        snapshot t;
        reply (P.ok_line ?id:rid [ ("snapshot", T.Bool (t.config.state_dir <> None)) ])

@@ -147,6 +147,31 @@ let test_node_limit_not_triggered_by_lookups () =
   let g = O.band m (M.ithvar m 0) (M.ithvar m 1) in
   check "cached rebuild under budget" true (f = g)
 
+let test_level_limit_typed () =
+  (* the 511-level packing ceiling raises the typed Level_limit (the
+     serving path catches it like Node_limit), not a bare Failure *)
+  let m = M.create ~nvars:0 () in
+  for _ = 1 to M.max_level do
+    ignore (M.new_var m)
+  done;
+  check_int "full level budget usable" M.max_level (M.nvars m);
+  match M.new_var m with
+  | _ -> Alcotest.fail "expected Level_limit"
+  | exception M.Level_limit n -> check_int "ceiling carried" M.max_level n
+
+let test_bounded_op_caches () =
+  let cap = 16 in
+  let m = M.create ~nvars:64 ~max_cache:cap () in
+  for i = 0 to 31 do
+    ignore (O.band m (M.ithvar m i) (M.ithvar m (63 - i)))
+  done;
+  let s = M.stats m in
+  check "occupancy bounded by the cap" true (s.M.op_cache_entries <= 3 * cap);
+  check "cap triggered wholesale flushes" true (s.M.op_cache_flushes > 0);
+  (* flushes lose memoisation, never correctness *)
+  check "results stable across flushes" true
+    (O.band m (M.ithvar m 0) (M.ithvar m 63) = O.band m (M.ithvar m 0) (M.ithvar m 63))
+
 let test_restrict () =
   let m = M.create ~nvars:3 () in
   let f = O.bor m (O.band m (M.ithvar m 0) (M.ithvar m 1)) (M.ithvar m 2) in
@@ -370,6 +395,8 @@ let suite =
     Alcotest.test_case "negation is involutive" `Quick test_not_involution;
     Alcotest.test_case "node budget raises" `Quick test_node_limit;
     Alcotest.test_case "node budget ignores cache hits" `Quick test_node_limit_not_triggered_by_lookups;
+    Alcotest.test_case "level ceiling raises typed Level_limit" `Quick test_level_limit_typed;
+    Alcotest.test_case "op caches are size-capped" `Quick test_bounded_op_caches;
     Alcotest.test_case "restrict" `Quick test_restrict;
     Alcotest.test_case "exists/forall units" `Quick test_exists_forall_units;
     Alcotest.test_case "replace (shift)" `Quick test_replace_simple;

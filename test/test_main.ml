@@ -29,10 +29,11 @@ module _ = Test_parallel
 module _ = Test_encode_prop
 module _ = Test_metamorphic
 module _ = Test_sim
+module _ = Test_churn
 
 let () =
   let suites = Registry.all () in
-  if List.length suites < 22 then
+  if List.length suites < 23 then
     failwith
       (Printf.sprintf "Test_main: only %d suites registered — a test module was \
                        linked without calling Registry.register"

@@ -94,6 +94,80 @@ let test_monitor_remove () =
   Core.Monitor.remove mon reg.Core.Monitor.id;
   check_int "no constraints left" 0 (List.length (Core.Monitor.validate mon))
 
+(* Regression: Monitor.remove used to leak the removed constraint's
+   index entries and BDD roots forever (and never invalidated
+   replicas) — unregistering the last constraint on a table must free
+   its nodes on the next GC. *)
+let test_remove_frees_index_memory () =
+  let _, index = setup () in
+  let mon = Core.Monitor.create index in
+  let reg = Core.Monitor.add mon referential in
+  ignore (Core.Monitor.validate mon);
+  check "entries built" true (Core.Index.entries index <> []);
+  Core.Monitor.remove mon reg.Core.Monitor.id;
+  check_int "takes entries dropped" 0 (List.length (Core.Index.entries_for index "takes"));
+  check_int "course entries dropped" 0 (List.length (Core.Index.entries_for index "course"));
+  ignore (Core.Monitor.gc mon);
+  (* nothing is live: the GC collapses the store to the terminals *)
+  check_int "all nodes freed on next GC" 2 (Fcv_bdd.Manager.size (Core.Index.mgr index))
+
+(* Removing one constraint must keep entries on tables another
+   registered constraint still watches. *)
+let test_remove_keeps_shared_tables () =
+  let _, index = setup () in
+  let mon = Core.Monitor.create index in
+  let r1 = Core.Monitor.add mon curriculum in
+  let _ = Core.Monitor.add mon enrolment in
+  (* both watch student and takes; only curriculum watches course *)
+  Core.Monitor.remove mon r1.Core.Monitor.id;
+  check "student entries kept" true (Core.Index.entries_for index "student" <> []);
+  check "takes entries kept" true (Core.Index.entries_for index "takes" <> []);
+  check_int "course entries dropped" 0 (List.length (Core.Index.entries_for index "course"));
+  (* the survivor still validates correctly *)
+  check "enrolment still satisfied" true
+    (List.for_all
+       (fun r -> r.Core.Monitor.outcome = C.Satisfied)
+       (Core.Monitor.validate mon))
+
+(* Regression: a node-budget trip inside ensure_indices used to leave
+   partially-built index entries behind with the registration failed. *)
+let test_add_budget_trip_rolls_back () =
+  let rng = Fcv_util.Rng.create 17 in
+  let db, _, _, _ =
+    Fcv_datagen.University.generate rng
+      { Fcv_datagen.University.default with students = 120; courses = 30 }
+  in
+  (* a budget too small to build the university indices *)
+  let index = Core.Index.create ~max_nodes:30 db in
+  let mon = Core.Monitor.create index in
+  (match Core.Monitor.add mon curriculum with
+  | _ -> Alcotest.fail "expected Node_limit"
+  | exception Fcv_bdd.Manager.Node_limit _ -> ());
+  check_int "no constraint registered" 0 (List.length (Core.Monitor.constraints mon));
+  check_int "no partial entries left" 0 (List.length (Core.Index.entries index));
+  (* the monitor is still usable once the budget allows *)
+  Fcv_bdd.Manager.set_max_nodes (Core.Index.mgr index) 0;
+  let reg = Core.Monitor.add mon curriculum in
+  check "registers cleanly afterwards" true (reg.Core.Monitor.id >= 0);
+  check "validates" true (Core.Monitor.validate mon <> [])
+
+(* Registration used to be a quadratic [l @ [reg]]; the O(1) prepend
+   must still present constraints oldest-first with increasing ids. *)
+let test_add_preserves_order () =
+  let _, index = setup () in
+  let mon = Core.Monitor.create index in
+  let r1 = Core.Monitor.add mon curriculum in
+  let r2 = Core.Monitor.add mon enrolment in
+  let r3 = Core.Monitor.add mon referential in
+  check "ids increase" true (r1.Core.Monitor.id < r2.Core.Monitor.id && r2.Core.Monitor.id < r3.Core.Monitor.id);
+  check "constraints oldest first" true
+    (List.map (fun r -> r.Core.Monitor.id) (Core.Monitor.constraints mon)
+    = [ r1.Core.Monitor.id; r2.Core.Monitor.id; r3.Core.Monitor.id ]);
+  (* reports come back in registration order too *)
+  check "reports in registration order" true
+    (List.map (fun r -> r.Core.Monitor.constraint_.Core.Monitor.id) (Core.Monitor.validate mon)
+    = [ r1.Core.Monitor.id; r2.Core.Monitor.id; r3.Core.Monitor.id ])
+
 (* -- inclusion dependencies -------------------------------------------------- *)
 
 let test_ind () =
@@ -156,6 +230,10 @@ let suite =
     Alcotest.test_case "monitor dirty scoping" `Quick test_monitor_dirty_scoping;
     Alcotest.test_case "monitor delete path" `Quick test_monitor_delete_path;
     Alcotest.test_case "monitor remove" `Quick test_monitor_remove;
+    Alcotest.test_case "remove frees index memory on next GC" `Quick test_remove_frees_index_memory;
+    Alcotest.test_case "remove keeps entries shared with survivors" `Quick test_remove_keeps_shared_tables;
+    Alcotest.test_case "add rolls back on budget trip" `Quick test_add_budget_trip_rolls_back;
+    Alcotest.test_case "add keeps registration order" `Quick test_add_preserves_order;
     Alcotest.test_case "inclusion dependencies" `Quick test_ind;
     Alcotest.test_case "IND violation detected" `Quick test_ind_violation_detected;
   ]
