@@ -2,14 +2,16 @@
 # CI gate: format check, full build, the test suite with a pinned
 # QCheck seed, a daemon smoke test, a 200-schedule fault-injection
 # sweep (fcv sim), the parallel-validation scaling benchmark, the
-# perf-regression gate against bench/baseline.json, and the
-# memory-lifecycle churn benchmark with its peak-node bound.
+# memory-lifecycle churn benchmark with its peak-node bound, the
+# sharded serving-tier benchmark (pipelined clients + group commit)
+# with its verdict-exactness and throughput-floor gate, and the
+# perf-regression gate against bench/baseline.json.
 #
 # FCV_CI=1 hardens the gate for CI runners: a missing ocamlformat, a
-# perf regression and a churn memory-bound violation become failures
-# instead of skips/warnings.  On failure the workspace keeps _ci/
-# (smoke-test state dir), BENCH_parallel.json and BENCH_churn.json
-# for artifact upload.
+# perf regression, a churn memory-bound violation and a serving-tier
+# gate failure become failures instead of skips/warnings.  On failure
+# the workspace keeps _ci/ (smoke-test state dir) and every
+# BENCH_*.json (parallel, churn, serve) for artifact upload.
 set -eu
 
 cd "$(dirname "$0")/.."
@@ -134,6 +136,18 @@ elif [ "$FCV_CI" = "1" ]; then
   exit 1
 else
   echo "WARNING: churn gate violated its memory bounds (fatal under FCV_CI=1)" >&2
+fi
+
+echo "== sharded serving-tier benchmark (pipelined clients up to N=8, shards up to 4;"
+echo "   verdict exactness + throughput floor vs bench/baseline_serve.json, fatal under FCV_CI=1)"
+if dune exec bench/serve.exe; then
+  :
+elif [ "$FCV_CI" = "1" ]; then
+  echo "FAIL: serving-tier gate (non-exact verdict, reply reordering, or a throughput" >&2
+  echo "      regression vs bench/baseline_serve.json — see BENCH_serve.json)" >&2
+  exit 1
+else
+  echo "WARNING: serving-tier gate failed (fatal under FCV_CI=1; see BENCH_serve.json)" >&2
 fi
 
 echo "== perf-regression gate (tolerance 25%, fatal under FCV_CI=1)"

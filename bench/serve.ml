@@ -1,0 +1,311 @@
+(* Serving-tier benchmark: pipelined clients against an in-process
+   sharded daemon with group commit.
+
+     dune exec bench/serve.exe [-- OUT.json]
+
+   For every cell of clients ∈ {1, 4, 8} × shards ∈ {1, 4}, a durable
+   (fsync-on-group-commit) daemon is started over a fresh state
+   directory with the referential constraint registered, and each
+   client thread streams invariant-preserving [takes] inserts — fresh
+   student ids against courses the base data already holds, so every
+   verdict must stay clean — in pipelined batches of 20 over one
+   connection, following each batch with a timed [validate].  Writes
+   BENCH_serve.json: mutations/sec plus p50/p99 validate latency per
+   cell.
+
+   The gate (exit 1, fatal under FCV_CI=1 via bench/ci.sh):
+   - verdict exactness: every in-stream validate must report 0
+     violations, a planted dangling [takes] row at the end must
+     report exactly 1, and its deletion 0 again — on every cell;
+   - replies must come back in pipelined request order, one per
+     request;
+   - throughput may not fall below the committed floors in
+     bench/baseline_serve.json (deliberately conservative — an
+     order-of-magnitude cushion for slow runners; absolute numbers
+     across machines are otherwise meaningless). *)
+
+module P = Fcv_server.Protocol
+module S = Fcv_server.Server
+module Tier = Fcv_server.Tier
+module T = Fcv_util.Telemetry
+module J = Fcv_util.Telemetry.Json
+module U = Fcv_datagen.University
+
+let batches = 12
+let batch = 20
+let courses = 40
+let referential = "forall s, c . takes(s, c) -> (exists a . course(c, a))"
+
+let make_base () =
+  let db, _, _, _ =
+    U.generate (Fcv_util.Rng.create 42)
+      { U.default with U.students = 200; courses; takes_per_student = 2 }
+  in
+  db
+
+let tmpdir () =
+  let path = Filename.temp_file "fcvbench" ".d" in
+  Sys.remove path;
+  Sys.mkdir path 0o700;
+  path
+
+let failures = ref 0
+
+let fail fmt =
+  Printf.ksprintf
+    (fun s ->
+      incr failures;
+      Printf.printf "FAIL %s\n%!" s)
+    fmt
+
+(* -- raw pipelined client -------------------------------------------------- *)
+
+let connect sock =
+  let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  Unix.connect fd (Unix.ADDR_UNIX sock);
+  fd
+
+let send_all fd s =
+  let n = String.length s in
+  let off = ref 0 in
+  while !off < n do
+    off := !off + Unix.write_substring fd s !off (n - !off)
+  done
+
+(* Read until [want] newline-terminated replies have arrived. *)
+let read_replies fd buf ~want =
+  let bytes = Bytes.create 65536 in
+  let lines () =
+    String.split_on_char '\n' (Buffer.contents buf) |> List.filter (( <> ) "")
+  in
+  let deadline = Unix.gettimeofday () +. 30. in
+  while List.length (lines ()) < want && Unix.gettimeofday () < deadline do
+    let n = Unix.read fd bytes 0 (Bytes.length bytes) in
+    if n = 0 then failwith "server closed the connection mid-stream";
+    Buffer.add_subbytes buf bytes 0 n
+  done;
+  let got = lines () in
+  Buffer.clear buf;
+  if List.length got <> want then
+    failwith (Printf.sprintf "expected %d replies, got %d" want (List.length got));
+  List.map P.parse_response got
+
+let violated_of body =
+  match J.member "violated" body with Some (T.Int n) -> n | _ -> -1
+
+(* One client: [batches] pipelined batches of [batch] clean inserts,
+   each followed by a timed validate that must report 0 violations.
+   Returns the validate latencies (seconds). *)
+let client_loop ~sock ~client =
+  let fd = connect sock in
+  let buf = Buffer.create 4096 in
+  let latencies = ref [] in
+  for b = 0 to batches - 1 do
+    let reqs =
+      List.init batch (fun k ->
+          let i = (b * batch) + k in
+          P.request_to_line ~id:(T.Int i)
+            (P.Insert
+               ( "takes",
+                 [
+                   string_of_int (10_000 + (client * 10_000) + i);
+                   string_of_int (i mod courses);
+                 ] )))
+    in
+    send_all fd (String.concat "\n" reqs ^ "\n");
+    let replies = read_replies fd buf ~want:batch in
+    List.iteri
+      (fun k r ->
+        let want = T.Int ((b * batch) + k) in
+        if r.P.id <> Some want then
+          fail "client %d batch %d: reply %d out of pipeline order" client b k;
+        if not r.P.ok then fail "client %d batch %d: insert %d rejected" client b k)
+      replies;
+    let t0 = Unix.gettimeofday () in
+    send_all fd (P.request_to_line P.Validate ^ "\n");
+    (match read_replies fd buf ~want:1 with
+    | [ r ] ->
+      latencies := (Unix.gettimeofday () -. t0) :: !latencies;
+      if not r.P.ok then fail "client %d batch %d: validate failed" client b;
+      let v = violated_of r.P.body in
+      if v <> 0 then
+        fail "client %d batch %d: clean stream reported %d violations" client b v
+    | _ -> assert false);
+    ()
+  done;
+  Unix.close fd;
+  !latencies
+
+(* The end-of-cell exactness probe: a planted dangling [takes] row
+   must flip exactly one constraint to violated, and deleting it must
+   flip it back. *)
+let probe_exactness ~sock ~cell =
+  let fd = connect sock in
+  let buf = Buffer.create 256 in
+  let rpc req =
+    send_all fd (P.request_to_line req ^ "\n");
+    List.hd (read_replies fd buf ~want:1)
+  in
+  let dangling = [ "77777"; "99999" ] in
+  ignore (rpc (P.Insert ("takes", dangling)));
+  let v1 = violated_of (rpc P.Validate).P.body in
+  if v1 <> 1 then fail "%s: planted dangling row reported %d violations, want 1" cell v1;
+  ignore (rpc (P.Delete ("takes", dangling)));
+  let v0 = violated_of (rpc P.Validate).P.body in
+  if v0 <> 0 then fail "%s: after deleting the plant, %d violations, want 0" cell v0;
+  Unix.close fd
+
+(* -- one cell of the matrix ------------------------------------------------ *)
+
+type cell = {
+  clients : int;
+  shards : int;
+  mutations : int;
+  mutations_per_sec : float;
+  p50_ms : float;
+  p99_ms : float;
+}
+
+let percentile sorted p =
+  match Array.length sorted with
+  | 0 -> 0.
+  | n -> sorted.(min (n - 1) (int_of_float (ceil (p *. float_of_int n)) - 1))
+
+let run_cell ~clients ~shards =
+  let dir = tmpdir () in
+  let sock = Filename.concat (tmpdir ()) "fcv.sock" in
+  let state_dir = Filename.concat dir "state" in
+  let tier, _ = Tier.recover ~shards ~state_dir ~load_base:make_base () in
+  let config =
+    {
+      (S.default_config ~addr:sock) with
+      S.state_dir = Some state_dir;
+      snapshot_every = 0;
+      idle_timeout = 0.;
+      partial_timeout = 0.;
+      shards;
+      group_commit_window = 8;
+    }
+  in
+  let srv = S.of_tier config tier in
+  let th = Thread.create (fun () -> while S.poll ~timeout:0.005 srv do () done) () in
+  ignore (S.register srv referential);
+  let mu = Mutex.create () in
+  let all_latencies = ref [] in
+  let t0 = Unix.gettimeofday () in
+  let workers =
+    List.init clients (fun c ->
+        Thread.create
+          (fun () ->
+            let ls = client_loop ~sock ~client:c in
+            Mutex.lock mu;
+            all_latencies := ls @ !all_latencies;
+            Mutex.unlock mu)
+          ())
+  in
+  List.iter Thread.join workers;
+  let wall = Unix.gettimeofday () -. t0 in
+  let cell_name = Printf.sprintf "clients=%d shards=%d" clients shards in
+  probe_exactness ~sock ~cell:cell_name;
+  S.request_drain srv;
+  Thread.join th;
+  let mutations = clients * batches * batch in
+  let sorted = Array.of_list (List.map (fun s -> s *. 1000.) !all_latencies) in
+  Array.sort compare sorted;
+  let cell =
+    {
+      clients;
+      shards;
+      mutations;
+      mutations_per_sec = float_of_int mutations /. wall;
+      p50_ms = percentile sorted 0.50;
+      p99_ms = percentile sorted 0.99;
+    }
+  in
+  Printf.printf
+    "  %-22s %8.0f mutations/s   validate p50 %6.2f ms  p99 %6.2f ms\n%!" cell_name
+    cell.mutations_per_sec cell.p50_ms cell.p99_ms;
+  cell
+
+(* -- baseline gate --------------------------------------------------------- *)
+
+let read_json path =
+  let ic = open_in path in
+  let n = in_channel_length ic in
+  let s = really_input_string ic n in
+  close_in ic;
+  J.of_string s
+
+let gate_against_baseline cells =
+  let path = "bench/baseline_serve.json" in
+  if not (Sys.file_exists path) then
+    Printf.printf "(no %s — skipping the throughput floor)\n%!" path
+  else
+    match J.member "floors" (read_json path) with
+    | Some (T.List floors) ->
+      List.iter
+        (fun f ->
+          match (J.member "clients" f, J.member "shards" f, J.member "min_mutations_per_sec" f) with
+          | Some (T.Int c), Some (T.Int s), Some floor ->
+            let floor =
+              match floor with T.Float x -> x | T.Int i -> float_of_int i | _ -> 0.
+            in
+            (match List.find_opt (fun x -> x.clients = c && x.shards = s) cells with
+            | Some cell when cell.mutations_per_sec < floor ->
+              fail "clients=%d shards=%d: %.0f mutations/s under the %.0f floor" c s
+                cell.mutations_per_sec floor
+            | Some _ -> ()
+            | None -> fail "baseline names cell clients=%d shards=%d the matrix lacks" c s)
+          | _ -> fail "malformed floor entry in %s" path)
+        floors
+    | _ -> fail "malformed %s: no floors list" path
+
+(* -- entry ----------------------------------------------------------------- *)
+
+let json_of_cell c =
+  T.Obj
+    [
+      ("clients", T.Int c.clients);
+      ("shards", T.Int c.shards);
+      ("mutations", T.Int c.mutations);
+      ("mutations_per_sec", T.Float c.mutations_per_sec);
+      ("validate_p50_ms", T.Float c.p50_ms);
+      ("validate_p99_ms", T.Float c.p99_ms);
+    ]
+
+let () =
+  let out = if Array.length Sys.argv > 1 then Sys.argv.(1) else "BENCH_serve.json" in
+  Printf.printf
+    "serving tier — pipelined batches of %d, group-commit window 8, %d batches/client\n%!"
+    batch batches;
+  let cells =
+    List.concat_map
+      (fun shards -> List.map (fun clients -> run_cell ~clients ~shards) [ 1; 4; 8 ])
+      [ 1; 4 ]
+  in
+  gate_against_baseline cells;
+  let doc =
+    T.Obj
+      [
+        ("bench", T.String "serve");
+        ( "env",
+          T.Obj
+            [
+              ("cores", T.Int (Domain.recommended_domain_count ()));
+              ("ocaml", T.String Sys.ocaml_version);
+            ] );
+        ("batch", T.Int batch);
+        ("batches_per_client", T.Int batches);
+        ("group_commit_window", T.Int 8);
+        ("cells", T.List (List.map json_of_cell cells));
+      ]
+  in
+  let oc = open_out out in
+  output_string oc (J.to_string doc);
+  output_string oc "\n";
+  close_out oc;
+  Printf.printf "wrote %s\n%!" out;
+  if !failures > 0 then begin
+    Printf.printf "%d gate failure%s\n%!" !failures (if !failures = 1 then "" else "s");
+    exit 1
+  end

@@ -609,27 +609,40 @@ let serve_cmd =
     let doc = "Close sessions silent for $(docv) seconds (0 = never)." in
     Arg.(value & opt float 0. & info [ "idle-timeout" ] ~docv:"SECONDS" ~doc)
   in
+  let shards_arg =
+    let doc =
+      "Partition constraints and tables across $(docv) serving shards, each with its \
+       own monitor, WAL generation sequence and snapshot lineage.  A state directory \
+       remembers its shard count; restarting with a different one is refused."
+    in
+    Arg.(value & opt int 1 & info [ "shards" ] ~docv:"N" ~doc)
+  in
+  let group_commit_arg =
+    let doc =
+      "Group-commit window: release acknowledgements after at most $(docv) journaled \
+       mutations share one fsync per dirty shard WAL (every processing round also \
+       flushes, bounding latency)."
+    in
+    Arg.(value & opt int 8 & info [ "group-commit" ] ~docv:"N" ~doc)
+  in
   let run data sock state constraints_file strategy max_nodes fsync_every snapshot_every
-      idle_timeout jobs telemetry =
+      idle_timeout jobs shards group_commit_window telemetry =
     with_telemetry telemetry @@ fun () ->
     let module S = Fcv_server.Server in
+    let module Tier = Fcv_server.Tier in
     let strategy = strategy_of_string strategy in
-    let monitor, unregistered, origin =
+    let load_base () = fst (load_dir data) in
+    let tier, origin =
       match state with
       | Some dir ->
-        let r =
-          S.recover ~max_nodes ~state_dir:dir ~load_base:(fun () -> fst (load_dir data)) ()
+        let tier, rs = Tier.recover ~max_nodes ~shards ~fsync:(fsync_every > 0) ~state_dir:dir ~load_base () in
+        let replayed = Array.fold_left (fun a r -> a + r.Fcv_server.Shard.replayed) 0 rs in
+        let snaps =
+          Array.fold_left (fun a r -> a + if r.Fcv_server.Shard.from_snapshot then 1 else 0) 0 rs
         in
-        ( r.S.monitor,
-          r.S.unregistered,
-          Printf.sprintf "%s + %d WAL records"
-            (if r.S.from_snapshot then "snapshot" else "base data")
-            r.S.replayed )
-      | None ->
-        let db, _ = load_dir data in
-        ( Core.Monitor.create (Core.Index.create ~max_nodes db),
-          [],
-          "base data (no durability)" )
+        ( tier,
+          Printf.sprintf "%d/%d shard snapshots + %d WAL records" snaps shards replayed )
+      | None -> (Tier.create_fresh ~max_nodes ~shards ~load_base (), "base data (no durability)")
     in
     let config =
       {
@@ -639,32 +652,43 @@ let serve_cmd =
         snapshot_every;
         idle_timeout;
         jobs;
+        shards;
+        group_commit_window;
       }
     in
-    let server = S.create ~unregistered config monitor in
-    (* Register startup constraints through the server's durability
-       path (WAL-logged under their pinned ids, so they stay stable
-       across recoveries), skipping sources the recovered state
-       already holds — or explicitly unregistered (tombstones): a
-       restart must not resurrect those. *)
+    let server = S.of_tier config tier in
+    (* Register startup constraints through the tier's durability path
+       (WAL-logged under their pinned ids on their owning shard, so
+       they stay stable across recoveries), skipping sources the
+       recovered state already holds — or explicitly unregistered
+       (tombstones): a restart must not resurrect those. *)
     Option.iter
       (fun path ->
-        let known =
-          List.map (fun r -> r.Core.Monitor.source) (Core.Monitor.constraints monitor)
+        let known = List.map (fun r -> r.Core.Monitor.source) (Tier.constraints tier) in
+        let unregistered =
+          List.concat_map Fcv_server.Shard.unregistered (Array.to_list (Tier.shards tier))
         in
         List.iter
           (fun (src, formula) ->
             if (not (List.mem src known)) && not (List.mem src unregistered) then begin
-              Core.Checker.ensure_indices ~strategy (Core.Monitor.index monitor) [ formula ];
+              Array.iter
+                (fun sh ->
+                  Core.Checker.ensure_indices ~strategy
+                    (Core.Monitor.index (Fcv_server.Shard.monitor sh))
+                    [ formula ])
+                (Tier.shards tier);
               ignore (S.register server src)
             end)
           (read_constraints path))
       constraints_file;
-    let db = (Core.Monitor.index monitor).Core.Index.db in
-    Printf.printf "fcv serve: listening on %s — %d tables, %d constraints, state from %s\n%!"
+    let db = (Core.Monitor.index (S.monitor server)).Core.Index.db in
+    Printf.printf
+      "fcv serve: listening on %s — %d tables, %d constraints, %d shard%s, state from %s\n%!"
       sock
       (List.length (R.Database.table_names db))
-      (List.length (Core.Monitor.constraints monitor))
+      (List.length (Tier.constraints tier))
+      shards
+      (if shards = 1 then "" else "s")
       origin;
     S.run server;
     print_endline "fcv serve: stopped"
@@ -678,8 +702,8 @@ let serve_cmd =
     (Cmd.info "serve" ~doc)
     Term.(
       const run $ data_arg $ sock_arg $ state_arg $ constraints_opt_arg $ strategy_arg
-      $ max_nodes_arg $ fsync_arg $ snapshot_every_arg $ idle_arg $ jobs_arg
-      $ telemetry_arg)
+      $ max_nodes_arg $ fsync_arg $ snapshot_every_arg $ idle_arg $ jobs_arg $ shards_arg
+      $ group_commit_arg $ telemetry_arg)
 
 (* -- fcv client ----------------------------------------------------------------------- *)
 
@@ -882,14 +906,19 @@ let sim_cmd =
   in
   let inject_arg =
     let doc = "Plant a known durability bug (log-before-apply | skip-fsync | \
-               skip-rotate) to demonstrate the harness catches it." in
+               skip-rotate | skip-shard-fsync) to demonstrate the harness catches it." in
     Arg.(value & opt (some string) None & info [ "inject" ] ~docv:"BUG" ~doc)
+  in
+  let shards_arg =
+    let doc = "Force every workload onto an $(docv)-shard tier (otherwise each \
+               schedule draws its own count, 1-3)." in
+    Arg.(value & opt (some int) None & info [ "shards" ] ~docv:"N" ~doc)
   in
   let failures_arg =
     let doc = "Stop after this many shrunk counterexamples." in
     Arg.(value & opt int 1 & info [ "max-failures" ] ~docv:"N" ~doc)
   in
-  let run seed schedules ops fault inject max_failures =
+  let run seed schedules ops fault inject shards max_failures =
     let inject =
       Option.map
         (fun s ->
@@ -898,7 +927,7 @@ let sim_cmd =
     in
     let t0 = Unix.gettimeofday () in
     let r =
-      Fcv_sim.Sim.run ?inject ?ops ?fault ~max_failures
+      Fcv_sim.Sim.run ?inject ?ops ?fault ?shards ~max_failures
         ~progress:(fun msg -> Printf.eprintf "fcv sim: %s\n%!" msg)
         ~seed ~schedules ()
     in
@@ -920,7 +949,9 @@ let sim_cmd =
   in
   Cmd.v
     (Cmd.info "sim" ~doc)
-    Term.(const run $ seed_arg $ schedules_arg $ ops_arg $ fault_arg $ inject_arg $ failures_arg)
+    Term.(
+      const run $ seed_arg $ schedules_arg $ ops_arg $ fault_arg $ inject_arg $ shards_arg
+      $ failures_arg)
 
 let () =
   let doc = "fast identification of relational constraint violations (ICDE'07 reproduction)" in

@@ -1,0 +1,33 @@
+(** The apply-then-journal engine: applies a mutating request to the
+    monitor and journals it (through a caller-supplied [log] callback)
+    {e only on success}, so a mutation the client saw fail can never
+    be replayed by recovery.  Tracks unregister tombstones.  One
+    mutator per shard; {!Shard} owns the WAL handle behind [log]. *)
+
+type t
+
+val create : ?unregistered:string list -> ?log:(Protocol.request -> unit) -> Core.Monitor.t -> t
+(** [log] journals an acknowledged mutation (default: none); set it
+    later with {!set_log} when the WAL outlives this value. *)
+
+val monitor : t -> Core.Monitor.t
+
+val unregistered : t -> string list
+(** Current tombstones (for snapshotting). *)
+
+val set_log : t -> (Protocol.request -> unit) -> unit
+
+val register : ?id:int -> t -> string -> Core.Monitor.registered
+(** Apply + journal one registration (with the pinned id), clearing
+    the source's tombstone.
+    @raise the {!Core.Monitor.add} errors on a bad constraint. *)
+
+val apply : t -> Protocol.request -> ((string * Fcv_util.Telemetry.json) list, Protocol.error_code * string) result
+(** Answer one mutating request with the response fields a client
+    would see, or the error code + message.  Non-mutating requests
+    return [Ok []] and journal nothing. *)
+
+val apply_logged : Core.Monitor.t -> Protocol.request -> unit
+(** Apply one WAL record (register / unregister / insert / delete) to
+    a monitor — the replay semantics; non-mutating requests are
+    ignored. *)

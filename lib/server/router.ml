@@ -1,0 +1,61 @@
+(** The shard router: maps each table to its owning shard by a stable
+    hash of the table name, and each constraint to the shard owning
+    its first watched table.
+
+    Ownership must be {e stable across restarts and builds} — a
+    table's rows live in its owner's WAL and snapshots — so the hash
+    is our own (djb2-style) rather than [Hashtbl.hash], whose value is
+    an implementation detail.
+
+    Beyond ownership, the router tracks {e watcher} shards: a shard
+    holding a constraint over a table it does not own must still see
+    every mutation of that table (its monitor keeps a synced replica),
+    so mutations fan out to the owner plus all watchers.  Watcher sets
+    are derived state — recomputed from the constraint registries on
+    every (un)registration and after recovery — never persisted. *)
+
+let table_hash name =
+  String.fold_left (fun h c -> ((h * 33) + Char.code c) land 0x3FFFFFFF) 5381 name
+
+let owner ~shards table =
+  if shards <= 1 then 0 else table_hash table mod shards
+
+(* A constraint lives on the shard owning its first watched table; a
+   closed constraint over no tables lands on shard 0. *)
+let constraint_shard ~shards tables =
+  match tables with [] -> 0 | t :: _ -> owner ~shards t
+
+type t = {
+  shards : int;
+  watchers : (string, int list) Hashtbl.t;
+      (** table -> non-owner shards watching it, sorted *)
+}
+
+let create shards = { shards; watchers = Hashtbl.create 16 }
+
+let watches t ~shard table =
+  match Hashtbl.find_opt t.watchers table with
+  | Some l -> List.mem shard l
+  | None -> false
+
+(* Owner first, then watchers in shard order: deterministic fan-out so
+   replayed and simulated runs journal in the same order. *)
+let mutation_targets t table =
+  let o = owner ~shards:t.shards table in
+  o :: List.filter (( <> ) o) (Option.value ~default:[] (Hashtbl.find_opt t.watchers table))
+
+(* Rebuild the watcher sets from the authoritative constraint
+   registries: [watched] lists each shard's watched tables. *)
+let recompute t ~watched =
+  Hashtbl.reset t.watchers;
+  List.iteri
+    (fun shard tables ->
+      List.iter
+        (fun table ->
+          if owner ~shards:t.shards table <> shard then begin
+            let cur = Option.value ~default:[] (Hashtbl.find_opt t.watchers table) in
+            if not (List.mem shard cur) then
+              Hashtbl.replace t.watchers table (List.sort compare (shard :: cur))
+          end)
+        tables)
+    watched

@@ -1,0 +1,30 @@
+(** The shard router: stable table -> owning-shard hashing, constraint
+    placement (the shard owning a constraint's first watched table),
+    and derived watcher sets — the non-owner shards whose constraints
+    watch a table and must therefore receive its mutations. *)
+
+val table_hash : string -> int
+(** Stable (build-independent) hash of a table name. *)
+
+val owner : shards:int -> string -> int
+(** The shard owning [table]'s authoritative copy. *)
+
+val constraint_shard : shards:int -> string list -> int
+(** The shard a constraint over [tables] lives on (shard 0 for a
+    closed constraint over no tables). *)
+
+type t
+
+val create : int -> t
+(** A router over [n] shards with empty watcher sets. *)
+
+val watches : t -> shard:int -> string -> bool
+(** Is [shard] a registered (non-owner) watcher of [table]? *)
+
+val mutation_targets : t -> string -> int list
+(** Every shard that must apply a mutation of [table]: owner first,
+    then watchers in shard order (deterministic journal order). *)
+
+val recompute : t -> watched:string list list -> unit
+(** Rebuild watcher sets from the constraint registries; [watched] is
+    each shard's list of watched tables (index = shard id). *)

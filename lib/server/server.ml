@@ -1,110 +1,32 @@
 (** The constraint-service daemon: a single-threaded [select] loop
-    multiplexing client sessions over one {!Core.Monitor}, coalescing
-    update bursts into one dirty-set pass per validation, journaling
-    mutations to the WAL before responding, and snapshotting through
-    {!State}.  See server.mli for the design summary.
+    multiplexing pipelined client sessions over a sharded {!Tier},
+    coalescing update bursts into one dirty-set pass per shard per
+    validation, journaling mutations to the per-shard WALs, and
+    releasing acknowledgements behind the tier's group commit.  See
+    server.mli for the design summary.
 
-    The durable core — apply a mutation, journal it, rotate snapshots
-    — lives in {!Mutator} / {!snapshot_rotate} so the fault-injection
-    simulator drives the exact code paths the daemon runs, without the
-    sockets. *)
+    The durable core — route a mutation, apply + journal it per
+    shard, group-commit, rotate snapshots — lives in {!Mutator} /
+    {!Shard} / {!Tier} so the fault-injection simulator drives the
+    exact code paths the daemon runs, without the sockets. *)
 
 module R = Fcv_relation
 module T = Fcv_util.Telemetry
 module P = Protocol
 
-(* -- the durable mutation engine ------------------------------------------- *)
+(* Compatibility re-exports: the durable core used to live here. *)
+module Mutator = Mutator
 
-module Mutator = struct
-  type t = {
-    monitor : Core.Monitor.t;
-    mutable unregistered : string list;
-        (** tombstones: sources explicitly unregistered, persisted in
-            snapshots so startup files don't resurrect them *)
-    mutable log : P.request -> unit;
-        (** journal an {e acknowledged} mutation (the WAL append +
-            fsync); set by whoever owns the WAL handle *)
-  }
+let apply_logged = Mutator.apply_logged
 
-  let create ?(unregistered = []) ?(log = fun _ -> ()) monitor = { monitor; unregistered; log }
-  let monitor t = t.monitor
-  let unregistered t = t.unregistered
-  let set_log t log = t.log <- log
+type recovered = Shard.recovered = {
+  monitor : Core.Monitor.t;
+  replayed : int;
+  from_snapshot : bool;
+  unregistered : string list;
+}
 
-  (* Apply + journal one registration.  Re-registering digs up a
-     tombstone.  Raises the {!Core.Monitor.add} errors on a bad
-     constraint (callers that want a response code use [apply]). *)
-  let register ?id t source =
-    let reg = Core.Monitor.add ?id t.monitor source in
-    t.unregistered <- List.filter (( <> ) source) t.unregistered;
-    t.log (P.Register { source; id = Some reg.Core.Monitor.id });
-    reg
-
-  (* Answer one mutating request: apply first, journal only on
-     success, so a failed mutation (the client gets an error) can
-     never be replayed by recovery.  Non-mutating requests are [Ok []]
-     — they carry no durable effect. *)
-  let apply t req : ((string * T.json) list, P.error_code * string) result =
-    let db = (Core.Monitor.index t.monitor).Core.Index.db in
-    match req with
-    | P.Register { source; id } -> (
-      match register ?id t source with
-      | reg -> Ok [ ("constraint", T.Int reg.Core.Monitor.id) ]
-      | exception
-          ( Core.Fol_parser.Error msg
-          | Core.Typing.Type_error msg
-          | Core.Compile.Unsupported msg
-          | Invalid_argument msg ) ->
-        Error (P.Constraint_error, msg))
-    | P.Unregister c -> (
-      match
-        List.find_opt (fun r -> r.Core.Monitor.id = c) (Core.Monitor.constraints t.monitor)
-      with
-      | Some r ->
-        Core.Monitor.remove t.monitor c;
-        let source = r.Core.Monitor.source in
-        if not (List.mem source t.unregistered) then t.unregistered <- source :: t.unregistered;
-        t.log req;
-        Ok []
-      | None -> Error (P.Bad_request, Printf.sprintf "no constraint %d" c))
-    | P.Insert (table, row) -> (
-      match P.code_row ~intern:true db ~table row with
-      | P.Coded coded ->
-        Core.Monitor.insert t.monitor ~table_name:table coded;
-        t.log req;
-        Ok []
-      | P.Unknown_value _ -> assert false (* intern never yields this *)
-      | exception P.Malformed msg -> Error (P.Bad_request, msg)
-      | exception Invalid_argument msg -> Error (P.Unknown_table, msg))
-    | P.Delete (table, row) -> (
-      match P.code_row ~intern:true db ~table row with
-      | P.Coded coded ->
-        let removed = Core.Monitor.delete t.monitor ~table_name:table coded in
-        t.log req;
-        Ok [ ("removed", T.Bool removed) ]
-      | P.Unknown_value _ -> assert false
-      | exception P.Malformed msg -> Error (P.Bad_request, msg)
-      | exception Invalid_argument msg -> Error (P.Unknown_table, msg))
-    | P.Validate | P.Stats | P.Compact | P.Snapshot | P.Ping | P.Shutdown -> Ok []
-end
-
-(* Cut a snapshot generation and rotate to its fresh WAL.  The new
-   generation's empty WAL is created (durably) before the CURRENT
-   rename commits the snapshot, so snapshot and log switch as one: a
-   crash on either side of the rename leaves a generation whose WAL
-   holds exactly the records the snapshot does not cover. *)
-let snapshot_rotate ~dir ~fsync_every mut wal =
-  let gen =
-    State.save ~dir
-      ~unregistered:(Mutator.unregistered mut)
-      ~prepare_wal:(fun ~gen -> Vfs.write_file (State.wal_path ~dir ~gen) "")
-      (Mutator.monitor mut)
-  in
-  match wal with
-  | None -> (gen, None)
-  | Some wal ->
-    Wal.close wal;
-    (gen, Some (Wal.open_ ~fsync_every (State.wal_path ~dir ~gen)))
+let recover = Shard.recover
 
 (* -- daemon ---------------------------------------------------------------- *)
 
@@ -118,6 +40,8 @@ type config = {
   max_line : int;
   max_sessions : int;
   jobs : int;
+  shards : int;
+  group_commit_window : int;
 }
 
 let default_config ~addr =
@@ -131,22 +55,15 @@ let default_config ~addr =
     max_line = 1 lsl 20;
     max_sessions = 64;
     jobs = 1;
+    shards = 1;
+    group_commit_window = 8;
   }
-
-type recovered = {
-  monitor : Core.Monitor.t;
-  replayed : int;
-  from_snapshot : bool;
-  unregistered : string list;
-}
 
 type t = {
   config : config;
-  mut : Mutator.t;
+  tier : Tier.t;
   listen_fd : Unix.file_descr;
   unix_path : string option;  (** to unlink on close *)
-  mutable wal : Wal.t option;  (** rotates with the snapshot generation *)
-  mutable wal_since_snapshot : int;
   mutable sessions : Session.t list;  (** arrival order *)
   mutable next_session : int;
   mutable requests : int;
@@ -157,15 +74,16 @@ type t = {
   readbuf : Bytes.t;
 }
 
-let monitor t = Mutator.monitor t.mut
+let tier t = t.tier
+let monitor t = Shard.monitor (Tier.shards t.tier).(0)
 let draining t = t.draining
 let request_drain t = t.draining <- true
 
-let create ?(unregistered = []) config monitor =
+let of_tier config tier =
   Sys.set_signal Sys.sigpipe Sys.Signal_ignore;
-  (* the select loop stays single-threaded; only the coalesced
-     validate pass inside it fans out (Monitor worker pool) *)
-  Core.Monitor.set_jobs monitor config.jobs;
+  (* the select loop stays single-threaded; only the per-shard
+     validate passes inside it fan out (Monitor worker pools) *)
+  Tier.set_jobs tier config.jobs;
   let sockaddr = P.sockaddr_of_string config.addr in
   let domain, unix_path =
     match sockaddr with
@@ -179,100 +97,45 @@ let create ?(unregistered = []) config monitor =
   Unix.bind listen_fd sockaddr;
   Unix.listen listen_fd 64;
   Unix.set_nonblock listen_fd;
-  let wal =
-    Option.map
-      (fun dir ->
-        if not (Vfs.file_exists dir) then Vfs.mkdir dir 0o755;
-        Wal.open_ ~fsync_every:config.fsync_every
-          (State.wal_path ~dir ~gen:(State.current_gen ~dir)))
-      config.state_dir
-  in
-  let t =
-    {
-      config;
-      mut = Mutator.create ~unregistered monitor;
-      listen_fd;
-      unix_path;
-      wal;
-      wal_since_snapshot = 0;
-      sessions = [];
-      next_session = 0;
-      requests = 0;
-      draining = false;
-      stopped = false;
-      kill_requested = false;
-      started = Unix.gettimeofday ();
-      readbuf = Bytes.create 65536;
-    }
-  in
-  Mutator.set_log t.mut (fun req ->
-      match t.wal with
-      | None -> ()
-      | Some wal ->
-        Wal.append wal req;
-        t.wal_since_snapshot <- t.wal_since_snapshot + 1);
-  t
+  {
+    config;
+    tier;
+    listen_fd;
+    unix_path;
+    sessions = [];
+    next_session = 0;
+    requests = 0;
+    draining = false;
+    stopped = false;
+    kill_requested = false;
+    started = Unix.gettimeofday ();
+    readbuf = Bytes.create 65536;
+  }
 
-(* -- replay semantics (shared with recovery and the crash tests) ----------- *)
-
-let apply_logged monitor req =
-  let db = (Core.Monitor.index monitor).Core.Index.db in
-  match req with
-  | P.Register { source; id } -> ignore (Core.Monitor.add ?id monitor source)
-  | P.Unregister c -> Core.Monitor.remove monitor c
-  | P.Insert (table, row) -> (
-    match P.code_row ~intern:true db ~table row with
-    | P.Coded coded -> Core.Monitor.insert monitor ~table_name:table coded
-    | P.Unknown_value _ -> assert false (* intern never yields this *))
-  | P.Delete (table, row) -> (
-    match P.code_row ~intern:true db ~table row with
-    | P.Coded coded -> ignore (Core.Monitor.delete monitor ~table_name:table coded)
-    | P.Unknown_value _ -> assert false)
-  | P.Validate | P.Stats | P.Compact | P.Snapshot | P.Ping | P.Shutdown -> ()
-
-let recover ?(max_nodes = 0) ~state_dir ~load_base () =
-  let monitor, unregistered, from_snapshot =
-    match State.load ~dir:state_dir ~max_nodes with
-    | Some (m, unreg) -> (m, unreg, true)
-    | None ->
-      let db = load_base () in
-      (Core.Monitor.create (Core.Index.create ~max_nodes db), [], false)
-  in
-  (* track tombstones through the replay: an unregister buries its
-     source, a (re-)register digs it up *)
-  let unreg = ref unregistered in
-  let note req =
-    match req with
-    | P.Register { source; _ } -> unreg := List.filter (( <> ) source) !unreg
-    | P.Unregister c ->
-      Option.iter
-        (fun r ->
-          let source = r.Core.Monitor.source in
-          if not (List.mem source !unreg) then unreg := source :: !unreg)
-        (List.find_opt
-           (fun r -> r.Core.Monitor.id = c)
-           (Core.Monitor.constraints monitor))
-    | _ -> ()
-  in
-  let replayed =
-    Wal.replay
-      (State.wal_path ~dir:state_dir ~gen:(State.current_gen ~dir:state_dir))
-      ~f:(fun req ->
-        note req;
-        apply_logged monitor req)
-  in
-  ({ monitor; replayed; from_snapshot; unregistered = !unreg } : recovered)
+let create ?(unregistered = []) config monitor =
+  (match config.state_dir with
+  | Some dir ->
+    if not (Vfs.file_exists dir) then Vfs.mkdir dir 0o755;
+    Tier.record_shards dir 1
+  | None -> ());
+  let shard = Shard.create ~unregistered ~sid:0 ?dir:config.state_dir monitor in
+  of_tier config (Tier.of_shards ~fsync:(config.fsync_every > 0) [| shard |])
 
 (* -- durability ------------------------------------------------------------ *)
+
+(* The group commit: fsync every dirty shard WAL, then release the
+   acknowledgements staged behind it — in per-session order.  Runs
+   when the window fills and at the end of every processing round. *)
+let release_all t =
+  Tier.flush t.tier;
+  List.iter Session.release t.sessions
 
 let snapshot t =
   match t.config.state_dir with
   | None -> ()
-  | Some dir ->
+  | Some _ ->
     T.with_span "server.snapshot" @@ fun () ->
-    let _gen, wal = snapshot_rotate ~dir ~fsync_every:t.config.fsync_every t.mut t.wal in
-    t.wal <- wal;
-    t.wal_since_snapshot <- 0
+    Tier.snapshot t.tier
 
 (* -- request handling ------------------------------------------------------ *)
 
@@ -290,67 +153,106 @@ let json_of_report rep =
       ("ms", T.Float rep.Core.Monitor.elapsed_ms);
     ]
 
+let shard_json s =
+  let index = Core.Monitor.index (Shard.monitor s) in
+  T.Obj
+    [
+      ("shard", T.Int (Shard.sid s));
+      ("constraints", T.Int (List.length (Core.Monitor.constraints (Shard.monitor s))));
+      ("bdd_nodes", T.Int (Fcv_bdd.Manager.size (Core.Index.mgr index)));
+      ("wal_appended", T.Int (Shard.wal_appended s));
+      ("since_snapshot", T.Int (Shard.since_snapshot s));
+      ("dirty", T.Bool (Shard.is_dirty s));
+    ]
+
 let stats_json t =
-  let index = Core.Monitor.index (monitor t) in
-  let db = index.Core.Index.db in
+  let shards = Tier.shards t.tier in
+  let sum f = Array.fold_left (fun acc s -> acc + f s) 0 shards in
+  let index0 = Core.Monitor.index (monitor t) in
   let tables =
     List.map
-      (fun n -> (n, T.Int (R.Table.cardinality (R.Database.table db n))))
-      (R.Database.table_names db)
+      (fun n -> (n, T.Int (Tier.table_cardinality t.tier n)))
+      (R.Database.table_names index0.Core.Index.db)
+  in
+  let mem f =
+    sum (fun s -> f (Core.Index.lifecycle_stats (Core.Monitor.index (Shard.monitor s))))
   in
   [
     ("uptime_ms", T.Float ((Unix.gettimeofday () -. t.started) *. 1000.));
     ("sessions", T.Int (List.length t.sessions));
     ("requests", T.Int t.requests);
     ("jobs", T.Int (Core.Monitor.jobs (monitor t)));
-    ("constraints", T.Int (List.length (Core.Monitor.constraints (monitor t))));
-    ("indices", T.Int (List.length (Core.Index.entries index)));
-    ("bdd_nodes", T.Int (Fcv_bdd.Manager.size (Core.Index.mgr index)));
+    ("constraints", T.Int (List.length (Tier.constraints t.tier)));
+    ( "indices",
+      T.Int (sum (fun s -> List.length (Core.Index.entries (Core.Monitor.index (Shard.monitor s))))) );
+    ( "bdd_nodes",
+      T.Int (sum (fun s -> Fcv_bdd.Manager.size (Core.Index.mgr (Core.Monitor.index (Shard.monitor s))))) );
     ( "memory",
-      let ls = Core.Index.lifecycle_stats index in
       T.Obj
         [
-          ("live_nodes", T.Int ls.Core.Index.live);
-          ("peak_nodes", T.Int ls.Core.Index.peak);
-          ("dead_ratio", T.Float ls.Core.Index.dead);
-          ("levels_used", T.Int ls.Core.Index.levels_used);
-          ("levels_live", T.Int ls.Core.Index.levels_alive);
-          ("op_cache_entries", T.Int ls.Core.Index.cache_entries);
-          ("gc_runs", T.Int ls.Core.Index.gc_runs);
-          ("gc_reclaimed", T.Int ls.Core.Index.gc_reclaimed);
-          ("level_recycles", T.Int ls.Core.Index.level_recycles);
-          ("deferred_rebuilds", T.Int ls.Core.Index.deferred_rebuilds);
+          ("live_nodes", T.Int (mem (fun ls -> ls.Core.Index.live)));
+          ("peak_nodes", T.Int (mem (fun ls -> ls.Core.Index.peak)));
+          ( "dead_ratio",
+            T.Float
+              (Array.fold_left
+                 (fun acc s ->
+                   max acc
+                     (Core.Index.lifecycle_stats (Core.Monitor.index (Shard.monitor s)))
+                       .Core.Index.dead)
+                 0. shards) );
+          ("levels_used", T.Int (mem (fun ls -> ls.Core.Index.levels_used)));
+          ("levels_live", T.Int (mem (fun ls -> ls.Core.Index.levels_alive)));
+          ("op_cache_entries", T.Int (mem (fun ls -> ls.Core.Index.cache_entries)));
+          ("gc_runs", T.Int (mem (fun ls -> ls.Core.Index.gc_runs)));
+          ("gc_reclaimed", T.Int (mem (fun ls -> ls.Core.Index.gc_reclaimed)));
+          ("level_recycles", T.Int (mem (fun ls -> ls.Core.Index.level_recycles)));
+          ("deferred_rebuilds", T.Int (mem (fun ls -> ls.Core.Index.deferred_rebuilds)));
         ] );
     ("tables", T.Obj tables);
     ( "wal",
       T.Obj
         [
-          ("appended", T.Int (match t.wal with Some w -> Wal.appended w | None -> 0));
-          ("since_snapshot", T.Int t.wal_since_snapshot);
+          ("appended", T.Int (sum Shard.wal_appended));
+          ("since_snapshot", T.Int (sum Shard.since_snapshot));
         ] );
+    ( "group_commit",
+      T.Obj
+        [
+          ("window", T.Int t.config.group_commit_window);
+          ("pending", T.Int (Tier.pending t.tier));
+        ] );
+    ("shards", T.List (Array.to_list (Array.map shard_json shards)));
   ]
 
-let register ?id t source = Mutator.register ?id t.mut source
+(* Registration through the durability path, flushed immediately — a
+   --constraints startup file must be durable before the loop runs. *)
+let register ?id t source =
+  let reg = Tier.register ?id t.tier source in
+  Tier.flush t.tier;
+  reg
 
 (* Answer one non-validate request.  Mutations go through
-   {!Mutator.apply} (apply first, journal only on success).  Any
-   escaping exception becomes an [internal] error response — a bad
-   request must not kill the loop. *)
+   {!Tier.apply} (apply + journal per shard on success) and their
+   replies are {e staged} behind the group commit; when the window
+   fills, flush and release.  Any escaping exception becomes an
+   [internal] error response — a bad request must not kill the
+   loop. *)
 let handle t session rid req =
   let t0 = Fcv_util.Timer.now () in
-  let reply line = Session.send session line in
+  let reply line = Session.stage session line in
   (try
      match req with
      | P.Ping -> reply (P.ok_line ?id:rid [ ("pong", T.Bool true) ])
-     | P.Register _ | P.Unregister _ | P.Insert _ | P.Delete _ -> (
-       match Mutator.apply t.mut req with
+     | P.Register _ | P.Unregister _ | P.Insert _ | P.Delete _ ->
+       (match Tier.apply t.tier req with
        | Ok fields -> reply (P.ok_line ?id:rid fields)
-       | Error (code, msg) -> reply (P.error_line ?id:rid code msg))
+       | Error (code, msg) -> reply (P.error_line ?id:rid code msg));
+       if Tier.pending t.tier >= t.config.group_commit_window then release_all t
      | P.Stats -> reply (P.ok_line ?id:rid (stats_json t))
      | P.Compact ->
        (* the select loop is single-threaded and validates are
           coalesced elsewhere, so no check is in flight here *)
-       let reclaimed = Core.Monitor.gc (monitor t) in
+       let reclaimed = Tier.gc t.tier in
        let index = Core.Monitor.index (monitor t) in
        reply
          (P.ok_line ?id:rid
@@ -375,11 +277,15 @@ let handle t session rid req =
       (T.histogram ("server.op." ^ P.request_name req))
       ((Fcv_util.Timer.now () -. t0) *. 1000.)
 
-(* Drain every session's request queue.  Each outer round applies all
-   sessions' update bursts first, then — if anyone asked — runs ONE
-   Monitor.validate (one dirty-set pass) whose reports answer every
-   waiting session.  A session's requests keep their order: its lines
-   after a [validate] wait for the next round. *)
+(* Drain every session's request queue.  Sessions are pipelined: one
+   read may queue many complete lines, and each outer round applies
+   all sessions' update bursts first, then — if anyone asked — runs
+   ONE tier validate (one dirty-set pass per shard, verdicts merged)
+   whose reports answer every waiting session.  A session's requests
+   keep their order: replies are staged in arrival order and its
+   lines after a [validate] wait for the next round.  The round ends
+   with a group commit, so every staged acknowledgement is released
+   behind its WAL fsync. *)
 let process t =
   let progress = ref true in
   while !progress do
@@ -397,7 +303,7 @@ let process t =
             else (
               match P.parse_request line with
               | Error (code, msg) ->
-                Session.send session (P.error_line code msg);
+                Session.stage session (P.error_line code msg);
                 session.Session.requests <- session.Session.requests + 1;
                 t.requests <- t.requests + 1
               | Ok (rid, P.Validate) ->
@@ -409,7 +315,7 @@ let process t =
     if !validators <> [] then begin
       let t0 = Fcv_util.Timer.now () in
       let result =
-        match Core.Monitor.validate (monitor t) with
+        match Tier.validate t.tier with
         | reports ->
           let violated =
             List.length
@@ -426,14 +332,17 @@ let process t =
       List.iter
         (fun (session, rid) ->
           (match result with
-          | Ok fields -> Session.send session (P.ok_line ?id:rid fields)
-          | Error msg -> Session.send session (P.error_line ?id:rid P.Internal msg));
+          | Ok fields -> Session.stage session (P.ok_line ?id:rid fields)
+          | Error msg -> Session.stage session (P.error_line ?id:rid P.Internal msg));
           session.Session.requests <- session.Session.requests + 1;
           t.requests <- t.requests + 1;
           if T.enabled () then T.observe (T.histogram "server.op.validate") ms)
         (List.rev !validators)
     end
-  done
+  done;
+  (* end-of-round group commit: the latency bound when the window
+     never fills *)
+  release_all t
 
 (* -- the event loop -------------------------------------------------------- *)
 
@@ -474,7 +383,8 @@ let accept_pending t =
 
 (* Read whatever is ready on [session]; [false] when it must be
    dropped (EOF with an empty queue, dead peer, or an over-long
-   line). *)
+   line).  One read may carry many pipelined request lines —
+   {!Session.feed} queues them all. *)
 let read_session t session =
   match Unix.read session.Session.fd t.readbuf 0 (Bytes.length t.readbuf) with
   | 0 ->
@@ -517,10 +427,10 @@ let close_all t =
   t.sessions <- [];
   (try Unix.close t.listen_fd with Unix.Unix_error _ -> ());
   Option.iter (fun path -> try Unix.unlink path with Unix.Unix_error _ -> ()) t.unix_path;
-  Option.iter Wal.close t.wal;
-  (* join worker domains so the process can exit; harmless under the
-     [kill] crash simulation — domains are not on-disk state *)
-  Core.Monitor.stop (monitor t)
+  (* closes every shard's WAL and joins worker domains so the process
+     can exit; harmless under the [kill] crash simulation — domains
+     are not on-disk state *)
+  Tier.close t.tier
 
 let stop t =
   if not t.stopped then begin
@@ -533,8 +443,9 @@ let kill t = t.kill_requested <- true
 
 let poll ?(timeout = 0.25) t =
   if t.kill_requested && not t.stopped then begin
-    (* crash simulation: drop every fd without a final snapshot, so
-       recovery exercises the snapshot + WAL path *)
+    (* crash simulation: drop every fd — staged, un-flushed replies
+       and all — without a final snapshot, so recovery exercises the
+       per-shard snapshot + WAL path *)
     t.stopped <- true;
     close_all t
   end;
@@ -568,11 +479,8 @@ let poll ?(timeout = 0.25) t =
           drop_session t session)
       t.sessions;
     reap_timeouts t;
-    if
-      t.config.snapshot_every > 0
-      && t.wal_since_snapshot >= t.config.snapshot_every
-      && not t.draining
-    then snapshot t;
+    if t.config.snapshot_every > 0 && not t.draining then
+      Tier.auto_snapshot t.tier ~every:t.config.snapshot_every;
     if t.draining then stop t;
     not t.stopped
   end

@@ -9,6 +9,7 @@ type t = {
   inbuf : Buffer.t;
   mutable queue : string list;  (** oldest first *)
   mutable out : string;
+  mutable staged : string list;  (** replies awaiting group commit, newest first *)
   mutable last_activity : float;
   mutable partial_since : float option;
   mutable requests : int;
@@ -24,6 +25,7 @@ let create ~id ~fd ~peer =
     inbuf = Buffer.create 256;
     queue = [];
     out = "";
+    staged = [];
     last_activity = Unix.gettimeofday ();
     partial_since = None;
     requests = 0;
@@ -69,6 +71,19 @@ let next_line t =
 let peek_line t = match t.queue with [] -> None | l :: _ -> Some l
 let queued t = List.length t.queue
 let send t line = t.out <- t.out ^ line ^ "\n"
+
+(* Stage a reply behind the group commit: it joins [out] — in
+   arrival order — only when {!release} runs, after the tier has
+   fsync'd the WAL records the reply acknowledges. *)
+let stage t line = t.staged <- line :: t.staged
+
+let release t =
+  match t.staged with
+  | [] -> ()
+  | staged ->
+    t.out <- t.out ^ String.concat "\n" (List.rev staged) ^ "\n";
+    t.staged <- []
+
 let has_output t = t.out <> ""
 
 let flush t =

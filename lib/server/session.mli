@@ -10,6 +10,10 @@ type t = {
   inbuf : Buffer.t;  (** bytes read but not yet terminated by '\n' *)
   mutable queue : string list;  (** complete lines awaiting processing, oldest first *)
   mutable out : string;  (** bytes accepted for sending, not yet written *)
+  mutable staged : string list;
+      (** replies staged behind the group commit (newest first) —
+          {!release} moves them to [out] once the WAL fsync covering
+          their mutations has run *)
   mutable last_activity : float;  (** last byte received (Unix time) *)
   mutable partial_since : float option;
       (** when the current half-received line started, for the
@@ -35,7 +39,16 @@ val peek_line : t -> string option
 val queued : t -> int
 
 val send : t -> string -> unit
-(** Queue one response line ('\n' appended). *)
+(** Queue one response line ('\n' appended) for immediate writing. *)
+
+val stage : t -> string -> unit
+(** Queue one response line behind the group commit: it reaches the
+    socket only after {!release} (the server calls it once the WAL
+    fsync covering the acknowledged mutations has run), preserving
+    per-session reply order. *)
+
+val release : t -> unit
+(** Move every staged reply to [out], oldest first. *)
 
 val flush : t -> bool
 (** Write as much of [out] as the socket accepts; [false] when the

@@ -1,0 +1,151 @@
+(** One shard of the serving tier: a {!Mutator} over its own
+    {!Core.Monitor}, its own WAL generation sequence and snapshot
+    lineage under its own directory.  The WAL is opened with
+    [fsync_every:0] — durability is the tier's {e group commit}: the
+    owner syncs dirty shards explicitly ({!sync}) before releasing
+    acknowledgements, batching many mutations into one fsync per WAL.
+
+    Accounting exposed for the fault-injection simulator:
+    - [journaled] counts records handed to the journal, bumped
+      {e before} the WAL append so an in-flight record (its append
+      started but never returned) is included — the upper bound of the
+      durable window;
+    - [on_journal] fires after each successful append (after the
+      mutation was applied), so an oracle run can digest the shard
+      after every journaled record. *)
+
+module P = Protocol
+
+type t = {
+  sid : int;
+  dir : string option;
+  mut : Mutator.t;
+  mutable wal : Wal.t option;  (** rotates with the snapshot generation *)
+  mutable since_snapshot : int;
+  mutable journaled : int;  (** monotonic across rotations; includes in-flight *)
+  mutable dirty : bool;  (** appends not yet covered by a sync or rotation *)
+  mutable on_journal : P.request -> unit;
+}
+
+let sid t = t.sid
+let dir t = t.dir
+let mut t = t.mut
+let monitor t = Mutator.monitor t.mut
+let unregistered t = Mutator.unregistered t.mut
+let since_snapshot t = t.since_snapshot
+let journaled t = t.journaled
+let is_dirty t = t.dirty
+let set_on_journal t f = t.on_journal <- f
+let wal_appended t = match t.wal with Some w -> Wal.appended w | None -> 0
+
+let log t req =
+  t.journaled <- t.journaled + 1;
+  t.since_snapshot <- t.since_snapshot + 1;
+  t.dirty <- true;
+  (match t.wal with Some w -> Wal.append w req | None -> ());
+  t.on_journal req
+
+let create ?(unregistered = []) ~sid ?dir monitor =
+  let wal =
+    Option.map
+      (fun dir ->
+        if not (Vfs.file_exists dir) then Vfs.mkdir dir 0o755;
+        Wal.open_ ~fsync_every:0 (State.wal_path ~dir ~gen:(State.current_gen ~dir)))
+      dir
+  in
+  let t =
+    {
+      sid;
+      dir;
+      mut = Mutator.create ~unregistered monitor;
+      wal;
+      since_snapshot = 0;
+      journaled = 0;
+      dirty = false;
+      on_journal = ignore;
+    }
+  in
+  Mutator.set_log t.mut (log t);
+  t
+
+(* Raw journal access for the simulator's planted bugs (journaling a
+   record the mutator never acknowledged). *)
+let raw_append t req = match t.wal with Some w -> Wal.append w req | None -> ()
+
+let sync t =
+  if t.dirty then begin
+    (match t.wal with Some w -> Wal.sync w | None -> ());
+    t.dirty <- false
+  end
+
+(* Cut a snapshot generation and rotate to its fresh WAL.  The new
+   generation's empty WAL is created (durably) before the CURRENT
+   rename commits the snapshot, so snapshot and log switch as one: a
+   crash on either side of the rename leaves a generation whose WAL
+   holds exactly the records the snapshot does not cover.  A committed
+   snapshot covers every applied mutation, so the shard comes out
+   clean (nothing left to sync). *)
+let snapshot t =
+  match t.dir with
+  | None -> ()
+  | Some dir ->
+    let gen =
+      State.save ~dir
+        ~unregistered:(Mutator.unregistered t.mut)
+        ~prepare_wal:(fun ~gen -> Vfs.write_file (State.wal_path ~dir ~gen) "")
+        (Mutator.monitor t.mut)
+    in
+    (match t.wal with
+    | None -> ()
+    | Some wal ->
+      Wal.close wal;
+      t.wal <- Some (Wal.open_ ~fsync_every:0 (State.wal_path ~dir ~gen)));
+    t.since_snapshot <- 0;
+    t.dirty <- false
+
+let close t =
+  Option.iter Wal.close t.wal;
+  t.wal <- None;
+  Core.Monitor.stop (monitor t)
+
+(* -- recovery --------------------------------------------------------------- *)
+
+type recovered = {
+  monitor : Core.Monitor.t;
+  replayed : int;
+  from_snapshot : bool;
+  unregistered : string list;
+}
+
+let recover ?(max_nodes = 0) ~state_dir ~load_base () =
+  let monitor, unregistered, from_snapshot =
+    match State.load ~dir:state_dir ~max_nodes with
+    | Some (m, unreg) -> (m, unreg, true)
+    | None ->
+      let db = load_base () in
+      (Core.Monitor.create (Core.Index.create ~max_nodes db), [], false)
+  in
+  (* track tombstones through the replay: an unregister buries its
+     source, a (re-)register digs it up *)
+  let unreg = ref unregistered in
+  let note req =
+    match req with
+    | P.Register { source; _ } -> unreg := List.filter (( <> ) source) !unreg
+    | P.Unregister c ->
+      Option.iter
+        (fun r ->
+          let source = r.Core.Monitor.source in
+          if not (List.mem source !unreg) then unreg := source :: !unreg)
+        (List.find_opt
+           (fun r -> r.Core.Monitor.id = c)
+           (Core.Monitor.constraints monitor))
+    | _ -> ()
+  in
+  let replayed =
+    Wal.replay
+      (State.wal_path ~dir:state_dir ~gen:(State.current_gen ~dir:state_dir))
+      ~f:(fun req ->
+        note req;
+        Mutator.apply_logged monitor req)
+  in
+  ({ monitor; replayed; from_snapshot; unregistered = !unreg } : recovered)

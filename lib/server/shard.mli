@@ -1,0 +1,72 @@
+(** One shard of the serving tier: its own {!Mutator} (monitor +
+    tombstones), WAL generation sequence and snapshot lineage under
+    its own directory.  WALs are opened un-fsynced; the tier's group
+    commit calls {!sync} before acknowledgements are released. *)
+
+type t
+
+val create : ?unregistered:string list -> sid:int -> ?dir:string -> Core.Monitor.t -> t
+(** Wire a mutator over [monitor] to the live generation's WAL under
+    [dir] (created if missing; no [dir] = in-memory shard). *)
+
+val sid : t -> int
+val dir : t -> string option
+val mut : t -> Mutator.t
+val monitor : t -> Core.Monitor.t
+val unregistered : t -> string list
+
+val since_snapshot : t -> int
+(** WAL records journaled since the last rotation (per-shard
+    auto-snapshot trigger). *)
+
+val journaled : t -> int
+(** Records handed to the journal through this handle's lifetime,
+    bumped {e before} the append — so it includes a record whose
+    append crashed mid-flight (the simulator's durable-window upper
+    bound). *)
+
+val is_dirty : t -> bool
+(** Appends since the last {!sync} or {!snapshot} — what a group
+    commit still has to fsync. *)
+
+val wal_appended : t -> int
+(** Records appended to the current generation's WAL handle. *)
+
+val set_on_journal : t -> (Protocol.request -> unit) -> unit
+(** Observation hook, fired after each journaled record (mutation
+    already applied) — the simulator's oracle digests here. *)
+
+val raw_append : t -> Protocol.request -> unit
+(** Append straight to the WAL, bypassing apply-then-journal — only
+    for the simulator's planted log-before-apply bug. *)
+
+val sync : t -> unit
+(** Fsync the WAL if dirty (one arm of the tier's group commit). *)
+
+val snapshot : t -> unit
+(** Cut a snapshot generation and rotate to its fresh (empty, durably
+    created) WAL; the shard comes out clean.  No-op without a dir. *)
+
+val close : t -> unit
+(** Close the WAL and join the monitor's worker domains. *)
+
+type recovered = {
+  monitor : Core.Monitor.t;
+  replayed : int;  (** WAL records replayed over the snapshot *)
+  from_snapshot : bool;
+  unregistered : string list;
+      (** tombstones: sources explicitly unregistered (from the
+          snapshot, updated through the replay) — pass to {!create}
+          and do not re-register these from startup files *)
+}
+
+val recover :
+  ?max_nodes:int ->
+  state_dir:string ->
+  load_base:(unit -> Fcv_relation.Database.t) ->
+  unit ->
+  recovered
+(** Rebuild the monitor this shard should resume from: the latest
+    snapshot if one exists (else a fresh monitor over [load_base ()]),
+    then the live generation's WAL replayed over it — truncating any
+    torn tail so subsequent appends stay recoverable. *)

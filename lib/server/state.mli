@@ -34,6 +34,11 @@ val wal_path : dir:string -> gen:int -> string
 (** The WAL covering updates since generation [gen] ([gen = 0] before
     any snapshot exists). *)
 
+val current_path : string -> string
+(** The [CURRENT] pointer file of a state directory (existence marks
+    a directory that has cut at least one snapshot — {!Tier} uses it
+    to recognise a legacy flat single-shard layout). *)
+
 val current_gen : dir:string -> int
 (** The live generation number; 0 when no snapshot has been cut yet
     (or the directory does not exist). *)

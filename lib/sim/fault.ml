@@ -123,6 +123,15 @@ let go_down t =
   t.down <- true;
   raise Crash
 
+(* Power-cut without a scheduled fault point: commit seeded crash
+   damage to everything pending and take the fs down (open handles
+   die), without raising — the group-commit durability tests cut
+   power at a chosen line of their own code. *)
+let power_cut t =
+  crash_commit t;
+  t.crashed <- true;
+  t.down <- true
+
 let restart t =
   if not t.down then List.iter (fun (_, f) -> commit f) (sorted_files t)
   else t.down <- false;

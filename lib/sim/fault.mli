@@ -40,6 +40,12 @@ val effects : t -> int
 
 val crashed : t -> bool
 
+val power_cut : t -> unit
+(** Cut power now, without a scheduled fault point: every pending
+    operation is resolved by the seeded crash damage and open handles
+    die ({!restart} brings the fs back).  Does not raise — tests that
+    choose their own crash line use this instead of [crash_at]. *)
+
 val restart : t -> unit
 (** Simulate process restart after {!Crash}: pending state is resolved
     (already done at crash time), open handles die, and the durable

@@ -1,39 +1,51 @@
 (** The fault-injection driver.  See sim.mli for the invariant; the
-    accounting that makes it checkable:
+    accounting that makes it checkable, {e per shard}:
 
-    - [total]  = mutations acknowledged (applied + journaled),
-    - [synced] = mutations known durable: covered by the last snapshot
-      or fsync'd in the WAL,
-    - at most one mutation is {e in flight} (its WAL append started
-      but not acknowledged) when a crash hits.
+    - [journaled.(s)] = records handed to shard [s]'s journal
+      (bumped before the WAL append, so an in-flight record whose
+      append crashed is included — {!Fcv_server.Shard.journaled});
+    - [synced.(s)] = records known durable on [s]: covered by its
+      last snapshot rotation, or acknowledged by a group-commit flush
+      — the {e ack contract}: once the flush returns, every
+      journaled mutation is durable, so a flush that skipped a
+      shard's fsync (the planted cross-shard bug) makes the window
+      itself catch the lie.
 
-    Recovery must then reproduce the oracle state after [k] mutations
-    for exactly one [k] in [[synced, total + in-flight]].  The digest
-    is extensional (database dump + registry + tombstones + verdicts),
-    so BDD node numbering differences between a recovered index and
-    the oracle's never matter. *)
+    Recovery must then reproduce, on every shard, the oracle state of
+    that shard after [k] journaled records for some [k] in
+    [[synced.(s), journaled.(s)]].  The digest is extensional
+    (database dump + registry + tombstones + verdicts), so BDD node
+    numbering differences between a recovered index and the oracle's
+    never matter. *)
 
 module R = Fcv_relation
 module Rng = Fcv_util.Rng
 module P = Fcv_server.Protocol
 module S = Fcv_server.Server
+module Shard = Fcv_server.Shard
+module Tier = Fcv_server.Tier
 module Vfs = Fcv_server.Vfs
 module Wal = Fcv_server.Wal
 module State = Fcv_server.State
 module U = Fcv_datagen.University
 
-type inject = Log_before_apply | Skip_fsync | Skip_rotate
+type inject = Log_before_apply | Skip_fsync | Skip_rotate | Skip_shard_fsync
 
 let inject_to_string = function
   | Log_before_apply -> "log-before-apply"
   | Skip_fsync -> "skip-fsync"
   | Skip_rotate -> "skip-rotate"
+  | Skip_shard_fsync -> "skip-shard-fsync"
 
 let inject_of_string = function
   | "log-before-apply" -> Ok Log_before_apply
   | "skip-fsync" -> Ok Skip_fsync
   | "skip-rotate" -> Ok Skip_rotate
-  | s -> Error (Printf.sprintf "unknown injection %S (log-before-apply|skip-fsync|skip-rotate)" s)
+  | "skip-shard-fsync" -> Ok Skip_shard_fsync
+  | s ->
+    Error
+      (Printf.sprintf
+         "unknown injection %S (log-before-apply|skip-fsync|skip-rotate|skip-shard-fsync)" s)
 
 type counterexample = {
   cx_seed : int;
@@ -55,10 +67,11 @@ type result = {
 type workload = {
   seed : int;
   n_ops : int;
-  fsync_every : int;
+  shards : int;
+  window : int;  (** group-commit window: flush after this many journaled records *)
   load_base : unit -> R.Database.t;
   ops : P.request list;
-  snapshot_at : int list;  (** cut a snapshot before these op indices *)
+  snapshot_at : int list;  (** rotate every shard before these op indices *)
 }
 
 let univ_cfg = { U.default with U.students = 12; courses = 6; takes_per_student = 2 }
@@ -90,13 +103,15 @@ let row_to_cells tbl row =
     (Array.mapi (fun j code -> R.Value.to_string (R.Dict.value (R.Table.dict tbl j) code)) row)
 
 (* [ops] truncates the drawn length but never changes the draw stream,
-   so a shrunk workload is a prefix of the original. *)
-let gen_workload ?ops ?fsync_every ~seed () =
+   so a shrunk workload is a prefix of the original; [shards]
+   overrides the drawn shard count (the [--shards] CLI knob). *)
+let gen_workload ?ops ?shards ~seed () =
   let rng = Rng.create seed in
   let drawn = 8 + Rng.int rng 17 in
   let n_ops = Option.value ops ~default:drawn in
-  let drawn_fsync = Rng.choose rng [| 1; 1; 1; 3 |] in
-  let fsync_every = Option.value fsync_every ~default:drawn_fsync in
+  let drawn_shards = Rng.choose rng [| 1; 1; 2; 3 |] in
+  let shards = Option.value shards ~default:drawn_shards in
+  let window = Rng.choose rng [| 1; 2; 4 |] in
   let base_seed = Rng.int rng 1_000_000 in
   let university = Rng.bool rng in
   let load_base =
@@ -152,14 +167,15 @@ let gen_workload ?ops ?fsync_every ~seed () =
   (* truncate to exactly [n_ops] — a shrunk workload is a strict
      prefix, even below the register preamble *)
   let ops = List.filteri (fun i _ -> i < n_ops) (registers @ ops) in
-  { seed; n_ops; fsync_every; load_base; ops; snapshot_at = List.rev !snapshot_at }
+  { seed; n_ops; shards; window; load_base; ops; snapshot_at = List.rev !snapshot_at }
 
 (* -- the oracle ------------------------------------------------------------ *)
 
-(* Extensional state digest: database dump (dictionaries in code
-   order + coded rows), constraint registry, tombstones, verdicts. *)
-let digest mut =
-  let monitor = S.Mutator.monitor mut in
+(* Extensional digest of one shard: database dump (dictionaries in
+   code order + coded rows), constraint registry, tombstones,
+   verdicts. *)
+let digest_shard shard =
+  let monitor = Shard.monitor shard in
   let buf = Buffer.create 4096 in
   State.save_db (Core.Monitor.index monitor).Core.Index.db buf;
   List.iter
@@ -167,137 +183,174 @@ let digest mut =
     (Core.Monitor.constraints monitor);
   List.iter
     (fun s -> Printf.bprintf buf "u\t%s\n" s)
-    (List.sort compare (S.Mutator.unregistered mut));
+    (List.sort compare (Shard.unregistered shard));
   List.iter
     (fun (id, o) -> Printf.bprintf buf "v\t%d\t%b\n" id (o = Core.Checker.Violated))
     (Core.Monitor.verdicts monitor);
   Digest.to_hex (Digest.string (Buffer.contents buf))
 
-(* [digests.(k)] = state after the first [k] acknowledged mutations of
-   a never-crashed run (rejected requests don't count — they are not
-   journaled, and the workload proves they leave no durable trace). *)
+(* [digests.(s).(k)] = shard [s]'s state after the first [k] records
+   journaled on it by a never-crashed run (rejected requests don't
+   count — they are not journaled, and the workload proves they leave
+   no durable trace; registration-migration deltas do count — they
+   are ordinary journaled records of the constraint's shard). *)
 let oracle w =
-  let mut =
-    S.Mutator.create (Core.Monitor.create (Core.Index.create ~max_nodes:0 (w.load_base ())))
-  in
-  let digests = ref [ digest mut ] in
-  List.iter
-    (fun req ->
-      match S.Mutator.apply mut req with
-      | Ok _ when P.logged req -> digests := digest mut :: !digests
-      | Ok _ | Error _ -> ())
-    w.ops;
-  (Array.of_list (List.rev !digests), mut)
+  let tier = Tier.create_fresh ~fsync:false ~shards:w.shards ~load_base:w.load_base () in
+  let ss = Tier.shards tier in
+  let digests = Array.map (fun s -> ref [ digest_shard s ]) ss in
+  Array.iteri
+    (fun i s -> Shard.set_on_journal s (fun _ -> digests.(i) := digest_shard s :: !(digests.(i))))
+    ss;
+  List.iter (fun req -> ignore (Tier.apply tier req)) w.ops;
+  (Array.map (fun l -> Array.of_list (List.rev !l)) digests, tier)
 
 (* -- driving the durable core under faults --------------------------------- *)
 
 let dir = "sim-state"
 
-(* Run the workload against the server's durable core (Mutator + WAL +
-   snapshot rotation) on whatever Vfs backend is installed, keeping
-   the acknowledged / durable / in-flight counters the invariant needs.
-   Raises [Fault.Crash] when the backend's scheduled crash fires. *)
-let drive w ~inject ~total ~synced ~inflight =
+type acct = {
+  mutable tier : Tier.t option;  (** set as soon as recovery completes *)
+  synced : int array;  (** per shard: records known durable *)
+}
+
+(* Run the workload against the server's durable tier (per-shard
+   Mutator + WAL + snapshot rotation, routed fan-out, group commit) on
+   whatever Vfs backend is installed, keeping the per-shard durable
+   counters the invariant needs.  Raises [Fault.Crash] when the
+   backend's scheduled crash fires. *)
+let drive w ~inject ~acct =
   if not (Vfs.file_exists dir) then Vfs.mkdir dir 0o755;
-  let r = S.recover ~state_dir:dir ~load_base:w.load_base () in
-  let fsync_every = if inject = Some Skip_fsync then 0 else w.fsync_every in
-  let wal =
-    ref (Wal.open_ ~fsync_every (State.wal_path ~dir ~gen:(State.current_gen ~dir)))
+  let tier, _ = Tier.recover ~shards:w.shards ~state_dir:dir ~load_base:w.load_base () in
+  acct.tier <- Some tier;
+  let ss = Tier.shards tier in
+  let note_synced () = Array.iteri (fun i s -> acct.synced.(i) <- Shard.journaled s) ss in
+  (* One group commit.  The ack contract — synced := journaled — is
+     asserted for every shard regardless of the injection: a planted
+     bug that skips an fsync still acknowledges, which is exactly the
+     lie the sweep must catch. *)
+  let flush () =
+    (match inject with
+    | Some Skip_fsync -> ()
+    | Some Skip_shard_fsync -> (
+      (* the planted cross-shard bug: the flush syncs every dirty
+         shard's WAL except the last one's *)
+      match List.rev (List.filter Shard.is_dirty (Array.to_list ss)) with
+      | [] -> ()
+      | _victim :: rest -> List.iter Shard.sync rest)
+    | _ -> Array.iter Shard.sync ss);
+    Tier.clear_pending tier;
+    note_synced ()
   in
-  let mut = S.Mutator.create ~unregistered:r.S.unregistered r.S.monitor in
-  if inject <> Some Log_before_apply then
-    S.Mutator.set_log mut (fun req ->
-        inflight := true;
-        Wal.append !wal req;
-        inflight := false);
   List.iteri
     (fun i req ->
       if List.mem i w.snapshot_at then begin
-        (match inject with
-        | Some Skip_rotate ->
-          (* the bug: snapshot without the atomic WAL rotation — the
-             old handle keeps journaling into a swept-away file *)
-          ignore
-            (State.save ~dir ~unregistered:(S.Mutator.unregistered mut) (S.Mutator.monitor mut))
+        match inject with
+        | Some Skip_rotate -> (
+          (* the bug: snapshot shard 0 without the atomic WAL rotation
+             — its old handle keeps journaling into a swept-away
+             file *)
+          match Shard.dir ss.(0) with
+          | Some sdir ->
+            ignore
+              (State.save ~dir:sdir ~unregistered:(Shard.unregistered ss.(0))
+                 (Shard.monitor ss.(0)));
+            acct.synced.(0) <- Shard.journaled ss.(0)
+          | None -> ())
         | _ ->
-          let _gen, nw = S.snapshot_rotate ~dir ~fsync_every mut (Some !wal) in
-          wal := Option.get nw);
-        synced := !total
+          Tier.snapshot tier;
+          note_synced ()
       end;
-      if inject = Some Log_before_apply && P.logged req then Wal.append !wal req;
-      match S.Mutator.apply mut req with
-      | Ok _ when P.logged req ->
-        incr total;
-        synced := (if inject = Some Skip_fsync then !total else !total - Wal.unsynced !wal)
-      | Ok _ | Error _ -> ())
+      (match inject with
+      | Some Log_before_apply when P.logged req ->
+        (* the bug: journal on every target shard before applying —
+           rejected requests reach the WALs, accepted ones land
+           twice *)
+        List.iter (fun sid -> Shard.raw_append ss.(sid) req) (Tier.targets tier req)
+      | _ -> ());
+      ignore (Tier.apply tier req);
+      if Tier.pending tier >= w.window then flush ())
     w.ops;
-  mut
+  flush ()
 
 (* One run at one fault point ([crash_at = -1]: fault-free, then a
    clean restart).  Returns [Ok ()] or [Error reason]. *)
 let check_run w ~inject ~digests ~crash_at =
   let fs = Fault.create ~crash_at ~seed:(Rng.derive w.seed (crash_at + 1)) () in
-  let total = ref 0 and synced = ref 0 and inflight = ref false in
+  let acct = { tier = None; synced = Array.make w.shards 0 } in
   Vfs.with_backend (Fault.backend fs) @@ fun () ->
   let live =
     try
-      let mut = drive w ~inject ~total ~synced ~inflight in
-      Some mut
-    with Fault.Crash -> None
+      drive w ~inject ~acct;
+      true
+    with Fault.Crash -> false
+  in
+  let journaled =
+    match acct.tier with
+    | Some tier -> Array.map Shard.journaled (Tier.shards tier)
+    | None -> Array.make w.shards 0
   in
   Fault.restart fs;
-  match S.recover ~state_dir:dir ~load_base:w.load_base () with
+  match Tier.recover ~shards:w.shards ~state_dir:dir ~load_base:w.load_base () with
   | exception e -> Error (Printf.sprintf "recovery failed: %s" (Printexc.to_string e))
-  | r -> (
-    let mut = S.Mutator.create ~unregistered:r.S.unregistered r.S.monitor in
-    let d = try Ok (digest mut) with e -> Error e in
-    match d with
-    | Error e -> Error (Printf.sprintf "recovered state unusable: %s" (Printexc.to_string e))
-    | Ok d ->
-      let n = Array.length digests - 1 in
-      let lo, hi =
-        if live <> None then (!total, !total) (* clean restart: nothing may be lost *)
-        else (!synced, min n (!total + if !inflight then 1 else 0))
-      in
-      let matches = ref [] in
-      Array.iteri (fun k dk -> if dk = d then matches := k :: !matches) digests;
-      if List.exists (fun k -> k >= lo && k <= hi) !matches then Ok ()
-      else
-        Error
-          (match !matches with
-          | [] ->
-            Printf.sprintf
-              "recovered state matches no oracle state (window [%d, %d] of %d, replayed %d)"
-              lo hi n r.S.replayed
-          | ks ->
-            Printf.sprintf
-              "recovered state is oracle state %s, outside the durable window [%d, %d]"
-              (String.concat "/" (List.map string_of_int (List.rev ks)))
-              lo hi))
+  | rtier, rs ->
+    let rec check s =
+      if s >= w.shards then Ok ()
+      else begin
+        match digest_shard (Tier.shards rtier).(s) with
+        | exception e ->
+          Error
+            (Printf.sprintf "recovered shard %d unusable: %s" s (Printexc.to_string e))
+        | d ->
+          let n = Array.length digests.(s) - 1 in
+          let lo, hi =
+            if live then (journaled.(s), journaled.(s)) (* clean restart: nothing may be lost *)
+            else (acct.synced.(s), min n journaled.(s))
+          in
+          let matches = ref [] in
+          Array.iteri (fun k dk -> if dk = d then matches := k :: !matches) digests.(s);
+          if List.exists (fun k -> k >= lo && k <= hi) !matches then check (s + 1)
+          else
+            Error
+              (match !matches with
+              | [] ->
+                Printf.sprintf
+                  "shard %d: recovered state matches no oracle state (window [%d, %d] of \
+                   %d, replayed %d)"
+                  s lo hi n rs.(s).Shard.replayed
+              | ks ->
+                Printf.sprintf
+                  "shard %d: recovered state is oracle state %s, outside the durable \
+                   window [%d, %d]"
+                  s
+                  (String.concat "/" (List.map string_of_int (List.rev ks)))
+                  lo hi)
+      end
+    in
+    check 0
 
 (* Sequential and parallel validation must agree on a recovered-shape
-   monitor (replica epochs re-hydrate to parity). *)
-let parallel_parity mut =
-  let m = S.Mutator.monitor mut in
-  let vs = Core.Monitor.verdicts m in
-  Core.Monitor.set_jobs m 2;
-  let vp = Core.Monitor.verdicts m in
-  Core.Monitor.stop m;
+   tier (replica epochs re-hydrate to parity, on every shard). *)
+let parallel_parity tier =
+  let vs = Tier.verdicts tier in
+  Tier.set_jobs tier 2;
+  let vp = Tier.verdicts tier in
+  Tier.stop_jobs tier;
   if vs = vp then Ok ()
   else Error "sequential and parallel validation disagree on the final state"
 
 (* -- schedules, shrinking, reporting --------------------------------------- *)
 
-let repro ~seed ~ops ~fault ~inject =
-  Printf.sprintf "fcv sim --seed %d --ops %d --fault=%d%s" seed ops fault
+let repro ~seed ~ops ~fault ~inject ~shards =
+  Printf.sprintf "fcv sim --seed %d --ops %d --fault=%d%s%s" seed ops fault
     (match inject with None -> "" | Some i -> " --inject " ^ inject_to_string i)
+    (match shards with None -> "" | Some n -> Printf.sprintf " --shards %d" n)
 
 (* Exercise one workload at every reachable fault point; [Some
    (fault, reason)] on the first violation.  Also counts runs. *)
 let sweep w ~inject ~runs ~only_fault =
   match oracle w with
   | exception e -> Some (-1, "oracle run failed: " ^ Printexc.to_string e)
-  | digests, omut -> (
+  | digests, otier -> (
     let clean () =
       incr runs;
       match check_run w ~inject ~digests ~crash_at:(-1) with
@@ -312,18 +365,21 @@ let sweep w ~inject ~runs ~only_fault =
       | Ok () -> None
       | Error reason -> Some (k, reason))
     | None -> (
-      match parallel_parity omut with
+      match parallel_parity otier with
       | Error reason -> Some (-1, reason)
       | Ok () -> (
         match clean () with
         | Some _ as fail -> fail
         | None ->
           (* count the workload's reachable fault points with a
-             fault-free instrumented run, then crash at each *)
+             fault-free instrumented run, then crash at each — the
+             points cover every per-shard effect: each shard's WAL
+             appends within one routed burst, each fsync of a group
+             commit, and every write / rename of each shard's
+             snapshot rotation *)
           let fs = Fault.create ~seed:(Rng.derive w.seed 0) () in
-          let total = ref 0 and synced = ref 0 and inflight = ref false in
-          Vfs.with_backend (Fault.backend fs) (fun () ->
-              ignore (drive w ~inject ~total ~synced ~inflight));
+          let acct = { tier = None; synced = Array.make w.shards 0 } in
+          Vfs.with_backend (Fault.backend fs) (fun () -> drive w ~inject ~acct);
           let n_faults = Fault.effects fs in
           let rec go k =
             if k >= n_faults then None
@@ -339,18 +395,19 @@ let sweep w ~inject ~runs ~only_fault =
 (* Minimal replayable counterexample: the shortest prefix of the
    workload's op stream that still fails somewhere, and its earliest
    failing fault point. *)
-let shrink ~seed ~inject ~fsync_every ~runs ~full_ops ~first =
+let shrink ~seed ~inject ~shards ~runs ~full_ops ~first =
   let rec try_n n =
     if n > full_ops then first
     else
-      let w = gen_workload ~ops:n ?fsync_every ~seed () in
+      let w = gen_workload ~ops:n ?shards ~seed () in
       match sweep w ~inject ~runs ~only_fault:None with
       | Some (fault, reason) -> (n, fault, reason)
       | None -> try_n (n + 1)
   in
   try_n 1
 
-let run ?inject ?ops ?fault ?(max_failures = 1) ?(progress = fun _ -> ()) ~seed ~schedules () =
+let run ?inject ?ops ?fault ?shards ?(max_failures = 1) ?(progress = fun _ -> ()) ~seed
+    ~schedules () =
   let runs = ref 0 in
   let failures = ref [] in
   let fail ~wseed ~n_ops ~fault ~reason =
@@ -361,7 +418,7 @@ let run ?inject ?ops ?fault ?(max_failures = 1) ?(progress = fun _ -> ()) ~seed 
         cx_fault = fault;
         cx_inject = inject;
         cx_reason = reason;
-        cx_repro = repro ~seed:wseed ~ops:n_ops ~fault ~inject;
+        cx_repro = repro ~seed:wseed ~ops:n_ops ~fault ~inject ~shards;
       }
       :: !failures
   in
@@ -369,7 +426,7 @@ let run ?inject ?ops ?fault ?(max_failures = 1) ?(progress = fun _ -> ()) ~seed 
   (match fault with
   | Some k ->
     (* replay mode: [seed] IS the workload seed *)
-    let w = gen_workload ?ops ~seed () in
+    let w = gen_workload ?ops ?shards ~seed () in
     incr schedules_run;
     (match sweep w ~inject ~runs ~only_fault:(Some k) with
     | None -> ()
@@ -378,7 +435,7 @@ let run ?inject ?ops ?fault ?(max_failures = 1) ?(progress = fun _ -> ()) ~seed 
     let s = ref 0 in
     while !s < schedules && List.length !failures < max_failures do
       let wseed = Rng.derive seed !s in
-      let w = gen_workload ?ops ~seed:wseed () in
+      let w = gen_workload ?ops ?shards ~seed:wseed () in
       incr schedules_run;
       (match sweep w ~inject ~runs ~only_fault:None with
       | None -> ()
@@ -387,7 +444,7 @@ let run ?inject ?ops ?fault ?(max_failures = 1) ?(progress = fun _ -> ()) ~seed 
           (Printf.sprintf "schedule %d (seed %d): violation at fault %d — shrinking" !s wseed
              first_fault);
         let n_ops, f, reason =
-          shrink ~seed:wseed ~inject ~fsync_every:None ~runs ~full_ops:w.n_ops
+          shrink ~seed:wseed ~inject ~shards ~runs ~full_ops:w.n_ops
             ~first:(w.n_ops, first_fault, first_reason)
         in
         fail ~wseed ~n_ops ~fault:f ~reason);

@@ -30,10 +30,12 @@ module _ = Test_encode_prop
 module _ = Test_metamorphic
 module _ = Test_sim
 module _ = Test_churn
+module _ = Test_shard
+module _ = Test_group_commit
 
 let () =
   let suites = Registry.all () in
-  if List.length suites < 23 then
+  if List.length suites < 25 then
     failwith
       (Printf.sprintf "Test_main: only %d suites registered — a test module was \
                        linked without calling Registry.register"

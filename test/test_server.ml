@@ -632,6 +632,68 @@ let test_e2e_crash_restart_parity () =
   check_verdicts "snapshot-only recovery reproduces the final verdicts" final
     (verdicts_of_monitor r.S.monitor)
 
+(* Pipelining e2e: one client writes K requests — client-chosen ids
+   0..K-1 on a mix of register / insert / delete / ping / validate —
+   in a SINGLE send, with the server polling from its own thread and a
+   group-commit window smaller than the burst.  Exactly K replies must
+   come back, ids in request order (several flush batches, never a
+   reorder), every one ok. *)
+let test_pipelined_burst_in_order () =
+  let sock = Filename.concat (tmpdir ()) "fcv.sock" in
+  let monitor = Core.Monitor.create (Core.Index.create (make_base ())) in
+  let config =
+    {
+      (S.default_config ~addr:sock) with
+      S.idle_timeout = 0.;
+      partial_timeout = 0.;
+      group_commit_window = 4;
+    }
+  in
+  let srv = S.create config monitor in
+  let th = Thread.create (fun () -> while S.poll ~timeout:0.02 srv do () done) () in
+  let k = 25 in
+  let reqs =
+    List.init k (fun i ->
+        let req =
+          if i = 0 then P.Register { source = curriculum; id = None }
+          else if i mod 5 = 4 then P.Validate
+          else if i mod 5 = 3 then P.Ping
+          else if i mod 2 = 0 then
+            P.Insert ("takes", [ string_of_int (i mod 80); string_of_int (i mod 20) ])
+          else
+            P.Delete ("takes", [ string_of_int ((i - 1) mod 80); string_of_int ((i - 1) mod 20) ])
+        in
+        P.request_to_line ~id:(T.Int i) req)
+  in
+  let payload = String.concat "\n" reqs ^ "\n" in
+  let fd = raw_connect sock in
+  ignore (Unix.write_substring fd payload 0 (String.length payload));
+  let buf = Buffer.create 4096 in
+  let bytes = Bytes.create 65536 in
+  let deadline = Unix.gettimeofday () +. 10. in
+  let lines () =
+    String.split_on_char '\n' (Buffer.contents buf) |> List.filter (( <> ) "")
+  in
+  while List.length (lines ()) < k && Unix.gettimeofday () < deadline do
+    match Unix.select [ fd ] [] [] 0.2 with
+    | [ _ ], _, _ ->
+      let n = Unix.read fd bytes 0 (Bytes.length bytes) in
+      if n = 0 then Alcotest.fail "server closed mid-burst"
+      else Buffer.add_subbytes buf bytes 0 n
+    | _ -> ()
+  done;
+  let replies = List.map P.parse_response (lines ()) in
+  check_int "one reply per pipelined request" k (List.length replies);
+  List.iteri
+    (fun i r ->
+      check (Printf.sprintf "reply %d carries id %d (in order)" i i) true
+        (r.P.id = Some (T.Int i));
+      check (Printf.sprintf "reply %d ok" i) true r.P.ok)
+    replies;
+  Unix.close fd;
+  S.kill srv;
+  Thread.join th
+
 let suite =
   [
     Alcotest.test_case "request roundtrip" `Quick test_request_roundtrip;
@@ -654,6 +716,8 @@ let suite =
     Alcotest.test_case "partial-line timeout" `Quick test_partial_line_timeout;
     Alcotest.test_case "oversized line rejected" `Quick test_oversized_line_rejected;
     Alcotest.test_case "e2e crash/restart parity" `Quick test_e2e_crash_restart_parity;
+    Alcotest.test_case "pipelined burst answered in order" `Quick
+      test_pipelined_burst_in_order;
   ]
 
 let () = Registry.register "server" suite

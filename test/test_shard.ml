@@ -1,0 +1,212 @@
+(** Shard routing invariants: the N-shard tier is semantically
+    invisible — any request stream answered by a 3-shard tier, a
+    1-shard tier and a bare library-level {!Core.Monitor} (driven
+    through {!Fcv_server.Mutator}) yields identical acks, identical
+    registries and identical verdicts (a QCheck property, shrinking on
+    the stream length) — and the on-disk [SHARDS] lineage refuses a
+    restart with a different shard count instead of silently
+    misrouting tables. *)
+
+module R = Fcv_relation
+module P = Fcv_server.Protocol
+module Router = Fcv_server.Router
+module Shard = Fcv_server.Shard
+module Tier = Fcv_server.Tier
+module Mutator = Fcv_server.Mutator
+module U = Fcv_datagen.University
+
+let check = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+let tmpdir () =
+  let path = Filename.temp_file "fcv" ".d" in
+  Sys.remove path;
+  Sys.mkdir path 0o700;
+  path
+
+let univ_cfg = { U.default with U.students = 20; courses = 8; takes_per_student = 2 }
+
+let make_base () =
+  let db, _, _, _ = U.generate (Fcv_util.Rng.create 7) univ_cfg in
+  db
+
+let curriculum = "forall s . student(s, 0, _) -> (exists c . course(c, 0) and takes(s, c))"
+let referential = "forall s, c . takes(s, c) -> (exists a . course(c, a))"
+let enrolment = "forall s . student(s, _, _) -> (exists c . takes(s, c))"
+let sources = [ curriculum; referential; enrolment ]
+
+(* -- router units ---------------------------------------------------------- *)
+
+let test_router_units () =
+  check_int "hash deterministic" (Router.table_hash "takes") (Router.table_hash "takes");
+  check_int "1 shard owns everything" 0 (Router.owner ~shards:1 "takes");
+  List.iter
+    (fun n ->
+      List.iter
+        (fun t ->
+          let o = Router.owner ~shards:n t in
+          check (Printf.sprintf "owner of %s in range over %d shards" t n) true
+            (o >= 0 && o < n);
+          check_int (t ^ " owner stable") o (Router.owner ~shards:n t))
+        [ "student"; "course"; "takes" ])
+    [ 2; 3; 4; 7 ];
+  check_int "closed constraint lands on shard 0" 0 (Router.constraint_shard ~shards:4 []);
+  check_int "constraint follows its first watched table"
+    (Router.owner ~shards:4 "takes")
+    (Router.constraint_shard ~shards:4 [ "takes"; "course" ])
+
+let test_router_watchers () =
+  let shards = 3 in
+  let cs = Router.constraint_shard ~shards [ "takes"; "course" ] in
+  let r = Router.create shards in
+  let watched = List.init shards (fun i -> if i = cs then [ "takes"; "course" ] else []) in
+  Router.recompute r ~watched;
+  List.iter
+    (fun t ->
+      let targets = Router.mutation_targets r t in
+      check_int (t ^ ": owner first") (Router.owner ~shards t) (List.hd targets);
+      check (t ^ ": reaches the constraint's shard") true (List.mem cs targets);
+      check (t ^ ": no duplicate targets") true
+        (List.sort_uniq compare targets = List.sort compare targets);
+      check (t ^ ": watches = non-owner membership") true
+        (Router.watches r ~shard:cs t = (Router.owner ~shards t <> cs)))
+    [ "takes"; "course" ];
+  (* a table no constraint watches goes to its owner alone *)
+  check "unwatched table has owner-only fan-out" true
+    (Router.mutation_targets r "student" = [ Router.owner ~shards "student" ])
+
+(* -- 3-way semantic parity (QCheck, shrinking on stream length) ------------ *)
+
+(* A seeded request stream over the university base: registers (valid,
+   duplicate and rejected), unregisters (live and dangling ids),
+   inserts/deletes of seen and unseen values, unknown tables, wrong
+   arities — everything a client could send. *)
+let gen_requests seed n =
+  let rng = Fcv_util.Rng.create seed in
+  let db = make_base () in
+  let names = R.Database.table_names db in
+  let tables = List.map (fun n -> (n, R.Database.table db n)) names in
+  let cells tbl =
+    List.init (R.Table.arity tbl) (fun j ->
+        let dict = R.Table.dict tbl j in
+        let sz = R.Dict.size dict in
+        if Fcv_util.Rng.bernoulli rng 0.85 then
+          R.Value.to_string (R.Dict.value dict (Fcv_util.Rng.int rng sz))
+        else string_of_int (sz + Fcv_util.Rng.int rng 4))
+  in
+  List.init n (fun _ ->
+      let name, tbl = List.nth tables (Fcv_util.Rng.int rng (List.length tables)) in
+      match Fcv_util.Rng.int rng 100 with
+      | r when r < 40 -> P.Insert (name, cells tbl)
+      | r when r < 60 -> P.Delete (name, cells tbl)
+      | r when r < 75 ->
+        P.Register { source = List.nth sources (Fcv_util.Rng.int rng 3); id = None }
+      | r when r < 80 -> P.Register { source = "forall z . nosuchtable(z)"; id = None }
+      | r when r < 90 -> P.Unregister (Fcv_util.Rng.int rng 6)
+      | r when r < 95 -> P.Insert ("nonesuch", [ "1" ])
+      | _ -> P.Insert (name, "0" :: cells tbl))
+
+(* One request's observable outcome, comparable across tiers: the ack
+   fields on success, the error code on rejection. *)
+let outcome = function
+  | Ok fields -> Ok fields
+  | Error (code, _msg) -> Error code
+
+let registry_fingerprint cs =
+  List.map (fun r -> (r.Core.Monitor.id, r.Core.Monitor.source)) cs
+
+let prop_shard_parity =
+  QCheck.Test.make ~count:40 ~name:"N-shard = 1-shard = library monitor (3-way parity)"
+    (QCheck.pair (QCheck.int_range 0 100_000) (QCheck.int_range 0 50))
+    (fun (seed, n) ->
+      let reqs = gen_requests seed n in
+      let t3 = Tier.create_fresh ~fsync:false ~shards:3 ~load_base:make_base () in
+      let t1 = Tier.create_fresh ~fsync:false ~shards:1 ~load_base:make_base () in
+      let mut = Mutator.create (Core.Monitor.create (Core.Index.create (make_base ()))) in
+      let ok = ref true in
+      List.iter
+        (fun req ->
+          let a = outcome (Tier.apply t3 req) in
+          let b = outcome (Tier.apply t1 req) in
+          let c = outcome (Mutator.apply mut req) in
+          if not (a = b && b = c) then ok := false)
+        reqs;
+      let verdicts_of_monitor m =
+        List.sort compare (Core.Monitor.verdicts m)
+      in
+      let parity =
+        !ok
+        && Tier.verdicts t3 = Tier.verdicts t1
+        && Tier.verdicts t1 = verdicts_of_monitor (Mutator.monitor mut)
+        && registry_fingerprint (Tier.constraints t3)
+           = registry_fingerprint (Tier.constraints t1)
+        && registry_fingerprint (Tier.constraints t1)
+           = registry_fingerprint (Core.Monitor.constraints (Mutator.monitor mut))
+      in
+      Tier.close t3;
+      Tier.close t1;
+      Core.Monitor.stop (Mutator.monitor mut);
+      parity)
+
+(* Deterministic spot check of the cross-shard case: a dangling
+   [takes] row violates the referential constraint identically on 1
+   and 3 shards (the 3-shard tier sees it through a watcher replica
+   kept in sync by fan-out). *)
+let test_cross_shard_violation () =
+  let run shards =
+    let tier = Tier.create_fresh ~fsync:false ~shards ~load_base:make_base () in
+    ignore (Tier.register tier referential);
+    (match Tier.apply tier (P.Insert ("takes", [ "17"; "999" ])) with
+    | Ok _ -> ()
+    | Error (_, msg) -> Alcotest.failf "insert rejected: %s" msg);
+    let v = Tier.verdicts tier in
+    Tier.close tier;
+    v
+  in
+  let v1 = run 1 and v3 = run 3 in
+  check "dangling takes violates" true
+    (List.exists (fun (_, o) -> o = Core.Checker.Violated) v1);
+  check "1-shard and 3-shard verdicts identical" true (v1 = v3)
+
+(* -- re-sharding refusal --------------------------------------------------- *)
+
+let test_resharding_refused () =
+  let dir = tmpdir () in
+  let tier, _ = Tier.recover ~shards:2 ~state_dir:dir ~load_base:make_base () in
+  ignore (Tier.register tier curriculum);
+  Tier.snapshot tier;
+  Tier.close tier;
+  (match Tier.recover ~shards:3 ~state_dir:dir ~load_base:make_base () with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "restart with a changed shard count must be refused");
+  (* the same count restarts fine, constraints intact *)
+  let tier2, _ = Tier.recover ~shards:2 ~state_dir:dir ~load_base:make_base () in
+  check_int "restart with the recorded count recovers" 1
+    (List.length (Tier.constraints tier2));
+  Tier.close tier2;
+  (* even with the SHARDS lineage file gone, the layout itself betrays
+     the count: inference still refuses the mismatch *)
+  Sys.remove (Filename.concat dir "SHARDS");
+  (match Tier.recover ~shards:4 ~state_dir:dir ~load_base:make_base () with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "layout-inferred shard count must also refuse a mismatch");
+  (* a flat legacy (1-shard) directory refuses a sharded restart too *)
+  let dir1 = tmpdir () in
+  let t1, _ = Tier.recover ~shards:1 ~state_dir:dir1 ~load_base:make_base () in
+  ignore (Tier.register t1 curriculum);
+  Tier.snapshot t1;
+  Tier.close t1;
+  match Tier.recover ~shards:2 ~state_dir:dir1 ~load_base:make_base () with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "flat single-shard directory must refuse a 2-shard restart"
+
+let suite =
+  [
+    Alcotest.test_case "router: ownership units" `Quick test_router_units;
+    Alcotest.test_case "router: watcher fan-out" `Quick test_router_watchers;
+    Gen.qcheck_case prop_shard_parity;
+    Alcotest.test_case "cross-shard violation parity" `Quick test_cross_shard_violation;
+    Alcotest.test_case "re-sharding a state dir is refused" `Quick test_resharding_refused;
+  ]
+
+let () = Registry.register "shard" suite

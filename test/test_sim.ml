@@ -20,17 +20,27 @@ let tmpdir () =
 (* -- sim invariants -------------------------------------------------------- *)
 
 (* A small clean sweep: the durable core survives a crash at every
-   reachable effect point of every schedule. *)
+   reachable effect point of every schedule (shard counts drawn
+   per-schedule, 1–3). *)
 let test_sim_clean () =
   let r = Sim.run ~seed:7 ~schedules:5 () in
   check_int "schedules" 5 r.Sim.schedules_run;
   check "many crash points" true (r.Sim.crash_runs > 50);
   check_int "no violations" 0 (List.length r.Sim.failures)
 
+(* The same, forcing every schedule onto a 3-shard tier: the crash
+   points now include between two shards' WAL appends of one routed
+   burst and mid-rotation of a single shard's snapshot. *)
+let test_sim_clean_sharded () =
+  let r = Sim.run ~seed:11 ~schedules:4 ~shards:3 () in
+  check_int "schedules" 4 r.Sim.schedules_run;
+  check "many crash points" true (r.Sim.crash_runs > 50);
+  check_int "no violations" 0 (List.length r.Sim.failures)
+
 (* Each planted bug must be caught, and its shrunk repro line must
    fail again when replayed exactly (seed + ops + fault + injection). *)
-let catches inject () =
-  let r = Sim.run ~inject ~seed:1 ~schedules:30 () in
+let catches ?shards inject () =
+  let r = Sim.run ~inject ?shards ~seed:1 ~schedules:30 () in
   match r.Sim.failures with
   | [] ->
     Alcotest.failf "injection %s escaped the sweep" (Sim.inject_to_string inject)
@@ -42,8 +52,8 @@ let catches inject () =
        let rec find i = i + len <= String.length hay && (String.sub hay i len = needle || find (i + 1)) in
        find 0);
     let replay =
-      Sim.run ~inject ~ops:cx.Sim.cx_ops ~fault:cx.Sim.cx_fault ~seed:cx.Sim.cx_seed
-        ~schedules:1 ()
+      Sim.run ~inject ?shards ~ops:cx.Sim.cx_ops ~fault:cx.Sim.cx_fault
+        ~seed:cx.Sim.cx_seed ~schedules:1 ()
     in
     check_int "replay fails deterministically" 1 (List.length replay.Sim.failures)
 
@@ -162,6 +172,10 @@ let suite =
       (catches Sim.Log_before_apply);
     Alcotest.test_case "sim: catches skip-fsync" `Slow (catches Sim.Skip_fsync);
     Alcotest.test_case "sim: catches skip-rotate" `Slow (catches Sim.Skip_rotate);
+    Alcotest.test_case "sim: sharded clean sweep has no violations" `Slow
+      test_sim_clean_sharded;
+    Alcotest.test_case "sim: catches skip-shard-fsync on a 2-shard tier" `Slow
+      (catches ~shards:2 Sim.Skip_shard_fsync);
     Alcotest.test_case "wal: torn tail truncated at every byte offset" `Quick
       test_torn_tail_truncation;
     Alcotest.test_case "wal: '\\000' hole at every byte offset" `Quick test_zero_hole;
