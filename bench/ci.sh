@@ -4,14 +4,16 @@
 # sweep (fcv sim), the parallel-validation scaling benchmark, the
 # memory-lifecycle churn benchmark with its peak-node bound, the
 # sharded serving-tier benchmark (pipelined clients + group commit)
-# with its verdict-exactness and throughput-floor gate, and the
-# perf-regression gate against bench/baseline.json.
+# with its verdict-exactness and throughput-floor gate, the repair-
+# planner benchmark with its quality gate (complete plans, exact
+# minimality, greedy/exact ratio vs bench/baseline_repair.json), and
+# the perf-regression gate against bench/baseline.json.
 #
 # FCV_CI=1 hardens the gate for CI runners: a missing ocamlformat, a
 # perf regression, a churn memory-bound violation and a serving-tier
 # gate failure become failures instead of skips/warnings.  On failure
 # the workspace keeps _ci/ (smoke-test state dir) and every
-# BENCH_*.json (parallel, churn, serve) for artifact upload.
+# BENCH_*.json (parallel, churn, serve, repair) for artifact upload.
 set -eu
 
 cd "$(dirname "$0")/.."
@@ -148,6 +150,18 @@ elif [ "$FCV_CI" = "1" ]; then
   exit 1
 else
   echo "WARNING: serving-tier gate failed (fatal under FCV_CI=1; see BENCH_serve.json)" >&2
+fi
+
+echo "== repair-planner benchmark (quality gate: complete plans, exact minimality,"
+echo "   greedy/exact ratio vs bench/baseline_repair.json, fatal under FCV_CI=1)"
+if dune exec bench/repair.exe; then
+  :
+elif [ "$FCV_CI" = "1" ]; then
+  echo "FAIL: repair gate (incomplete plan, non-minimum exact repair, or greedy" >&2
+  echo "      quality over the baseline ratio — see BENCH_repair.json)" >&2
+  exit 1
+else
+  echo "WARNING: repair gate failed (fatal under FCV_CI=1; see BENCH_repair.json)" >&2
 fi
 
 echo "== perf-regression gate (tolerance 25%, fatal under FCV_CI=1)"

@@ -1,0 +1,239 @@
+(* Repair-planner benchmark: latency and deletion-set size as the
+   planted violation rate grows, plus exact-vs-greedy repair quality.
+
+     dune exec bench/repair.exe [-- OUT.json]
+
+   Two scenarios:
+
+   - university (greedy): the paper's running example with [rate] of
+     the student body planted as curriculum violators, repaired under
+     the curriculum policy and the takes→course referential rule.
+     Greedy must delete exactly the violating student rows — one per
+     materialised violator, nothing else — and report a complete plan.
+   - retail FD (exact vs greedy): the retail products table (brand →
+     category holds by construction) with [conflicts] planted
+     conflicting rows, repaired under the FD.  The exact planner is on
+     its tractable turf (single FD), so its plan is the minimum; the
+     gate bounds greedy's cardinality against it.
+
+   The gate (exit 1, fatal under FCV_CI=1 via bench/ci.sh) is
+   quality-only — no latency floors, absolute numbers across machines
+   are meaningless: every plan complete, greedy exactly the planted
+   violators on university, exact <= greedy on retail, and the
+   greedy/exact ratio within bench/baseline_repair.json's
+   [max_quality_ratio]. *)
+
+module R = Fcv_relation
+module Rp = Fcv_repair.Repair
+module T = Fcv_util.Telemetry
+module J = Fcv_util.Telemetry.Json
+module U = Fcv_datagen.University
+module Retail = Fcv_datagen.Retail
+
+let failures = ref 0
+
+let fail fmt =
+  Printf.ksprintf
+    (fun s ->
+      incr failures;
+      Printf.printf "FAIL %s\n%!" s)
+    fmt
+
+(* -- university: greedy vs planted violation rate -------------------------- *)
+
+let curriculum = "forall s . student(s, 0, _) -> (exists c . course(c, 0) and takes(s, c))"
+let referential = "forall s, c . takes(s, c) -> (exists a . course(c, a))"
+
+type univ_cell = {
+  rate : float;
+  planted : int;
+  witnesses : int;  (** materialised violators *)
+  deletions : int;
+  ms : float;
+  complete : bool;
+}
+
+let run_university rate =
+  let students = 400 in
+  let cfg =
+    {
+      U.students;
+      courses = 40;
+      departments = 4;  (* CS well populated: every planted violator materialises *)
+      areas = 5;
+      takes_per_student = 3;
+      violators = int_of_float (rate *. float_of_int students);
+    }
+  in
+  let db, _, _, _ = U.generate (Fcv_util.Rng.create 2007) cfg in
+  let formulas = List.map Core.Fol_parser.of_string [ curriculum; referential ] in
+  let plan = Rp.plan ~strategy:Rp.Greedy db formulas in
+  let cell =
+    {
+      rate;
+      planted = cfg.U.violators;
+      witnesses = int_of_float plan.Rp.witnesses_before;
+      deletions = List.length plan.Rp.deletions;
+      ms = plan.Rp.elapsed_ms;
+      complete = plan.Rp.complete;
+    }
+  in
+  Printf.printf
+    "  university rate=%.2f  planted %3d  witnesses %3d  deletions %3d  %7.1f ms%s\n%!"
+    rate cell.planted cell.witnesses cell.deletions cell.ms
+    (if cell.complete then "" else "  INCOMPLETE");
+  if not cell.complete then fail "university rate=%.2f: plan incomplete" rate;
+  if cell.deletions <> cell.witnesses then
+    fail "university rate=%.2f: %d deletions for %d violators (greedy should delete \
+          exactly the violating student rows)"
+      rate cell.deletions cell.witnesses;
+  cell
+
+(* -- retail: exact vs greedy on the brand→category FD ---------------------- *)
+
+let products_fd = "forall b, c1, c2 . products(_, c1, b) and products(_, c2, b) -> c1 = c2"
+
+type retail_cell = {
+  conflicts : int;
+  exact_deletions : int;
+  greedy_deletions : int;
+  ratio : float;
+  exact_ms : float;
+  greedy_ms : float;
+}
+
+(* Plant [conflicts] FD violations: for each of the first [conflicts]
+   populated brands, one extra product row whose category disagrees
+   with the brand's established one — so the minimum repair is exactly
+   one deletion per conflicted brand. *)
+let plant_conflicts rng retail conflicts =
+  let products = retail.Retail.products in
+  let seen = Hashtbl.create 64 in
+  R.Table.iter products (fun row ->
+      if not (Hashtbl.mem seen row.(2)) then Hashtbl.add seen row.(2) row.(1));
+  let planted = ref 0 in
+  Hashtbl.iter
+    (fun brand cat ->
+      if !planted < conflicts then begin
+        incr planted;
+        R.Table.insert_coded products
+          [|
+            Fcv_util.Rng.int rng (R.Dict.size (R.Table.dict products 0));
+            (cat + 1) mod Retail.n_category;
+            brand;
+          |]
+      end)
+    seen;
+  !planted
+
+let run_retail conflicts =
+  let rng = Fcv_util.Rng.create 41 in
+  let retail =
+    Retail.generate rng { Retail.default with Retail.customers = 300; products = 400; orders = 1_000 }
+  in
+  let planted = plant_conflicts rng retail conflicts in
+  let fd = [ Core.Fol_parser.of_string products_fd ] in
+  let exact = Rp.plan ~strategy:Rp.Exact retail.Retail.db fd in
+  let greedy = Rp.plan ~strategy:Rp.Greedy retail.Retail.db fd in
+  let ne = List.length exact.Rp.deletions and ng = List.length greedy.Rp.deletions in
+  let cell =
+    {
+      conflicts = planted;
+      exact_deletions = ne;
+      greedy_deletions = ng;
+      ratio = float_of_int ng /. float_of_int (max 1 ne);
+      exact_ms = exact.Rp.elapsed_ms;
+      greedy_ms = greedy.Rp.elapsed_ms;
+    }
+  in
+  Printf.printf
+    "  retail conflicts=%3d  exact %3d (%6.1f ms)  greedy %3d (%6.1f ms)  ratio %.2f\n%!"
+    planted ne cell.exact_ms ng cell.greedy_ms cell.ratio;
+  if not exact.Rp.complete then fail "retail conflicts=%d: exact plan incomplete" planted;
+  if not greedy.Rp.complete then fail "retail conflicts=%d: greedy plan incomplete" planted;
+  if ne <> planted then
+    fail "retail conflicts=%d: exact deleted %d rows, the minimum is one per conflict"
+      planted ne;
+  if ng < ne then
+    fail "retail conflicts=%d: greedy (%d) beat the provable minimum (%d) — exact is broken"
+      planted ng ne;
+  cell
+
+(* -- baseline gate ---------------------------------------------------------- *)
+
+let read_json path =
+  let ic = open_in path in
+  let n = in_channel_length ic in
+  let s = really_input_string ic n in
+  close_in ic;
+  J.of_string s
+
+let gate_against_baseline retail_cells =
+  let path = "bench/baseline_repair.json" in
+  if not (Sys.file_exists path) then
+    Printf.printf "(no %s — skipping the quality-ratio gate)\n%!" path
+  else
+    let limit =
+      match J.member "max_quality_ratio" (read_json path) with
+      | Some (T.Float x) -> Some x
+      | Some (T.Int i) -> Some (float_of_int i)
+      | _ -> None
+    in
+    match limit with
+    | None -> fail "malformed %s: no max_quality_ratio" path
+    | Some limit ->
+      List.iter
+        (fun c ->
+          if c.ratio > limit then
+            fail "retail conflicts=%d: greedy/exact ratio %.2f over the %.2f limit"
+              c.conflicts c.ratio limit)
+        retail_cells
+
+(* -- entry ------------------------------------------------------------------ *)
+
+let univ_json c =
+  T.Obj
+    [
+      ("rate", T.Float c.rate);
+      ("planted", T.Int c.planted);
+      ("witnesses", T.Int c.witnesses);
+      ("deletions", T.Int c.deletions);
+      ("ms", T.Float c.ms);
+      ("complete", T.Bool c.complete);
+    ]
+
+let retail_json c =
+  T.Obj
+    [
+      ("conflicts", T.Int c.conflicts);
+      ("exact_deletions", T.Int c.exact_deletions);
+      ("greedy_deletions", T.Int c.greedy_deletions);
+      ("ratio", T.Float c.ratio);
+      ("exact_ms", T.Float c.exact_ms);
+      ("greedy_ms", T.Float c.greedy_ms);
+    ]
+
+let () =
+  let out = if Array.length Sys.argv > 1 then Sys.argv.(1) else "BENCH_repair.json" in
+  Printf.printf "repair planner — greedy on university, exact vs greedy on retail FD\n%!";
+  let univ = List.map run_university [ 0.0; 0.01; 0.05; 0.10; 0.20 ] in
+  let retail = List.map run_retail [ 4; 16; 48 ] in
+  gate_against_baseline retail;
+  let doc =
+    T.Obj
+      [
+        ("bench", T.String "repair");
+        ("env", T.Obj [ ("ocaml", T.String Sys.ocaml_version) ]);
+        ("university", T.List (List.map univ_json univ));
+        ("retail", T.List (List.map retail_json retail));
+      ]
+  in
+  let oc = open_out out in
+  output_string oc (J.to_string doc);
+  output_string oc "\n";
+  close_out oc;
+  Printf.printf "wrote %s\n%!" out;
+  if !failures > 0 then begin
+    Printf.printf "%d gate failure%s\n%!" !failures (if !failures = 1 then "" else "s");
+    exit 1
+  end

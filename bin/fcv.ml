@@ -2,6 +2,7 @@
 
    Subcommands:
      fcv check     load CSV tables, build logical indices, validate constraints
+     fcv repair    plan a minimal tuple-deletion repair for the violated constraints
      fcv bench     time one validation batch at a given -j parallelism
      fcv index     build an index and report its size / ordering / build time
      fcv orderings compare the variable-ordering strategies on one table
@@ -274,6 +275,71 @@ let check_cmd =
     Term.(
       const run $ data_arg $ constraints_arg $ strategy_arg $ max_nodes_arg
       $ witnesses_arg $ save_index_arg $ load_index_arg $ jobs_arg $ telemetry_arg)
+
+(* -- fcv repair ---------------------------------------------------------------- *)
+
+let repair_cmd =
+  let repair_strategy_arg =
+    let doc = "Planner: exact (provably minimum; tractable FD classes only) | greedy \
+               (general; blame-driven) | brute (tiny instances only)." in
+    Arg.(value & opt string "greedy" & info [ "s"; "strategy" ] ~docv:"STRATEGY" ~doc)
+  in
+  let max_deletions_arg =
+    let doc = "Cap the deletion set at $(docv) tuples (the plan reports incomplete if \
+               violations remain)." in
+    Arg.(value & opt (some int) None & info [ "max-deletions" ] ~docv:"N" ~doc)
+  in
+  let json_arg =
+    let doc = "Emit the plan as one JSON object instead of the table." in
+    Arg.(value & flag & info [ "json" ] ~doc)
+  in
+  let run data constraints_file strategy max_nodes max_deletions json telemetry =
+    let plan =
+      with_telemetry telemetry @@ fun () ->
+      let db, _ = load_dir data in
+      let constraints = read_constraints constraints_file in
+      let strategy =
+        match Fcv_repair.Repair.strategy_of_string strategy with
+        | Ok s -> s
+        | Error msg -> failwith msg
+      in
+      match
+        Fcv_repair.Repair.plan ~strategy ?max_deletions ~max_nodes db
+          (List.map snd constraints)
+      with
+      | exception Fcv_repair.Repair.Not_tractable msg -> failwith msg
+      | plan ->
+        let module Rp = Fcv_repair.Repair in
+        if json then print_endline (Fcv_util.Telemetry.Json.to_string (Rp.plan_json plan))
+        else begin
+          Printf.printf "repair plan (%s): %d deletions in %.1f ms\n"
+            (Rp.strategy_name plan.Rp.strategy)
+            (List.length plan.Rp.deletions)
+            plan.Rp.elapsed_ms;
+          Printf.printf "  constraints violated %d -> %d, witnesses %.0f -> %.0f%s\n"
+            plan.Rp.violated_before plan.Rp.violated_after plan.Rp.witnesses_before
+            plan.Rp.witnesses_after
+            (if plan.Rp.complete then "" else "  (INCOMPLETE)");
+          List.iter
+            (fun d ->
+              Printf.printf "  delete %s(%s)   blame %.0f\n" d.Rp.table
+                (String.concat ", " d.Rp.cells)
+                d.Rp.blame)
+            plan.Rp.deletions
+        end;
+        plan
+    in
+    if not plan.Fcv_repair.Repair.complete then exit 1
+  in
+  let doc =
+    "plan a minimal tuple-deletion repair restoring every constraint (read-only: \
+     prints the plan, never touches the CSVs)"
+  in
+  Cmd.v
+    (Cmd.info "repair" ~doc)
+    Term.(
+      const run $ data_arg $ constraints_arg $ repair_strategy_arg $ max_nodes_arg
+      $ max_deletions_arg $ json_arg $ telemetry_arg)
 
 (* -- fcv index ----------------------------------------------------------------- *)
 
@@ -710,15 +776,17 @@ let serve_cmd =
 let client_cmd =
   let cmd_arg =
     let doc =
-      "One of: ping | stats | validate | compact | snapshot | shutdown | register | \
-       unregister | insert | delete | updates."
+      "One of: ping | stats | validate | repair | compact | snapshot | shutdown | \
+       register | unregister | insert | delete | updates."
     in
     Arg.(required & pos 0 (some string) None & info [] ~docv:"CMD" ~doc)
   in
   let arg_arg =
     let doc =
       "The command's argument: a constraint (register), an id (unregister), \
-       'TABLE,v1,...' (insert/delete), or an updates file / '-' for stdin (updates)."
+       'TABLE,v1,...' (insert/delete), 'STRATEGY[,N][,apply]' (repair: plan — and \
+       with 'apply', execute — up to N deletions), or an updates file / '-' for \
+       stdin (updates)."
     in
     Arg.(value & pos 1 (some string) None & info [] ~docv:"ARG" ~doc)
   in
@@ -768,6 +836,19 @@ let client_cmd =
       let body = C.ok_exn (C.request client P.Validate) in
       print_endline "validation:";
       if print_validation body > 0 then exit 1
+    | "repair" ->
+      let strategy, max_deletions, apply =
+        match arg with
+        | None -> ("greedy", None, false)
+        | Some a -> (
+          match List.map String.trim (String.split_on_char ',' a) with
+          | [] -> ("greedy", None, false)
+          | s :: rest ->
+            ( (if s = "" then "greedy" else s),
+              List.find_map int_of_string_opt rest,
+              List.mem "apply" rest ))
+      in
+      one (P.Repair { strategy; max_deletions; apply })
     | "updates" ->
       let path = need "an updates file or '-'" in
       let ic = if path = "-" then stdin else open_in path in
@@ -965,6 +1046,7 @@ let () =
          (Cmd.group info
           [
             check_cmd;
+            repair_cmd;
             bench_cmd;
             monitor_cmd;
             serve_cmd;

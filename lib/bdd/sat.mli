@@ -3,8 +3,22 @@
 
 val count : Manager.t -> int -> float
 (** Satisfying assignments over the manager's full variable set (as a
-    float; counts overflow native ints quickly).  Divide by
-    [2^(unused bits)] to count over a sub-space. *)
+    float; counts overflow native ints quickly).  To count over a
+    sub-space use {!count_over} — hand-dividing by [2^(unused bits)]
+    is the historical footgun it replaces. *)
+
+val count_over : Manager.t -> int -> levels:int array -> float
+(** Satisfying assignments over exactly the sub-space spanned by
+    [levels] (sorted, distinct).
+    @raise Invalid_argument when the root's support escapes
+    [levels]. *)
+
+val count_restrict :
+  Manager.t -> int -> fix:(int * bool) list -> levels:int array -> float
+(** {!count_over} of the restriction fixing each [(level, value)] of
+    [fix]: one walk, no BDD allocation — restrict-and-count.
+    @raise Invalid_argument when support escapes [levels] + [fix],
+    when the two overlap, or on conflicting [fix] entries. *)
 
 val any : Manager.t -> int -> (int * bool) list option
 (** One satisfying partial assignment (ascending levels; missing

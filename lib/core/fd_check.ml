@@ -21,8 +21,10 @@ module Sat = Fcv_bdd.Sat
 (* Model count of [root] over exactly the given blocks (every other
    manager variable must be out of [root]'s support). *)
 let count_over m blocks root =
-  let bits = List.fold_left (fun acc b -> acc + Fd.width b) 0 blocks in
-  Sat.count m root /. Float.pow 2. (float_of_int (M.nvars m - bits))
+  let levels =
+    List.concat_map (fun b -> Array.to_list b.Fd.levels) blocks |> List.sort compare
+  in
+  Sat.count_over m root ~levels:(Array.of_list levels)
 
 (** Does [lhs → rhs] (attribute names) hold according to the logical
     index?  Picks a covering entry of [table_name].

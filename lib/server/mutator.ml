@@ -78,7 +78,9 @@ let apply t req : ((string * T.json) list, P.error_code * string) result =
     | P.Unknown_value _ -> assert false
     | exception P.Malformed msg -> Error (P.Bad_request, msg)
     | exception Invalid_argument msg -> Error (P.Unknown_table, msg))
-  | P.Validate | P.Stats | P.Compact | P.Snapshot | P.Ping | P.Shutdown -> Ok []
+  | P.Repair _ | P.Validate | P.Stats | P.Compact | P.Snapshot | P.Ping | P.Shutdown ->
+    Ok [] (* repair is planned at the tier; an applied plan reaches the
+             shard as ordinary Delete requests *)
 
 (* -- replay semantics (shared with recovery and the crash tests) ----------- *)
 
@@ -95,4 +97,4 @@ let apply_logged monitor req =
     match P.code_row ~intern:true db ~table row with
     | P.Coded coded -> ignore (Core.Monitor.delete monitor ~table_name:table coded)
     | P.Unknown_value _ -> assert false)
-  | P.Validate | P.Stats | P.Compact | P.Snapshot | P.Ping | P.Shutdown -> ()
+  | P.Repair _ | P.Validate | P.Stats | P.Compact | P.Snapshot | P.Ping | P.Shutdown -> ()

@@ -22,6 +22,7 @@ type request =
   | Insert of string * string list
   | Delete of string * string list
   | Validate
+  | Repair of { strategy : string; max_deletions : int option; apply : bool }
   | Stats
   | Compact
   | Snapshot
@@ -34,6 +35,7 @@ let request_name = function
   | Insert _ -> "insert"
   | Delete _ -> "delete"
   | Validate -> "validate"
+  | Repair _ -> "repair"
   | Stats -> "stats"
   | Compact -> "compact"
   | Snapshot -> "snapshot"
@@ -41,10 +43,12 @@ let request_name = function
   | Shutdown -> "shutdown"
 
 (* Compact is deliberately unlogged: GC changes no logical state, and
-   recovery replay would renumber nodes pointlessly. *)
+   recovery replay would renumber nodes pointlessly.  Repair too: the
+   deletions it applies are journaled individually as Delete records,
+   so replay never needs to re-run a planner. *)
 let logged = function
   | Register _ | Unregister _ | Insert _ | Delete _ -> true
-  | Validate | Stats | Compact | Snapshot | Ping | Shutdown -> false
+  | Validate | Repair _ | Stats | Compact | Snapshot | Ping | Shutdown -> false
 
 let request_to_json ?id req =
   let fields =
@@ -55,6 +59,10 @@ let request_to_json ?id req =
     | Unregister c -> [ ("constraint", T.Int c) ]
     | Insert (table, row) | Delete (table, row) ->
       [ ("table", T.String table); ("row", T.List (List.map (fun v -> T.String v) row)) ]
+    | Repair { strategy; max_deletions; apply } ->
+      [ ("strategy", T.String strategy) ]
+      @ (match max_deletions with Some n -> [ ("max_deletions", T.Int n) ] | None -> [])
+      @ if apply then [ ("apply", T.Bool true) ] else []
     | Validate | Stats | Compact | Snapshot | Ping | Shutdown -> []
   in
   let id_field = match id with Some j -> [ ("id", j) ] | None -> [] in
@@ -137,6 +145,24 @@ let parse_request line =
         let* row = row () in
         Ok (id, Delete (table, row))
       | "validate" -> Ok (id, Validate)
+      | "repair" ->
+        let strategy =
+          match Json.member "strategy" json with
+          | Some (T.String s) -> s
+          | _ -> "greedy"
+        in
+        if strategy <> "exact" && strategy <> "greedy" then
+          Error
+            ( Bad_request,
+              Printf.sprintf "unknown repair strategy %S (exact|greedy)" strategy )
+        else
+          let max_deletions =
+            match Json.member "max_deletions" json with
+            | Some (T.Int n) -> Some n
+            | _ -> None
+          in
+          let apply = Json.member "apply" json = Some (T.Bool true) in
+          Ok (id, Repair { strategy; max_deletions; apply })
       | "stats" -> Ok (id, Stats)
       | "compact" -> Ok (id, Compact)
       | "snapshot" -> Ok (id, Snapshot)

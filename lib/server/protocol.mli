@@ -23,6 +23,12 @@ type request =
   | Insert of string * string list  (** table, values (textual) *)
   | Delete of string * string list
   | Validate
+  | Repair of { strategy : string; max_deletions : int option; apply : bool }
+      (** plan a deletion repair ([strategy] is ["exact"] or
+          ["greedy"]); with [apply], execute the plan's deletions
+          through the normal mutation path.  The request itself is
+          unlogged — applied deletions are journaled individually as
+          [Delete] records, so replay needs no planner. *)
   | Stats
   | Compact
       (** reclaim BDD memory now (GC / level recycle); unlogged — GC

@@ -243,7 +243,7 @@ let handle t session rid req =
   (try
      match req with
      | P.Ping -> reply (P.ok_line ?id:rid [ ("pong", T.Bool true) ])
-     | P.Register _ | P.Unregister _ | P.Insert _ | P.Delete _ ->
+     | P.Register _ | P.Unregister _ | P.Insert _ | P.Delete _ | P.Repair _ ->
        (match Tier.apply t.tier req with
        | Ok fields -> reply (P.ok_line ?id:rid fields)
        | Error (code, msg) -> reply (P.error_line ?id:rid code msg));

@@ -172,7 +172,7 @@ let targets t req =
                (Core.Monitor.constraints (Shard.monitor s))
            then Some (Shard.sid s)
            else None)
-  | P.Validate | P.Stats | P.Compact | P.Snapshot | P.Ping | P.Shutdown -> []
+  | P.Repair _ | P.Validate | P.Stats | P.Compact | P.Snapshot | P.Ping | P.Shutdown -> []
 
 let textual_rows db table =
   let tbl = R.Database.table db table in
@@ -249,14 +249,105 @@ let register ?id t source =
 
 let journaled_total t = Array.fold_left (fun acc s -> acc + Shard.journaled s) 0 t.shards
 
+(* Assemble the repair planner's database: the owner's authoritative
+   copy of every constraint-watched table, copied by DECODED values —
+   per-shard dictionaries may have assigned codes in different orders
+   (migrations, replay), so coded rows are not portable across
+   shards.  The planner deep-clones again internally; this copy is
+   only the tier-wide logical state it plans against. *)
+let repair_db t =
+  let db = R.Database.create () in
+  let tables =
+    Array.to_list t.shards
+    |> List.concat_map (fun s ->
+           List.concat_map
+             (fun r -> r.Core.Monitor.tables)
+             (Core.Monitor.constraints (Shard.monitor s)))
+    |> List.sort_uniq compare
+  in
+  List.iter
+    (fun tname ->
+      let owner_db =
+        (Core.Monitor.index (Shard.monitor t.shards.(Router.owner ~shards:t.nshards tname)))
+          .Core.Index.db
+      in
+      if List.mem tname (R.Database.table_names owner_db) then begin
+        let src = R.Database.table owner_db tname in
+        let attrs =
+          Array.to_list
+            (Array.map (fun a -> (a.R.Schema.name, a.R.Schema.domain)) (R.Table.schema src))
+        in
+        let dst = R.Database.create_table db ~name:tname ~attrs in
+        R.Table.iter src (fun row -> ignore (R.Table.insert dst (R.Table.decode src row)))
+      end)
+    tables;
+  db
+
 (* Answer one request tier-wide, mirroring {!Mutator.apply}'s contract
    (apply first, journal only on success; non-mutating requests are
    [Ok []]).  Mutations apply on the owner first — its verdict is the
    response — then on every watcher; a watcher disagreeing with the
-   owner is a shard-divergence bug and escapes as an exception. *)
-let apply t req : ((string * T.json) list, P.error_code * string) result =
-  let before = journaled_total t in
-  let result =
+   owner is a shard-divergence bug and escapes as an exception.
+   Repair plans tier-wide and, when asked to apply, executes each
+   planned deletion through this very function — owner-first fan-out,
+   journaled, inside the caller's group-commit window. *)
+let rec apply t req : ((string * T.json) list, P.error_code * string) result =
+  match req with
+  | P.Repair { strategy; max_deletions; apply = do_apply } ->
+    (* no window accounting of its own: an applied plan's deletions
+       run through [apply] below and account themselves *)
+    repair t ~strategy ~max_deletions ~do_apply
+  | _ ->
+    let before = journaled_total t in
+    let result = apply_routed t req in
+    t.pending <- t.pending + (journaled_total t - before);
+    result
+
+and repair t ~strategy ~max_deletions ~do_apply =
+  match Fcv_repair.Repair.strategy_of_string strategy with
+  | Error msg -> Error (P.Bad_request, msg)
+  | Ok strategy -> (
+    let formulas =
+      List.map
+        (fun r -> r.Core.Monitor.formula)
+        (List.sort
+           (fun a b -> compare a.Core.Monitor.id b.Core.Monitor.id)
+           (Array.fold_left
+              (fun acc s ->
+                List.rev_append (Core.Monitor.constraints (Shard.monitor s)) acc)
+              [] t.shards))
+    in
+    match Fcv_repair.Repair.plan ~strategy ?max_deletions (repair_db t) formulas with
+    | exception Fcv_repair.Repair.Not_tractable msg -> Error (P.Constraint_error, msg)
+    | exception (Invalid_argument msg | Failure msg) -> Error (P.Bad_request, msg)
+    | plan ->
+      let applied = ref 0 in
+      let failed = ref None in
+      if do_apply then
+        List.iter
+          (fun d ->
+            if !failed = None then
+              match apply t (P.Delete (d.Fcv_repair.Repair.table, d.Fcv_repair.Repair.cells)) with
+              | Ok _ -> incr applied
+              | Error (_, msg) ->
+                failed :=
+                  Some
+                    (Printf.sprintf "planned deletion on %s rejected: %s"
+                       d.Fcv_repair.Repair.table msg))
+          plan.Fcv_repair.Repair.deletions;
+      if T.enabled () then begin
+        T.incr (T.counter "repair.requests");
+        if do_apply then T.incr ~by:!applied (T.counter "repair.applied")
+      end;
+      match !failed with
+      | Some msg -> Error (P.Internal, msg)
+      | None ->
+        Ok
+          [
+            ("repair", Fcv_repair.Repair.plan_json plan); ("applied", T.Int !applied);
+          ])
+
+and apply_routed t req : ((string * T.json) list, P.error_code * string) result =
     match req with
     | P.Register { source; id } -> (
       match register ?id t source with
@@ -291,10 +382,8 @@ let apply t req : ((string * T.json) list, P.error_code * string) result =
                      owner msg))
             watchers;
           Ok fields))
+    | P.Repair _ -> assert false (* dispatched in [apply] *)
     | P.Validate | P.Stats | P.Compact | P.Snapshot | P.Ping | P.Shutdown -> Ok []
-  in
-  t.pending <- t.pending + (journaled_total t - before);
-  result
 
 (* -- validation ------------------------------------------------------------ *)
 

@@ -73,7 +73,14 @@ val apply : t -> Protocol.request -> ((string * Fcv_util.Telemetry.json) list, P
 (** Answer one mutating request tier-wide ({!Mutator.apply}'s
     contract): apply on the owner — whose verdict is the response —
     then fan out to watchers, journaling on every shard that applied.
-    Non-mutating requests return [Ok []]. *)
+    Non-mutating requests return [Ok []] — except [Repair], which
+    plans a deletion repair against the tier-wide logical state
+    (owner copies, decoded — shard dictionaries are not code-
+    compatible) and, with [apply:true], executes each planned
+    deletion through this same function: owner-first fan-out,
+    journaled as ordinary [Delete] records, inside the caller's
+    group-commit window, so recovery replays the repair without ever
+    re-running a planner. *)
 
 val validate : t -> Core.Monitor.report list
 (** One dirty-set pass per shard, reports merged by constraint id. *)

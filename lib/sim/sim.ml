@@ -160,7 +160,13 @@ let gen_workload ?ops ?shards ~seed () =
              legal), sometimes one the server must reject *)
           let pool = if Rng.bernoulli rng 0.3 then bad_sources else sources in
           P.Register { source = List.nth pool (Rng.int rng (List.length pool)); id = None }
-        | r when r < 90 -> P.Unregister (Rng.int rng 8)
+        | r when r < 88 -> P.Unregister (Rng.int rng 8)
+        | r when r < 91 ->
+          (* an applied repair mid-schedule: the planner is
+             deterministic, so the oracle run and every crash run plan
+             the same deletions, journaled as ordinary Delete records *)
+          P.Repair
+            { strategy = "greedy"; max_deletions = Some (1 + Rng.int rng 3); apply = true }
         | r when r < 95 -> P.Insert ("nonesuch", [ "1" ])  (* unknown table: rejected *)
         | _ -> P.Insert (tname, "0" :: random_cells tbl) (* wrong arity: rejected *))
   in

@@ -3,8 +3,8 @@
 
     One {e schedule} is: generate a seeded workload (a shard count,
     a group-commit window, constraint registrations, inserts, deletes,
-    unregisters, rejected requests, snapshot points over a university
-    or retail base), run it through the server's real durable tier
+    unregisters, applied greedy repairs, rejected requests, snapshot
+    points over a university or retail base), run it through the server's real durable tier
     ({!Fcv_server.Tier}: routed fan-out over per-shard
     {!Fcv_server.Mutator} + WAL + snapshot rotation, group commit)
     against the {!Fault} in-memory file system, and

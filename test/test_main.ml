@@ -32,10 +32,12 @@ module _ = Test_sim
 module _ = Test_churn
 module _ = Test_shard
 module _ = Test_group_commit
+module _ = Test_repair
+module _ = Test_repair_tier
 
 let () =
   let suites = Registry.all () in
-  if List.length suites < 25 then
+  if List.length suites < 27 then
     failwith
       (Printf.sprintf "Test_main: only %d suites registered — a test module was \
                        linked without calling Registry.register"

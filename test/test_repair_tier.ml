@@ -1,0 +1,127 @@
+(** End-to-end repair on the sharded serving tier, under the crash
+    model: a [repair] request with [apply:true] must route its planned
+    deletions through the ordinary journaled mutation path, so that a
+    power cut after the group commit recovers a tier that is {e still
+    repaired} — replayed from the WAL, with no planner involved. *)
+
+module P = Fcv_server.Protocol
+module Shard = Fcv_server.Shard
+module Tier = Fcv_server.Tier
+module Vfs = Fcv_server.Vfs
+module Fault = Fcv_sim.Fault
+module U = Fcv_datagen.University
+module T = Fcv_util.Telemetry
+
+let check = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+(* Few departments so CS is well populated and every planted violator
+   materialises. *)
+let univ_cfg =
+  {
+    U.students = 24;
+    courses = 8;
+    departments = 4;
+    areas = 4;
+    takes_per_student = 2;
+    violators = 3;
+  }
+
+let make_base () =
+  let db, _, _, _ = U.generate (Fcv_util.Rng.create 11) univ_cfg in
+  db
+
+let referential = "forall s, c . takes(s, c) -> (exists a . course(c, a))"
+let curriculum = "forall s . student(s, 0, _) -> (exists c . course(c, 0) and takes(s, c))"
+
+let repair_req ?max_deletions ?(strategy = "greedy") apply =
+  P.Repair { strategy; max_deletions; apply }
+
+let all_satisfied tier =
+  List.for_all (fun (_, o) -> o = Core.Checker.Satisfied) (Tier.verdicts tier)
+
+let applied_count fields =
+  match List.assoc_opt "applied" fields with Some (T.Int n) -> n | _ -> -1
+
+(* Plan then apply on a 4-shard Fault-backed tier; cut the power;
+   recover: every shard replays its whole journal and the verdicts
+   stay clean. *)
+let test_apply_survives_crash () =
+  let dir = "repair-tier" in
+  let fs = Fault.create ~seed:271 () in
+  Vfs.with_backend (Fault.backend fs) @@ fun () ->
+  let tier, _ = Tier.recover ~shards:4 ~state_dir:dir ~load_base:make_base () in
+  ignore (Tier.register tier curriculum);
+  ignore (Tier.register tier referential);
+  (* a dangling enrolment so the referential rule is violated too *)
+  (match Tier.apply tier (P.Insert ("takes", [ "5"; "999" ])) with
+  | Ok _ -> ()
+  | Error (_, m) -> Alcotest.failf "seed insert rejected: %s" m);
+  Tier.flush tier;
+  check "violated before repair" false (all_satisfied tier);
+  check "repair routes to no shard" true (Tier.targets tier (repair_req true) = []);
+  (* plan-only is a pure read: same journals, same verdicts *)
+  let journaled0 = Array.map Shard.journaled (Tier.shards tier) in
+  (match Tier.apply tier (repair_req false) with
+  | Ok fields ->
+    check_int "plan-only applies nothing" 0 (applied_count fields);
+    check "plan-only reports deletions" true (List.mem_assoc "repair" fields)
+  | Error (_, m) -> Alcotest.failf "plan-only repair rejected: %s" m);
+  check "plan-only journals nothing" true
+    (Array.map Shard.journaled (Tier.shards tier) = journaled0);
+  check "plan-only repairs nothing" false (all_satisfied tier);
+  (* now apply: deletions flow through the normal mutation path *)
+  (match Tier.apply tier (repair_req true) with
+  | Ok fields -> check "apply deleted something" true (applied_count fields > 0)
+  | Error (_, m) -> Alcotest.failf "repair rejected: %s" m);
+  check "repair leaves every constraint satisfied" true (all_satisfied tier);
+  check "deletions sit in the group-commit window" true (Tier.pending tier > 0);
+  Tier.flush tier;
+  let journaled = Array.map Shard.journaled (Tier.shards tier) in
+  check "repair journaled as ordinary deletes" true
+    (Array.exists2 (fun a b -> b > a) journaled0 journaled);
+  Fault.power_cut fs;
+  Fault.restart fs;
+  let rtier, rs = Tier.recover ~shards:4 ~state_dir:dir ~load_base:make_base () in
+  Array.iteri
+    (fun s r ->
+      check_int
+        (Printf.sprintf "shard %d replays its whole journal" s)
+        journaled.(s) r.Shard.replayed)
+    rs;
+  check "recovered tier is still repaired" true (all_satisfied rtier)
+
+(* The exact planner's refusal surfaces as a client error, not a
+   crash: the curriculum policy is not FD-shaped. *)
+let test_exact_refused_over_the_wire () =
+  let tier = Tier.create_fresh ~fsync:false ~shards:2 ~load_base:make_base () in
+  ignore (Tier.register tier curriculum);
+  check "exact on a non-FD constraint is a constraint error" true
+    (match Tier.apply tier (repair_req ~strategy:"exact" false) with
+    | Error (P.Constraint_error, _) -> true
+    | _ -> false);
+  check "bad strategy is a bad request" true
+    (match Tier.apply tier (P.Repair { strategy = "oracle"; max_deletions = None; apply = false }) with
+    | Error (P.Bad_request, _) -> true
+    | _ -> false);
+  Tier.close tier
+
+(* max_deletions caps the applied repair too. *)
+let test_capped_apply () =
+  let tier = Tier.create_fresh ~fsync:false ~shards:2 ~load_base:make_base () in
+  ignore (Tier.register tier curriculum);
+  (match Tier.apply tier (repair_req ~max_deletions:1 true) with
+  | Ok fields -> check_int "cap respected tier-wide" 1 (applied_count fields)
+  | Error (_, m) -> Alcotest.failf "capped repair rejected: %s" m);
+  Tier.close tier
+
+let suite =
+  [
+    Alcotest.test_case "applied repair survives crash and recovery" `Quick
+      test_apply_survives_crash;
+    Alcotest.test_case "exact refusal and bad strategy over the wire" `Quick
+      test_exact_refused_over_the_wire;
+    Alcotest.test_case "capped apply" `Quick test_capped_apply;
+  ]
+
+let () = Registry.register "repair_tier" suite
