@@ -1,6 +1,6 @@
 (* Perf-regression gate for the parallel-validation benchmark.
 
-     dune exec bench/check_regression.exe [-- CURRENT [BASELINE]]
+     dune exec bench/check_regression.exe [-- [--require-speedup] [CURRENT [BASELINE]]]
 
    Compares BENCH_parallel.json (default) against the committed
    bench/baseline.json and exits non-zero on regression; bench/ci.sh
@@ -10,10 +10,20 @@
    - per-workload violated counts must match the baseline EXACTLY —
      the workloads are seeded, so any drift means the checker's
      verdicts changed, not the machine;
+   - parallelism may never be a SLOWDOWN: any current j>1 point
+     within this machine's core count with speedup < 1.0 fails,
+     baseline or no baseline — a gate that blesses regressions
+     against an already-regressed baseline gates nothing;
    - per-j speedups may not fall more than 25% below the baseline's,
      but only for j within BOTH machines' core counts (env.cores is
      recorded in each file) — an oversubscribed j measures scheduler
      noise, and a 1-core runner measures nothing;
+   - with --require-speedup (the multicore CI job), parallelism must
+     WIN outright: university j=4 speedup >= 1.5x on a >=4-core
+     machine (>= 1.1x at j=2 when only 2-3 cores; skipped with a
+     message below 2 cores).  Retail is reported but only gated for
+     the slowdown/baseline checks — its BDD passes are too short to
+     promise 1.5x portably;
    - absolute milliseconds are never compared across runs.
 
    A speedup more than 25% ABOVE baseline is reported as a
@@ -106,10 +116,75 @@ let check_workload ~max_jobs ~current base =
         (list_f "series" base)
     end
 
+(* No j within this machine's core budget may run SLOWER than
+   sequential.  Gated against the current results alone: a slowdown is
+   a bug in the parallel path no baseline can excuse. *)
+let check_no_slowdown ~cores current =
+  List.iter
+    (fun w ->
+      let name = str_f "name" w in
+      List.iter
+        (fun p ->
+          let j = int_f "jobs" p in
+          if j > 1 && j <= cores then begin
+            let s = float_f "speedup" p in
+            if s < 1.0 then
+              fail "%s: j=%d is a SLOWDOWN (%.2fx < 1.00x) on a %d-core machine" name j s
+                cores
+          end)
+        (list_f "series" w))
+    (list_f "workloads" current)
+
+(* The multicore CI promise: parallel validation must beat sequential
+   by a real margin, not just break even. *)
+let check_required_speedup ~cores current =
+  let speedup_of wname j =
+    match find_workload current wname with
+    | None -> None
+    | Some w ->
+      List.find_map
+        (fun p -> if int_f "jobs" p = j then Some (float_f "speedup" p) else None)
+        (list_f "series" w)
+  in
+  let require wname j threshold ~fatal =
+    match speedup_of wname j with
+    | None -> fail "%s: no j=%d point to hold against the %.1fx floor" wname j threshold
+    | Some s ->
+      if s >= threshold then
+        note "%s: j=%d speedup %.2fx meets the %.1fx floor" wname j s threshold
+      else if fatal then
+        fail "%s: j=%d speedup %.2fx below the required %.1fx" wname j s threshold
+      else note "%s: j=%d speedup %.2fx below %.1fx (informational)" wname j s threshold
+  in
+  if cores >= 4 then begin
+    note "required-speedup gate: %d cores — university j=4 must reach 1.5x" cores;
+    require "university" 4 1.5 ~fatal:true;
+    require "retail" 4 1.5 ~fatal:false
+  end
+  else if cores >= 2 then begin
+    note "required-speedup gate: only %d cores — relaxed to university j=2 >= 1.1x" cores;
+    require "university" 2 1.1 ~fatal:true;
+    require "retail" 2 1.1 ~fatal:false
+  end
+  else note "required-speedup gate: skipped (%d core — nothing to parallelise over)" cores
+
 let () =
-  let current_path = if Array.length Sys.argv > 1 then Sys.argv.(1) else "BENCH_parallel.json" in
+  let require_speedup = ref false in
+  let positional =
+    List.filter
+      (fun a ->
+        if a = "--require-speedup" then begin
+          require_speedup := true;
+          false
+        end
+        else true)
+      (List.tl (Array.to_list Sys.argv))
+  in
+  let current_path =
+    match positional with p :: _ -> p | [] -> "BENCH_parallel.json"
+  in
   let baseline_path =
-    if Array.length Sys.argv > 2 then Sys.argv.(2) else "bench/baseline.json"
+    match positional with _ :: p :: _ -> p | _ -> "bench/baseline.json"
   in
   match (read_json current_path, read_json baseline_path) with
   | exception Sys_error msg ->
@@ -122,7 +197,10 @@ let () =
     let max_jobs = min (cores current) (cores baseline) in
     Printf.printf "regression gate: %s vs %s (speedups gated up to j=%d: %d cores here, %d at baseline)\n"
       current_path baseline_path max_jobs (cores current) (cores baseline);
-    (try List.iter (check_workload ~max_jobs ~current) (list_f "workloads" baseline)
+    (try
+       List.iter (check_workload ~max_jobs ~current) (list_f "workloads" baseline);
+       check_no_slowdown ~cores:(cores current) current;
+       if !require_speedup then check_required_speedup ~cores:(cores current) current
      with Failure msg -> fail "%s" msg);
     if !failures > 0 then begin
       Printf.printf "regression gate: %d failure%s\n" !failures

@@ -128,7 +128,25 @@ else
 fi
 
 echo "== parallel-validation scaling benchmark"
-dune exec bench/parallel.exe
+# Wrapped like the other gates so the exit code propagates through the
+# cleanup trap deliberately: a bench failure is fatal under FCV_CI=1
+# and a loud warning locally, and either way the BENCH_*.json written
+# so far survives for artifact upload.
+if dune exec bench/parallel.exe; then
+  :
+elif [ "$FCV_CI" = "1" ]; then
+  echo "FAIL: parallel scaling benchmark failed (verdict drift across j, or a crash" >&2
+  echo "      in the pooled checker — see output above)" >&2
+  exit 1
+else
+  echo "WARNING: parallel scaling benchmark failed (fatal under FCV_CI=1)" >&2
+fi
+
+# Surface the j-scaling curve on the Actions run page when GitHub
+# gives us a step summary to append to.
+if [ -n "${GITHUB_STEP_SUMMARY:-}" ] && [ -f BENCH_parallel.json ]; then
+  dune exec bench/scaling_table.exe >>"$GITHUB_STEP_SUMMARY" || true
+fi
 
 echo "== memory-lifecycle churn benchmark (peak-node bound fatal under FCV_CI=1)"
 if dune exec bench/churn.exe; then

@@ -1,0 +1,68 @@
+(* Render BENCH_parallel.json as a GitHub-flavoured markdown j-scaling
+   table — bench/ci.sh appends it to $GITHUB_STEP_SUMMARY so the
+   speedup curve is readable from the Actions run page without
+   downloading artifacts.
+
+     dune exec bench/scaling_table.exe [-- BENCH_parallel.json] *)
+
+module J = Fcv_util.Telemetry.Json
+
+let read_json path =
+  let ic = open_in path in
+  let n = in_channel_length ic in
+  let s = really_input_string ic n in
+  close_in ic;
+  J.of_string s
+
+let mem name j =
+  match J.member name j with
+  | Some v -> v
+  | None -> failwith (Printf.sprintf "missing field %S" name)
+
+let int_f name j =
+  match mem name j with
+  | Fcv_util.Telemetry.Int i -> i
+  | _ -> failwith (Printf.sprintf "field %S is not an int" name)
+
+let float_f name j =
+  match mem name j with
+  | Fcv_util.Telemetry.Float f -> f
+  | Fcv_util.Telemetry.Int i -> float_of_int i
+  | _ -> failwith (Printf.sprintf "field %S is not a number" name)
+
+let str_f name j =
+  match mem name j with
+  | Fcv_util.Telemetry.String s -> s
+  | _ -> failwith (Printf.sprintf "field %S is not a string" name)
+
+let list_f name j =
+  match mem name j with
+  | Fcv_util.Telemetry.List l -> l
+  | _ -> failwith (Printf.sprintf "field %S is not a list" name)
+
+let () =
+  let path = if Array.length Sys.argv > 1 then Sys.argv.(1) else "BENCH_parallel.json" in
+  let doc = read_json path in
+  let env = mem "env" doc in
+  Printf.printf "### Parallel validation j-scaling (%d cores, OCaml %s)\n\n"
+    (int_f "cores" env) (str_f "ocaml" env);
+  Printf.printf "| workload | j | best ms | mean ms | speedup | hydrations (full / delta / ops) |\n";
+  Printf.printf "|---|---:|---:|---:|---:|---:|\n";
+  List.iter
+    (fun w ->
+      let name = str_f "name" w in
+      List.iter
+        (fun p ->
+          let hyd =
+            match J.member "hydration" p with
+            | Some h ->
+              Printf.sprintf "%d / %d / %d" (int_f "full" h) (int_f "delta" h)
+                (int_f "delta_ops" h)
+            | None -> "—"
+          in
+          Printf.printf "| %s | %d | %.2f | %.2f | %.2fx | %s |\n" name (int_f "jobs" p)
+            (float_f "best_ms" p) (float_f "mean_ms" p) (float_f "speedup" p) hyd)
+        (list_f "series" w);
+      Printf.printf "| %s | | | | | %d violated of %d constraints |\n" name
+        (int_f "violated" w) (int_f "constraints" w))
+    (list_f "workloads" doc)

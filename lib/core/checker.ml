@@ -229,16 +229,192 @@ let check ?(pipeline = default_pipeline) index constraint_ =
       check = check_mode;
     }
 
+(* -- parallel scheduling: cost estimates and task granularity --------------- *)
+
+type granularity = {
+  batch_under_ms : float;
+  max_batch : int;
+  split_over_ms : float;
+  max_parts : int;
+}
+
+let default_granularity =
+  { batch_under_ms = 5.0; max_batch = 8; split_over_ms = 250.0; max_parts = 8 }
+
+(** Estimate the cost of checking [f] against [index], in rough
+    milliseconds, from index statistics alone: BDD node counts of the
+    entries covering each mentioned relation plus a per-atom term.
+    Only the {e relative} order matters (expensive checks are
+    scheduled first); callers with run history (the monitor's
+    per-constraint telemetry) should prefer measured averages. *)
+let cost_estimate index f =
+  let nodes =
+    List.fold_left
+      (fun acc rel ->
+        List.fold_left (fun acc e -> acc + Index.entry_size index e) acc
+          (Index.entries_for index rel))
+      0 (Formula.relations f)
+  in
+  (0.001 *. float_of_int nodes) +. (0.05 *. float_of_int (Formula.atom_count f)) +. 0.01
+
+(** Split a constraint into independently checkable conjuncts:
+    [∀xs.(A ∧ B) ≡ (∀xs.A) ∧ (∀xs.B)].  Every part keeps the {e full}
+    quantifier prefix — dropping binders would change vacuous-truth
+    semantics over empty active domains — so a [Forall] splits only
+    when each conjunct still mentions every prefix variable (which
+    also keeps the parts typeable).  Returns [[f]] when nothing
+    splits. *)
+let rec split_conjuncts f =
+  match f with
+  | Formula.And (a, b) -> split_conjuncts a @ split_conjuncts b
+  | Formula.Forall (xs, body) ->
+    let parts = split_conjuncts body in
+    if
+      List.length parts > 1
+      && List.for_all
+           (fun p ->
+             let free = Formula.free_vars p in
+             List.for_all (fun x -> Formula.Sset.mem x free) xs)
+           parts
+    then List.map (fun p -> Formula.Forall (xs, p)) parts
+    else [ f ]
+  | _ -> [ f ]
+
+(* Merge the part results of a split constraint back into one result:
+   satisfied iff every conjunct is.  [rewritten]/[check] come from the
+   first part (there is no single compiled formula for a merged
+   verdict); times are summed — the work actually done. *)
+let merge_parts = function
+  | [] -> invalid_arg "Checker.merge_parts: no parts"
+  | first :: _ as rs ->
+    {
+      outcome =
+        (if List.for_all (fun r -> r.outcome = Satisfied) rs then Satisfied else Violated);
+      method_used =
+        (if List.for_all (fun r -> r.method_used = Bdd) rs then Bdd
+         else if List.exists (fun r -> r.method_used = Naive) rs then Naive
+         else Sql);
+      elapsed_ms = List.fold_left (fun acc r -> acc +. r.elapsed_ms) 0. rs;
+      bdd_overhead_ms = List.fold_left (fun acc r -> acc +. r.bdd_overhead_ms) 0. rs;
+      rewritten = first.rewritten;
+      check = first.check;
+    }
+
 (** Check a batch against a live pool: every relation each constraint
     mentions must already be indexed in the replica set's master (the
     snapshot is what workers hydrate from, so indices built after
     {!Replica.prepare} would be invisible).  Results come back in
     input order; a failing check fails the whole batch, like the
-    sequential [List.map] would. *)
-let check_all_pooled ?pipeline ~pool replica constraints =
+    sequential [List.map] would.
+
+    Scheduling: each constraint's cost is taken from [costs] (measured
+    history, milliseconds) or estimated from index statistics; tasks
+    execute expensive-first through the pool's claimed-batch scheduler
+    ({!Fcv_util.Pool.run_ordered}).  [granularity] adapts task size:
+    constraints cheaper than [batch_under_ms] are chunked ([max_batch]
+    at a time) so task bookkeeping stops dominating tiny checks, and a
+    constraint over [split_over_ms] whose formula splits into
+    independent conjuncts ({!split_conjuncts}, up to [max_parts])
+    is checked as parallel subformula tasks and merged — same
+    outcome by [∀x.(A∧B) ≡ (∀x.A)∧(∀x.B)]. *)
+let check_all_pooled ?pipeline ?(granularity = default_granularity) ?costs ~pool replica
+    constraints =
   Replica.prepare replica;
-  Fcv_util.Pool.run_list pool
-    (List.map (fun c () -> check ?pipeline (Replica.get replica) c) constraints)
+  if constraints = [] then []
+  else begin
+    let fs = Array.of_list constraints in
+    let n = Array.length fs in
+    let master = Replica.master replica in
+    let db = master.Index.db in
+    let costs =
+      let given =
+        match costs with
+        | Some l when List.length l = n -> Array.of_list l
+        | Some _ -> invalid_arg "Checker.check_all_pooled: costs length mismatch"
+        | None -> Array.make n None
+      in
+      Array.mapi
+        (fun i f ->
+          match given.(i) with Some c -> c | None -> cost_estimate master f)
+        fs
+    in
+    (* split plan: parts.(i) has length > 1 only for huge conjunctive
+       constraints whose every part still typechecks *)
+    let parts =
+      Array.mapi
+        (fun i f ->
+          if costs.(i) < granularity.split_over_ms then [| f |]
+          else
+            let ps = split_conjuncts f in
+            let k = List.length ps in
+            let part_ok p =
+              Formula.is_closed p
+              && match Typing.infer db p with _ -> true | exception Typing.Type_error _ -> false
+            in
+            if k > 1 && k <= granularity.max_parts && List.for_all part_ok ps then
+              Array.of_list ps
+            else [| f |])
+        fs
+    in
+    (* task list: (cost, thunk) where a thunk returns per-(constraint,
+       part) results; tiny unsplit constraints are chunked greedily in
+       input order *)
+    let do_check f () = check ?pipeline (Replica.get replica) f in
+    let tasks = ref [] in
+    let chunk = ref [] and chunk_cost = ref 0. in
+    let flush_chunk () =
+      match !chunk with
+      | [] -> ()
+      | members ->
+        let members = List.rev members in
+        tasks :=
+          ( !chunk_cost,
+            fun () -> List.map (fun (i, f) -> (i, 0, do_check f ())) members )
+          :: !tasks;
+        chunk := [];
+        chunk_cost := 0.
+    in
+    Array.iteri
+      (fun i f ->
+        let k = Array.length parts.(i) in
+        if k > 1 then begin
+          flush_chunk ();
+          Array.iteri
+            (fun p part ->
+              tasks :=
+                (costs.(i) /. float_of_int k, fun () -> [ (i, p, do_check part ()) ])
+                :: !tasks)
+            parts.(i)
+        end
+        else if costs.(i) < granularity.batch_under_ms then begin
+          chunk := (i, f) :: !chunk;
+          chunk_cost := !chunk_cost +. costs.(i);
+          if List.length !chunk >= granularity.max_batch then flush_chunk ()
+        end
+        else begin
+          flush_chunk ();
+          tasks := (costs.(i), fun () -> [ (i, 0, do_check f ()) ]) :: !tasks
+        end)
+      fs;
+    flush_chunk ();
+    let tasks = Array.of_list (List.rev !tasks) in
+    let thunks = Array.map snd tasks in
+    (* expensive-first execution order, index tiebreak for determinism *)
+    let order = Array.init (Array.length tasks) Fun.id in
+    Array.sort
+      (fun a b ->
+        match compare (fst tasks.(b)) (fst tasks.(a)) with 0 -> compare a b | c -> c)
+      order;
+    let outs = Fcv_util.Pool.run_ordered pool ~order thunks in
+    let per = Array.make n [] in
+    Array.iter (List.iter (fun (i, p, r) -> per.(i) <- (p, r) :: per.(i))) outs;
+    List.init n (fun i ->
+        match per.(i) with
+        | [ (_, r) ] -> r
+        | prs ->
+          merge_parts
+            (List.map snd (List.sort (fun (a, _) (b, _) -> compare a b) prs)))
+  end
 
 (** Check a batch of constraints (the paper's setting: many
     user-defined constraints validated together); returns results in

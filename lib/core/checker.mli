@@ -59,8 +59,38 @@ val check_all :
     [index] ({!Replica}); verdicts are identical to the sequential
     run.  Singleton and empty batches always run sequentially. *)
 
+type granularity = {
+  batch_under_ms : float;
+      (** constraints cheaper than this are chunked into one task *)
+  max_batch : int;  (** at most this many constraints per chunk *)
+  split_over_ms : float;
+      (** constraints dearer than this are split into conjunct tasks *)
+  max_parts : int;  (** split only into at most this many parts *)
+}
+(** Task-granularity policy for {!check_all_pooled}: batching keeps
+    task bookkeeping from dominating tiny checks; splitting keeps one
+    monster conjunction from serialising a pass. *)
+
+val default_granularity : granularity
+(** 5ms batch threshold × 8-wide chunks; 250ms split threshold ×
+    8 parts. *)
+
+val cost_estimate : Index.t -> Formula.t -> float
+(** Rough per-constraint check cost in milliseconds, from index node
+    counts and formula size.  Only the relative order matters; prefer
+    measured history when available. *)
+
+val split_conjuncts : Formula.t -> Formula.t list
+(** Independent conjunct parts of a constraint, by
+    [∀xs.(A ∧ B) ≡ (∀xs.A) ∧ (∀xs.B)] — each part keeps the full
+    quantifier prefix, and a [Forall] splits only when every part
+    still mentions every prefix variable.  [[f]] when nothing
+    splits. *)
+
 val check_all_pooled :
   ?pipeline:pipeline ->
+  ?granularity:granularity ->
+  ?costs:float option list ->
   pool:Fcv_util.Pool.t ->
   Replica.t ->
   Formula.t list ->
@@ -68,7 +98,18 @@ val check_all_pooled :
 (** [check_all] against a caller-owned pool and replica set — the
     long-running form (server, monitor) that amortises worker spawn
     and replica hydration across batches.  Every mentioned relation
-    must already be indexed in the replica master. *)
+    must already be indexed in the replica master.
+
+    Tasks run expensive-first through the pool's claimed-batch
+    scheduler; per-constraint costs come from [costs] (measured
+    milliseconds, [None] entries estimated) or {!cost_estimate}, and
+    [granularity] (default {!default_granularity}) controls chunking
+    of tiny constraints and conjunct-splitting of huge ones.  A split
+    constraint's merged result is [Satisfied] iff every part is, with
+    summed times; verdicts are identical to the sequential run either
+    way.
+    @raise Invalid_argument if [costs] is given with the wrong
+    length. *)
 
 val ensure_indices : ?strategy:Ordering.strategy -> Index.t -> Formula.t list -> unit
 (** Build missing full-attribute indices for every mentioned relation

@@ -41,6 +41,11 @@ type t = {
       (* entry rebuilds postponed because the manager ran out of
          levels mid-update; {!Lifecycle.maybe_gc} recycles the level
          space and re-adds them before the next validation *)
+  mutable structure_version : int;
+      (* bumped on every structural change to the entry set (add,
+         remove, rebuild, defer, level recycle) — NOT on content-
+         preserving GC.  Replicas use it to decide whether a row-level
+         delta can still describe the master (see {!Replica}). *)
   mutable gc_runs : int;  (* automatic + manual compactions *)
   mutable gc_reclaimed : int;  (* nodes reclaimed across all GC runs *)
   mutable level_recycles : int;  (* dense-rebuild epochs *)
@@ -56,6 +61,7 @@ let create ?(max_nodes = 0) ?(max_cache = M.default_max_cache) db =
     entries = [];
     scratch_pool = Hashtbl.create 8;
     deferred = [];
+    structure_version = 0;
     gc_runs = 0;
     gc_reclaimed = 0;
     level_recycles = 0;
@@ -145,6 +151,7 @@ let add t ~table_name ?attrs ~strategy () =
       | None -> ());
   let entry = { table; attrs; order; strategy; blocks; root; counts; build_time } in
   t.entries <- entry :: t.entries;
+  t.structure_version <- t.structure_version + 1;
   entry
 
 (** Entries indexed on [table_name]. *)
@@ -221,6 +228,7 @@ let rebuild_entry t entry =
   let table_name, attr_names, strategy = entry_spec entry in
   let rebuilt = add t ~table_name ~attrs:attr_names ~strategy () in
   t.entries <- List.filter (fun e -> e != entry) t.entries;
+  t.structure_version <- t.structure_version + 1;
   if Fcv_util.Telemetry.enabled () then
     Fcv_util.Telemetry.incr (Fcv_util.Telemetry.counter "index.rebuilds");
   rebuilt
@@ -232,6 +240,7 @@ let rebuild_entry t entry =
 let defer_rebuild t entry =
   t.entries <- List.filter (fun e -> e != entry) t.entries;
   t.deferred <- entry_spec entry :: t.deferred;
+  t.structure_version <- t.structure_version + 1;
   if Fcv_util.Telemetry.enabled () then
     Fcv_util.Telemetry.incr (Fcv_util.Telemetry.counter "index.deferred_rebuilds")
 
@@ -259,6 +268,7 @@ let remove_entries_for t table_name =
   in
   t.entries <- kept;
   t.deferred <- List.filter (fun (tbl, _, _) -> tbl <> table_name) t.deferred;
+  if doomed <> [] then t.structure_version <- t.structure_version + 1;
   List.length doomed
 
 (** Garbage-collect the shared manager: keep exactly the entries'

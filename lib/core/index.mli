@@ -28,6 +28,11 @@ type t = {
       (** entry rebuilds postponed because the manager ran out of
           levels mid-update; recycled and re-added before the next
           validation *)
+  mutable structure_version : int;
+      (** bumped on every structural change to the entry set (add,
+          remove, rebuild, defer, level recycle) but not on
+          content-preserving GC — how {!Replica} decides whether a
+          row-level delta can still describe the master *)
   mutable gc_runs : int;
   mutable gc_reclaimed : int;
   mutable level_recycles : int;

@@ -94,6 +94,9 @@ let recycle index =
     List.map2 (fun e s -> { e with I.strategy = s }) (I.entries fresh) strategies;
   Hashtbl.reset index.I.scratch_pool;
   index.I.level_recycles <- index.I.level_recycles + 1;
+  (* levels and node ids were renumbered wholesale: replicas must do a
+     full rehydration, never a row-delta catch-up *)
+  index.I.structure_version <- index.I.structure_version + 1;
   let reclaimed = max 0 (before - M.size (I.mgr index)) in
   index.I.gc_runs <- index.I.gc_runs + 1;
   index.I.gc_reclaimed <- index.I.gc_reclaimed + reclaimed;
@@ -126,8 +129,8 @@ let no_action = { recycled = false; gc_ran = false; reclaimed = 0 }
     demands it (which also collects garbage), else GC if the dead
     ratio or cache occupancy demand it, else do nothing.  Publishes
     the lifecycle gauges when anything ran.  The caller owns replica
-    invalidation — node ids are renumbered whenever
-    [action.gc_ran]. *)
+    invalidation — needed iff [action.recycled]; a pure compact
+    renumbers only master-private node ids replicas never see. *)
 let maybe_gc ?(policy = default_policy) index =
   let action =
     if needs_recycle policy index then

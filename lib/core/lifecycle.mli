@@ -41,7 +41,11 @@ val recycle : Index.t -> int
 
 type action = {
   recycled : bool;
-  gc_ran : bool;  (** node ids were renumbered — bump replica epochs *)
+      (** levels were renumbered — the caller must bump replica epochs *)
+  gc_ran : bool;
+      (** a collection ran; a {e pure} compact ([gc_ran] without
+          [recycled]) renumbers only master-private node ids, which
+          replicas never see, so it needs no invalidation *)
   reclaimed : int;
 }
 
@@ -50,4 +54,5 @@ val no_action : action
 val maybe_gc : ?policy:policy -> Index.t -> action
 (** Run the policy once, between checks: recycle, else GC, else
     nothing.  Publishes telemetry gauges when anything ran.  Replica
-    invalidation is the caller's job (see [action.gc_ran]). *)
+    invalidation is the caller's job (needed iff
+    [action.recycled]). *)

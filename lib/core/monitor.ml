@@ -74,6 +74,8 @@ let stop t = set_jobs t 1
 let invalidate_replicas t =
   match t.par with Some (_, r) -> Replica.invalidate r | None -> ()
 
+let replica_stats t = match t.par with Some (_, r) -> Some (Replica.stats r) | None -> None
+
 (** Register a constraint (given as concrete syntax); builds any
     missing indices.  Returns its id — the caller may pin one (WAL
     replay / snapshot recovery re-registers constraints under their
@@ -152,44 +154,53 @@ let remove t id =
   end
 
 (** Run the automatic-reclamation policy once — called between
-    validations, never mid-check.  Bumps replica epochs when node ids
-    were renumbered. *)
+    validations, never mid-check.  Bumps replica epochs only when node
+    ids were renumbered (a level recycle): a content-preserving
+    compact renumbers nothing a replica can see, so replicas survive
+    it untouched. *)
 let maybe_gc t =
   match t.gc_policy with
   | None -> Lifecycle.no_action
   | Some policy ->
     let action = Lifecycle.maybe_gc ~policy t.index in
-    if action.Lifecycle.gc_ran then invalidate_replicas t;
+    if action.Lifecycle.recycled then invalidate_replicas t;
     action
 
 (** Reclaim memory {e now} (the [compact] protocol op): a level
     recycle when the policy demands one, otherwise a plain GC.
-    Replicas are always invalidated.  Returns nodes reclaimed. *)
+    Replicas are invalidated only on a recycle (a pure compact is
+    invisible to them).  Returns nodes reclaimed. *)
 let gc t =
   let policy = Option.value ~default:Lifecycle.default_policy t.gc_policy in
+  let recycle = Lifecycle.needs_recycle policy t.index in
   let reclaimed =
-    if Lifecycle.needs_recycle policy t.index then Lifecycle.recycle t.index
-    else Index.compact t.index
+    if recycle then Lifecycle.recycle t.index else Index.compact t.index
   in
   Index.publish_gauges t.index;
-  invalidate_replicas t;
+  if recycle then invalidate_replicas t;
   reclaimed
 
 (** Stream one row insertion through the base table and indices; marks
-    the table dirty. *)
+    the table dirty.  Replicas get a row-level delta note, not a full
+    invalidation — the mutation epoch no longer costs workers a
+    rehydration. *)
 let insert t ~table_name row =
   Index.insert t.index ~table_name row;
   Hashtbl.replace t.dirty table_name ();
-  invalidate_replicas t;
+  (match t.par with
+  | Some (_, r) -> Replica.note_insert r ~table_name row
+  | None -> ());
   if T.enabled () then T.incr (T.counter "monitor.inserts")
 
 (** Stream one row deletion; marks the table dirty if a row was
-    removed. *)
+    removed.  Delta-noted like {!insert}. *)
 let delete t ~table_name row =
   let removed = Index.delete t.index ~table_name row in
   if removed then begin
     Hashtbl.replace t.dirty table_name ();
-    invalidate_replicas t
+    match t.par with
+    | Some (_, r) -> Replica.note_delete r ~table_name row
+    | None -> ()
   end;
   if T.enabled () then T.incr (T.counter "monitor.deletes");
   removed
@@ -240,8 +251,18 @@ let validate t =
   let reports =
     match t.par with
     | Some (pool, replica) when List.length stale > 1 ->
+      (* measured per-constraint cost history feeds the scheduler: the
+         pool starts the historically expensive checks first *)
+      let costs =
+        List.map
+          (fun reg ->
+            if reg.checks_run > 0 then
+              Some (reg.total_check_ms /. float_of_int reg.checks_run)
+            else None)
+          stale
+      in
       let results =
-        Checker.check_all_pooled ~pipeline:t.pipeline ~pool replica
+        Checker.check_all_pooled ~pipeline:t.pipeline ~costs ~pool replica
           (List.map (fun reg -> reg.formula) stale)
       in
       let fresh = Hashtbl.create (List.length stale) in

@@ -57,12 +57,23 @@ val maybe_gc : t -> Lifecycle.action
     of every {!validate}).  Safe only between checks. *)
 
 val gc : t -> int
-(** Reclaim memory now — level recycle if needed, else GC; always
-    invalidates replicas.  Returns nodes reclaimed.  Backs the
+(** Reclaim memory now — level recycle if needed, else GC; replicas
+    are invalidated only by the recycle (a content-preserving compact
+    is invisible to them).  Returns nodes reclaimed.  Backs the
     [compact] protocol op. *)
 
 val insert : t -> table_name:string -> int array -> unit
+(** Rows are coded [int array]s.  In parallel mode the mutation is
+    delta-noted to the replica set ({!Replica.note_insert}) rather
+    than invalidating it: the next validation catches workers up by
+    replaying the row ops instead of rehydrating snapshots. *)
+
 val delete : t -> table_name:string -> int array -> bool
+
+val replica_stats : t -> Replica.stats option
+(** Hydration-mode telemetry of the worker replica set ([None] when
+    sequential): how many worker refreshes were cheap delta catch-ups
+    versus full snapshot hydrations. *)
 
 type report = {
   constraint_ : registered;

@@ -1,29 +1,61 @@
 (** Per-worker replicas of the logical index store (see the interface
     for the protocol).  The moving parts:
 
-    - [epoch] counts master mutations ({!invalidate} bumps it).
+    - [epoch] counts master mutations ({!invalidate} and the
+      [note_*] functions bump it).
     - [snapshot] caches the {!Index_io.save_string} bytes for one
-      epoch; {!prepare} refreshes it on the main domain so workers
-      never serialise (the master manager is not theirs to walk).
+      {e base} epoch; [delta] publishes the serialised row ops
+      covering [(base, epoch]] when the window is still expressible
+      as row traffic.  {!prepare} refreshes both on the main domain
+      so workers never serialise (the master manager is not theirs
+      to walk).
     - Each domain caches its hydrated [(epoch, index)] pair in
-      domain-local storage; {!get} reuses it while the epoch stands.
+      domain-local storage; {!get} reuses it while the epoch stands,
+      {b replays the delta suffix} when only row ops happened, and
+      falls back to a full snapshot hydration otherwise.
+
+    Why delta replay is verdict-safe: the op log is invalidated the
+    moment the master's {!Index.t.structure_version} moves (entry
+    add/remove/rebuild/defer, level recycle), so inside a valid
+    window every replica entry has exactly the block widths the
+    master had when it applied the op — {!Index.update_entry} then
+    performs the identical root/count maintenance the master did.
+    Content-preserving GC ({!Index.compact}) renumbers only the
+    master's private node ids, which replicas never see, so it
+    neither bumps the epoch nor invalidates anything.
 
     Memory-model note: workers read [epoch] through an [Atomic] but
-    [snapshot] is a plain mutable field.  That is sound because every
-    fan-out goes prepare → submit → worker-runs-task, and the pool's
-    queue mutex orders the snapshot write before the worker's read;
-    the atomic epoch only decides {e staleness}, never publication. *)
+    [snapshot]/[delta] are plain mutable fields.  That is sound
+    because every fan-out goes prepare → submit → worker-runs-task,
+    and the pool's queue mutex orders the writes before the worker's
+    reads; the atomic epoch only decides {e staleness}, never
+    publication. *)
 
 module M = Fcv_bdd.Manager
 module T = Fcv_util.Telemetry
 
+(* A delta longer than this forces a fresh base snapshot at the next
+   {!prepare}: unbounded replay would eventually cost more than one
+   hydration, and a fresh worker must replay the whole window. *)
+let max_delta_ops = 4096
+
 type t = {
   master : Index.t;
   epoch : int Atomic.t;
-  mutable snapshot : (int * string) option;  (** (epoch, bytes) — main domain *)
+  mutable snapshot : (int * string) option;  (** (base epoch, bytes) — main domain *)
+  mutable delta : (int * int * string) option;
+      (** (base, to, bytes): serialised ops covering (base, to] *)
+  mutable log : Index_io.delta_op list;  (** newest first, covering (base, epoch] *)
+  mutable log_valid : bool;
+  mutable structure_seen : int;
+      (** master's structure_version captured at the last base snapshot *)
   cache : (int * Index.t) option ref Domain.DLS.key;
       (** this domain's hydrated replica, stamped with its epoch *)
-  hydrations : int Atomic.t;
+  full_hydrations : int Atomic.t;
+  delta_hydrations : int Atomic.t;
+  delta_ops_applied : int Atomic.t;
+  mutable snapshot_bytes : int;  (** size of the last full snapshot serialised *)
+  mutable delta_bytes : int;  (** size of the last delta published (0 = none) *)
 }
 
 let create master =
@@ -31,23 +63,106 @@ let create master =
     master;
     epoch = Atomic.make 0;
     snapshot = None;
+    delta = None;
+    log = [];
+    log_valid = true;
+    structure_seen = master.Index.structure_version;
     cache = Domain.DLS.new_key (fun () -> ref None);
-    hydrations = Atomic.make 0;
+    full_hydrations = Atomic.make 0;
+    delta_hydrations = Atomic.make 0;
+    delta_ops_applied = Atomic.make 0;
+    snapshot_bytes = 0;
+    delta_bytes = 0;
   }
 
 let master t = t.master
-let invalidate t = Atomic.incr t.epoch
-let hydrations t = Atomic.get t.hydrations
+
+(* -- mutation notes (main domain only) -------------------------------------- *)
+
+(** A change the log cannot express: stale replicas must fully
+    rehydrate from a fresh snapshot. *)
+let invalidate t =
+  Atomic.incr t.epoch;
+  t.log <- [];
+  t.log_valid <- false
+
+(* Append one row op if the window is still sound: no structural
+   change slipped in (the master may rebuild an entry *inside*
+   Index.insert, invisibly to the caller — the version check catches
+   it) and the log is bounded.  Invariant: log_valid implies
+   [List.length log = epoch - base]. *)
+let note t op =
+  Atomic.incr t.epoch;
+  if
+    t.log_valid
+    && t.master.Index.structure_version = t.structure_seen
+    && List.length t.log < max_delta_ops
+  then t.log <- op :: t.log
+  else begin
+    t.log <- [];
+    t.log_valid <- false
+  end
+
+let note_insert t ~table_name row = note t (Index_io.Delta_insert (table_name, row))
+let note_delete t ~table_name row = note t (Index_io.Delta_delete (table_name, row))
+
+(* -- hydration telemetry ---------------------------------------------------- *)
+
+type stats = {
+  full : int;  (** whole-snapshot hydrations across all domains *)
+  delta : int;  (** delta catch-ups across all domains *)
+  delta_ops : int;  (** row ops replayed across all delta catch-ups *)
+  snapshot_bytes : int;  (** size of the last full snapshot serialised *)
+  delta_bytes : int;  (** size of the last delta published (0 = none) *)
+}
+
+let stats t =
+  {
+    full = Atomic.get t.full_hydrations;
+    delta = Atomic.get t.delta_hydrations;
+    delta_ops = Atomic.get t.delta_ops_applied;
+    snapshot_bytes = t.snapshot_bytes;
+    delta_bytes = t.delta_bytes;
+  }
+
+let hydrations t = Atomic.get t.full_hydrations + Atomic.get t.delta_hydrations
+
+(* -- publication (main domain only) ----------------------------------------- *)
+
+let resnapshot t e =
+  T.with_span "replica.snapshot" (fun () ->
+      let bytes = Index_io.save_string t.master in
+      t.snapshot <- Some (e, bytes);
+      t.snapshot_bytes <- String.length bytes;
+      t.delta <- None;
+      t.delta_bytes <- 0;
+      t.log <- [];
+      t.log_valid <- true;
+      t.structure_seen <- t.master.Index.structure_version;
+      if T.enabled () then begin
+        T.incr (T.counter "replica.snapshots");
+        T.gauge_set (T.gauge "replica.snapshot_bytes") t.snapshot_bytes
+      end)
 
 let prepare t =
   let e = Atomic.get t.epoch in
   match t.snapshot with
-  | Some (e', _) when e' = e -> ()
-  | _ ->
-    T.with_span "replica.snapshot" (fun () ->
-        t.snapshot <- Some (e, Index_io.save_string t.master))
+  | Some (base, _) when base = e -> t.delta <- None
+  | Some (base, snap) when t.log_valid && List.length t.log = e - base ->
+    (* the window is pure row traffic: publish it as a delta unless it
+       outweighs the snapshot it spares workers from re-parsing *)
+    let bytes = Index_io.save_delta ~base ~to_:e (List.rev t.log) in
+    if String.length bytes < String.length snap then begin
+      t.delta <- Some (base, e, bytes);
+      t.delta_bytes <- String.length bytes;
+      if T.enabled () then T.gauge_set (T.gauge "replica.delta_bytes") t.delta_bytes
+    end
+    else resnapshot t e
+  | _ -> resnapshot t e
 
-let hydrate t e bytes =
+(* -- worker-side hydration -------------------------------------------------- *)
+
+let hydrate_full t e bytes =
   T.with_span "replica.hydrate" (fun () ->
       let index = Index_io.load_string t.master.Index.db bytes in
       (* the replica obeys the same node budget as the master, so a
@@ -55,25 +170,67 @@ let hydrate t e bytes =
          parallel too — identical verdict methods either way *)
       M.set_max_nodes (Index.mgr index) (M.max_nodes (Index.mgr t.master));
       M.set_max_cache (Index.mgr index) (M.max_cache (Index.mgr t.master));
-      Atomic.incr t.hydrations;
-      T.incr (T.counter "replica.hydrations");
+      Atomic.incr t.full_hydrations;
+      T.incr (T.counter "replica.hydrations.full");
       (e, index))
+
+let rec drop n l = if n <= 0 then l else match l with [] -> [] | _ :: tl -> drop (n - 1) tl
+
+(* Full hydration from the base snapshot, then replay the whole delta
+   window on top.  Inside a valid window this cannot hit
+   Needs_rebuild (widths match the master's when it applied the ops —
+   see the module comment); if it ever does, that is a protocol bug,
+   not a recoverable state, so let it escape loudly. *)
+let hydrate_from_base t base e ops =
+  let bytes =
+    match t.snapshot with
+    | Some (b, bytes) when b = base -> bytes
+    | _ -> invalid_arg "Replica.get: delta published without its base snapshot"
+  in
+  let _, index = hydrate_full t base bytes in
+  Index_io.apply_delta index ops;
+  let n = List.length ops in
+  if n > 0 then ignore (Atomic.fetch_and_add t.delta_ops_applied n);
+  (e, index)
 
 let get t =
   let e = Atomic.get t.epoch in
   let slot = Domain.DLS.get t.cache in
   match !slot with
   | Some (e', index) when e' = e -> index
-  | _ ->
-    let bytes =
-      match t.snapshot with
-      | Some (e', b) when e' = e -> b
-      | Some (e', _) ->
-        invalid_arg
-          (Printf.sprintf
-             "Replica.get: snapshot at epoch %d but master at %d — missing prepare" e' e)
-      | None -> invalid_arg "Replica.get: no snapshot — missing prepare"
+  | cached ->
+    let fresh =
+      match t.delta with
+      | Some (base, to_, bytes) when to_ = e -> (
+        let dbase, dto, ops = Index_io.load_delta bytes in
+        assert (dbase = base && dto = to_);
+        match cached with
+        | Some (e', index) when e' >= base && e' < e -> (
+          (* this domain's replica sits inside the window: replay just
+             the suffix it has not seen *)
+          let suffix = drop (e' - base) ops in
+          match
+            T.with_span "replica.delta" (fun () -> Index_io.apply_delta index suffix)
+          with
+          | () ->
+            Atomic.incr t.delta_hydrations;
+            let n = List.length suffix in
+            ignore (Atomic.fetch_and_add t.delta_ops_applied n);
+            T.incr ~by:n (T.counter "replica.delta_ops");
+            T.incr (T.counter "replica.hydrations.delta");
+            (e, index)
+          | exception Index.Needs_rebuild _ ->
+            (* defensive only: a valid window should never trip this *)
+            hydrate_from_base t base e ops)
+        | _ -> hydrate_from_base t base e ops)
+      | _ -> (
+        match t.snapshot with
+        | Some (b, bytes) when b = e -> hydrate_full t e bytes
+        | Some (b, _) ->
+          invalid_arg
+            (Printf.sprintf
+               "Replica.get: snapshot at epoch %d but master at %d — missing prepare" b e)
+        | None -> invalid_arg "Replica.get: no snapshot — missing prepare")
     in
-    let fresh = hydrate t e bytes in
     slot := Some fresh;
     snd fresh

@@ -5,18 +5,28 @@
     unique table, apply caches — see DESIGN.md §Parallelism), so
     worker domains never share the master's manager.  Instead each
     worker hydrates a private manager + index replica from one
-    {!Index_io.save_string} snapshot of the master (the PR-2
-    variable-renumbering save path), and caches it in domain-local
-    storage under a {e refresh epoch}: replicas are rebuilt only after
-    {!invalidate} marks the master changed, so a burst of validations
-    between updates hydrates each worker once.
+    {!Index_io.save_string} snapshot of the master and caches it in
+    domain-local storage under a {e refresh epoch}.
 
-    Protocol: the coordinating (main) domain calls {!invalidate} after
-    every master mutation and {!prepare} before fanning tasks out;
-    worker tasks call {!get}.  The snapshot string is published to
-    workers through the pool's queue lock, so [prepare] must
-    happen-before the submits that consume it — which the
-    prepare-then-submit call order gives for free. *)
+    Hydration is {b incremental} where the mutation history allows:
+    the main domain journals row-level ops ({!note_insert} /
+    {!note_delete}) against an {!Index.t.structure_version} guard, and
+    {!prepare} publishes them as an {!Index_io.save_delta} window over
+    the cached base snapshot.  A worker whose replica sits inside the
+    window replays only the op suffix it has not seen
+    ({!Index_io.apply_delta} — root/count maintenance identical to
+    what the master ran); everything else (structural changes, a
+    delta outweighing the snapshot, a brand-new worker beyond the
+    window, {!invalidate}) falls back to full hydration.
+    Content-preserving GC ({!Index.compact}) requires {e no}
+    notification at all: replicas never see the master's node ids.
+
+    Protocol: the coordinating (main) domain calls a [note_*] (or
+    {!invalidate}) after every master mutation and {!prepare} before
+    fanning tasks out; worker tasks call {!get}.  The snapshot/delta
+    strings are published to workers through the pool's queue lock,
+    so [prepare] must happen-before the submits that consume them —
+    which the prepare-then-submit call order gives for free. *)
 
 type t
 
@@ -28,18 +38,44 @@ val create : Index.t -> t
 val master : t -> Index.t
 
 val invalidate : t -> unit
-(** The master index changed (update, index build/rebuild): stale
-    replicas rebuild on their next {!get}. *)
+(** The master changed in a way row deltas cannot express (index
+    build/rebuild, unregister, level recycle): stale replicas fully
+    rehydrate on their next {!get}. *)
+
+val note_insert : t -> table_name:string -> int array -> unit
+(** One coded row was inserted into the master (base table already
+    updated).  Journals a delta op when the window is still sound —
+    the master's [structure_version] is checked, so an entry rebuild
+    hidden inside {!Index.insert} safely degrades to {!invalidate}. *)
+
+val note_delete : t -> table_name:string -> int array -> unit
+(** One coded row was removed from the master; delta-journaled under
+    the same guard as {!note_insert}. *)
 
 val prepare : t -> unit
-(** Refresh the cached snapshot bytes if the epoch moved.  Main-domain
-    only; call before submitting tasks that will {!get}. *)
+(** Refresh what workers hydrate from, if the epoch moved: either
+    publish the pending ops as a delta over the cached base snapshot,
+    or serialise a fresh full snapshot (structural change, no base
+    yet, or the delta outgrew the snapshot).  Main-domain only; call
+    before submitting tasks that will {!get}. *)
 
 val get : t -> Index.t
-(** The calling domain's replica at the current epoch, hydrating or
-    refreshing it when stale.  Any domain; requires a {!prepare} at
-    the current epoch to have happened-before. *)
+(** The calling domain's replica at the current epoch — reused when
+    fresh, delta-replayed when only row ops happened, fully
+    rehydrated otherwise.  Any domain; requires a {!prepare} at the
+    current epoch to have happened-before. *)
+
+type stats = {
+  full : int;  (** whole-snapshot hydrations across all domains *)
+  delta : int;  (** delta catch-ups that reused a hydrated replica *)
+  delta_ops : int;  (** row ops replayed across all delta catch-ups *)
+  snapshot_bytes : int;  (** size of the last full snapshot serialised *)
+  delta_bytes : int;  (** size of the last delta published (0 = none) *)
+}
+
+val stats : t -> stats
+(** Hydration-mode telemetry — the observable the delta machinery
+    exists to improve (full hydrations down, cheap catch-ups up). *)
 
 val hydrations : t -> int
-(** Total replica (re)builds across all domains — the observable the
-    epoch machinery exists to minimise. *)
+(** Total replica refreshes (full + delta) across all domains. *)

@@ -209,6 +209,39 @@ let stats_json t =
           ("deferred_rebuilds", T.Int (mem (fun ls -> ls.Core.Index.deferred_rebuilds)));
         ] );
     ("tables", T.Obj tables);
+    ( "hydration",
+      (* replica refresh telemetry summed over parallel shards: delta
+         catch-ups are the cheap path the mutation journal buys *)
+      match
+        Array.fold_left
+          (fun acc s ->
+            match Core.Monitor.replica_stats (Shard.monitor s) with
+            | None -> acc
+            | Some st -> (
+              match acc with
+              | None -> Some st
+              | Some a ->
+                Some
+                  Core.Replica.
+                    {
+                      full = a.full + st.full;
+                      delta = a.delta + st.delta;
+                      delta_ops = a.delta_ops + st.delta_ops;
+                      snapshot_bytes = a.snapshot_bytes + st.snapshot_bytes;
+                      delta_bytes = a.delta_bytes + st.delta_bytes;
+                    }))
+          None shards
+      with
+      | None -> T.Null
+      | Some st ->
+        T.Obj
+          [
+            ("full", T.Int st.Core.Replica.full);
+            ("delta", T.Int st.Core.Replica.delta);
+            ("delta_ops", T.Int st.Core.Replica.delta_ops);
+            ("snapshot_bytes", T.Int st.Core.Replica.snapshot_bytes);
+            ("delta_bytes", T.Int st.Core.Replica.delta_bytes);
+          ] );
     ( "wal",
       T.Obj
         [

@@ -118,16 +118,86 @@ let peek fut =
   Mutex.unlock fut.f_mutex;
   match state with Done v -> Some v | Pending | Failed _ -> None
 
-let run_list t fs =
-  let futures = List.map (submit t) fs in
-  (* settle every future before re-raising, so a failure does not
-     leave tasks running against state the caller tears down next *)
-  let settled =
-    List.map
-      (fun fut -> match await fut with v -> Ok v | exception e -> Error e)
-      futures
-  in
-  List.map (function Ok v -> v | Error e -> raise e) settled
+(* Claimed-batch scheduler: the batch is an array of tasks plus one
+   atomic claim cursor walking a caller-chosen execution order.  Every
+   drainer (min(workers, tasks) of them are enqueued) loops
+   fetch-and-add → run → store, so a worker that lands on a cheap task
+   immediately claims the next one while a colleague grinds through a
+   pathological constraint — no static partition, no per-task future
+   traffic, and the expensive-first [order] means the long poles start
+   first instead of serialising the tail. *)
+let run_ordered t ?order tasks =
+  let n = Array.length tasks in
+  if n = 0 then [||]
+  else begin
+    let order =
+      match order with
+      | None -> Array.init n Fun.id
+      | Some o ->
+        if Array.length o <> n then
+          invalid_arg "Pool.run_ordered: order length mismatch";
+        let seen = Array.make n false in
+        Array.iter
+          (fun i ->
+            if i < 0 || i >= n || seen.(i) then
+              invalid_arg "Pool.run_ordered: order is not a permutation";
+            seen.(i) <- true)
+          o;
+        o
+    in
+    (* per-slot atomics so every store is a release the awaiting caller
+       synchronises with — no reliance on the completion future alone *)
+    let results = Array.init n (fun _ -> Atomic.make None) in
+    let cursor = Atomic.make 0 in
+    let remaining = Atomic.make n in
+    let finished = { f_mutex = Mutex.create (); f_cond = Condition.create (); state = Pending } in
+    let drain () =
+      let rec loop () =
+        let k = Atomic.fetch_and_add cursor 1 in
+        if k < n then begin
+          let i = order.(k) in
+          let r =
+            match Telemetry.with_span "pool.task" tasks.(i) with
+            | v ->
+              if Telemetry.enabled () then Telemetry.incr (Telemetry.counter "pool.tasks.done");
+              Ok v
+            | exception e ->
+              let bt = Printexc.get_raw_backtrace () in
+              if Telemetry.enabled () then
+                Telemetry.incr (Telemetry.counter "pool.tasks.failed");
+              Error (e, bt)
+          in
+          Atomic.set results.(i) (Some r);
+          if Atomic.fetch_and_add remaining (-1) = 1 then fulfil finished (Done ());
+          loop ()
+        end
+      in
+      loop ()
+    in
+    for _ = 1 to min (size t) n do
+      ignore (submit t drain)
+    done;
+    await finished;
+    (* every task settled before we re-raise, so a failure does not
+       leave tasks running against state the caller tears down next *)
+    let first_error = ref None in
+    let out =
+      Array.map
+        (fun slot ->
+          match Atomic.get slot with
+          | Some (Ok v) -> Some v
+          | Some (Error eb) ->
+            if !first_error = None then first_error := Some eb;
+            None
+          | None -> assert false)
+        results
+    in
+    match !first_error with
+    | Some (e, bt) -> Printexc.raise_with_backtrace e bt
+    | None -> Array.map Option.get out
+  end
+
+let run_list t fs = Array.to_list (run_ordered t (Array.of_list fs))
 
 let shutdown t =
   Mutex.lock t.mutex;

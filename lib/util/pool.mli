@@ -38,11 +38,23 @@ val peek : 'a future -> 'a option
     pending.  Does not re-raise — a failed task stays [None] (use
     {!await} to observe the exception). *)
 
+val run_ordered : t -> ?order:int array -> (unit -> 'a) array -> 'a array
+(** Run a batch through the claimed-batch scheduler: workers share one
+    atomic claim cursor over [order] (a permutation of the task
+    indices; identity by default), so scheduling is dynamic — a worker
+    finishing a cheap task immediately claims the next unstarted one,
+    and one pathological task can no longer serialise the pass behind
+    a static partition.  Callers put expensive tasks first in [order]
+    (cost-descending) so the long poles start immediately.  Results
+    are indexed like the input.  If any task raised, the first failure
+    {e in input order} is re-raised — after every task has settled, so
+    no task is left running against state the caller tears down next.
+    @raise Invalid_argument if [order] is not a permutation. *)
+
 val run_list : t -> (unit -> 'a) list -> 'a list
-(** Submit every thunk, then await them all; results keep the input
-    order.  If any task raised, the first (in input order) failure is
-    re-raised — after every task has finished, so no task is left
-    running with state the caller is about to tear down. *)
+(** {!run_ordered} in input order, on lists: submit every thunk, await
+    them all, results keep the input order, first input-order failure
+    re-raised after all settle. *)
 
 val shutdown : t -> unit
 (** Graceful shutdown: already-queued tasks are drained and completed,

@@ -231,6 +231,351 @@ let prop_parallel_differential =
       C.ensure_indices index fs;
       verdicts (C.check_all index fs) = verdicts (C.check_all ~jobs:3 index fs))
 
+(* -- run_ordered: the claimed-batch scheduler ------------------------------- *)
+
+(* Skewed costs under an expensive-first order: results still index
+   like the input, and every task ran exactly once. *)
+let test_run_ordered_skewed_costs () =
+  with_pool ~jobs:4 @@ fun pool ->
+  let n = 12 in
+  let ran = Array.init n (fun _ -> Atomic.make 0) in
+  let tasks =
+    Array.init n (fun i () ->
+        (* task 0 is the pathological one; the rest are cheap *)
+        Unix.sleepf (if i = 0 then 0.05 else 0.002);
+        Atomic.incr ran.(i);
+        i * 10)
+  in
+  let order = Array.init n Fun.id in
+  let results = Pool.run_ordered pool ~order tasks in
+  Alcotest.(check (list int)) "results keep input indexing"
+    (List.init n (fun i -> i * 10))
+    (Array.to_list results);
+  Array.iteri
+    (fun i c -> Alcotest.(check int) (Printf.sprintf "task %d ran once" i) 1 (Atomic.get c))
+    ran
+
+(* The execution order is a scheduling hint, never a semantic input:
+   any permutation yields the same result array. *)
+let test_run_ordered_order_independence () =
+  with_pool ~jobs:3 @@ fun pool ->
+  let n = 9 in
+  let tasks = Array.init n (fun i () -> (i * i) + 1) in
+  let expected = Pool.run_ordered pool tasks in
+  let reverse = Array.init n (fun k -> n - 1 - k) in
+  let interleaved = Array.init n (fun k -> (k * 4) mod n) in
+  List.iter
+    (fun order ->
+      Alcotest.(check (list int)) "same results under permuted order"
+        (Array.to_list expected)
+        (Array.to_list (Pool.run_ordered pool ~order tasks)))
+    [ reverse; interleaved ]
+
+let test_run_ordered_rejects_non_permutation () =
+  with_pool ~jobs:2 @@ fun pool ->
+  let tasks = Array.init 4 (fun i () -> i) in
+  let refused order =
+    match Pool.run_ordered pool ~order tasks with
+    | _ -> false
+    | exception Invalid_argument _ -> true
+  in
+  Alcotest.(check bool) "wrong length" true (refused [| 0; 1; 2 |]);
+  Alcotest.(check bool) "duplicate index" true (refused [| 0; 1; 2; 2 |]);
+  Alcotest.(check bool) "out of range" true (refused [| 0; 1; 2; 7 |])
+
+(* First failure in INPUT order wins even when the execution order ran
+   a later-input failure first, and every task settles before the
+   raise. *)
+let test_run_ordered_exception_input_order () =
+  with_pool ~jobs:2 @@ fun pool ->
+  let settled = Atomic.make 0 in
+  let tasks =
+    [|
+      (fun () -> Atomic.incr settled);
+      (fun () -> raise (Boom 1));
+      (fun () -> raise (Boom 2));
+      (fun () -> Atomic.incr settled);
+    |]
+  in
+  (* run the i=2 failure before the i=1 failure *)
+  match Pool.run_ordered pool ~order:[| 2; 3; 1; 0 |] tasks with
+  | _ -> Alcotest.fail "run_ordered should re-raise"
+  | exception Boom n ->
+    Alcotest.(check int) "first failure in input order" 1 n;
+    Alcotest.(check int) "all tasks settled" 2 (Atomic.get settled)
+
+(* -- delta hydration -------------------------------------------------------- *)
+
+let parity_formula =
+  Gen.close
+    (F.Forall
+       ( [ "x1_1"; "x2_1" ],
+         F.Implies
+           ( F.Atom ("r", [ F.Var "x1_1"; F.Var "x2_1" ]),
+             F.Exists ([ "x3_1" ], F.Atom ("s", [ F.Var "x2_1"; F.Var "x3_1" ])) ) ))
+
+(* A delta-caught-up replica must be indistinguishable from a freshly
+   full-hydrated one: same entry shapes, same membership, same
+   verdicts — after several mutation bursts replayed purely from the
+   op journal. *)
+let test_replica_delta_parity () =
+  let index = small_index () in
+  let replica = Core.Replica.create index in
+  Core.Replica.prepare replica;
+  ignore (Core.Replica.get replica);
+  Alcotest.(check int) "one full hydration to start" 1 (Core.Replica.stats replica).Core.Replica.full;
+  let burst tbl_name i =
+    let table = Fcv_relation.Database.table index.Core.Index.db tbl_name in
+    let row = Array.copy (Fcv_relation.Table.row table (i mod Fcv_relation.Table.cardinality table)) in
+    (* duplicate an existing row twice, delete one occurrence: net +1
+       occurrence, zero new codes — pure row traffic *)
+    Core.Index.insert index ~table_name:tbl_name row;
+    Core.Replica.note_insert replica ~table_name:tbl_name row;
+    Core.Index.insert index ~table_name:tbl_name row;
+    Core.Replica.note_insert replica ~table_name:tbl_name row;
+    ignore (Core.Index.delete index ~table_name:tbl_name row);
+    Core.Replica.note_delete replica ~table_name:tbl_name row
+  in
+  List.iteri
+    (fun i tbl ->
+      burst tbl i;
+      Core.Replica.prepare replica;
+      ignore (Core.Replica.get replica))
+    [ "r"; "s"; "r" ];
+  let st = Core.Replica.stats replica in
+  Alcotest.(check int) "still exactly one full hydration" 1 st.Core.Replica.full;
+  Alcotest.(check int) "three delta catch-ups" 3 st.Core.Replica.delta;
+  Alcotest.(check int) "nine ops replayed" 9 st.Core.Replica.delta_ops;
+  Alcotest.(check bool) "delta bytes published" true (st.Core.Replica.delta_bytes > 0);
+  (* a second replica set hydrates the same master fully, from scratch *)
+  let oracle = Core.Replica.create index in
+  Core.Replica.prepare oracle;
+  let via_delta = Core.Replica.get replica and via_full = Core.Replica.get oracle in
+  let sizes ix =
+    List.map (fun e -> Core.Index.entry_size ix e) (Core.Index.entries ix)
+  in
+  Alcotest.(check (list int)) "entry sizes agree" (sizes via_full) (sizes via_delta);
+  List.iter2
+    (fun ed ef ->
+      let row = Fcv_relation.Table.row ed.Core.Index.table 0 in
+      Alcotest.(check bool) "membership agrees" (Core.Index.entry_mem via_full ef row)
+        (Core.Index.entry_mem via_delta ed row))
+    (Core.Index.entries via_delta) (Core.Index.entries via_full);
+  let rd = C.check via_delta parity_formula
+  and rf = C.check via_full parity_formula
+  and rm = C.check index parity_formula in
+  Alcotest.(check bool) "verdict: delta = full" true (rd.C.outcome = rf.C.outcome);
+  Alcotest.(check bool) "verdict: delta = master" true (rd.C.outcome = rm.C.outcome)
+
+(* Content-preserving GC is invisible to replicas: no epoch bump, no
+   rehydration, and the delta window survives across it. *)
+let test_replica_survives_compact () =
+  let index = small_index () in
+  let replica = Core.Replica.create index in
+  Core.Replica.prepare replica;
+  let before = Core.Replica.get replica in
+  let v0 = index.Core.Index.structure_version in
+  ignore (Core.Index.compact index);
+  Alcotest.(check int) "compact preserves structure_version" v0
+    index.Core.Index.structure_version;
+  Core.Replica.prepare replica;
+  let after = Core.Replica.get replica in
+  Alcotest.(check bool) "replica reused across compact" true (before == after);
+  Alcotest.(check int) "no extra hydration" 1 (Core.Replica.hydrations replica);
+  (* the journal still works after the compact: a row op is a delta,
+     not a resnapshot *)
+  let table = Fcv_relation.Database.table index.Core.Index.db "r" in
+  let row = Array.copy (Fcv_relation.Table.row table 0) in
+  Core.Index.insert index ~table_name:"r" row;
+  Core.Replica.note_insert replica ~table_name:"r" row;
+  Core.Replica.prepare replica;
+  ignore (Core.Replica.get replica);
+  let st = Core.Replica.stats replica in
+  Alcotest.(check int) "delta catch-up after compact" 1 st.Core.Replica.delta;
+  Alcotest.(check int) "still one full hydration" 1 st.Core.Replica.full;
+  Alcotest.(check bool) "verdicts agree" true
+    ((C.check (Core.Replica.get replica) parity_formula).C.outcome
+    = (C.check index parity_formula).C.outcome)
+
+(* A structural change (entry rebuild) bumps structure_version, which
+   poisons the op journal: the next note degrades to an invalidation
+   and workers fall back to a full hydration — never a delta replay
+   against mismatched block widths. *)
+let test_replica_structural_fallback () =
+  let index = small_index () in
+  let replica = Core.Replica.create index in
+  Core.Replica.prepare replica;
+  ignore (Core.Replica.get replica);
+  let v0 = index.Core.Index.structure_version in
+  (match Core.Index.entries index with
+  | e :: _ -> ignore (Core.Index.rebuild_entry index e)
+  | [] -> Alcotest.fail "expected entries");
+  Alcotest.(check bool) "rebuild bumps structure_version" true
+    (index.Core.Index.structure_version > v0);
+  let table = Fcv_relation.Database.table index.Core.Index.db "s" in
+  let row = Array.copy (Fcv_relation.Table.row table 0) in
+  Core.Index.insert index ~table_name:"s" row;
+  Core.Replica.note_insert replica ~table_name:"s" row;
+  Core.Replica.prepare replica;
+  ignore (Core.Replica.get replica);
+  let st = Core.Replica.stats replica in
+  Alcotest.(check int) "fell back to a second full hydration" 2 st.Core.Replica.full;
+  Alcotest.(check int) "no delta replay across a structural change" 0
+    st.Core.Replica.delta;
+  Alcotest.(check bool) "verdicts agree after fallback" true
+    ((C.check (Core.Replica.get replica) parity_formula).C.outcome
+    = (C.check index parity_formula).C.outcome)
+
+(* The monitor end of the delta wiring: streamed updates delta-note
+   instead of invalidating, so the second parallel validation catches
+   workers up without any new full hydration. *)
+let test_monitor_delta_hydration () =
+  (* dirty BOTH watched tables so the revalidation has two stale
+     constraints and takes the pooled path *)
+  let mutate m =
+    Core.Monitor.insert m ~table_name:"t" [| 0 |];
+    ignore (Core.Monitor.delete m ~table_name:"t" [| 0 |]);
+    Core.Monitor.insert m ~table_name:"r" [| 0; 0 |];
+    ignore (Core.Monitor.delete m ~table_name:"r" [| 0; 0 |])
+  in
+  let add_constraints m =
+    ignore (Core.Monitor.add m "forall a, b . r(a, b) -> (exists c . s(b, c))");
+    ignore (Core.Monitor.add m "forall a . t(a) -> (exists b . r(a, b))")
+  in
+  let seq_verdicts =
+    let m2 = Core.Monitor.create (Core.Index.create (Gen.random_db 23)) in
+    add_constraints m2;
+    ignore (Core.Monitor.validate m2);
+    mutate m2;
+    Core.Monitor.verdicts m2
+  in
+  let monitor = Core.Monitor.create (Core.Index.create (Gen.random_db 23)) in
+  Core.Monitor.set_jobs monitor 2;
+  add_constraints monitor;
+  ignore (Core.Monitor.validate monitor);
+  mutate monitor;
+  let par_verdicts = Core.Monitor.verdicts monitor in
+  (match Core.Monitor.replica_stats monitor with
+  | Some st ->
+    (* which worker domain claims which task is the scheduler's
+       business, so assert the scheduling-independent shape: full
+       hydrations are bounded by the worker count (never paid per
+       epoch), a delta was published, and its 4 row ops were replayed
+       by whoever caught up *)
+    Alcotest.(check bool) "full hydrations bounded by workers" true
+      (st.Core.Replica.full <= 2);
+    Alcotest.(check bool) "a delta window was published" true
+      (st.Core.Replica.delta_bytes > 0);
+    Alcotest.(check int) "the row epoch was replayed, not rehydrated" 4
+      st.Core.Replica.delta_ops
+  | None -> Alcotest.fail "parallel monitor should expose replica stats");
+  Core.Monitor.stop monitor;
+  Alcotest.(check bool) "verdicts match the sequential monitor" true
+    (par_verdicts = seq_verdicts)
+
+(* -- granularity: batching and splitting ------------------------------------ *)
+
+let test_split_conjuncts () =
+  let r x y = F.Atom ("r", [ F.Var x; F.Var y ]) in
+  let splits =
+    C.split_conjuncts (F.Forall ([ "x"; "y" ], F.And (r "x" "y", r "y" "x")))
+  in
+  Alcotest.(check int) "conjunction under forall splits" 2 (List.length splits);
+  List.iter
+    (fun p ->
+      match p with
+      | F.Forall ([ "x"; "y" ], _) -> ()
+      | _ -> Alcotest.fail "every part keeps the full prefix")
+    splits;
+  (* a part that drops a prefix variable blocks the split: x is not
+     free in t(y), so ∀x,y is not distributable without changing
+     vacuous-truth semantics *)
+  let blocked =
+    C.split_conjuncts
+      (F.Forall ([ "x"; "y" ], F.And (r "x" "y", F.Atom ("t", [ F.Var "y" ]))))
+  in
+  Alcotest.(check int) "partial-prefix conjunction does not split" 1
+    (List.length blocked);
+  (* top-level conjunctions always split *)
+  Alcotest.(check int) "top-level conjunction splits" 2
+    (List.length (C.split_conjuncts (F.And (Gen.close (r "x" "y"), F.True))))
+
+let batches_granularity =
+  (* chunk everything, split nothing *)
+  { C.batch_under_ms = infinity; max_batch = 2; split_over_ms = infinity; max_parts = 8 }
+
+let splits_granularity =
+  (* split everything splittable, batch nothing *)
+  { C.batch_under_ms = 0.; max_batch = 1; split_over_ms = 0.; max_parts = 8 }
+
+let well_typed_batch db fs =
+  List.filter_map
+    (fun f ->
+      let f = Gen.close f in
+      match Core.Typing.infer db f with
+      | _ -> Some f
+      | exception Core.Typing.Type_error _ -> None)
+    fs
+
+(* Chunking tiny constraints into shared tasks must not change any
+   verdict OR any method: same checks run, just fewer task envelopes. *)
+let prop_batching_differential =
+  QCheck.Test.make ~count:50
+    ~name:"batched check_all_pooled verdicts+methods = sequential (50 batches)"
+    (QCheck.pair
+       (QCheck.triple Gen.formula_arbitrary Gen.formula_arbitrary Gen.formula_arbitrary)
+       (QCheck.int_range 0 1_000))
+    (fun ((f1, f2, f3), seed) ->
+      let db = Gen.random_db seed in
+      let fs = well_typed_batch db [ f1; f2; f3; f1; f2 ] in
+      let index = Core.Index.create db in
+      C.ensure_indices index fs;
+      let sequential = verdicts (C.check_all index fs) in
+      with_pool ~jobs:3 @@ fun pool ->
+      let replica = Core.Replica.create index in
+      sequential
+      = verdicts (C.check_all_pooled ~granularity:batches_granularity ~pool replica fs))
+
+(* Splitting a conjunction into part tasks preserves the OUTCOME (the
+   method may legitimately differ per part — merged as the weakest,
+   so only the verdict is the invariant). *)
+let prop_splitting_differential =
+  QCheck.Test.make ~count:50
+    ~name:"split check_all_pooled outcomes = sequential (50 batches)"
+    (QCheck.pair
+       (QCheck.triple Gen.formula_arbitrary Gen.formula_arbitrary Gen.formula_arbitrary)
+       (QCheck.int_range 0 1_000))
+    (fun ((f1, f2, f3), seed) ->
+      let db = Gen.random_db seed in
+      (* conjoin pairs so there is usually something to split *)
+      let fs =
+        well_typed_batch db
+          [ F.And (f1, f2); F.And (f2, f3); f1; F.And (f3, F.And (f1, f2)) ]
+      in
+      let index = Core.Index.create db in
+      C.ensure_indices index fs;
+      let outcomes rs = List.map (fun r -> r.C.outcome) rs in
+      let sequential = outcomes (C.check_all index fs) in
+      with_pool ~jobs:3 @@ fun pool ->
+      let replica = Core.Replica.create index in
+      sequential
+      = outcomes (C.check_all_pooled ~granularity:splits_granularity ~pool replica fs))
+
+(* Measured costs are a scheduling hint only: wildly wrong ones must
+   not change anything. *)
+let test_costs_are_only_a_hint () =
+  let index = small_index () in
+  let fs = [ parity_formula; Gen.close F.True; parity_formula ] in
+  let sequential = verdicts (List.map (C.check index) fs) in
+  with_pool ~jobs:2 @@ fun pool ->
+  let replica = Core.Replica.create index in
+  let costs = [ Some 1e6; None; Some 0.0001 ] in
+  Alcotest.(check bool) "verdicts independent of cost estimates" true
+    (sequential = verdicts (C.check_all_pooled ~costs ~pool replica fs));
+  match C.check_all_pooled ~costs:[ Some 1. ] ~pool replica fs with
+  | _ -> Alcotest.fail "mismatched costs length should be refused"
+  | exception Invalid_argument _ -> ()
+
 let () =
   Registry.register "parallel"
     [
@@ -254,4 +599,29 @@ let () =
       Alcotest.test_case "monitor: parallel validate matches sequential" `Quick
         test_monitor_parallel_validate;
       Gen.qcheck_case prop_parallel_differential;
+    ];
+  Registry.register "parallel_delta"
+    [
+      Alcotest.test_case "run_ordered: skewed costs, complete and input-indexed" `Quick
+        test_run_ordered_skewed_costs;
+      Alcotest.test_case "run_ordered: execution order never changes results" `Quick
+        test_run_ordered_order_independence;
+      Alcotest.test_case "run_ordered: non-permutations are refused" `Quick
+        test_run_ordered_rejects_non_permutation;
+      Alcotest.test_case "run_ordered: first input-order failure wins" `Quick
+        test_run_ordered_exception_input_order;
+      Alcotest.test_case "replica: delta catch-up equals full hydration" `Quick
+        test_replica_delta_parity;
+      Alcotest.test_case "replica: content-preserving GC is invisible" `Quick
+        test_replica_survives_compact;
+      Alcotest.test_case "replica: structural change falls back to full" `Quick
+        test_replica_structural_fallback;
+      Alcotest.test_case "monitor: row epochs hydrate via delta" `Quick
+        test_monitor_delta_hydration;
+      Alcotest.test_case "checker: split_conjuncts keeps full prefixes" `Quick
+        test_split_conjuncts;
+      Alcotest.test_case "checker: costs are only a scheduling hint" `Quick
+        test_costs_are_only_a_hint;
+      Gen.qcheck_case prop_batching_differential;
+      Gen.qcheck_case prop_splitting_differential;
     ]
