@@ -2,7 +2,9 @@
 # CI gate: format check, full build, the test suite with a pinned
 # QCheck seed, a daemon smoke test, a 200-schedule fault-injection
 # sweep (fcv sim), the parallel-validation scaling benchmark, the
-# memory-lifecycle churn benchmark with its peak-node bound, the
+# planner-vs-legacy benchmark with its verdict-exactness and never-
+# slower gate, the memory-lifecycle churn benchmark with its peak-node
+# bound, the
 # sharded serving-tier benchmark (pipelined clients + group commit)
 # with its verdict-exactness and throughput-floor gate, the repair-
 # planner benchmark with its quality gate (complete plans, exact
@@ -146,6 +148,18 @@ fi
 # gives us a step summary to append to.
 if [ -n "${GITHUB_STEP_SUMMARY:-}" ] && [ -f BENCH_parallel.json ]; then
   dune exec bench/scaling_table.exe >>"$GITHUB_STEP_SUMMARY" || true
+fi
+
+echo "== planner-vs-legacy benchmark (verdict exactness + <=10% slack gate, fatal under FCV_CI=1)"
+if dune exec bench/plan.exe; then
+  :
+elif [ "$FCV_CI" = "1" ]; then
+  echo "FAIL: planner gate (verdict drift between planned and legacy validation, the" >&2
+  echo "      planner >10% slower than legacy on a workload, or the pathological" >&2
+  echo "      budget-trip plant never tripped — see BENCH_plan.json)" >&2
+  exit 1
+else
+  echo "WARNING: planner gate failed (fatal under FCV_CI=1; see BENCH_plan.json)" >&2
 fi
 
 echo "== memory-lifecycle churn benchmark (peak-node bound fatal under FCV_CI=1)"

@@ -643,6 +643,64 @@ let monitor_cmd =
       const run $ data_arg $ constraints_arg $ strategy_arg $ max_nodes_arg $ updates_arg
       $ telemetry_arg)
 
+(* -- fcv explain ---------------------------------------------------------------------- *)
+
+let explain_cmd =
+  let id_arg =
+    let doc =
+      "Explain only constraint $(docv) (1-based position in the constraints file); \
+       default: every constraint."
+    in
+    Arg.(value & opt (some int) None & info [ "n"; "constraint" ] ~docv:"N" ~doc)
+  in
+  let warm_arg =
+    let doc =
+      "Run $(docv) warm validation passes first, so the tree shows measured \
+       last-actual costs next to the estimates and the planner's learned history \
+       (0 = pure estimates)."
+    in
+    Arg.(value & opt int 1 & info [ "warm" ] ~docv:"PASSES" ~doc)
+  in
+  let run data constraints_file strategy max_nodes id warm =
+    let db, _ = load_dir data in
+    let constraints = read_constraints constraints_file in
+    let index = Core.Index.create ~max_nodes db in
+    Core.Checker.ensure_indices ~strategy:(strategy_of_string strategy) index
+      (List.map snd constraints);
+    let monitor = Core.Monitor.create index in
+    let regs = List.map (fun (src, _) -> Core.Monitor.add monitor src) constraints in
+    for _ = 1 to warm do
+      ignore (Core.Monitor.validate monitor)
+    done;
+    let chosen =
+      match id with
+      | None -> regs
+      | Some n -> (
+        match List.nth_opt regs (n - 1) with
+        | Some r -> [ r ]
+        | None ->
+          failwith
+            (Printf.sprintf "no constraint %d (file has %d)" n (List.length regs)))
+    in
+    List.iteri
+      (fun i reg ->
+        if i > 0 then print_newline ();
+        match Core.Monitor.explain monitor reg.Core.Monitor.id with
+        | Some (_, plan) -> print_string (Core.Planner.render plan)
+        | None -> Printf.printf "constraint %d: no plan\n" reg.Core.Monitor.id)
+      chosen
+  in
+  let doc =
+    "print the cost-based planner's costed plan tree per constraint (EXPLAIN \
+     VERBOSE for constraints): estimated BDD-pipeline vs SQL cost, the chosen \
+     strategy with its reason, and last measured actuals after warm passes"
+  in
+  Cmd.v
+    (Cmd.info "explain" ~doc)
+    Term.(
+      const run $ data_arg $ constraints_arg $ strategy_arg $ max_nodes_arg $ id_arg
+      $ warm_arg)
+
 (* -- fcv serve ------------------------------------------------------------------------ *)
 
 let sock_arg =
@@ -776,17 +834,17 @@ let serve_cmd =
 let client_cmd =
   let cmd_arg =
     let doc =
-      "One of: ping | stats | validate | repair | compact | snapshot | shutdown | \
-       register | unregister | insert | delete | updates."
+      "One of: ping | stats | validate | repair | explain | compact | snapshot | \
+       shutdown | register | unregister | insert | delete | updates."
     in
     Arg.(required & pos 0 (some string) None & info [] ~docv:"CMD" ~doc)
   in
   let arg_arg =
     let doc =
-      "The command's argument: a constraint (register), an id (unregister), \
-       'TABLE,v1,...' (insert/delete), 'STRATEGY[,N][,apply]' (repair: plan — and \
-       with 'apply', execute — up to N deletions), or an updates file / '-' for \
-       stdin (updates)."
+      "The command's argument: a constraint (register), an id (unregister, \
+       explain), 'TABLE,v1,...' (insert/delete), 'STRATEGY[,N][,apply]' (repair: \
+       plan — and with 'apply', execute — up to N deletions), or an updates file \
+       / '-' for stdin (updates)."
     in
     Arg.(value & pos 1 (some string) None & info [] ~docv:"ARG" ~doc)
   in
@@ -849,6 +907,12 @@ let client_cmd =
               List.mem "apply" rest ))
       in
       one (P.Repair { strategy; max_deletions; apply })
+    | "explain" -> (
+      let c = int_of_string (need "a constraint id") in
+      let body = C.ok_exn (C.request client (P.Explain c)) in
+      match T.Json.member "text" body with
+      | Some (T.String text) -> print_string text
+      | _ -> print_endline (T.Json.to_string body))
     | "updates" ->
       let path = need "an updates file or '-'" in
       let ic = if path = "-" then stdin else open_in path in
@@ -1046,6 +1110,7 @@ let () =
          (Cmd.group info
           [
             check_cmd;
+            explain_cmd;
             repair_cmd;
             bench_cmd;
             monitor_cmd;

@@ -22,6 +22,14 @@ type method_used = Bdd | Sql | Naive
 
 let method_name = function Bdd -> "BDD" | Sql -> "SQL" | Naive -> "naive"
 
+(** How to check: [Auto] is the paper's thresholding (BDD first, SQL
+    on budget trip); [Force_bdd] is the same guarded pipeline kept
+    distinct for planner probes and ablations; [Force_sql] goes
+    straight to the violation query, paying no abandoned attempt. *)
+type strategy = Auto | Force_bdd | Force_sql
+
+let strategy_name = function Auto -> "auto" | Force_bdd -> "bdd" | Force_sql -> "sql"
+
 type outcome = Satisfied | Violated
 
 type result = {
@@ -30,6 +38,10 @@ type result = {
   elapsed_ms : float;
   bdd_overhead_ms : float;
       (** time spent on the abandoned BDD attempt when a fallback ran *)
+  fallback_ms : float;
+      (** time spent in the fallback engine after a budget trip; [0.]
+          when no trip occurred (in particular on the up-front
+          [Force_sql] path) *)
   rewritten : Formula.t;  (** the formula whose BDD was (to be) built *)
   check : Rewrite.check;
 }
@@ -139,13 +151,34 @@ let tel_check_done ~before ~mgr ~method_used ~outcome ~elapsed_ms ~overhead_ms =
 (** Check one constraint.  [index] supplies the BDD manager, node
     budget and logical indices; every relation mentioned by the
     constraint must have a covering index (see {!ensure_indices}). *)
-let check ?(pipeline = default_pipeline) index constraint_ =
+let check ?(pipeline = default_pipeline) ?(strategy = Auto) index constraint_ =
   if not (Formula.is_closed constraint_) then
     invalid_arg "Checker.check: constraint must be a closed formula";
   T.with_span "check" @@ fun () ->
   let kstats0 = M.stats (Index.mgr index) in
   let db = index.Index.db in
   let typing = T.with_span "typing" (fun () -> Typing.infer db constraint_) in
+  match strategy with
+  | Force_sql ->
+    (* planned straight to the violation query: no BDD attempt, so
+       neither abandoned-attempt overhead nor a "fallback" is paid *)
+    let t0 = Fcv_util.Timer.now () in
+    let outcome, method_used =
+      T.with_span "fallback" (fun () -> fallback db typing constraint_)
+    in
+    let elapsed_ms = (Fcv_util.Timer.now () -. t0) *. 1000. in
+    tel_check_done ~before:kstats0 ~mgr:(Index.mgr index) ~method_used ~outcome
+      ~elapsed_ms ~overhead_ms:0.;
+    {
+      outcome;
+      method_used;
+      elapsed_ms;
+      bdd_overhead_ms = 0.;
+      fallback_ms = 0.;
+      rewritten = constraint_;
+      check = Rewrite.Check_valid;
+    }
+  | Auto | Force_bdd ->
   let fd_fast_path () =
     if not pipeline.use_fd_fast_path then None
     else
@@ -168,6 +201,7 @@ let check ?(pipeline = default_pipeline) index constraint_ =
                 method_used = Bdd;
                 elapsed_ms;
                 bdd_overhead_ms = 0.;
+                fallback_ms = 0.;
                 rewritten = constraint_;
                 check = Rewrite.Check_valid;
               }
@@ -201,6 +235,7 @@ let check ?(pipeline = default_pipeline) index constraint_ =
       method_used = Bdd;
       elapsed_ms;
       bdd_overhead_ms = 0.;
+      fallback_ms = 0.;
       rewritten;
       check = check_mode;
     }
@@ -225,6 +260,7 @@ let check ?(pipeline = default_pipeline) index constraint_ =
       method_used;
       elapsed_ms;
       bdd_overhead_ms = overhead;
+      fallback_ms = elapsed_ms;
       rewritten;
       check = check_mode;
     }
@@ -296,6 +332,7 @@ let merge_parts = function
          else Sql);
       elapsed_ms = List.fold_left (fun acc r -> acc +. r.elapsed_ms) 0. rs;
       bdd_overhead_ms = List.fold_left (fun acc r -> acc +. r.bdd_overhead_ms) 0. rs;
+      fallback_ms = List.fold_left (fun acc r -> acc +. r.fallback_ms) 0. rs;
       rewritten = first.rewritten;
       check = first.check;
     }
@@ -317,8 +354,8 @@ let merge_parts = function
     independent conjuncts ({!split_conjuncts}, up to [max_parts])
     is checked as parallel subformula tasks and merged — same
     outcome by [∀x.(A∧B) ≡ (∀x.A)∧(∀x.B)]. *)
-let check_all_pooled ?pipeline ?(granularity = default_granularity) ?costs ~pool replica
-    constraints =
+let check_all_pooled ?pipeline ?(granularity = default_granularity) ?costs ?strategies
+    ~pool replica constraints =
   Replica.prepare replica;
   if constraints = [] then []
   else begin
@@ -326,6 +363,12 @@ let check_all_pooled ?pipeline ?(granularity = default_granularity) ?costs ~pool
     let n = Array.length fs in
     let master = Replica.master replica in
     let db = master.Index.db in
+    let strats =
+      match strategies with
+      | Some l when List.length l = n -> Array.of_list l
+      | Some _ -> invalid_arg "Checker.check_all_pooled: strategies length mismatch"
+      | None -> Array.make n Auto
+    in
     let costs =
       let given =
         match costs with
@@ -359,7 +402,7 @@ let check_all_pooled ?pipeline ?(granularity = default_granularity) ?costs ~pool
     (* task list: (cost, thunk) where a thunk returns per-(constraint,
        part) results; tiny unsplit constraints are chunked greedily in
        input order *)
-    let do_check f () = check ?pipeline (Replica.get replica) f in
+    let do_check i f () = check ?pipeline ~strategy:strats.(i) (Replica.get replica) f in
     let tasks = ref [] in
     let chunk = ref [] and chunk_cost = ref 0. in
     let flush_chunk () =
@@ -369,7 +412,7 @@ let check_all_pooled ?pipeline ?(granularity = default_granularity) ?costs ~pool
         let members = List.rev members in
         tasks :=
           ( !chunk_cost,
-            fun () -> List.map (fun (i, f) -> (i, 0, do_check f ())) members )
+            fun () -> List.map (fun (i, f) -> (i, 0, do_check i f ())) members )
           :: !tasks;
         chunk := [];
         chunk_cost := 0.
@@ -382,7 +425,7 @@ let check_all_pooled ?pipeline ?(granularity = default_granularity) ?costs ~pool
           Array.iteri
             (fun p part ->
               tasks :=
-                (costs.(i) /. float_of_int k, fun () -> [ (i, p, do_check part ()) ])
+                (costs.(i) /. float_of_int k, fun () -> [ (i, p, do_check i part ()) ])
                 :: !tasks)
             parts.(i)
         end
@@ -393,7 +436,7 @@ let check_all_pooled ?pipeline ?(granularity = default_granularity) ?costs ~pool
         end
         else begin
           flush_chunk ();
-          tasks := (costs.(i), fun () -> [ (i, 0, do_check f ()) ]) :: !tasks
+          tasks := (costs.(i), fun () -> [ (i, 0, do_check i f ()) ]) :: !tasks
         end)
       fs;
     flush_chunk ();
@@ -425,14 +468,24 @@ let check_all_pooled ?pipeline ?(granularity = default_granularity) ?costs ~pool
     empty batches always run sequentially.  Verdicts are identical to
     the sequential run (same pipeline, same node budget, same
     fallbacks), only wall-clock differs. *)
-let check_all ?pipeline ?(jobs = 1) index constraints =
+let check_all ?pipeline ?(jobs = 1) ?strategies index constraints =
   let n = List.length constraints in
-  if jobs <= 1 || n <= 1 then List.map (check ?pipeline index) constraints
+  (match strategies with
+  | Some l when List.length l <> n ->
+    invalid_arg "Checker.check_all: strategies length mismatch"
+  | Some _ | None -> ());
+  if jobs <= 1 || n <= 1 then begin
+    let strats =
+      match strategies with Some l -> Array.of_list l | None -> Array.make n Auto
+    in
+    List.mapi (fun i f -> check ?pipeline ~strategy:strats.(i) index f) constraints
+  end
   else begin
     let pool = Fcv_util.Pool.create ~name:"check" ~jobs:(min jobs n) () in
     Fun.protect
       ~finally:(fun () -> Fcv_util.Pool.shutdown pool)
-      (fun () -> check_all_pooled ?pipeline ~pool (Replica.create index) constraints)
+      (fun () ->
+        check_all_pooled ?pipeline ?strategies ~pool (Replica.create index) constraints)
   end
 
 (** Make sure every relation mentioned in [constraints] has a

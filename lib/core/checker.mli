@@ -8,6 +8,21 @@ type method_used = Bdd | Sql | Naive
 
 val method_name : method_used -> string
 
+type strategy =
+  | Auto
+      (** the paper's thresholding: try the BDD pipeline, fall back to
+          SQL when the node budget trips *)
+  | Force_bdd
+      (** insist on the BDD pipeline; still budget-guarded — a trip
+          falls back rather than losing the verdict, so this is the
+          thresholding behaviour under another name, kept distinct for
+          planner probes and ablations *)
+  | Force_sql
+      (** straight to the SQL violation query (naive evaluator outside
+          the safe fragment), paying no abandoned BDD attempt *)
+
+val strategy_name : strategy -> string
+
 type outcome = Satisfied | Violated
 
 type result = {
@@ -17,6 +32,11 @@ type result = {
   bdd_overhead_ms : float;
       (** cost of the abandoned BDD attempt when a fallback ran — the
           paper's "constant overhead" of the thresholding strategy *)
+  fallback_ms : float;
+      (** time spent in the fallback engine after a budget trip; [0.]
+          when no trip occurred — in particular [0.] when the SQL path
+          was chosen up-front ([Force_sql]), which pays neither the
+          abandoned attempt nor a "fallback" *)
   rewritten : Formula.t;
   check : Rewrite.check;
 }
@@ -46,18 +66,29 @@ val direct_pipeline : pipeline
 val naive_pipeline : pipeline
 (** No rewrites, unfused quantifiers (rewrite ablation). *)
 
-val check : ?pipeline:pipeline -> Index.t -> Formula.t -> result
+val check : ?pipeline:pipeline -> ?strategy:strategy -> Index.t -> Formula.t -> result
 (** Check one closed constraint.  Every mentioned relation needs a
-    covering index ({!ensure_indices}).
+    covering index ({!ensure_indices}).  [strategy] (default [Auto])
+    picks the engine: the planner ({!Planner}) passes [Force_sql] for
+    constraints it expects to trip the budget, skipping the abandoned
+    BDD attempt entirely.  Verdicts are strategy-independent.
     @raise Invalid_argument on open formulas.
     @raise Typing.Type_error on ill-typed constraints. *)
 
 val check_all :
-  ?pipeline:pipeline -> ?jobs:int -> Index.t -> Formula.t list -> result list
+  ?pipeline:pipeline ->
+  ?jobs:int ->
+  ?strategies:strategy list ->
+  Index.t ->
+  Formula.t list ->
+  result list
 (** Check a batch, in order.  [jobs > 1] (default 1) fans out over a
     transient pool of worker domains, each with a private replica of
     [index] ({!Replica}); verdicts are identical to the sequential
-    run.  Singleton and empty batches always run sequentially. *)
+    run.  Singleton and empty batches always run sequentially.
+    [strategies] gives one {!strategy} per constraint (default all
+    [Auto]).
+    @raise Invalid_argument if [strategies] has the wrong length. *)
 
 type granularity = {
   batch_under_ms : float;
@@ -91,6 +122,7 @@ val check_all_pooled :
   ?pipeline:pipeline ->
   ?granularity:granularity ->
   ?costs:float option list ->
+  ?strategies:strategy list ->
   pool:Fcv_util.Pool.t ->
   Replica.t ->
   Formula.t list ->
@@ -107,9 +139,10 @@ val check_all_pooled :
     of tiny constraints and conjunct-splitting of huge ones.  A split
     constraint's merged result is [Satisfied] iff every part is, with
     summed times; verdicts are identical to the sequential run either
-    way.
-    @raise Invalid_argument if [costs] is given with the wrong
-    length. *)
+    way.  [strategies] gives one {!strategy} per constraint (default
+    all [Auto]); a split or chunked constraint keeps its strategy.
+    @raise Invalid_argument if [costs] or [strategies] is given with
+    the wrong length. *)
 
 val ensure_indices : ?strategy:Ordering.strategy -> Index.t -> Formula.t list -> unit
 (** Build missing full-attribute indices for every mentioned relation

@@ -19,11 +19,24 @@ type registered = {
   mutable checks_run : int;
   mutable checks_skipped : int;  (** skipped because no watched table changed *)
   mutable total_check_ms : float;  (** cumulative time of fresh checks *)
+  mutable entailed_by : int list option;
+      (** Kenig–Suciu implication dedup: [Some ids] when this FD is in
+          the Armstrong closure of the other registered FDs — it can be
+          skipped whenever every entailer currently holds *)
 }
+
+(** How validation picks the check engine.  [Planned] (the default)
+    asks the {!Planner} per constraint and feeds results back;
+    [Legacy] is the paper's blind try-BDD-first thresholding (also the
+    bench baseline); [Forced s] pins one {!Checker.strategy} for every
+    constraint (ablations). *)
+type planning = Planned | Legacy | Forced of Checker.strategy
 
 type t = {
   index : Index.t;
   pipeline : Checker.pipeline;
+  planner : Planner.t;
+  mutable planning : planning;
   mutable constraints : registered list;
       (** stored {b newest first} so registration is O(1); every
           external view reverses (see {!constraints}) *)
@@ -36,11 +49,13 @@ type t = {
       (** [None] disables automatic reclamation; on by default *)
 }
 
-let create ?(pipeline = Checker.default_pipeline) ?(gc = Some Lifecycle.default_policy)
-    index =
+let create ?(pipeline = Checker.default_pipeline) ?(planning = Planned)
+    ?(gc = Some Lifecycle.default_policy) index =
   {
     index;
     pipeline;
+    planner = Planner.create ();
+    planning;
     constraints = [];
     next_id = 0;
     dirty = Hashtbl.create 8;
@@ -50,6 +65,9 @@ let create ?(pipeline = Checker.default_pipeline) ?(gc = Some Lifecycle.default_
 
 let index t = t.index
 let constraints t = List.rev t.constraints
+let planner t = t.planner
+let planning t = t.planning
+let set_planning t p = t.planning <- p
 let set_gc_policy t p = t.gc_policy <- p
 let gc_policy t = t.gc_policy
 let jobs t = match t.par with Some (p, _) -> Fcv_util.Pool.size p | None -> 1
@@ -73,6 +91,29 @@ let stop t = set_jobs t 1
 
 let invalidate_replicas t =
   match t.par with Some (_, r) -> Replica.invalidate r | None -> ()
+
+(* Re-derive every [entailed_by] flag from the current FD set — run
+   after each register/unregister, never per pass: entailment is a
+   property of the constraint set, not the data. *)
+let recompute_entailment t =
+  let db = t.index.Index.db in
+  let regs = constraints t in
+  let fds =
+    List.filter_map
+      (fun r ->
+        match Planner.fd_of db r.formula with Some fd -> Some (r, fd) | None -> None)
+      regs
+  in
+  List.iter (fun r -> r.entailed_by <- None) regs;
+  List.iter
+    (fun (r, fd) ->
+      let others =
+        List.filter_map
+          (fun (o, ofd) -> if o.id <> r.id then Some (o.id, ofd) else None)
+          fds
+      in
+      r.entailed_by <- Planner.entails ~by:others fd)
+    fds
 
 let replica_stats t = match t.par with Some (_, r) -> Some (Replica.stats r) | None -> None
 
@@ -125,9 +166,11 @@ let add ?id t source =
       checks_run = 0;
       checks_skipped = 0;
       total_check_ms = 0.;
+      entailed_by = None;
     }
   in
   t.constraints <- reg :: t.constraints;
+  recompute_entailment t;
   (* ensure_indices may have built new entries *)
   invalidate_replicas t;
   reg
@@ -150,6 +193,7 @@ let remove t id =
               ignore (Index.remove_entries_for t.index tbl))
           r.tables)
       doomed;
+    recompute_entailment t;
     invalidate_replicas t
   end
 
@@ -215,7 +259,10 @@ type report = {
 (** Validate the registered constraints: a constraint is re-checked
     only when it has never been checked or one of its tables changed
     since its last check; otherwise the cached verdict is returned.
-    Clears the dirty set. *)
+    Under [Planned] (the default) the {!Planner} chooses each stale
+    constraint's strategy, planned costs order the parallel pool, every
+    fresh result is fed back, and FDs entailed by currently-holding
+    FDs are settled without a check.  Clears the dirty set. *)
 let validate t =
   (* reclamation happens here, strictly before any check compiles
      against the manager — never mid-check *)
@@ -225,10 +272,12 @@ let validate t =
   let needs_check reg =
     reg.last_outcome = None || List.exists (Hashtbl.mem t.dirty) reg.tables
   in
+  let planned = t.planning = Planned in
   (* registered-record bookkeeping happens on the calling domain only:
      in the parallel path workers return bare Checker.results and the
      mutations below run once the whole batch is in *)
   let fresh_report reg r =
+    if planned then Planner.observe t.planner reg.formula r;
     reg.last_outcome <- Some r.Checker.outcome;
     reg.checks_run <- reg.checks_run + 1;
     reg.total_check_ms <- reg.total_check_ms +. r.Checker.elapsed_ms;
@@ -247,39 +296,121 @@ let validate t =
     | Some outcome -> { constraint_ = reg; outcome; fresh = false; elapsed_ms = 0. }
     | None -> assert false
   in
+  let entailed_report reg =
+    (* sound: every entailer settled Satisfied this pass, and the
+       Armstrong closure guarantees the entailed FD then holds too *)
+    reg.last_outcome <- Some Checker.Satisfied;
+    reg.checks_skipped <- reg.checks_skipped + 1;
+    if T.enabled () then begin
+      T.incr (T.counter "monitor.checks_skipped");
+      T.incr (T.counter "planner.entailed_skips")
+    end;
+    { constraint_ = reg; outcome = Checker.Satisfied; fresh = false; elapsed_ms = 0. }
+  in
   let stale = List.filter needs_check regs in
+  (* entailed FDs settle from their entailers' verdicts when possible
+     (Planned mode only); everything else is the main batch *)
+  let stale_main, stale_ent =
+    if planned then List.partition (fun r -> r.entailed_by = None) stale
+    else (stale, [])
+  in
+  let plans =
+    if planned then
+      List.map (fun reg -> Some (Planner.plan t.planner t.index reg.formula)) stale_main
+    else List.map (fun _ -> None) stale_main
+  in
+  let forced = match t.planning with Forced s -> s | _ -> Checker.Auto in
+  let strategies =
+    List.map (function Some p -> p.Planner.strategy | None -> forced) plans
+  in
+  let costs =
+    (* Planned: the planner's costed estimate orders the pool;
+       otherwise measured per-constraint history as before *)
+    List.map2
+      (fun reg p ->
+        match p with
+        | Some p -> Some p.Planner.cost_ms
+        | None ->
+          if reg.checks_run > 0 then
+            Some (reg.total_check_ms /. float_of_int reg.checks_run)
+          else None)
+      stale_main plans
+  in
+  let fresh = Hashtbl.create (List.length stale + 1) in
+  (match t.par with
+  | Some (pool, replica) when List.length stale_main > 1 ->
+    let results =
+      Checker.check_all_pooled ~pipeline:t.pipeline ~costs ~strategies ~pool replica
+        (List.map (fun reg -> reg.formula) stale_main)
+    in
+    List.iter2 (fun reg r -> Hashtbl.replace fresh reg.id r) stale_main results
+  | _ ->
+    List.iter2
+      (fun reg strategy ->
+        Hashtbl.replace fresh reg.id
+          (Checker.check ~pipeline:t.pipeline ~strategy t.index reg.formula))
+      stale_main strategies);
+  (* outcomes valid for THIS pass: clean cached verdicts + fresh results *)
+  let settled = Hashtbl.create (List.length regs + 1) in
+  List.iter
+    (fun reg ->
+      if not (needs_check reg) then
+        match reg.last_outcome with
+        | Some o -> Hashtbl.replace settled reg.id o
+        | None -> ())
+    regs;
+  Hashtbl.iter
+    (fun id (r : Checker.result) -> Hashtbl.replace settled id r.Checker.outcome)
+    fresh;
+  (* dirty entailed FDs: skip when every entailer settled Satisfied,
+     check otherwise.  Iterate because entailers may themselves be
+     entailed; a stall (mutual entailment among dirty FDs) is broken
+     by checking the lowest id *)
+  let skipped_ent = Hashtbl.create 8 in
+  let check_now reg =
+    let strategy = (Planner.plan t.planner t.index reg.formula).Planner.strategy in
+    let r = Checker.check ~pipeline:t.pipeline ~strategy t.index reg.formula in
+    Hashtbl.replace fresh reg.id r;
+    Hashtbl.replace settled reg.id r.Checker.outcome
+  in
+  let pending = ref stale_ent in
+  while !pending <> [] do
+    let progress = ref false in
+    pending :=
+      List.filter
+        (fun reg ->
+          let ids = match reg.entailed_by with Some ids -> ids | None -> assert false in
+          let known = List.filter_map (fun i -> Hashtbl.find_opt settled i) ids in
+          if List.length known = List.length ids then begin
+            progress := true;
+            if List.for_all (fun o -> o = Checker.Satisfied) known then begin
+              Hashtbl.replace skipped_ent reg.id ();
+              Hashtbl.replace settled reg.id Checker.Satisfied
+            end
+            else check_now reg;
+            false
+          end
+          else true)
+        !pending;
+    if (not !progress) && !pending <> [] then begin
+      let reg =
+        List.fold_left
+          (fun a b -> if b.id < a.id then b else a)
+          (List.hd !pending) (List.tl !pending)
+      in
+      check_now reg;
+      pending := List.filter (fun r -> r.id <> reg.id) !pending
+    end
+  done;
   let reports =
-    match t.par with
-    | Some (pool, replica) when List.length stale > 1 ->
-      (* measured per-constraint cost history feeds the scheduler: the
-         pool starts the historically expensive checks first *)
-      let costs =
-        List.map
-          (fun reg ->
-            if reg.checks_run > 0 then
-              Some (reg.total_check_ms /. float_of_int reg.checks_run)
-            else None)
-          stale
-      in
-      let results =
-        Checker.check_all_pooled ~pipeline:t.pipeline ~costs ~pool replica
-          (List.map (fun reg -> reg.formula) stale)
-      in
-      let fresh = Hashtbl.create (List.length stale) in
-      List.iter2 (fun reg r -> Hashtbl.replace fresh reg.id r) stale results;
-      List.map
-        (fun reg ->
-          match Hashtbl.find_opt fresh reg.id with
-          | Some r -> fresh_report reg r
-          | None -> cached_report reg)
-        regs
-    | _ ->
-      List.map
-        (fun reg ->
-          if needs_check reg then
-            fresh_report reg (Checker.check ~pipeline:t.pipeline t.index reg.formula)
+    List.map
+      (fun reg ->
+        match Hashtbl.find_opt fresh reg.id with
+        | Some r -> fresh_report reg r
+        | None ->
+          if Hashtbl.mem skipped_ent reg.id then entailed_report reg
           else cached_report reg)
-        regs
+      regs
   in
   Hashtbl.reset t.dirty;
   reports
@@ -297,3 +428,11 @@ let violated t =
 let verdicts t =
   List.sort compare
     (List.map (fun r -> (r.constraint_.id, r.outcome)) (validate t))
+
+(** The costed plan tree for one registered constraint — the [explain]
+    protocol op and [fcv explain].  Goes through the planner cache
+    like a real validation would, so estimates and last-actuals
+    reflect what the next check will do. *)
+let explain t id =
+  List.find_opt (fun r -> r.id = id) t.constraints
+  |> Option.map (fun reg -> (reg, Planner.plan t.planner t.index reg.formula))

@@ -12,16 +12,37 @@ type registered = {
   mutable checks_run : int;
   mutable checks_skipped : int;
   mutable total_check_ms : float;  (** cumulative time of fresh checks *)
+  mutable entailed_by : int list option;
+      (** register-time implication dedup (Kenig–Suciu direction):
+          [Some ids] when this FD is in the Armstrong closure of the
+          other registered FDs — validation may settle it as satisfied
+          whenever every entailer currently holds *)
 }
+
+(** Validation strategy selection: [Planned] (default) consults the
+    {!Planner} per constraint and learns from every result; [Legacy]
+    is the paper's blind try-BDD-first thresholding; [Forced s] pins
+    one strategy for every constraint (ablations, benchmarks). *)
+type planning = Planned | Legacy | Forced of Checker.strategy
 
 type t
 
 val create :
-  ?pipeline:Checker.pipeline -> ?gc:Lifecycle.policy option -> Index.t -> t
+  ?pipeline:Checker.pipeline ->
+  ?planning:planning ->
+  ?gc:Lifecycle.policy option ->
+  Index.t ->
+  t
 (** [gc] is the automatic-reclamation policy run between validations
     (default {!Lifecycle.default_policy}; [None] disables). *)
 
 val index : t -> Index.t
+
+val planner : t -> Planner.t
+
+val planning : t -> planning
+
+val set_planning : t -> planning -> unit
 
 val gc_policy : t -> Lifecycle.policy option
 val set_gc_policy : t -> Lifecycle.policy option -> unit
@@ -84,7 +105,10 @@ type report = {
 
 val validate : t -> report list
 (** Check dirty constraints, reuse cached verdicts for clean ones,
-    clear the dirty set. *)
+    clear the dirty set.  Under [Planned] the planner chooses each
+    strategy, planned costs order the parallel pool, results feed the
+    planner back, and a dirty FD entailed by currently-holding FDs is
+    settled as satisfied without a check ([fresh = false]). *)
 
 val violated : t -> registered list
 
@@ -92,3 +116,7 @@ val verdicts : t -> (int * Checker.outcome) list
 (** Validate and return just [(id, outcome)] pairs sorted by id — the
     extensional verdict set the differential and fault-injection
     harnesses compare across configurations and crash recoveries. *)
+
+val explain : t -> int -> (registered * Planner.plan) option
+(** The costed plan tree for one registered constraint (the [explain]
+    protocol op and [fcv explain]); [None] for unknown ids. *)

@@ -78,7 +78,8 @@ let apply t req : ((string * T.json) list, P.error_code * string) result =
     | P.Unknown_value _ -> assert false
     | exception P.Malformed msg -> Error (P.Bad_request, msg)
     | exception Invalid_argument msg -> Error (P.Unknown_table, msg))
-  | P.Repair _ | P.Validate | P.Stats | P.Compact | P.Snapshot | P.Ping | P.Shutdown ->
+  | P.Repair _ | P.Explain _ | P.Validate | P.Stats | P.Compact | P.Snapshot | P.Ping
+  | P.Shutdown ->
     Ok [] (* repair is planned at the tier; an applied plan reaches the
              shard as ordinary Delete requests *)
 
@@ -97,4 +98,6 @@ let apply_logged monitor req =
     match P.code_row ~intern:true db ~table row with
     | P.Coded coded -> ignore (Core.Monitor.delete monitor ~table_name:table coded)
     | P.Unknown_value _ -> assert false)
-  | P.Repair _ | P.Validate | P.Stats | P.Compact | P.Snapshot | P.Ping | P.Shutdown -> ()
+  | P.Repair _ | P.Explain _ | P.Validate | P.Stats | P.Compact | P.Snapshot | P.Ping
+  | P.Shutdown ->
+    ()

@@ -23,6 +23,7 @@ type request =
   | Delete of string * string list
   | Validate
   | Repair of { strategy : string; max_deletions : int option; apply : bool }
+  | Explain of int
   | Stats
   | Compact
   | Snapshot
@@ -36,6 +37,7 @@ let request_name = function
   | Delete _ -> "delete"
   | Validate -> "validate"
   | Repair _ -> "repair"
+  | Explain _ -> "explain"
   | Stats -> "stats"
   | Compact -> "compact"
   | Snapshot -> "snapshot"
@@ -45,10 +47,11 @@ let request_name = function
 (* Compact is deliberately unlogged: GC changes no logical state, and
    recovery replay would renumber nodes pointlessly.  Repair too: the
    deletions it applies are journaled individually as Delete records,
-   so replay never needs to re-run a planner. *)
+   so replay never needs to re-run a planner.  Explain is read-only. *)
 let logged = function
   | Register _ | Unregister _ | Insert _ | Delete _ -> true
-  | Validate | Repair _ | Stats | Compact | Snapshot | Ping | Shutdown -> false
+  | Validate | Repair _ | Explain _ | Stats | Compact | Snapshot | Ping | Shutdown ->
+    false
 
 let request_to_json ?id req =
   let fields =
@@ -56,7 +59,7 @@ let request_to_json ?id req =
     | Register { source; id = cid } ->
       [ ("source", T.String source) ]
       @ (match cid with Some i -> [ ("constraint", T.Int i) ] | None -> [])
-    | Unregister c -> [ ("constraint", T.Int c) ]
+    | Unregister c | Explain c -> [ ("constraint", T.Int c) ]
     | Insert (table, row) | Delete (table, row) ->
       [ ("table", T.String table); ("row", T.List (List.map (fun v -> T.String v) row)) ]
     | Repair { strategy; max_deletions; apply } ->
@@ -163,6 +166,9 @@ let parse_request line =
           in
           let apply = Json.member "apply" json = Some (T.Bool true) in
           Ok (id, Repair { strategy; max_deletions; apply })
+      | "explain" ->
+        let* c = int "constraint" in
+        Ok (id, Explain c)
       | "stats" -> Ok (id, Stats)
       | "compact" -> Ok (id, Compact)
       | "snapshot" -> Ok (id, Snapshot)

@@ -29,6 +29,9 @@ type request =
           through the normal mutation path.  The request itself is
           unlogged — applied deletions are journaled individually as
           [Delete] records, so replay needs no planner. *)
+  | Explain of int
+      (** the planner's costed plan tree for one registered constraint
+          (EXPLAIN VERBOSE for constraints); read-only, unlogged *)
   | Stats
   | Compact
       (** reclaim BDD memory now (GC / level recycle); unlogged — GC

@@ -281,6 +281,12 @@ let handle t session rid req =
        | Ok fields -> reply (P.ok_line ?id:rid fields)
        | Error (code, msg) -> reply (P.error_line ?id:rid code msg));
        if Tier.pending t.tier >= t.config.group_commit_window then release_all t
+     | P.Explain _ -> (
+       (* read-only: routed through Tier.apply for the shard lookup,
+          but journals nothing and stages immediately *)
+       match Tier.apply t.tier req with
+       | Ok fields -> reply (P.ok_line ?id:rid fields)
+       | Error (code, msg) -> reply (P.error_line ?id:rid code msg))
      | P.Stats -> reply (P.ok_line ?id:rid (stats_json t))
      | P.Compact ->
        (* the select loop is single-threaded and validates are

@@ -172,7 +172,9 @@ let targets t req =
                (Core.Monitor.constraints (Shard.monitor s))
            then Some (Shard.sid s)
            else None)
-  | P.Repair _ | P.Validate | P.Stats | P.Compact | P.Snapshot | P.Ping | P.Shutdown -> []
+  | P.Repair _ | P.Explain _ | P.Validate | P.Stats | P.Compact | P.Snapshot | P.Ping
+  | P.Shutdown ->
+    []
 
 let textual_rows db table =
   let tbl = R.Database.table db table in
@@ -383,6 +385,22 @@ and apply_routed t req : ((string * T.json) list, P.error_code * string) result 
             watchers;
           Ok fields))
     | P.Repair _ -> assert false (* dispatched in [apply] *)
+    | P.Explain c -> (
+      (* the owning shard's monitor answers; read-only, so no journal
+         and no fan-out *)
+      match
+        Array.to_list t.shards
+        |> List.find_map (fun s -> Core.Monitor.explain (Shard.monitor s) c)
+      with
+      | Some (reg, plan) ->
+        Ok
+          [
+            ("constraint", T.Int reg.Core.Monitor.id);
+            ("source", T.String reg.Core.Monitor.source);
+            ("plan", Core.Planner.plan_json plan);
+            ("text", T.String (Core.Planner.render plan));
+          ]
+      | None -> Error (P.Bad_request, Printf.sprintf "no constraint %d" c))
     | P.Validate | P.Stats | P.Compact | P.Snapshot | P.Ping | P.Shutdown -> Ok []
 
 (* -- validation ------------------------------------------------------------ *)

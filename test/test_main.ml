@@ -34,10 +34,11 @@ module _ = Test_shard
 module _ = Test_group_commit
 module _ = Test_repair
 module _ = Test_repair_tier
+module _ = Test_planner
 
 let () =
   let suites = Registry.all () in
-  if List.length suites < 28 then
+  if List.length suites < 29 then
     failwith
       (Printf.sprintf "Test_main: only %d suites registered — a test module was \
                        linked without calling Registry.register"

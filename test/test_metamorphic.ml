@@ -48,6 +48,38 @@ let prop_ablations_preserve_verdicts =
           (fun (_, pipeline) -> holds_under pipeline index f = expected)
           (("default", C.default_pipeline) :: ablations))
 
+(* Strategy metamorphism: however the checker is steered — forced onto
+   the BDD pipeline, forced onto the SQL violation query, or left to
+   the legacy thresholding with a budget so tight every compile trips
+   and falls back — the verdict never changes.  This is the invariant
+   that makes the planner free to choose on cost alone. *)
+let strategies =
+  [ ("auto", C.Auto); ("force-bdd", C.Force_bdd); ("force-sql", C.Force_sql) ]
+
+let prop_strategies_preserve_verdicts =
+  QCheck.Test.make ~count:120
+    ~name:"every forced strategy (and a tripping budget) preserves every verdict"
+    (QCheck.pair Gen.formula_arbitrary (QCheck.int_range 0 1_000))
+    (fun (f, seed) ->
+      let f = Gen.close f in
+      let db = Gen.random_db seed in
+      match Core.Typing.infer db f with
+      | exception Core.Typing.Type_error _ -> true
+      | typing ->
+        let expected = Core.Naive_eval.holds ~typing db f in
+        let index = Core.Index.create db in
+        C.ensure_indices index [ f ];
+        List.for_all
+          (fun (_, strategy) ->
+            ((C.check ~strategy index f).C.outcome = C.Satisfied) = expected)
+          strategies
+        &&
+        (* legacy thresholding under a budget left too tight to compile
+           anything: the fallback must agree too *)
+        let mgr = Core.Index.mgr index in
+        Fcv_bdd.Manager.set_max_nodes mgr (Fcv_bdd.Manager.size mgr + 8);
+        ((C.check index f).C.outcome = C.Satisfied) = expected)
+
 (* The same invariant on realistic constraints: the university
    examples, with and without planted violators. *)
 let test_university_ablations () =
@@ -89,6 +121,7 @@ let test_university_ablations () =
 let suite =
   [
     Gen.qcheck_case prop_ablations_preserve_verdicts;
+    Gen.qcheck_case prop_strategies_preserve_verdicts;
     Alcotest.test_case "university constraints under every ablation" `Quick
       test_university_ablations;
   ]

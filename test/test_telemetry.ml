@@ -169,6 +169,9 @@ let test_budget_fallback () =
   check "fallback verdict matches the naive evaluator" expected
     (r.Core.Checker.outcome = Core.Checker.Satisfied);
   check "abandoned BDD attempt was accounted" true (r.Core.Checker.bdd_overhead_ms >= 0.);
+  (* a budget trip charges the whole fallback run to fallback_ms *)
+  check "fallback_ms is the fallback's elapsed time" true
+    (r.Core.Checker.fallback_ms = r.Core.Checker.elapsed_ms);
   let trips =
     List.filter
       (fun ev -> T.Json.member "kind" ev = Some (T.String "bdd.budget_trip"))
@@ -197,6 +200,69 @@ let test_budget_fallback () =
     | _ -> Alcotest.fail "fallback event lacks bdd_overhead_ms")
   | _ -> ()
 
+(* Regression: choosing SQL up-front (the planner's [Force_sql]) pays
+   neither the abandoned BDD attempt nor a "fallback" — both cost
+   fields must be exactly zero, unlike the budget-trip path above. *)
+let test_force_sql_costs_nothing_extra () =
+  let db = Gen.random_db 42 in
+  let f = Core.Fol_parser.of_string fallback_constraint in
+  let index = Core.Index.create db in
+  Core.Checker.ensure_indices index [ f ];
+  let expected = Core.Naive_eval.holds db f in
+  let r = Core.Checker.check ~strategy:Core.Checker.Force_sql index f in
+  check "method is SQL" true (r.Core.Checker.method_used = Core.Checker.Sql);
+  check "verdict matches the naive evaluator" expected
+    (r.Core.Checker.outcome = Core.Checker.Satisfied);
+  check "no abandoned-attempt cost when SQL was chosen up-front" true
+    (r.Core.Checker.bdd_overhead_ms = 0.);
+  check "no fallback cost when SQL was chosen up-front" true
+    (r.Core.Checker.fallback_ms = 0.);
+  check_int "no budget-trip events" 0
+    (List.length
+       (List.filter
+          (fun ev -> T.Json.member "kind" ev = Some (T.String "bdd.budget_trip"))
+          (T.events ())))
+
+(* The planner's cache telemetry: every plan outcome ticks exactly one
+   of planner.{hit,miss,probe,replans}, in step with Planner.stats. *)
+let test_planner_counters () =
+  let module P = Core.Planner in
+  let db = Gen.random_db 7 in
+  let f = Core.Fol_parser.of_string fallback_constraint in
+  let index = Core.Index.create db in
+  Core.Checker.ensure_indices index [ f ];
+  let p = P.create ~config:{ P.default_config with P.probe_every = 1 } () in
+  (* expensive measured SQL history pins the first plan to BDD *)
+  let slow_sql =
+    {
+      Core.Checker.outcome = Core.Checker.Satisfied;
+      method_used = Core.Checker.Sql;
+      elapsed_ms = 5.0;
+      bdd_overhead_ms = 0.;
+      fallback_ms = 0.;
+      rewritten = f;
+      check = Core.Rewrite.Check_valid;
+    }
+  in
+  let trip = { slow_sql with Core.Checker.elapsed_ms = 1.0; bdd_overhead_ms = 3.0 } in
+  List.iter (P.observe p f) [ slow_sql; slow_sql; slow_sql ];
+  ignore (P.plan p index f) (* miss *);
+  ignore (P.plan p index f) (* hit *);
+  List.iter (P.observe p f) [ trip; trip ] (* decision flip drops the cache *);
+  ignore (P.plan p index f) (* replan, cached SQL *);
+  ignore (P.plan p index f) (* hit (probe clock 0 -> 1) *);
+  ignore (P.plan p index f) (* ε-probe *);
+  let counters = [ ("planner.hit", 2); ("planner.miss", 1); ("planner.probe", 1); ("planner.replans", 1) ] in
+  List.iter
+    (fun (name, expect) -> check_int name expect (T.counter_value (T.counter name)))
+    counters;
+  let s = P.stats p in
+  check_int "stats.hits agrees" s.P.hits (T.counter_value (T.counter "planner.hit"));
+  check_int "stats.misses agrees" s.P.misses (T.counter_value (T.counter "planner.miss"));
+  check_int "stats.probes agrees" s.P.probes (T.counter_value (T.counter "planner.probe"));
+  check_int "stats.replans agrees" s.P.replans
+    (T.counter_value (T.counter "planner.replans"))
+
 let suite =
   [
     Alcotest.test_case "counter semantics" `Quick (with_telemetry test_counters);
@@ -209,6 +275,10 @@ let suite =
       (with_telemetry test_disabled_is_noop);
     Alcotest.test_case "budget fallback: one trip, correct verdict" `Quick
       (with_telemetry test_budget_fallback);
+    Alcotest.test_case "Force_sql up-front: zero overhead and fallback cost" `Quick
+      (with_telemetry test_force_sql_costs_nothing_extra);
+    Alcotest.test_case "planner cache counters" `Quick
+      (with_telemetry test_planner_counters);
   ]
 
 let () = Registry.register "telemetry" suite
