@@ -21,9 +21,10 @@
    - with --require-speedup (the multicore CI job), parallelism must
      WIN outright: university j=4 speedup >= 1.5x on a >=4-core
      machine (>= 1.1x at j=2 when only 2-3 cores; skipped with a
-     message below 2 cores).  Retail is reported but only gated for
-     the slowdown/baseline checks — its BDD passes are too short to
-     promise 1.5x portably;
+     message below 2 cores).  Retail is now gated too — its BDD
+     passes are too short to promise 1.5x portably, so it gets its
+     own lower fatal floor (1.2x at j=4, 1.05x at j=2) instead of
+     the informational report it used to get;
    - absolute milliseconds are never compared across runs.
 
    A speedup more than 25% ABOVE baseline is reported as a
@@ -156,15 +157,24 @@ let check_required_speedup ~cores current =
         fail "%s: j=%d speedup %.2fx below the required %.1fx" wname j s threshold
       else note "%s: j=%d speedup %.2fx below %.1fx (informational)" wname j s threshold
   in
+  (* Retail's floor is deliberately lower than university's: its BDD
+     passes are short, so the pool's fixed costs (hydration, task
+     dispatch) eat a larger fraction of the win.  The 4-vCPU runner
+     has cleared 1.2x at j=4 consistently since the PR-8 steady-state
+     rewrite, so that is now a promise, not a report. *)
   if cores >= 4 then begin
-    note "required-speedup gate: %d cores — university j=4 must reach 1.5x" cores;
+    note "required-speedup gate: %d cores — university j=4 >= 1.5x, retail j=4 >= 1.2x"
+      cores;
     require "university" 4 1.5 ~fatal:true;
-    require "retail" 4 1.5 ~fatal:false
+    require "retail" 4 1.2 ~fatal:true
   end
   else if cores >= 2 then begin
-    note "required-speedup gate: only %d cores — relaxed to university j=2 >= 1.1x" cores;
+    note
+      "required-speedup gate: only %d cores — relaxed to university j=2 >= 1.1x, retail \
+       j=2 >= 1.05x"
+      cores;
     require "university" 2 1.1 ~fatal:true;
-    require "retail" 2 1.1 ~fatal:false
+    require "retail" 2 1.05 ~fatal:true
   end
   else note "required-speedup gate: skipped (%d core — nothing to parallelise over)" cores
 

@@ -8,8 +8,10 @@
 # sharded serving-tier benchmark (pipelined clients + group commit)
 # with its verdict-exactness and throughput-floor gate, the repair-
 # planner benchmark with its quality gate (complete plans, exact
-# minimality, greedy/exact ratio vs bench/baseline_repair.json), and
-# the perf-regression gate against bench/baseline.json.
+# minimality, greedy/exact ratio vs bench/baseline_repair.json), the
+# approximate-constraint benchmark with its exact-rate gate
+# (bench/baseline_approx.json), and the perf-regression gate against
+# bench/baseline.json.
 #
 # FCV_CI=1 hardens the gate for CI runners: a missing ocamlformat, a
 # perf regression, a churn memory-bound violation and a serving-tier
@@ -194,6 +196,19 @@ elif [ "$FCV_CI" = "1" ]; then
   exit 1
 else
   echo "WARNING: repair gate failed (fatal under FCV_CI=1; see BENCH_repair.json)" >&2
+fi
+
+echo "== approximate-constraint benchmark (exact-rate gate vs row-scan recount,"
+echo "   soft/hard latency ratio vs bench/baseline_approx.json, fatal under FCV_CI=1)"
+if dune exec bench/approx.exe; then
+  :
+elif [ "$FCV_CI" = "1" ]; then
+  echo "FAIL: approx gate (a soft rate diverged from the independent recount, a" >&2
+  echo "      threshold verdict flipped, or soft checks exceeded the baseline" >&2
+  echo "      soft/hard latency ratio — see BENCH_approx.json)" >&2
+  exit 1
+else
+  echo "WARNING: approx gate failed (fatal under FCV_CI=1; see BENCH_approx.json)" >&2
 fi
 
 echo "== perf-regression gate (tolerance 25%, fatal under FCV_CI=1)"

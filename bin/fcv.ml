@@ -7,7 +7,7 @@
      fcv index     build an index and report its size / ordering / build time
      fcv orderings compare the variable-ordering strategies on one table
      fcv sql       run a SQL query against the loaded tables
-     fcv gen       emit synthetic datasets (customers / university / k-PROD) as CSV
+     fcv gen       emit synthetic datasets (customers / university / noise / k-PROD) as CSV
 
    Tables are loaded from a directory of CSV files (one table per file,
    first row = attribute names).  Columns with the same name share a
@@ -153,7 +153,12 @@ let read_constraints path =
       |> List.filter (fun l ->
              let l = String.trim l in
              l <> "" && not (String.length l >= 1 && l.[0] = '#'))
-      |> List.map (fun l -> (l, Core.Fol_parser.of_string l)))
+      |> List.map (fun l -> (l, Core.Fol_parser.spec_of_string l)))
+
+(* the bare formulas of a parsed constraints file (index building,
+   batch APIs that are hard-only by construction) *)
+let formulas_of constraints =
+  List.map (fun (_, sp) -> sp.Core.Formula.formula) constraints
 
 let constraints_arg =
   let doc =
@@ -170,14 +175,14 @@ let constraints_arg =
    workers and reported in order, exactly like the sequential path.
    Witness enumeration always runs on the master index afterwards. *)
 let run_checks ?(witnesses = 0) ?(jobs = 1) index constraints =
-  let checked idx c =
-    match Core.Checker.check idx c with
+  let checked idx sp =
+    match Core.Checker.check_spec idx sp with
     | r -> Ok r
     | exception (Core.Typing.Type_error msg | Core.Compile.Unsupported msg) -> Error msg
   in
   let results =
     if jobs <= 1 || List.length constraints <= 1 then
-      List.map (fun (_, c) -> checked index c) constraints
+      List.map (fun (_, sp) -> checked index sp) constraints
     else begin
       let pool =
         Fcv_util.Pool.create ~name:"check" ~jobs:(min jobs (List.length constraints)) ()
@@ -188,12 +193,13 @@ let run_checks ?(witnesses = 0) ?(jobs = 1) index constraints =
         (fun () ->
           Core.Replica.prepare replica;
           Fcv_util.Pool.run_list pool
-            (List.map (fun (_, c) () -> checked (Core.Replica.get replica) c) constraints))
+            (List.map (fun (_, sp) () -> checked (Core.Replica.get replica) sp) constraints))
     end
   in
   let violated = ref 0 in
   List.iter2
-    (fun (src, c) result ->
+    (fun (src, sp) result ->
+      let c = sp.Core.Formula.formula in
       match result with
       | Ok r ->
         let verdict =
@@ -203,9 +209,16 @@ let run_checks ?(witnesses = 0) ?(jobs = 1) index constraints =
             incr violated;
             "VIOLATED "
         in
-        Printf.printf "[%s] (%6.2f ms, %s) %s\n" verdict r.Core.Checker.elapsed_ms
+        let rate =
+          match r.Core.Checker.rate with
+          | None -> ""
+          | Some rt ->
+            Printf.sprintf ", rate %.6g (allowed %.6g)" rt.Core.Checker.ratio
+              (1. -. rt.Core.Checker.threshold)
+        in
+        Printf.printf "[%s] (%6.2f ms, %s%s) %s\n" verdict r.Core.Checker.elapsed_ms
           (Core.Checker.method_name r.Core.Checker.method_used)
-          src;
+          rate src;
         if witnesses > 0 && r.Core.Checker.outcome = Core.Checker.Violated then begin
           match Core.Violations.enumerate ~limit:witnesses index c with
           | Some ws ->
@@ -250,12 +263,12 @@ let check_cmd =
           Fcv_bdd.Manager.set_max_nodes (Core.Index.mgr index) max_nodes;
           (* any relation not covered by the snapshot still gets an index *)
           Core.Checker.ensure_indices ~strategy:(strategy_of_string strategy) index
-            (List.map snd constraints);
+            (formulas_of constraints);
           index
         | None ->
           let index = Core.Index.create ~max_nodes db in
           Core.Checker.ensure_indices ~strategy:(strategy_of_string strategy) index
-            (List.map snd constraints);
+            (formulas_of constraints);
           index
       in
       Option.iter (Core.Index_io.save_file index) save_index;
@@ -304,7 +317,7 @@ let repair_cmd =
         | Error msg -> failwith msg
       in
       match
-        Fcv_repair.Repair.plan ~strategy ?max_deletions ~max_nodes db
+        Fcv_repair.Repair.plan_specs ~strategy ?max_deletions ~max_nodes db
           (List.map snd constraints)
       with
       | exception Fcv_repair.Repair.Not_tractable msg -> failwith msg
@@ -529,7 +542,7 @@ let stats_cmd =
     let index = Core.Index.create ~max_nodes db in
     T.with_span "build_indices" (fun () ->
         Core.Checker.ensure_indices ~strategy:(strategy_of_string strategy) index
-          (List.map snd constraints));
+          (formulas_of constraints));
     let violated = run_checks index constraints in
     Printf.printf "\n%d/%d constraints violated\n\n" violated (List.length constraints);
     print_manager_stats stdout (Core.Index.mgr index);
@@ -573,12 +586,19 @@ let monitor_cmd =
   let print_reports reports =
     List.iter
       (fun rep ->
-        Printf.printf "  [%s] (%s%6.2f ms) %s\n"
+        let rate =
+          match rep.Core.Monitor.rate with
+          | None -> ""
+          | Some rt ->
+            Printf.sprintf ", rate %.6g (allowed %.6g)" rt.Core.Checker.ratio
+              (1. -. rt.Core.Checker.threshold)
+        in
+        Printf.printf "  [%s] (%s%6.2f ms%s) %s\n"
           (match rep.Core.Monitor.outcome with
           | Core.Checker.Satisfied -> "SATISFIED"
           | Core.Checker.Violated -> "VIOLATED ")
           (if rep.Core.Monitor.fresh then "fresh,  " else "cached, ")
-          rep.Core.Monitor.elapsed_ms rep.Core.Monitor.constraint_.Core.Monitor.source)
+          rep.Core.Monitor.elapsed_ms rate rep.Core.Monitor.constraint_.Core.Monitor.source)
       reports
   in
   let run data constraints_file strategy max_nodes updates_file telemetry =
@@ -588,7 +608,7 @@ let monitor_cmd =
       let constraints = read_constraints constraints_file in
       let index = Core.Index.create ~max_nodes db in
       Core.Checker.ensure_indices ~strategy:(strategy_of_string strategy) index
-        (List.map snd constraints);
+        (formulas_of constraints);
       let monitor = Core.Monitor.create index in
       List.iter (fun (src, _) -> ignore (Core.Monitor.add monitor src)) constraints;
       let any_violated = ref false in
@@ -666,7 +686,7 @@ let explain_cmd =
     let constraints = read_constraints constraints_file in
     let index = Core.Index.create ~max_nodes db in
     Core.Checker.ensure_indices ~strategy:(strategy_of_string strategy) index
-      (List.map snd constraints);
+      (formulas_of constraints);
     let monitor = Core.Monitor.create index in
     let regs = List.map (fun (src, _) -> Core.Monitor.add monitor src) constraints in
     for _ = 1 to warm do
@@ -686,7 +706,28 @@ let explain_cmd =
       (fun i reg ->
         if i > 0 then print_newline ();
         match Core.Monitor.explain monitor reg.Core.Monitor.id with
-        | Some (_, plan) -> print_string (Core.Planner.render plan)
+        | Some (r, plan) ->
+          print_string (Core.Planner.render plan);
+          (* soft constraints: the threshold the verdict is taken
+             against, and the last measured rate next to it *)
+          if r.Core.Monitor.threshold < 1.0 then (
+            match r.Core.Monitor.last_rate with
+            | Some rt ->
+              Printf.printf
+                "  soft: threshold ≥ %g satisfied; measured rate %.6g (%s of %s \
+                 bindings violated) -> %s\n"
+                r.Core.Monitor.threshold rt.Core.Checker.ratio
+                (Fcv_bdd.Nat.to_string rt.Core.Checker.violations)
+                (Fcv_bdd.Nat.to_string rt.Core.Checker.total)
+                (if
+                   Core.Checker.clears ~threshold:rt.Core.Checker.threshold
+                     ~violations:rt.Core.Checker.violations
+                     ~total:rt.Core.Checker.total
+                 then "satisfied"
+                 else "violated")
+            | None ->
+              Printf.printf "  soft: threshold ≥ %g satisfied; rate not yet measured\n"
+                r.Core.Monitor.threshold)
         | None -> Printf.printf "constraint %d: no plan\n" reg.Core.Monitor.id)
       chosen
   in
@@ -793,13 +834,13 @@ let serve_cmd =
           List.concat_map Fcv_server.Shard.unregistered (Array.to_list (Tier.shards tier))
         in
         List.iter
-          (fun (src, formula) ->
+          (fun (src, spec) ->
             if (not (List.mem src known)) && not (List.mem src unregistered) then begin
               Array.iter
                 (fun sh ->
                   Core.Checker.ensure_indices ~strategy
                     (Core.Monitor.index (Fcv_server.Shard.monitor sh))
-                    [ formula ])
+                    [ spec.Core.Formula.formula ])
                 (Tier.shards tier);
               ignore (S.register server src)
             end)
@@ -870,10 +911,21 @@ let client_cmd =
               match T.Json.member "fresh" rep with Some (T.Bool b) -> b | _ -> false
             in
             let ms = match T.Json.member "ms" rep with Some (T.Float f) -> f | _ -> 0. in
-            Printf.printf "  [%-9s] (%s%6.2f ms) %s\n"
+            let num f =
+              match T.Json.member f rep with
+              | Some (T.Float x) -> Some x
+              | Some (T.Int i) -> Some (float_of_int i)
+              | _ -> None
+            in
+            let rate =
+              match (num "rate", num "threshold") with
+              | Some r, Some p -> Printf.sprintf ", rate %.6g (allowed %.6g)" r (1. -. p)
+              | _ -> ""
+            in
+            Printf.printf "  [%-9s] (%s%6.2f ms%s) %s\n"
               (String.uppercase_ascii (str "outcome"))
               (if fresh then "fresh,  " else "cached, ")
-              ms (str "source"))
+              ms rate (str "source"))
           reports
       | _ -> ());
       match T.Json.member "violated" body with Some (T.Int v) -> v | _ -> 0
@@ -942,7 +994,7 @@ let bench_cmd =
   let run data constraints_file strategy max_nodes jobs repeat =
     let db, _ = load_dir data in
     let constraints = read_constraints constraints_file in
-    let formulas = List.map snd constraints in
+    let formulas = formulas_of constraints in
     let index = Core.Index.create ~max_nodes db in
     Core.Checker.ensure_indices ~strategy:(strategy_of_string strategy) index formulas;
     let time () =
@@ -978,8 +1030,16 @@ let bench_cmd =
 
 let gen_cmd =
   let kind_arg =
-    let doc = "Dataset: customers | university | prod1 | prod4 | prod8 | random." in
+    let doc = "Dataset: customers | university | noise | prod1 | prod4 | prod8 | random." in
     Arg.(required & pos 0 (some string) None & info [] ~docv:"KIND" ~doc)
+  in
+  let noise_arg =
+    let doc =
+      "Per-row FD corruption rate for the noise dataset (fraction of readings rows \
+       with a wrong location/unit) — drive a soft constraint above or below its \
+       threshold."
+    in
+    Arg.(value & opt float 0.001 & info [ "noise" ] ~docv:"RATE" ~doc)
   in
   let out_arg =
     let doc = "Output directory." in
@@ -993,11 +1053,17 @@ let gen_cmd =
     let doc = "RNG seed." in
     Arg.(value & opt int 42 & info [ "seed" ] ~docv:"SEED" ~doc)
   in
-  let run kind out rows seed =
+  let run kind out rows seed noise =
     if not (Sys.file_exists out) then Sys.mkdir out 0o755;
     let rng = Fcv_util.Rng.create seed in
     let dump t = R.Csv.write_table t (Filename.concat out (R.Table.name t ^ ".csv")) in
     (match kind with
+    | "noise" ->
+      let cfg =
+        { Fcv_datagen.Noise.default with rows; loc_noise = noise; unit_noise = noise }
+      in
+      let _, t = Fcv_datagen.Noise.generate rng cfg in
+      dump t
     | "customers" ->
       let db = Fcv_datagen.Customers.make_db () in
       let t, world = Fcv_datagen.Customers.generate ~violation_rate:0.001 rng db ~name:"cust" ~rows in
@@ -1026,7 +1092,9 @@ let gen_cmd =
     Printf.printf "wrote %s dataset to %s\n" kind out
   in
   let doc = "generate synthetic datasets as CSV" in
-  Cmd.v (Cmd.info "gen" ~doc) Term.(const run $ kind_arg $ out_arg $ rows_arg $ seed_arg)
+  Cmd.v
+    (Cmd.info "gen" ~doc)
+    Term.(const run $ kind_arg $ out_arg $ rows_arg $ seed_arg $ noise_arg)
 
 let sim_cmd =
   let seed_arg =

@@ -1,0 +1,168 @@
+(** Arbitrary-precision natural numbers for exact model counts.
+
+    {!Sat.count} returns a [float], which stops being an integer-exact
+    representation above [2^53]; a violation {e rate} compared against
+    a threshold must not inherit that rounding (a near-threshold count
+    can round across the verdict boundary — see
+    [Test_approx.count_precision]).  This module is the minimal exact
+    alternative: unsigned naturals in base [2^24] limbs with just the
+    operations sat-counting and threshold comparison need — add,
+    multiply, shift by powers of two, compare.  No division beyond the
+    small-divisor form used for decimal printing, no external
+    dependencies. *)
+
+let limb_bits = 24
+let limb_base = 1 lsl limb_bits
+let limb_mask = limb_base - 1
+
+(* Little-endian limb array, normalised: no trailing zero limb (the
+   canonical zero is the empty array).  Limbs fit 24 bits so a
+   schoolbook product of two limbs plus carries stays far below
+   [max_int] on 64-bit OCaml. *)
+type t = int array
+
+let zero : t = [||]
+let is_zero (a : t) = Array.length a = 0
+
+let normalize (a : int array) : t =
+  let n = ref (Array.length a) in
+  while !n > 0 && a.(!n - 1) = 0 do
+    decr n
+  done;
+  if !n = Array.length a then a else Array.sub a 0 !n
+
+let of_int n : t =
+  if n < 0 then invalid_arg "Nat.of_int: negative";
+  let rec limbs n = if n = 0 then [] else (n land limb_mask) :: limbs (n lsr limb_bits) in
+  Array.of_list (limbs n)
+
+let one = of_int 1
+
+let to_int_opt (a : t) =
+  (* Fits a native int iff the limb-recomposition never overflows. *)
+  let rec go i acc =
+    if i < 0 then Some acc
+    else if acc > (max_int - a.(i)) lsr limb_bits then None
+    else go (i - 1) ((acc lsl limb_bits) lor a.(i))
+  in
+  go (Array.length a - 1) 0
+
+let compare (a : t) (b : t) =
+  let la = Array.length a and lb = Array.length b in
+  if la <> lb then Stdlib.compare la lb
+  else begin
+    let rec go i = if i < 0 then 0 else if a.(i) <> b.(i) then Stdlib.compare a.(i) b.(i) else go (i - 1) in
+    go (la - 1)
+  end
+
+let equal a b = compare a b = 0
+
+let add (a : t) (b : t) : t =
+  let la = Array.length a and lb = Array.length b in
+  let n = max la lb in
+  let out = Array.make (n + 1) 0 in
+  let carry = ref 0 in
+  for i = 0 to n - 1 do
+    let s = (if i < la then a.(i) else 0) + (if i < lb then b.(i) else 0) + !carry in
+    out.(i) <- s land limb_mask;
+    carry := s lsr limb_bits
+  done;
+  out.(n) <- !carry;
+  normalize out
+
+(** [sub a b] is [a - b].
+    @raise Invalid_argument when [b > a] (naturals only). *)
+let sub (a : t) (b : t) : t =
+  if compare a b < 0 then invalid_arg "Nat.sub: negative result";
+  let la = Array.length a and lb = Array.length b in
+  let out = Array.make la 0 in
+  let borrow = ref 0 in
+  for i = 0 to la - 1 do
+    let d = a.(i) - (if i < lb then b.(i) else 0) - !borrow in
+    if d < 0 then begin
+      out.(i) <- d + limb_base;
+      borrow := 1
+    end
+    else begin
+      out.(i) <- d;
+      borrow := 0
+    end
+  done;
+  normalize out
+
+let mul (a : t) (b : t) : t =
+  let la = Array.length a and lb = Array.length b in
+  if la = 0 || lb = 0 then zero
+  else begin
+    let out = Array.make (la + lb) 0 in
+    for i = 0 to la - 1 do
+      let carry = ref 0 in
+      for j = 0 to lb - 1 do
+        let s = out.(i + j) + (a.(i) * b.(j)) + !carry in
+        out.(i + j) <- s land limb_mask;
+        carry := s lsr limb_bits
+      done;
+      out.(i + lb) <- out.(i + lb) + !carry
+    done;
+    normalize out
+  end
+
+(** [shift_left a k] is [a * 2^k]. *)
+let shift_left (a : t) k : t =
+  if k < 0 then invalid_arg "Nat.shift_left: negative";
+  if is_zero a || k = 0 then a
+  else begin
+    let limbs = k / limb_bits and bits = k mod limb_bits in
+    let la = Array.length a in
+    let out = Array.make (la + limbs + 1) 0 in
+    for i = 0 to la - 1 do
+      let v = a.(i) lsl bits in
+      out.(i + limbs) <- out.(i + limbs) lor (v land limb_mask);
+      out.(i + limbs + 1) <- v lsr limb_bits
+    done;
+    normalize out
+  end
+
+(** Nearest float (exact below [2^53]; the conversion every reported
+    rate goes through, so BDD-side and recount-side rates agree
+    bit-for-bit whenever both compute the same integers). *)
+let to_float (a : t) =
+  let acc = ref 0. in
+  for i = Array.length a - 1 downto 0 do
+    acc := (!acc *. float_of_int limb_base) +. float_of_int a.(i)
+  done;
+  !acc
+
+(* Divide by a small positive int in place-free style; returns
+   (quotient, remainder).  [d * limb_base] must not overflow, which
+   holds for every divisor used here (10^9 * 2^24 < 2^54). *)
+let divmod_small (a : t) d =
+  if d <= 0 then invalid_arg "Nat.divmod_small";
+  let la = Array.length a in
+  let q = Array.make la 0 in
+  let r = ref 0 in
+  for i = la - 1 downto 0 do
+    let cur = (!r lsl limb_bits) lor a.(i) in
+    q.(i) <- cur / d;
+    r := cur mod d
+  done;
+  (normalize q, !r)
+
+let to_string (a : t) =
+  if is_zero a then "0"
+  else begin
+    (* Peel base-10^9 chunks, least significant first. *)
+    let chunks = ref [] in
+    let rest = ref a in
+    while not (is_zero !rest) do
+      let q, r = divmod_small !rest 1_000_000_000 in
+      chunks := r :: !chunks;
+      rest := q
+    done;
+    match !chunks with
+    | [] -> assert false
+    | hd :: tl ->
+      String.concat "" (string_of_int hd :: List.map (Printf.sprintf "%09d") tl)
+  end
+
+let pp fmt a = Format.pp_print_string fmt (to_string a)

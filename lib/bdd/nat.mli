@@ -1,0 +1,34 @@
+(** Arbitrary-precision natural numbers — the exact counterpart of the
+    [float] sat-counts, for verdicts that compare a violation {e rate}
+    against a threshold (where [2^53] float rounding could flip the
+    answer).  Only what counting needs: add, multiply, shift, compare,
+    decimal printing.  No external dependencies. *)
+
+type t
+
+val zero : t
+val one : t
+val of_int : int -> t
+(** @raise Invalid_argument on a negative argument. *)
+
+val is_zero : t -> bool
+val compare : t -> t -> int
+val equal : t -> t -> bool
+val add : t -> t -> t
+
+val sub : t -> t -> t
+(** @raise Invalid_argument when the result would be negative. *)
+
+val mul : t -> t -> t
+
+val shift_left : t -> int -> t
+(** [shift_left a k] is [a * 2^k]. *)
+
+val to_int_opt : t -> int option
+(** The value as a native [int] when it fits, [None] otherwise. *)
+
+val to_float : t -> float
+(** Nearest float; exact below [2^53]. *)
+
+val to_string : t -> string
+val pp : Format.formatter -> t -> unit

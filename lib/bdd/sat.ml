@@ -5,41 +5,31 @@
 
 module M = Manager
 
-(** Number of satisfying assignments of [root] over the manager's full
-    variable set, as a float (counts overflow 63-bit ints quickly).
+(* The walk below is parametric in the count's arithmetic: the same
+   traversal yields the fast [float] counts (inexact above [2^53]) and
+   the exact {!Nat} counts that threshold verdicts compare against.
+   [shift c k] must be [c * 2^k]. *)
+type 'a ops = { c_zero : 'a; c_one : 'a; c_add : 'a -> 'a -> 'a; c_shift : 'a -> int -> 'a }
 
-    The count for a node at level [v] is weighted by [2^(v' - v - 1)]
-    for each child at level [v'] to account for skipped variables. *)
-let count m root =
-  let nvars = M.nvars m in
-  let memo = Hashtbl.create 256 in
-  (* memoised count "from the node's own level" *)
-  let rec node_count id =
-    if id = M.zero then 0.
-    else if id = M.one then 1.
-    else
-      match Hashtbl.find_opt memo id with
-      | Some c -> c
-      | None ->
-        let c = below (M.var m id) (M.low m id) +. below (M.var m id) (M.high m id) in
-        Hashtbl.add memo id c;
-        c
-  and below parent_level child =
-    let child_level = if M.is_terminal child then nvars else M.var m child in
-    node_count child *. Float.pow 2. (float_of_int (child_level - parent_level - 1))
-  in
-  let top_level = if M.is_terminal root then nvars else M.var m root in
-  node_count root *. Float.pow 2. (float_of_int top_level)
+let float_ops =
+  {
+    c_zero = 0.;
+    c_one = 1.;
+    c_add = ( +. );
+    c_shift = (fun c k -> c *. Float.pow 2. (float_of_int k));
+  }
 
-(* The generalised count behind [count_over] and [count_restrict]:
-   models over the sub-space spanned by [levels], with every level in
-   [fix] forced to its given value.  One walk, no node allocation —
-   skipped {e free} levels weight a child by 2 each, skipped fixed
-   levels by 1 (the forced branch), and a node sitting on a fixed
-   level follows only the forced child.  Memoising on the node id is
-   sound because a node's weight context is a function of its level
-   alone. *)
-let counted m root ~fix ~levels =
+let nat_ops =
+  { c_zero = Nat.zero; c_one = Nat.one; c_add = Nat.add; c_shift = Nat.shift_left }
+
+(* The generalised count behind every [count*] entry point: models over
+   the sub-space spanned by [levels], with every level in [fix] forced
+   to its given value.  One walk, no node allocation — skipped {e free}
+   levels weight a child by 2 each, skipped fixed levels by 1 (the
+   forced branch), and a node sitting on a fixed level follows only the
+   forced child.  Memoising on the node id is sound because a node's
+   weight context is a function of its level alone. *)
+let counted_with (type a) (ops : a ops) m root ~fix ~levels : a =
   let nvars = M.nvars m in
   let n = Array.length levels in
   let role = Array.make (max nvars 1) `Out in
@@ -62,10 +52,10 @@ let counted m root ~fix ~levels =
   for l = 0 to nvars - 1 do
     frank.(l + 1) <- frank.(l) + (match role.(l) with `Free -> 1 | _ -> 0)
   done;
-  let memo = Hashtbl.create 256 in
+  let memo : (int, a) Hashtbl.t = Hashtbl.create 256 in
   let rec node_count id =
-    if id = M.zero then 0.
-    else if id = M.one then 1.
+    if id = M.zero then ops.c_zero
+    else if id = M.one then ops.c_one
     else
       match Hashtbl.find_opt memo id with
       | Some c -> c
@@ -74,7 +64,7 @@ let counted m root ~fix ~levels =
         let c =
           match role.(v) with
           | `Fixed b -> below v (if b then M.high m id else M.low m id)
-          | `Free -> below v (M.low m id) +. below v (M.high m id)
+          | `Free -> ops.c_add (below v (M.low m id)) (below v (M.high m id))
           | `Out ->
             invalid_arg
               (Printf.sprintf "Sat: support level %d outside levels (+ fix)" v)
@@ -84,16 +74,23 @@ let counted m root ~fix ~levels =
   and below parent child =
     let cr = if M.is_terminal child then n else frank.(M.var m child) in
     let skipped = cr - frank.(parent) - (match role.(parent) with `Free -> 1 | _ -> 0) in
-    node_count child *. Float.pow 2. (float_of_int skipped)
+    ops.c_shift (node_count child) skipped
   in
   let top = if M.is_terminal root then n else frank.(M.var m root) in
-  node_count root *. Float.pow 2. (float_of_int top)
+  ops.c_shift (node_count root) top
+
+let all_levels m = Array.init (M.nvars m) Fun.id
+
+(** Number of satisfying assignments of [root] over the manager's full
+    variable set, as a float (counts overflow 63-bit ints quickly; use
+    {!count_exact} when the value feeds a comparison). *)
+let count m root = counted_with float_ops m root ~fix:[] ~levels:(all_levels m)
 
 (** Satisfying assignments over exactly the sub-space spanned by
     [levels] (sorted, distinct) — the direct form of the "divide
     {!count} by [2^unused]" idiom, without the division.
     @raise Invalid_argument when [root]'s support escapes [levels]. *)
-let count_over m root ~levels = counted m root ~fix:[] ~levels
+let count_over m root ~levels = counted_with float_ops m root ~fix:[] ~levels
 
 (** [count_over] of [root] with the [fix]ed levels forced: the model
     count, over [levels], of the restriction — computed in one walk
@@ -101,7 +98,17 @@ let count_over m root ~levels = counted m root ~fix:[] ~levels
     this once per candidate tuple).
     @raise Invalid_argument when support escapes [levels] + [fix],
     when the two sets overlap, or on conflicting [fix] entries. *)
-let count_restrict m root ~fix ~levels = counted m root ~fix ~levels
+let count_restrict m root ~fix ~levels = counted_with float_ops m root ~fix ~levels
+
+(** Exact counterparts, same walk with {!Nat} arithmetic.  A float
+    count is only integer-exact below [2^53]; threshold verdicts
+    ("violation rate ≤ 1−p") compare these instead so a near-threshold
+    count can never round across the verdict boundary. *)
+let count_exact m root = counted_with nat_ops m root ~fix:[] ~levels:(all_levels m)
+
+let count_over_exact m root ~levels = counted_with nat_ops m root ~fix:[] ~levels
+
+let count_restrict_exact m root ~fix ~levels = counted_with nat_ops m root ~fix ~levels
 
 (** One satisfying partial assignment as [(level, value)] pairs along a
     high-preferring path, or [None] if unsatisfiable.  Levels absent

@@ -20,6 +20,17 @@ val count_restrict :
     @raise Invalid_argument when support escapes [levels] + [fix],
     when the two overlap, or on conflicting [fix] entries. *)
 
+val count_exact : Manager.t -> int -> Nat.t
+val count_over_exact : Manager.t -> int -> levels:int array -> Nat.t
+
+val count_restrict_exact :
+  Manager.t -> int -> fix:(int * bool) list -> levels:int array -> Nat.t
+(** Exact counterparts of {!count}/{!count_over}/{!count_restrict}:
+    the same walk carried out in arbitrary-precision {!Nat} arithmetic.
+    A float count is only integer-exact below [2^53]; use these when
+    the count feeds a comparison (threshold verdicts) rather than a
+    cost estimate. *)
+
 val any : Manager.t -> int -> (int * bool) list option
 (** One satisfying partial assignment (ascending levels; missing
     levels are don't-cares), or [None] if unsatisfiable. *)

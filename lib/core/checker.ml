@@ -32,6 +32,17 @@ let strategy_name = function Auto -> "auto" | Force_bdd -> "bdd" | Force_sql -> 
 
 type outcome = Satisfied | Violated
 
+(** The measured violation rate of a soft (thresholded) check.  The
+    counts are exact ({!Fcv_bdd.Nat}); [ratio] is their correctly
+    rounded float quotient, for display — the verdict itself never
+    goes through float arithmetic. *)
+type rate = {
+  violations : Fcv_bdd.Nat.t;  (** bindings falsifying the body *)
+  total : Fcv_bdd.Nat.t;  (** bindings satisfying the hypothesis *)
+  ratio : float;  (** violations / total; [0.] when [total] is zero *)
+  threshold : float;
+}
+
 type result = {
   outcome : outcome;
   method_used : method_used;
@@ -44,6 +55,10 @@ type result = {
           [Force_sql] path) *)
   rewritten : Formula.t;  (** the formula whose BDD was (to be) built *)
   check : Rewrite.check;
+  rate : rate option;
+      (** measured violation rate; [Some] exactly on soft checks
+          ({!check_spec} with threshold < 1), [None] on every hard
+          check — the classical path is byte-for-byte unchanged *)
 }
 
 (** How the final test is phrased.  [Violation] compiles the {e
@@ -177,6 +192,7 @@ let check ?(pipeline = default_pipeline) ?(strategy = Auto) index constraint_ =
       fallback_ms = 0.;
       rewritten = constraint_;
       check = Rewrite.Check_valid;
+      rate = None;
     }
   | Auto | Force_bdd ->
   let fd_fast_path () =
@@ -204,6 +220,7 @@ let check ?(pipeline = default_pipeline) ?(strategy = Auto) index constraint_ =
                 fallback_ms = 0.;
                 rewritten = constraint_;
                 check = Rewrite.Check_valid;
+                rate = None;
               }
           (* past the node budget (or out of level space), fall through
              to the generic path, which carries the SQL fallback *)
@@ -238,6 +255,7 @@ let check ?(pipeline = default_pipeline) ?(strategy = Auto) index constraint_ =
       fallback_ms = 0.;
       rewritten;
       check = check_mode;
+      rate = None;
     }
   | exception (M.Node_limit _ | M.Level_limit _) ->
     let overhead = (Fcv_util.Timer.now () -. t0) *. 1000. in
@@ -263,7 +281,137 @@ let check ?(pipeline = default_pipeline) ?(strategy = Auto) index constraint_ =
       fallback_ms = elapsed_ms;
       rewritten;
       check = check_mode;
+      rate = None;
     }
+
+(* -- approximate (thresholded) checks --------------------------------------- *)
+
+let ratio_of ~violations ~total =
+  if Fcv_bdd.Nat.is_zero total then 0.
+  else Fcv_bdd.Nat.to_float violations /. Fcv_bdd.Nat.to_float total
+
+(** Exact threshold test: does the satisfied fraction reach
+    [threshold]?  [threshold] is read off its float representation as
+    the dyadic rational P/2^k (frexp), and the comparison
+    [(total − violations)·2^k ≥ P·total] runs entirely in {!Fcv_bdd.Nat}
+    arithmetic — no float ever touches the counts, so a near-threshold
+    count cannot round across the verdict boundary (the [2^53]
+    landmine of the float sat-counts).  A zero [total] holds
+    vacuously. *)
+let clears ~threshold ~violations ~total =
+  let module N = Fcv_bdd.Nat in
+  if N.is_zero total then true
+  else begin
+    (* threshold = mp·2^ep with mp ∈ [0.5, 1); mp·2^53 is an integer *)
+    let mp, ep = Float.frexp threshold in
+    let p = N.of_int (int_of_float (Float.ldexp mp 53)) in
+    let k = 53 - ep in
+    let satisfied = N.sub total violations in
+    N.compare (N.shift_left satisfied k) (N.mul p total) >= 0
+  end
+
+(* The soft-check pipeline: exact violation/support counts (FD
+   fast path when the shape matches and an index covers it, the
+   general violation-BDD analyzer otherwise), the exact threshold
+   comparison, and a naive full-recount fallback when the BDD attempt
+   trips the node budget. *)
+let check_soft ~pipeline ~strategy index (spec : Formula.spec) =
+  let threshold = spec.Formula.threshold in
+  let c = spec.Formula.formula in
+  if not (Formula.is_closed c) then
+    invalid_arg "Checker.check_spec: constraint must be a closed formula";
+  T.with_span "check_soft" @@ fun () ->
+  let kstats0 = M.stats (Index.mgr index) in
+  let db = index.Index.db in
+  let typing = T.with_span "typing" (fun () -> Typing.infer_spec db spec) in
+  let t0 = Fcv_util.Timer.now () in
+  let build ?elapsed_ms ~counts:(violations, total) ~method_used ~overhead ~fallback_ms ()
+      =
+    let outcome = if clears ~threshold ~violations ~total then Satisfied else Violated in
+    let elapsed_ms =
+      match elapsed_ms with
+      | Some e -> e
+      | None -> (Fcv_util.Timer.now () -. t0) *. 1000.
+    in
+    tel_check_done ~before:kstats0 ~mgr:(Index.mgr index) ~method_used ~outcome
+      ~elapsed_ms ~overhead_ms:overhead;
+    {
+      outcome;
+      method_used;
+      elapsed_ms;
+      bdd_overhead_ms = overhead;
+      fallback_ms;
+      rewritten = c;
+      check = Rewrite.Check_valid;
+      rate = Some { violations; total; ratio = ratio_of ~violations ~total; threshold };
+    }
+  in
+  let naive_counts () =
+    let v, t = T.with_span "fallback" (fun () -> Naive_eval.soft_counts ~typing db c) in
+    (Fcv_bdd.Nat.of_int v, Fcv_bdd.Nat.of_int t)
+  in
+  match strategy with
+  | Force_sql ->
+    (* there is no SQL form of the rate query: a soft constraint
+       planned to SQL recounts naively, up front *)
+    build ~counts:(naive_counts ()) ~method_used:Naive ~overhead:0. ~fallback_ms:0. ()
+  | Auto | Force_bdd -> (
+    let bdd_counts () =
+      let fd =
+        if not pipeline.use_fd_fast_path then None
+        else
+          match Fd_check.recognize_fd db c with
+          | Some (table_name, lhs, rhs) ->
+            T.with_span "fd_fast_path" (fun () ->
+                Fd_check.fd_soft_counts index ~table_name ~lhs ~rhs:[ rhs ])
+          | None -> None
+      in
+      match fd with Some counts -> Some counts | None -> Violations.soft_counts index c
+    in
+    match bdd_counts () with
+    | Some counts -> build ~counts ~method_used:Bdd ~overhead:0. ~fallback_ms:0. ()
+    | None ->
+      (* no leading ∀-block to witness: 0/1 semantics off the plain
+         verdict (rate 1 when violated, 0 when satisfied — the
+         outcome is unchanged for any threshold in (0, 1]) *)
+      let r = check ~pipeline ~strategy index c in
+      let module N = Fcv_bdd.Nat in
+      let violations = if r.outcome = Violated then N.one else N.zero in
+      {
+        r with
+        rate =
+          Some
+            {
+              violations;
+              total = N.one;
+              ratio = (if r.outcome = Violated then 1. else 0.);
+              threshold;
+            };
+      }
+    | exception (M.Node_limit _ | M.Level_limit _) ->
+      let overhead = (Fcv_util.Timer.now () -. t0) *. 1000. in
+      let t1 = Fcv_util.Timer.now () in
+      let counts = naive_counts () in
+      let fallback_ms = (Fcv_util.Timer.now () -. t1) *. 1000. in
+      if T.enabled () then
+        T.event "check.fallback"
+          [
+            ("method", T.String (method_name Naive));
+            ("bdd_overhead_ms", T.Float overhead);
+            ("fallback_ms", T.Float fallback_ms);
+          ];
+      build ~elapsed_ms:fallback_ms ~counts ~method_used:Naive ~overhead ~fallback_ms ())
+
+(** Check one constraint spec.  Hard specs ([threshold = 1.0]) take
+    exactly the {!check} path — verdict, method choice and planner
+    behavior are unchanged — and report no rate.  Soft specs compute
+    exact violation/support counts over the violation BDD (or the FD
+    projection counts) and compare the rate against the threshold in
+    arbitrary precision; [result.rate] carries the measurement. *)
+let check_spec ?(pipeline = default_pipeline) ?(strategy = Auto) index
+    (spec : Formula.spec) =
+  if Formula.is_hard spec then check ~pipeline ~strategy index spec.Formula.formula
+  else check_soft ~pipeline ~strategy index spec
 
 (* -- parallel scheduling: cost estimates and task granularity --------------- *)
 
@@ -335,6 +483,8 @@ let merge_parts = function
       fallback_ms = List.fold_left (fun acc r -> acc +. r.fallback_ms) 0. rs;
       rewritten = first.rewritten;
       check = first.check;
+      (* only hard constraints go through the conjunct splitter *)
+      rate = None;
     }
 
 (** Check a batch against a live pool: every relation each constraint

@@ -25,6 +25,17 @@ val strategy_name : strategy -> string
 
 type outcome = Satisfied | Violated
 
+type rate = {
+  violations : Fcv_bdd.Nat.t;  (** bindings falsifying the body *)
+  total : Fcv_bdd.Nat.t;  (** bindings satisfying the hypothesis *)
+  ratio : float;  (** violations / total; [0.] when [total] is zero *)
+  threshold : float;
+}
+(** The measured violation rate of a soft (thresholded) check.  The
+    counts are exact ({!Fcv_bdd.Nat}); [ratio] is their correctly
+    rounded float quotient, for display — the verdict itself never
+    goes through float arithmetic. *)
+
 type result = {
   outcome : outcome;
   method_used : method_used;
@@ -39,6 +50,10 @@ type result = {
           abandoned attempt nor a "fallback" *)
   rewritten : Formula.t;
   check : Rewrite.check;
+  rate : rate option;
+      (** measured violation rate; [Some] exactly on soft checks
+          ({!check_spec} with threshold < 1), [None] on every hard
+          check — the classical path is byte-for-byte unchanged *)
 }
 
 type polarity = Direct | Violation
@@ -74,6 +89,27 @@ val check : ?pipeline:pipeline -> ?strategy:strategy -> Index.t -> Formula.t -> 
     BDD attempt entirely.  Verdicts are strategy-independent.
     @raise Invalid_argument on open formulas.
     @raise Typing.Type_error on ill-typed constraints. *)
+
+val clears :
+  threshold:float -> violations:Fcv_bdd.Nat.t -> total:Fcv_bdd.Nat.t -> bool
+(** Exact threshold test: does the satisfied fraction
+    [(total − violations) / total] reach [threshold]?  The threshold
+    is read off its float representation as a dyadic rational P/2^k
+    and the comparison runs entirely in {!Fcv_bdd.Nat} arithmetic — a
+    near-threshold count cannot round across the verdict boundary.  A
+    zero [total] holds vacuously. *)
+
+val check_spec :
+  ?pipeline:pipeline -> ?strategy:strategy -> Index.t -> Formula.spec -> result
+(** Check one constraint spec.  Hard specs ([threshold = 1.0]) take
+    exactly the {!check} path — verdict, method choice and planner
+    behavior are unchanged — and report [rate = None].  Soft specs
+    compute exact violation/support counts over the violation BDD (FD
+    projection counts on FD-shaped constraints) and compare the
+    satisfied fraction against the threshold in arbitrary precision
+    ({!clears}); [result.rate] carries the measurement.  A soft spec
+    planned to [Force_sql], or whose BDD attempt trips the node
+    budget, recounts with {!Naive_eval.soft_counts}. *)
 
 val check_all :
   ?pipeline:pipeline ->

@@ -6,6 +6,19 @@
 val fd_holds : Index.t -> table_name:string -> lhs:string list -> rhs:string list -> bool
 (** @raise Invalid_argument when no index covers lhs ∪ rhs. *)
 
+val fd_soft_counts :
+  Index.t ->
+  table_name:string ->
+  lhs:string list ->
+  rhs:string list ->
+  (Fcv_bdd.Nat.t * Fcv_bdd.Nat.t) option
+(** Exact [(violating, total)] ordered-pair counts for a threshold
+    verdict on an FD-shaped constraint: pairs of π(lhs∪rhs) tuples
+    sharing the lhs, split by whether their rhs agree — Σ n(n−1) and
+    Σ n² over the per-lhs rhs co-domain sizes n, in arbitrary
+    precision.  Matches the general BDD path and the naive recount
+    binding-for-binding.  [None] when no index covers lhs ∪ rhs. *)
+
 val recognize_fd :
   Fcv_relation.Database.t -> Formula.t -> (string * string list * string) option
 (** Recognise ∀x̄,r1,r2. R(…r1…) ∧ R(…r2…) → r1 = r2 as

@@ -19,6 +19,7 @@ exception Error of string
 type token =
   | IDENT of string
   | INT of int
+  | FLOAT of float
   | STRING of string
   | LPAREN
   | RPAREN
@@ -27,13 +28,15 @@ type token =
   | COMMA
   | DOT
   | EQUAL
+  | GEQ
   | ARROW
   | DARROW
   | UNDERSCORE
   | KW of string
   | EOF
 
-let keywords = [ "forall"; "exists"; "and"; "or"; "not"; "in"; "true"; "false"; "implies" ]
+let keywords =
+  [ "forall"; "exists"; "and"; "or"; "not"; "in"; "true"; "false"; "implies"; "holds" ]
 
 let tokenize s =
   let n = String.length s in
@@ -67,6 +70,9 @@ let tokenize s =
       | '=' ->
         emit EQUAL;
         go (i + 1)
+      | '>' when i + 1 < n && s.[i + 1] = '=' ->
+        emit GEQ;
+        go (i + 2)
       | '-' when i + 1 < n && s.[i + 1] = '>' ->
         emit ARROW;
         go (i + 2)
@@ -90,9 +96,29 @@ let tokenize s =
         emit (STRING (Buffer.contents buf));
         go i'
       | c when c >= '0' && c <= '9' ->
-        let rec num j = if j < n && s.[j] >= '0' && s.[j] <= '9' then num (j + 1) else j in
+        let is_digit c = c >= '0' && c <= '9' in
+        let rec num j = if j < n && is_digit s.[j] then num (j + 1) else j in
         let j = num i in
-        emit (INT (int_of_string (String.sub s i (j - i))));
+        (* A fraction needs a digit after the dot, so a quantifier's
+           [.] after an integer still lexes as DOT. *)
+        let j, fractional =
+          if j + 1 < n && s.[j] = '.' && is_digit s.[j + 1] then (num (j + 2), true)
+          else (j, false)
+        in
+        let j, fractional =
+          if
+            j < n
+            && (s.[j] = 'e' || s.[j] = 'E')
+            && (if j + 1 < n && (s.[j + 1] = '+' || s.[j + 1] = '-') then
+                  j + 2 < n && is_digit s.[j + 2]
+                else j + 1 < n && is_digit s.[j + 1])
+          then
+            ( num (if s.[j + 1] = '+' || s.[j + 1] = '-' then j + 2 else j + 1),
+              true )
+          else (j, fractional)
+        in
+        let text = String.sub s i (j - i) in
+        emit (if fractional then FLOAT (float_of_string text) else INT (int_of_string text));
         go j
       | c when is_start c || c = '_' ->
         let rec ident j = if j < n && is_char s.[j] then ident (j + 1) else j in
@@ -117,6 +143,7 @@ let advance st = match st.toks with [] -> () | _ :: r -> st.toks <- r
 let describe = function
   | IDENT s -> "identifier " ^ s
   | INT i -> string_of_int i
+  | FLOAT f -> Printf.sprintf "%g" f
   | STRING s -> Printf.sprintf "'%s'" s
   | LPAREN -> "("
   | RPAREN -> ")"
@@ -125,6 +152,7 @@ let describe = function
   | COMMA -> ","
   | DOT -> "."
   | EQUAL -> "="
+  | GEQ -> ">="
   | ARROW -> "->"
   | DARROW -> "<->"
   | UNDERSCORE -> "_"
@@ -265,11 +293,48 @@ and parse_primary st =
     | tok -> raise (Error ("expected = or in after term, found " ^ describe tok)))
   | t -> raise (Error ("unexpected " ^ describe t))
 
+let finish st v =
+  match peek st with
+  | EOF -> v
+  | t -> raise (Error ("trailing input: " ^ describe t))
+
 (** Parse a constraint from text. *)
 let of_string s =
   let st = { toks = tokenize s } in
-  let f = parse_formula st in
-  (match peek st with
-  | EOF -> ()
-  | t -> raise (Error ("trailing input: " ^ describe t)));
-  f
+  finish st (parse_formula st)
+
+(* [holds [on] >= <p> . <formula>] — the optional approximate-constraint
+   prefix.  Called with the [holds] keyword already consumed. *)
+let parse_threshold st =
+  (match peek st with IDENT "on" -> advance st | _ -> ());
+  expect st GEQ;
+  let p =
+    match peek st with
+    | FLOAT f ->
+      advance st;
+      f
+    | INT i ->
+      advance st;
+      float_of_int i
+    | t -> raise (Error ("expected threshold after holds >=, found " ^ describe t))
+  in
+  if not (p > 0. && p <= 1.) then
+    raise (Error (Printf.sprintf "threshold %g out of range (0, 1]" p));
+  expect st DOT;
+  p
+
+(** Parse a constraint spec: an optional [holds >= p .] threshold
+    prefix followed by a formula.  Without the prefix the spec is hard
+    ([threshold = 1.0]), so every input {!of_string} accepts parses to
+    the equivalent hard spec. *)
+let spec_of_string s =
+  let st = { toks = tokenize s } in
+  let threshold =
+    if peek st = KW "holds" then begin
+      advance st;
+      parse_threshold st
+    end
+    else 1.0
+  in
+  let formula = parse_formula st in
+  finish st { Formula.threshold; formula }

@@ -15,3 +15,9 @@ exception Error of string
 
 val of_string : string -> Formula.t
 (** @raise Error on syntax errors. *)
+
+val spec_of_string : string -> Formula.spec
+(** Like {!of_string} but accepting an optional approximate-constraint
+    prefix [holds [on] >= <p> .] (p a literal in (0, 1]) before the
+    formula; absent, the spec is hard ([threshold = 1.0]).
+    @raise Error on syntax errors or an out-of-range threshold. *)

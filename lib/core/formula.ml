@@ -115,6 +115,46 @@ let rec pp fmt = function
 
 let to_string f = Format.asprintf "%a" pp f
 
+(* -- approximate-constraint specs ----------------------------------------- *)
+
+(** A constraint together with its holding threshold: the [formula]
+    must hold on at least [threshold] of its bindings (equivalently,
+    the violation rate must stay ≤ [1 - threshold]).  [threshold] is
+    in [(0, 1]]; [1.0] is the classical hard constraint, and every
+    plain formula promotes to a hard spec via {!hard}.  Concrete
+    syntax: [holds >= 0.999 . <formula>] (see {!Fol_parser.spec_of_string}). *)
+type spec = { threshold : float; formula : t }
+
+let hard formula = { threshold = 1.0; formula }
+let is_hard s = s.threshold >= 1.0
+
+(* Shortest decimal that round-trips through [float_of_string] — the
+   threshold survives source → WAL/snapshot → reparse bit-for-bit. *)
+let threshold_repr p =
+  let s12 = Printf.sprintf "%.12g" p in
+  if float_of_string s12 = p then s12
+  else
+    let s15 = Printf.sprintf "%.15g" p in
+    if float_of_string s15 = p then s15 else Printf.sprintf "%.17g" p
+
+let spec_to_string s =
+  if is_hard s then to_string s.formula
+  else Printf.sprintf "holds >= %s . %s" (threshold_repr s.threshold) (to_string s.formula)
+
+(** The leading ∀-block (nested [Forall]s collected) and the body
+    under it — the binding space a violation {e rate} is measured
+    over. *)
+let rec strip_foralls = function
+  | Forall (xs, f) ->
+    let ys, body = strip_foralls f in
+    (xs @ ys, body)
+  | f -> ([], f)
+
+(** The outermost hypothesis of a ∀-stripped body: for [H -> B] the
+    rate denominator counts the bindings satisfying [H]; any other
+    shape counts the whole guarded binding space ([True]). *)
+let hypothesis = function Implies (h, _) -> h | _ -> True
+
 (* -- structural helpers --------------------------------------------------- *)
 
 (** Count of atoms, used by size heuristics and tests. *)

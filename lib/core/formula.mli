@@ -32,6 +32,36 @@ val ( ==> ) : t -> t -> t
 val forall : string list -> t -> t
 val exists : string list -> t -> t
 
+(** {2 Approximate-constraint specs} *)
+
+type spec = { threshold : float; formula : t }
+(** A constraint plus its holding threshold: [formula] must hold on at
+    least [threshold] of its bindings, i.e. the violation rate must
+    stay ≤ [1 - threshold].  [threshold] ∈ (0, 1]; [1.0] is the
+    classical hard constraint.  Concrete syntax
+    [holds >= 0.999 . <formula>]; see {!Fol_parser.spec_of_string}. *)
+
+val hard : t -> spec
+(** Promote a plain formula to the equivalent hard spec. *)
+
+val is_hard : spec -> bool
+
+val threshold_repr : float -> string
+(** Shortest decimal that round-trips through [float_of_string]. *)
+
+val spec_to_string : spec -> string
+(** Parseable by {!Fol_parser.spec_of_string}; hard specs print as the
+    bare formula, so the representation is stable for classical
+    constraints. *)
+
+val strip_foralls : t -> string list * t
+(** Leading ∀-block (nested blocks collected) and the body under it. *)
+
+val hypothesis : t -> t
+(** Outermost hypothesis of a ∀-stripped body ([H] of [H -> B], [True]
+    otherwise) — the denominator of a violation rate counts the
+    bindings satisfying it. *)
+
 (** {2 Analysis} *)
 
 module Sset : Set.S with type elt = string

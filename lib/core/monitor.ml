@@ -14,8 +14,15 @@ type registered = {
   id : int;
   source : string;  (** the constraint's concrete syntax, for reporting *)
   formula : Formula.t;
+  threshold : float;
+      (** verdict threshold; [1.0] = hard (classical) constraint, a
+          value in (0, 1) makes the constraint soft: satisfied while
+          the satisfied fraction of bindings stays ≥ threshold *)
   tables : string list;
   mutable last_outcome : Checker.outcome option;
+  mutable last_rate : Checker.rate option;
+      (** measured rate of the last fresh soft check; [None] for hard
+          constraints and never-checked soft ones *)
   mutable checks_run : int;
   mutable checks_skipped : int;  (** skipped because no watched table changed *)
   mutable total_check_ms : float;  (** cumulative time of fresh checks *)
@@ -92,16 +99,23 @@ let stop t = set_jobs t 1
 let invalidate_replicas t =
   match t.par with Some (_, r) -> Replica.invalidate r | None -> ()
 
+let is_hard r = r.threshold >= 1.0
+
 (* Re-derive every [entailed_by] flag from the current FD set — run
    after each register/unregister, never per pass: entailment is a
-   property of the constraint set, not the data. *)
+   property of the constraint set, not the data.  Only {e hard} FDs
+   participate: a soft FD neither entails (it may be violated below
+   its threshold) nor is entailed (its rate must be measured, not
+   inferred from the Armstrong closure). *)
 let recompute_entailment t =
   let db = t.index.Index.db in
   let regs = constraints t in
   let fds =
     List.filter_map
       (fun r ->
-        match Planner.fd_of db r.formula with Some fd -> Some (r, fd) | None -> None)
+        if not (is_hard r) then None
+        else
+          match Planner.fd_of db r.formula with Some fd -> Some (r, fd) | None -> None)
       regs
   in
   List.iter (fun r -> r.entailed_by <- None) regs;
@@ -122,10 +136,11 @@ let replica_stats t = match t.par with Some (_, r) -> Some (Replica.stats r) | N
     replay / snapshot recovery re-registers constraints under their
     original ids so logged [unregister] records stay valid). *)
 let add ?id t source =
-  let formula = Fol_parser.of_string source in
+  let spec = Fol_parser.spec_of_string source in
+  let formula = spec.Formula.formula in
   if not (Formula.is_closed formula) then
     invalid_arg "Monitor.add: constraint must be closed";
-  ignore (Typing.infer t.index.Index.db formula);
+  ignore (Typing.infer_spec t.index.Index.db spec);
   (* build missing indices transactionally: if the node budget (or
      level space) trips mid-registration, entries already built for
      this registration are rolled back so the monitor is unchanged.
@@ -161,8 +176,10 @@ let add ?id t source =
       id;
       source;
       formula;
+      threshold = spec.Formula.threshold;
       tables = Formula.relations formula;
       last_outcome = None;
+      last_rate = None;
       checks_run = 0;
       checks_skipped = 0;
       total_check_ms = 0.;
@@ -254,6 +271,9 @@ type report = {
   outcome : Checker.outcome;
   fresh : bool;  (** false when the cached verdict was still valid *)
   elapsed_ms : float;
+  rate : Checker.rate option;
+      (** the soft constraint's measured (or cached) rate; [None] for
+          hard constraints *)
 }
 
 (** Validate the registered constraints: a constraint is re-checked
@@ -279,6 +299,7 @@ let validate t =
   let fresh_report reg r =
     if planned then Planner.observe t.planner reg.formula r;
     reg.last_outcome <- Some r.Checker.outcome;
+    (match r.Checker.rate with Some _ as rt -> reg.last_rate <- rt | None -> ());
     reg.checks_run <- reg.checks_run + 1;
     reg.total_check_ms <- reg.total_check_ms +. r.Checker.elapsed_ms;
     if T.enabled () then T.incr (T.counter "monitor.checks_run");
@@ -287,13 +308,15 @@ let validate t =
       outcome = r.Checker.outcome;
       fresh = true;
       elapsed_ms = r.Checker.elapsed_ms;
+      rate = r.Checker.rate;
     }
   in
   let cached_report reg =
     reg.checks_skipped <- reg.checks_skipped + 1;
     if T.enabled () then T.incr (T.counter "monitor.checks_skipped");
     match reg.last_outcome with
-    | Some outcome -> { constraint_ = reg; outcome; fresh = false; elapsed_ms = 0. }
+    | Some outcome ->
+      { constraint_ = reg; outcome; fresh = false; elapsed_ms = 0.; rate = reg.last_rate }
     | None -> assert false
   in
   let entailed_report reg =
@@ -305,14 +328,24 @@ let validate t =
       T.incr (T.counter "monitor.checks_skipped");
       T.incr (T.counter "planner.entailed_skips")
     end;
-    { constraint_ = reg; outcome = Checker.Satisfied; fresh = false; elapsed_ms = 0. }
+    {
+      constraint_ = reg;
+      outcome = Checker.Satisfied;
+      fresh = false;
+      elapsed_ms = 0.;
+      rate = None;
+    }
   in
   let stale = List.filter needs_check regs in
+  (* soft constraints run sequentially through {!Checker.check_spec}:
+     they need the exact-count machinery (and their rates), not the
+     pooled batch checker, and they never participate in entailment *)
+  let stale_soft, stale_hard = List.partition (fun r -> not (is_hard r)) stale in
   (* entailed FDs settle from their entailers' verdicts when possible
      (Planned mode only); everything else is the main batch *)
   let stale_main, stale_ent =
-    if planned then List.partition (fun r -> r.entailed_by = None) stale
-    else (stale, [])
+    if planned then List.partition (fun r -> r.entailed_by = None) stale_hard
+    else (stale_hard, [])
   in
   let plans =
     if planned then
@@ -350,6 +383,20 @@ let validate t =
         Hashtbl.replace fresh reg.id
           (Checker.check ~pipeline:t.pipeline ~strategy t.index reg.formula))
       stale_main strategies);
+  (* soft constraints: planner-advised strategy, exact rate verdict;
+     results feed the planner like any other fresh check *)
+  List.iter
+    (fun reg ->
+      let strategy =
+        match t.planning with
+        | Planned -> (Planner.plan t.planner t.index reg.formula).Planner.strategy
+        | Legacy -> Checker.Auto
+        | Forced s -> s
+      in
+      let spec = { Formula.threshold = reg.threshold; formula = reg.formula } in
+      Hashtbl.replace fresh reg.id
+        (Checker.check_spec ~pipeline:t.pipeline ~strategy t.index spec))
+    stale_soft;
   (* outcomes valid for THIS pass: clean cached verdicts + fresh results *)
   let settled = Hashtbl.create (List.length regs + 1) in
   List.iter

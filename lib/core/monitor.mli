@@ -7,8 +7,15 @@ type registered = {
   id : int;
   source : string;
   formula : Formula.t;
+  threshold : float;
+      (** verdict threshold; [1.0] = hard (classical), values in
+          (0, 1) make the constraint soft — satisfied while the
+          satisfied fraction of bindings stays ≥ threshold *)
   tables : string list;
   mutable last_outcome : Checker.outcome option;
+  mutable last_rate : Checker.rate option;
+      (** measured rate of the last fresh soft check; [None] for hard
+          constraints and never-checked soft ones *)
   mutable checks_run : int;
   mutable checks_skipped : int;
   mutable total_check_ms : float;  (** cumulative time of fresh checks *)
@@ -63,7 +70,8 @@ val constraints : t -> registered list
 (** The registered constraints, oldest first. *)
 
 val add : ?id:int -> t -> string -> registered
-(** Register a constraint (concrete syntax); builds missing indices.
+(** Register a constraint (concrete syntax, optionally prefixed
+    [holds >= p .] for a soft constraint); builds missing indices.
     [id] pins the assigned id (recovery re-registers constraints under
     their original ids); fresh ids stay above any pinned one.
     @raise Fol_parser.Error / Typing.Type_error / Invalid_argument. *)
@@ -101,14 +109,20 @@ type report = {
   outcome : Checker.outcome;
   fresh : bool;  (** false when a cached verdict was still valid *)
   elapsed_ms : float;
+  rate : Checker.rate option;
+      (** the soft constraint's measured (or cached) rate; [None] for
+          hard constraints *)
 }
 
 val validate : t -> report list
 (** Check dirty constraints, reuse cached verdicts for clean ones,
     clear the dirty set.  Under [Planned] the planner chooses each
     strategy, planned costs order the parallel pool, results feed the
-    planner back, and a dirty FD entailed by currently-holding FDs is
-    settled as satisfied without a check ([fresh = false]). *)
+    planner back, and a dirty hard FD entailed by currently-holding
+    hard FDs is settled as satisfied without a check ([fresh =
+    false]).  Soft constraints are checked sequentially through
+    {!Checker.check_spec} — the exact-rate machinery — outside the
+    pooled batch, and never participate in entailment. *)
 
 val violated : t -> registered list
 

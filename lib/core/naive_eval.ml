@@ -116,6 +116,39 @@ let holds ?typing db f =
   in
   eval f
 
+(* Ground [f] under [bound : (var, value) list] by substituting
+   constants for the bound variables, stopping at binders that rebind
+   a substituted variable (shadowing). *)
+let ground_formula bound f =
+  let subst_term t =
+    match t with
+    | Var x -> (
+      match List.assoc_opt x bound with Some value -> Const value | None -> t)
+    | _ -> t
+  in
+  let bound_names = List.map fst bound in
+  let rec subst_formula shadowed = function
+    | True -> True
+    | False -> False
+    | Atom (r, terms) ->
+      Atom (r, List.map (fun t -> if is_shadowed shadowed t then t else subst_term t) terms)
+    | Eq (a, b) -> Eq (subst shadowed a, subst shadowed b)
+    | In (a, vs) -> In (subst shadowed a, vs)
+    | Not g -> Not (subst_formula shadowed g)
+    | And (a, b) -> And (subst_formula shadowed a, subst_formula shadowed b)
+    | Or (a, b) -> Or (subst_formula shadowed a, subst_formula shadowed b)
+    | Implies (a, b) -> Implies (subst_formula shadowed a, subst_formula shadowed b)
+    | Iff (a, b) -> Iff (subst_formula shadowed a, subst_formula shadowed b)
+    | Exists (ys, g) ->
+      Exists (ys, subst_formula (List.filter (fun n -> List.mem n bound_names) ys @ shadowed) g)
+    | Forall (ys, g) ->
+      Forall (ys, subst_formula (List.filter (fun n -> List.mem n bound_names) ys @ shadowed) g)
+  and is_shadowed shadowed = function
+    | Var x -> List.mem x shadowed
+    | Const _ | Wildcard -> false
+  and subst shadowed t = if is_shadowed shadowed t then t else subst_term t in
+  subst_formula [] f
+
 (** Enumerate the violating bindings of a universally quantified
     constraint ∀x̄. φ: all assignments of x̄ (as decoded values) under
     which φ is false.  Used by tests to cross-check
@@ -128,46 +161,42 @@ let violating_bindings ?typing db f =
     let results = ref [] in
     let rec loop bound = function
       | [] ->
-        (* Evaluate body with constants substituted for the variables. *)
-        let subst_term t =
-          match t with
-          | Var x -> (
-            match List.assoc_opt x (List.map (fun (x, _, v) -> (x, v)) bound) with
-            | Some value -> Const value
-            | None -> t)
-          | _ -> t
-        in
-        (* substitution must stop at binders that rebind a substituted
-           variable (shadowing) *)
-        let bound_names = List.map (fun (x, _, _) -> x) bound in
-        let rec subst_formula shadowed = function
-          | True -> True
-          | False -> False
-          | Atom (r, terms) ->
-            Atom (r, List.map (fun t -> if is_shadowed shadowed t then t else subst_term t) terms)
-          | Eq (a, b) -> Eq (subst shadowed a, subst shadowed b)
-          | In (a, vs) -> In (subst shadowed a, vs)
-          | Not g -> Not (subst_formula shadowed g)
-          | And (a, b) -> And (subst_formula shadowed a, subst_formula shadowed b)
-          | Or (a, b) -> Or (subst_formula shadowed a, subst_formula shadowed b)
-          | Implies (a, b) -> Implies (subst_formula shadowed a, subst_formula shadowed b)
-          | Iff (a, b) -> Iff (subst_formula shadowed a, subst_formula shadowed b)
-          | Exists (ys, g) ->
-            Exists (ys, subst_formula (List.filter (fun n -> List.mem n bound_names) ys @ shadowed) g)
-          | Forall (ys, g) ->
-            Forall (ys, subst_formula (List.filter (fun n -> List.mem n bound_names) ys @ shadowed) g)
-        and is_shadowed shadowed = function
-          | Var x -> List.mem x shadowed
-          | Const _ | Wildcard -> false
-        and subst shadowed t = if is_shadowed shadowed t then t else subst_term t in
-        let ground = subst_formula [] body in
-        if not (holds db ground) then
-          results := List.map (fun (x, _, v) -> (x, v)) bound :: !results
+        if not (holds db (ground_formula bound body)) then results := bound :: !results
       | (x, dict) :: rest ->
         for c = 0 to R.Dict.size dict - 1 do
-          loop (bound @ [ (x, c, R.Dict.value dict c) ]) rest
+          loop (bound @ [ (x, R.Dict.value dict c) ]) rest
         done
     in
     loop [] dicts;
     List.rev !results
   | _ -> invalid_arg "Naive_eval.violating_bindings: expects a top-level Forall"
+
+(** Exact [(violations, total)] binding counts for a threshold
+    verdict, by brute-force enumeration of the leading ∀-block (nested
+    blocks collected): [total] counts the bindings satisfying the
+    outermost hypothesis ([True] — every binding — when the stripped
+    body is not an implication), [violations] those falsifying the
+    body.  The ground truth the BDD soft counts are differentially
+    tested against, and the checker's last-resort fallback after a
+    budget trip.  A formula with no leading ∀ gets 0/1 semantics:
+    [(0, 1)] when it holds, [(1, 1)] when it doesn't. *)
+let soft_counts ?typing db f =
+  let xs, body = Formula.strip_foralls f in
+  if xs = [] then if holds ?typing db f then (0, 1) else (1, 1)
+  else begin
+    let typing = match typing with Some t -> t | None -> Typing.infer db f in
+    let dicts = List.map (fun x -> (x, R.Database.domain db (Typing.domain_of typing x))) xs in
+    let h = Formula.hypothesis body in
+    let violations = ref 0 and total = ref 0 in
+    let rec loop bound = function
+      | [] ->
+        if holds db (ground_formula bound h) then incr total;
+        if not (holds db (ground_formula bound body)) then incr violations
+      | (x, dict) :: rest ->
+        for c = 0 to R.Dict.size dict - 1 do
+          loop (bound @ [ (x, R.Dict.value dict c) ]) rest
+        done
+    in
+    loop [] dicts;
+    (!violations, !total)
+  end

@@ -14,3 +14,12 @@ val violating_bindings :
 (** All bindings of a top-level ∀ block under which the body fails.
     @raise Invalid_argument unless the formula is a top-level
     [Forall]. *)
+
+val soft_counts : ?typing:Typing.env -> Fcv_relation.Database.t -> Formula.t -> int * int
+(** Exact [(violations, total)] binding counts over the leading
+    ∀-block (nested blocks collected): [total] counts bindings
+    satisfying the outermost hypothesis ([True] when the stripped body
+    is not an implication), [violations] those falsifying the body.
+    The differential ground truth for the BDD soft counts, and the
+    checker's last-resort fallback.  No leading ∀ gets 0/1 semantics:
+    [(0, 1)] if the formula holds, [(1, 1)] otherwise. *)

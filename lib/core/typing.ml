@@ -99,6 +99,14 @@ let infer db f =
   check_quantified f;
   env
 
+(** {!infer} on a spec's formula, after validating the threshold: a
+    holding fraction only makes sense in (0, 1] (and [nan] must not
+    slip into verdict comparisons). *)
+let infer_spec db (s : Formula.spec) =
+  if not (s.threshold > 0. && s.threshold <= 1.) then
+    fail "threshold %g out of range (0, 1]" s.threshold;
+  infer db s.formula
+
 (** Domain of variable [x] under a typing. *)
 let domain_of env x =
   match Hashtbl.find_opt env x with

@@ -11,5 +11,10 @@ type env = (string, string) Hashtbl.t
 val infer : Fcv_relation.Database.t -> Formula.t -> env
 (** @raise Type_error *)
 
+val infer_spec : Fcv_relation.Database.t -> Formula.spec -> env
+(** {!infer} on the spec's formula, after validating the threshold
+    (must lie in (0, 1] and be finite).
+    @raise Type_error *)
+
 val domain_of : env -> string -> string
 (** @raise Type_error on untyped variables. *)

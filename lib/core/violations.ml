@@ -99,6 +99,53 @@ let release a = Compile.release a.ctx
 (** Exact number of violating bindings, straight off the BDD. *)
 let witness_count a = Sat.count_over (Compile.mgr a.ctx) a.root ~levels:a.levels
 
+(** {!witness_count} in arbitrary-precision arithmetic — the numerator
+    of a threshold verdict, immune to float rounding above [2^53]. *)
+let witness_count_exact a =
+  Sat.count_over_exact (Compile.mgr a.ctx) a.root ~levels:a.levels
+
+(* The denominator of a violation rate: bindings of the witness space
+   satisfying the constraint's outermost hypothesis ([True] — the
+   whole guarded space — when the ∀-stripped body is not an
+   implication).  Compiled in the analyzer's own context so variable
+   blocks are shared with the violation BDD; scratch levels are
+   projected away exactly as {!analyze} does. *)
+let support_count_exact a ~renamed =
+  let m = Compile.mgr a.ctx in
+  let _, body = Formula.strip_foralls renamed in
+  let h = Formula.hypothesis body in
+  let root = Compile.compile a.ctx h in
+  let guard =
+    List.fold_left (fun acc (_, b) -> O.band m acc (Fd.valid m b)) M.one a.blocks
+  in
+  let root = O.band m guard root in
+  let witness_levels = Array.to_list a.levels in
+  let support = M.support m root in
+  let extra = List.filter (fun l -> not (List.mem l witness_levels)) support in
+  let root = if extra = [] then root else O.exists m extra root in
+  Sat.count_over_exact m root ~levels:a.levels
+
+(** Exact [(violations, total)] binding counts for a threshold
+    verdict: models of ¬C's matrix over the witness space, and models
+    of the outermost hypothesis over the same space.  [violations ≤
+    total] always (the matrix entails the hypothesis).  [None] when ¬C
+    has no leading existential block to witness — the caller falls
+    back to 0/1 semantics on the plain verdict. *)
+let soft_counts index constraint_ =
+  (* [analyze] renames apart internally; renaming here again is
+     deterministic, so the hypothesis's names line up with the
+     analyzer's blocks *)
+  let renamed = Rewrite.rename_apart constraint_ in
+  match analyze index constraint_ with
+  | None -> None
+  | Some a ->
+    Fun.protect
+      ~finally:(fun () -> release a)
+      (fun () ->
+        let violations = witness_count_exact a in
+        let total = support_count_exact a ~renamed in
+        Some (violations, total))
+
 (* Decode every witness, then sort — enumeration must be
    deterministic (stable across manager states, index build orders and
    recoveries), so cube order never leaks into the result. *)

@@ -19,6 +19,15 @@ val count : Index.t -> Formula.t -> float option
 (** Exact number of violating bindings (model count over the witness
     blocks) without enumerating them. *)
 
+val soft_counts : Index.t -> Formula.t -> (Fcv_bdd.Nat.t * Fcv_bdd.Nat.t) option
+(** Exact [(violations, total)] binding counts for a threshold
+    verdict: models of ¬C's matrix over the witness space, and models
+    of the constraint's outermost hypothesis ([True] — the whole
+    guarded space — when the ∀-stripped body is not an implication)
+    over the same space.  [violations ≤ total] always.  Arbitrary
+    precision: immune to the [2^53] float rounding of {!count}.
+    [None] when ¬C has no leading existential block to witness. *)
+
 (** {2 Analysis sessions}
 
     {!analyze} compiles the violation BDD once and keeps it live, so

@@ -1,0 +1,110 @@
+(** The approximate-constraint workload: a single sensor-readings
+    table whose functional dependencies hold on all but a tunable
+    fraction of rows.  Each FD has its own noise knob, so a soft
+    constraint registered at threshold p can be driven just above or
+    just below its verdict boundary — the [bench/approx] workload and
+    the soft-check differential tests both generate from here.
+
+    Schema: readings(sensor, location, unit, reading).  In clean data
+    [sensor -> location] and [sensor -> unit] both hold (each sensor
+    is installed in one place and reports one unit); [loc_noise] /
+    [unit_noise] corrupt that fraction of rows with a wrong location /
+    unit.  Note the {e row}-level noise rate is not the {e pair}-level
+    violation rate the checker measures (violating pairs grow roughly
+    quadratically with corrupted rows per sensor) — the point of the
+    family is that the checker reports the exact pair rate, whatever
+    it is. *)
+
+module R = Fcv_relation
+
+type config = {
+  rows : int;
+  sensors : int;
+  locations : int;
+  units : int;
+  readings : int;  (** active domain of the measurement column *)
+  loc_noise : float;  (** fraction of rows with a corrupted location *)
+  unit_noise : float;  (** fraction of rows with a corrupted unit *)
+}
+
+let default =
+  {
+    rows = 20_000;
+    sensors = 500;
+    locations = 120;
+    units = 8;
+    readings = 1_000;
+    loc_noise = 0.0;
+    unit_noise = 0.0;
+  }
+
+let make_db cfg =
+  let db = R.Database.create () in
+  List.iter
+    (fun (name, size) -> R.Database.add_domain db (R.Dict.of_int_range name size))
+    [
+      ("sensor", cfg.sensors);
+      ("location", cfg.locations);
+      ("unit", cfg.units);
+      ("reading", cfg.readings);
+    ];
+  db
+
+(* A corrupted value must differ from the clean one, or the "noise"
+   row would satisfy the FD and the knob would undershoot. *)
+let corrupt rng ~clean ~size =
+  if size <= 1 then clean else (clean + 1 + Fcv_util.Rng.int rng (size - 1)) mod size
+
+(** Generate the readings table into a fresh database; returns it with
+    the table.  Deterministic in the seed: the installation map
+    (sensor -> location, unit) is drawn first, then rows stream out
+    with per-row corruption draws. *)
+let generate rng cfg =
+  let db = make_db cfg in
+  let table =
+    R.Database.create_table db ~name:"readings"
+      ~attrs:
+        [
+          ("sensor", "sensor");
+          ("location", "location");
+          ("unit", "unit");
+          ("reading", "reading");
+        ]
+  in
+  let sensor_loc = Array.init cfg.sensors (fun _ -> Fcv_util.Rng.int rng cfg.locations) in
+  let sensor_unit = Array.init cfg.sensors (fun _ -> Fcv_util.Rng.int rng cfg.units) in
+  for _ = 1 to cfg.rows do
+    let s = Fcv_util.Rng.int rng cfg.sensors in
+    let loc =
+      if cfg.loc_noise > 0. && Fcv_util.Rng.bernoulli rng cfg.loc_noise then
+        corrupt rng ~clean:sensor_loc.(s) ~size:cfg.locations
+      else sensor_loc.(s)
+    in
+    let unit =
+      if cfg.unit_noise > 0. && Fcv_util.Rng.bernoulli rng cfg.unit_noise then
+        corrupt rng ~clean:sensor_unit.(s) ~size:cfg.units
+      else sensor_unit.(s)
+    in
+    R.Table.insert_coded table [| s; loc; unit; Fcv_util.Rng.int rng cfg.readings |]
+  done;
+  (db, table)
+
+(** The family's FDs as hard constraint sources, named. *)
+let fd_constraints =
+  [
+    ( "sensor determines location",
+      "forall s, l1, l2 . readings(s, l1, _, _) and readings(s, l2, _, _) -> l1 = l2" );
+    ( "sensor determines unit",
+      "forall s, u1, u2 . readings(s, _, u1, _) and readings(s, _, u2, _) -> u1 = u2" );
+  ]
+
+(** The same FDs as soft constraints at [threshold] (satisfied while
+    the agreeing fraction of projection pairs stays ≥ threshold). *)
+let soft_constraints ~threshold =
+  List.map
+    (fun (name, src) ->
+      ( name,
+        Printf.sprintf "holds >= %s . %s"
+          (Core.Formula.threshold_repr threshold)
+          src ))
+    fd_constraints

@@ -80,20 +80,22 @@ let scratch ?(max_nodes = 0) db formulas =
   Core.Checker.ensure_indices index formulas;
   { db; index }
 
-(* (violated constraints, total violation witnesses).  A violated
-   bare existential has no finite witness; it still counts one. *)
-let measure s formulas =
+(* (violated constraints, total violation witnesses).  Spec-aware: a
+   soft constraint counts as violated only while its rate is over
+   threshold ({!Core.Checker.check_spec}).  A violated bare
+   existential has no finite witness; it still counts one. *)
+let measure s specs =
   let violated = ref 0 and wit = ref 0. in
   List.iter
-    (fun f ->
-      let r = Core.Checker.check s.index f in
+    (fun spec ->
+      let r = Core.Checker.check_spec s.index spec in
       if r.Core.Checker.outcome = Core.Checker.Violated then begin
         incr violated;
-        match Core.Violations.count s.index f with
+        match Core.Violations.count s.index spec.F.formula with
         | Some c -> wit := !wit +. c
         | None -> wit := !wit +. 1.
       end)
-    formulas;
+    specs;
   (!violated, !wit)
 
 let delete s ~table row =
@@ -275,16 +277,25 @@ let exact s formulas =
    clean, the budget runs out, or no violated constraint yields a
    supported pattern (a violated bare existential needs insertions,
    not deletions).  Terminates: every round removes at least one
-   existing row. *)
-let greedy ?(max_deletions = max_int) ~witness_limit s formulas =
+   existing row.
+
+   Spec-aware: the violated re-filter uses {!Core.Checker.check_spec},
+   so a soft constraint drops out of the loop — and stops costing
+   deletions — as soon as its violation rate clears its threshold,
+   rather than being driven all the way to zero witnesses. *)
+let greedy ?(max_deletions = max_int) ~witness_limit s specs =
   let deletions = ref [] in
   let continue_ = ref true in
   while !continue_ do
     let violated =
-      List.filter
-        (fun f ->
-          (Core.Checker.check s.index f).Core.Checker.outcome = Core.Checker.Violated)
-        formulas
+      List.filter_map
+        (fun spec ->
+          if
+            (Core.Checker.check_spec s.index spec).Core.Checker.outcome
+            = Core.Checker.Violated
+          then Some spec.F.formula
+          else None)
+        specs
     in
     if violated = [] || List.length !deletions >= max_deletions then continue_ := false
     else begin
@@ -396,8 +407,13 @@ let brute ?(max_deletions = max_int) ~witness_limit s formulas =
 (* -- the planner ------------------------------------------------------------ *)
 
 (* Blame of each tuple against the PRE-repair state, summed across
-   constraints (the exact/brute planners' report column; greedy
-   records blame at selection time instead). *)
+   constraints — the exact/brute planners' report column.  NOT the
+   same quantity as the greedy loop's selection score:
+   {!Core.Violations.blame} is an UPPER BOUND on the witnesses killed
+   by deleting the row (rows sharing the row's pattern projection
+   share full credit), while greedy records the exact pattern kill
+   count ({!Core.Violations.patterns}' [p_kills]) at selection time.
+   Never compare the [deletion.blame] column across planners. *)
 let blame_map s formulas tuples =
   let totals = Hashtbl.create 64 in
   List.iter
@@ -408,6 +424,10 @@ let blame_map s formulas tuples =
         List.iter
           (fun (table, row) ->
             let b = Core.Violations.blame a ~table ~row in
+            (* blame is a count read off restrict-and-count: any
+               negative or non-finite value means the index and the
+               analyzer disagree about the violation space *)
+            assert (b >= 0. && Float.is_finite b);
             if b <> 0. then begin
               let key = (table, Array.to_list row) in
               Hashtbl.replace totals key
@@ -419,16 +439,21 @@ let blame_map s formulas tuples =
   fun table row ->
     Option.value (Hashtbl.find_opt totals (table, Array.to_list row)) ~default:0.
 
-let plan ?(strategy = Greedy) ?max_deletions ?max_nodes ?(witness_limit = 256) db
-    formulas =
+let plan_specs ?(strategy = Greedy) ?max_deletions ?max_nodes ?(witness_limit = 256) db
+    (specs : F.spec list) =
   T.with_span "repair.plan" @@ fun () ->
   let t0 = Fcv_util.Timer.now () in
+  let formulas = List.map (fun (sp : F.spec) -> sp.F.formula) specs in
   let s = scratch ?max_nodes db formulas in
-  let violated_before, witnesses_before = measure s formulas in
+  let violated_before, witnesses_before = measure s specs in
   let deletions =
     match strategy with
-    | Greedy -> greedy ?max_deletions ~witness_limit s formulas
+    | Greedy -> greedy ?max_deletions ~witness_limit s specs
     | Exact | Brute ->
+      (* the exact and brute planners target zero violations: their
+         optimality arguments are about full repairs, so thresholds
+         are ignored here (every spec is driven clean) — though the
+         before/after measurements above stay spec-aware *)
       let tuples =
         if strategy = Exact then exact s formulas
         else brute ?max_deletions ~witness_limit s formulas
@@ -445,7 +470,7 @@ let plan ?(strategy = Greedy) ?max_deletions ?max_nodes ?(witness_limit = 256) d
           (t, row, blame_of t row))
         tuples
   in
-  let violated_after, witnesses_after = measure s formulas in
+  let violated_after, witnesses_after = measure s specs in
   let deletions =
     List.map
       (fun (t, row, b) ->
@@ -468,6 +493,10 @@ let plan ?(strategy = Greedy) ?max_deletions ?max_nodes ?(witness_limit = 256) d
     complete = violated_after = 0;
     elapsed_ms = (Fcv_util.Timer.now () -. t0) *. 1000.;
   }
+
+let plan ?strategy ?max_deletions ?max_nodes ?witness_limit db formulas =
+  plan_specs ?strategy ?max_deletions ?max_nodes ?witness_limit db
+    (List.map F.hard formulas)
 
 let apply_to plan db =
   List.fold_left

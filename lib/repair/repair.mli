@@ -42,10 +42,15 @@ type deletion = {
   row : Fcv_relation.Value.t list;  (** decoded *)
   cells : string list;  (** textual, protocol-/WAL-ready *)
   blame : float;
-      (** witnesses this deletion helped kill when it was chosen
-          (greedy: its pattern's kill count at selection time;
-          exact/brute: the per-row {!Core.Violations.blame} against
-          the pre-repair state) *)
+      (** the planner's score for this deletion — {b two different
+          quantities} depending on the planner, never comparable
+          across planners: greedy records its pattern's {e exact} kill
+          count ({!Core.Violations.patterns}' [p_kills]) at selection
+          time; exact/brute record the per-row
+          {!Core.Violations.blame} against the pre-repair state, which
+          is an {e upper bound} on the witnesses the deletion kills
+          (rows sharing the row's pattern projection share full
+          credit) *)
 }
 
 type plan = {
@@ -81,6 +86,23 @@ val plan :
     @raise Not_tractable from the exact planner on intractable input.
     @raise Invalid_argument from the brute planner on non-tiny
     instances. *)
+
+val plan_specs :
+  ?strategy:strategy ->
+  ?max_deletions:int ->
+  ?max_nodes:int ->
+  ?witness_limit:int ->
+  Fcv_relation.Database.t ->
+  Core.Formula.spec list ->
+  plan
+(** {!plan} over constraint specs: the greedy planner's violated
+    re-filter (and the before/after measurements) go through
+    {!Core.Checker.check_spec}, so a soft constraint stops costing
+    deletions as soon as its violation rate clears its threshold.
+    The exact and brute planners ignore thresholds — their optimality
+    arguments are about full (zero-violation) repairs — but still
+    report spec-aware before/after counts.  [plan db formulas] is
+    [plan_specs db (List.map Core.Formula.hard formulas)]. *)
 
 val apply_to : plan -> Fcv_relation.Database.t -> int
 (** Apply the plan's deletions to [db]'s base tables (first matching

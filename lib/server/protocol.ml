@@ -130,12 +130,36 @@ let parse_request line =
     | Error _ -> Error (Bad_request, "missing string field \"op\"")
     | Ok op -> (
       match op with
-      | "register" ->
+      | "register" -> (
         let* source = str "source" in
         let id_opt =
           match Json.member "constraint" json with Some (T.Int i) -> Some i | _ -> None
         in
-        Ok (id, Register { source; id = id_opt })
+        (* an explicit threshold field canonicalises into the source's
+           [holds >= p .] prefix, so the WAL record, the snapshot and
+           every report all carry one spelling of the constraint *)
+        match Json.member "threshold" json with
+        | None -> Ok (id, Register { source; id = id_opt })
+        | Some j -> (
+          let p =
+            match j with
+            | T.Float f -> Some f
+            | T.Int i -> Some (float_of_int i)
+            | _ -> None
+          in
+          match p with
+          | None -> Error (Bad_request, "threshold must be a number")
+          | Some p when not (p > 0. && p <= 1.) ->
+            Error (Bad_request, "threshold must be in (0, 1]")
+          | Some p ->
+            let source =
+              if p >= 1.0 then source
+              else
+                Printf.sprintf "holds >= %s . %s"
+                  (Core.Formula.threshold_repr p)
+                  source
+            in
+            Ok (id, Register { source; id = id_opt })))
       | "unregister" ->
         let* c = int "constraint" in
         Ok (id, Unregister c)

@@ -141,17 +141,29 @@ let snapshot t =
 
 let json_of_report rep =
   T.Obj
-    [
-      ("constraint", T.Int rep.Core.Monitor.constraint_.Core.Monitor.id);
-      ("source", T.String rep.Core.Monitor.constraint_.Core.Monitor.source);
-      ( "outcome",
-        T.String
-          (match rep.Core.Monitor.outcome with
-          | Core.Checker.Satisfied -> "satisfied"
-          | Core.Checker.Violated -> "violated") );
-      ("fresh", T.Bool rep.Core.Monitor.fresh);
-      ("ms", T.Float rep.Core.Monitor.elapsed_ms);
-    ]
+    ([
+       ("constraint", T.Int rep.Core.Monitor.constraint_.Core.Monitor.id);
+       ("source", T.String rep.Core.Monitor.constraint_.Core.Monitor.source);
+       ( "outcome",
+         T.String
+           (match rep.Core.Monitor.outcome with
+           | Core.Checker.Satisfied -> "satisfied"
+           | Core.Checker.Violated -> "violated") );
+       ("fresh", T.Bool rep.Core.Monitor.fresh);
+       ("ms", T.Float rep.Core.Monitor.elapsed_ms);
+     ]
+    @
+    (* soft constraints report their measured violation rate and the
+       threshold the verdict was taken against *)
+    match rep.Core.Monitor.rate with
+    | None -> []
+    | Some rt ->
+      [
+        ("rate", T.Float rt.Core.Checker.ratio);
+        ("threshold", T.Float rt.Core.Checker.threshold);
+        ("violations", T.String (Fcv_bdd.Nat.to_string rt.Core.Checker.violations));
+        ("bindings", T.String (Fcv_bdd.Nat.to_string rt.Core.Checker.total));
+      ])
 
 let shard_json s =
   let index = Core.Monitor.index (Shard.monitor s) in

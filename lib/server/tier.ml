@@ -151,7 +151,8 @@ let flush t =
 (* -- routing + fan-out ----------------------------------------------------- *)
 
 let constraint_tables source =
-  Core.Formula.relations (Core.Fol_parser.of_string source)
+  (* spec-aware: tolerates the [holds >= p .] soft-constraint prefix *)
+  Core.Formula.relations (Core.Fol_parser.spec_of_string source).Core.Formula.formula
 
 (* The shards a logged request journals on (owner first), for the
    simulator's instrumentation.  Registration may additionally journal
@@ -309,9 +310,13 @@ and repair t ~strategy ~max_deletions ~do_apply =
   match Fcv_repair.Repair.strategy_of_string strategy with
   | Error msg -> Error (P.Bad_request, msg)
   | Ok strategy -> (
-    let formulas =
+    let specs =
       List.map
-        (fun r -> r.Core.Monitor.formula)
+        (fun r ->
+          {
+            Core.Formula.threshold = r.Core.Monitor.threshold;
+            formula = r.Core.Monitor.formula;
+          })
         (List.sort
            (fun a b -> compare a.Core.Monitor.id b.Core.Monitor.id)
            (Array.fold_left
@@ -319,7 +324,7 @@ and repair t ~strategy ~max_deletions ~do_apply =
                 List.rev_append (Core.Monitor.constraints (Shard.monitor s)) acc)
               [] t.shards))
     in
-    match Fcv_repair.Repair.plan ~strategy ?max_deletions (repair_db t) formulas with
+    match Fcv_repair.Repair.plan_specs ~strategy ?max_deletions (repair_db t) specs with
     | exception Fcv_repair.Repair.Not_tractable msg -> Error (P.Constraint_error, msg)
     | exception (Invalid_argument msg | Failure msg) -> Error (P.Bad_request, msg)
     | plan ->

@@ -35,10 +35,11 @@ module _ = Test_group_commit
 module _ = Test_repair
 module _ = Test_repair_tier
 module _ = Test_planner
+module _ = Test_approx
 
 let () =
   let suites = Registry.all () in
-  if List.length suites < 29 then
+  if List.length suites < 30 then
     failwith
       (Printf.sprintf "Test_main: only %d suites registered — a test module was \
                        linked without calling Registry.register"

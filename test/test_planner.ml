@@ -37,6 +37,7 @@ let result ?(outcome = C.Satisfied) ~method_used ~elapsed_ms ?(bdd_overhead_ms =
     fallback_ms;
     rewritten = f;
     check = Core.Rewrite.Check_valid;
+    rate = None;
   }
 
 (* A budget-tripping fallback as the checker reports it: the abandoned

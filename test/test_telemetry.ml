@@ -242,6 +242,7 @@ let test_planner_counters () =
       fallback_ms = 0.;
       rewritten = f;
       check = Core.Rewrite.Check_valid;
+      rate = None;
     }
   in
   let trip = { slow_sql with Core.Checker.elapsed_ms = 1.0; bdd_overhead_ms = 3.0 } in
